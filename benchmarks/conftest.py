@@ -1,0 +1,62 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark runs its sweep exactly once inside ``benchmark.pedantic``
+(so ``pytest benchmarks/ --benchmark-only`` executes and times it), prints
+the paper-style tables, and saves them under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Optional
+
+from repro.bench import Sweep, ascii_chart, format_sweep, shape_summary, sweep_to_json
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(sweep: Sweep, filename: str, metrics: Optional[List[str]] = None,
+           extra: str = "") -> str:
+    """Format, print, and persist a sweep (text tables + chart + JSON)."""
+    parts = [format_sweep(sweep, m) for m in (metrics or ["io", "time", "random"])]
+    parts.append(ascii_chart(sweep, "io"))
+    if extra:
+        parts.append(extra)
+    text = "\n\n".join(parts) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text)
+    json_name = filename.rsplit(".", 1)[0] + ".json"
+    (RESULTS_DIR / json_name).write_text(sweep_to_json(sweep))
+    print()
+    print(text)
+    return text
+
+
+def assert_ext_wins_or_inf(sweep: Sweep, better: str, worse: str) -> None:
+    """The paper's headline shape: at every point, ``worse`` either blew
+    the budget / failed to terminate, or performed more random I/Os."""
+    for x in sweep.x_values:
+        b = sweep.result(better, x)
+        w = sweep.result(worse, x)
+        if not b.ok:
+            continue  # the better algorithm hit the cutoff too; no claim
+        assert (not w.ok) or (w.io_random > b.io_random), (
+            f"{worse} at {x}: io={w.io_total} rand={w.io_random} vs "
+            f"{better} io={b.io_total} rand={b.io_random}"
+        )
+
+
+def assert_monotone(values, increasing: bool, slack: float = 1.10) -> None:
+    """Assert a series trends in one direction, allowing ``slack`` noise
+    on individual steps but requiring the endpoints to conform."""
+    if len(values) < 2:
+        return
+    first, last = values[0], values[-1]
+    if increasing:
+        assert last > first, values
+        for a, b in zip(values, values[1:]):
+            assert b >= a / slack, values
+    else:
+        assert last < first, values
+        for a, b in zip(values, values[1:]):
+            assert b <= a * slack, values

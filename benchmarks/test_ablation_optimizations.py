@@ -1,0 +1,83 @@
+"""Ablation of the Section VII reductions (beyond the paper's two presets).
+
+The paper only evaluates all-off (Ext-SCC) and all-on (Ext-SCC-Op); this
+bench switches each reduction on individually so DESIGN.md's "which lever
+does the work" question gets a measured answer per workload.
+"""
+
+from conftest import report
+
+from repro.bench import (
+    BLOCK_SIZE,
+    Sweep,
+    family_graph,
+    memory_for_ratio,
+    run_algorithm,
+    shuffled_edges,
+    webspam_graph,
+)
+from repro.core import ExtSCCConfig
+
+VARIANTS = {
+    "base": ExtSCCConfig.baseline(),
+    "+type1": ExtSCCConfig(trim_type1=True),
+    "+type2": ExtSCCConfig(type2_reduction=True),
+    "+dedupe": ExtSCCConfig(dedupe_parallel_edges=True),
+    "+selfloop": ExtSCCConfig(remove_self_loops=True),
+    "+product": ExtSCCConfig(product_operator=True),
+    "all(Op)": ExtSCCConfig.optimized(),
+    # Extensions beyond the paper's Section VII:
+    "Op+trim4": ExtSCCConfig.optimized(trim_rounds=4),
+    "Op+zip": ExtSCCConfig.optimized(compress_edge_lists=True),
+}
+
+WORKLOADS = {
+    "large-scc": lambda: family_graph("large-scc", num_nodes=2500, seed=5),
+    "webspam": lambda: webspam_graph(num_nodes=2500),
+}
+
+
+def _run_ablation():
+    sweeps = {}
+    for workload_name, build in WORKLOADS.items():
+        graph = build()
+        edges = shuffled_edges(graph)
+        n = graph.num_nodes
+        memory = memory_for_ratio(n, 0.5)
+        sweep = Sweep(title=f"Ablation — {workload_name} (M ratio 0.5)",
+                      x_label="variant")
+        for variant, config in VARIANTS.items():
+            sweep.runs.append(
+                run_algorithm(variant, edges, n, memory,
+                              block_size=BLOCK_SIZE, x="io/iters",
+                              config=config)
+            )
+        sweeps[workload_name] = sweep
+    return sweeps
+
+
+def test_ablation_optimizations(benchmark):
+    sweeps = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    for workload_name, sweep in sweeps.items():
+        lines = [sweep.title, f"{'variant':>10}  {'I/Os':>10}  {'iters':>5}"]
+        for run in sweep.runs:
+            lines.append(
+                f"{run.algorithm:>10}  {run.io_total:>10,}  {run.iterations:>5}"
+            )
+        text = "\n".join(lines) + "\n"
+        print()
+        print(text)
+        from conftest import RESULTS_DIR
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"ablation_{workload_name}.txt").write_text(text)
+
+        by_name = {run.algorithm: run for run in sweep.runs}
+        assert all(run.ok for run in sweep.runs)
+        # The full stack beats the baseline.
+        assert by_name["all(Op)"].io_total <= by_name["base"].io_total
+        # Every single-lever variant still terminates in no more
+        # iterations than the baseline needed (each reduction can only
+        # shrink the per-iteration graph).
+        for variant in ("+type1", "+type2", "+dedupe", "+selfloop", "+product"):
+            assert by_name[variant].iterations <= by_name["base"].iterations * 1.5

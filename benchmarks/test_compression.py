@@ -1,0 +1,76 @@
+"""Edge-file compression: scan-I/O savings on the workload families.
+
+Ext-SCC's cost is sorts and scans of the edge file; storing the sorted
+``E_in``/``E_out`` copies gap-encoded (WebGraph-style) shrinks every scan
+proportionally to the compression ratio.  This bench measures the ratio
+and the per-scan block savings on the Table I families and the webspam
+stand-in — quantifying the headroom such a storage format would buy the
+pipeline.
+"""
+
+from conftest import RESULTS_DIR
+
+from repro.bench import BLOCK_SIZE, family_graph, shuffled_edges, webspam_graph
+from repro.graph.compressed import CompressedEdgeFile
+from repro.graph.edge_file import EdgeFile
+from repro.io import BlockDevice, MemoryBudget
+
+WORKLOADS = {
+    "massive-scc": lambda: family_graph("massive-scc", num_nodes=4000, seed=9),
+    "large-scc": lambda: family_graph("large-scc", num_nodes=4000, seed=9),
+    "small-scc": lambda: family_graph("small-scc", num_nodes=4000, seed=9),
+    "webspam": lambda: webspam_graph(num_nodes=4000),
+    "rmat": None,  # filled below to keep the lambda table tidy
+}
+
+
+def _rmat():
+    from repro.graph.generators import rmat_graph
+
+    return rmat_graph(12, edge_factor=6.0, seed=9)
+
+
+WORKLOADS["rmat"] = _rmat
+
+
+def _run_all():
+    rows = []
+    for name, build in WORKLOADS.items():
+        graph = build()
+        edges = shuffled_edges(graph)
+        device = BlockDevice(block_size=BLOCK_SIZE)
+        memory = MemoryBudget(64 * 1024)
+        plain = EdgeFile.from_edges(device, "plain", sorted(edges))
+        compressed = CompressedEdgeFile.from_sorted_edges(
+            device, "comp", sorted(edges)
+        )
+        before = device.stats.snapshot()
+        sum(1 for _ in plain.scan())
+        plain_scan = (device.stats.snapshot() - before).total
+        before = device.stats.snapshot()
+        sum(1 for _ in compressed.scan())
+        comp_scan = (device.stats.snapshot() - before).total
+        rows.append(
+            (name, len(edges), compressed.compression_ratio, plain_scan, comp_scan)
+        )
+    return rows
+
+
+def test_compression(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [
+        "Gap-encoded edge storage — scan savings per workload",
+        f"{'workload':>12} {'edges':>8} {'ratio':>6} {'scan(plain)':>12} {'scan(comp)':>11}",
+    ]
+    for name, num_edges, ratio, plain_scan, comp_scan in rows:
+        lines.append(
+            f"{name:>12} {num_edges:>8,} {ratio:>6.2f} {plain_scan:>12,} {comp_scan:>11,}"
+        )
+        # The encoded form must actually shrink scans on every family.
+        assert ratio > 1.5, name
+        assert comp_scan < plain_scan, name
+    text = "\n".join(lines) + "\n"
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "compression.txt").write_text(text)

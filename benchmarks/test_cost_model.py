@@ -1,0 +1,76 @@
+"""Theorems 5.1/5.2/6.1 as a benchmark: predicted vs. measured I/O.
+
+The paper gives per-phase I/O complexities; `repro.analysis.CostModel`
+instantiates them with this implementation's constants.  This bench runs
+Ext-SCC on the three Table I families and on the webspam stand-in, then
+compares the model's prediction (computed from the measured per-iteration
+|V_i|, |E_i| sizes) against the ledger — the prediction must land within
+a constant factor, point for point.
+"""
+
+from conftest import RESULTS_DIR
+
+from repro.analysis import CostModel
+from repro.bench import (
+    BLOCK_SIZE,
+    family_graph,
+    memory_for_ratio,
+    shuffled_edges,
+    webspam_graph,
+)
+from repro.core import ExtSCC, ExtSCCConfig
+from repro.graph.edge_file import EdgeFile, NodeFile
+from repro.io import BlockDevice, MemoryBudget
+
+WORKLOADS = {
+    "massive-scc": lambda: family_graph("massive-scc", num_nodes=2500, seed=7),
+    "large-scc": lambda: family_graph("large-scc", num_nodes=2500, seed=7),
+    "small-scc": lambda: family_graph("small-scc", num_nodes=2500, seed=7),
+    "webspam": lambda: webspam_graph(num_nodes=2500),
+}
+
+
+def _run_all():
+    rows = []
+    for name, build in WORKLOADS.items():
+        graph = build()
+        edges = shuffled_edges(graph)
+        memory_bytes = memory_for_ratio(graph.num_nodes, 0.5)
+        for variant, config in (
+            ("Ext-SCC", ExtSCCConfig.baseline()),
+            ("Ext-SCC-Op", ExtSCCConfig.optimized()),
+        ):
+            device = BlockDevice(block_size=BLOCK_SIZE)
+            memory = MemoryBudget(memory_bytes)
+            edge_file = EdgeFile.from_edges(device, "E", edges)
+            node_file = NodeFile.from_ids(
+                device, "V", range(graph.num_nodes), memory, presorted=True
+            )
+            out = ExtSCC(config).run(device, edge_file, memory, nodes=node_file)
+            model = CostModel(BLOCK_SIZE, memory_bytes)
+            predicted = model.ext_scc(
+                out.iterations, product_operator=config.product_operator
+            )
+            rows.append((name, variant, predicted, out.io.total))
+    return rows
+
+
+def test_cost_model(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [
+        "Cost model (Thms 5.1/5.2/6.1) — predicted vs measured block I/Os",
+        f"{'workload':>12} {'variant':>11} {'predicted':>10} {'measured':>10} {'ratio':>6}",
+    ]
+    for name, variant, predicted, measured in rows:
+        ratio = measured / predicted if predicted else float("inf")
+        lines.append(
+            f"{name:>12} {variant:>11} {predicted:>10,} {measured:>10,} {ratio:>6.2f}"
+        )
+        # The model must predict within a constant factor in both
+        # directions — the complexity statement, made concrete.
+        assert predicted / 3 <= measured <= predicted * 3, (name, variant)
+    text = "\n".join(lines) + "\n"
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "cost_model.txt").write_text(text)

@@ -1,0 +1,69 @@
+"""Figure 7 — WEBSPAM: time (a) and #I/Os (b) while varying memory.
+
+Paper: M swept 400M..1G against WEBSPAM-UK2007's semi-external threshold
+of ~847M; both Ext variants get cheaper as M grows, with a sharp drop once
+M exceeds the threshold (no contraction iterations at all); DFS-SCC never
+finishes within the cutoff.
+
+Here: the memory ratios M / (8|V| + B) are the paper's (0.47..1.21) on the
+webspam stand-in; the I/O cutoff for the baselines is set a generous 4x
+above the worst Ext-SCC cost, mirroring 24h vs the ~5h worst Ext run.
+"""
+
+from conftest import assert_ext_wins_or_inf, assert_monotone, report
+
+from repro.bench import (
+    BENCH_NODES,
+    BLOCK_SIZE,
+    WEBSPAM_MEMORY_RATIOS,
+    memory_for_ratio,
+    run_algorithm,
+    run_sweep,
+    shape_summary,
+    shuffled_edges,
+    webspam_graph,
+)
+
+TITLE = "Fig 7 — WEBSPAM-like: cost vs memory size"
+
+
+def _run_sweep():
+    graph = webspam_graph()
+    edges = shuffled_edges(graph)
+    n = graph.num_nodes
+    points = [
+        (ratio, edges, n, memory_for_ratio(n, ratio))
+        for ratio in WEBSPAM_MEMORY_RATIOS
+    ]
+    sweep = run_sweep(TITLE, "M/(8|V|+B)", points,
+                      ["Ext-SCC", "Ext-SCC-Op"], block_size=BLOCK_SIZE)
+    worst_ext = max(r.io_total for r in sweep.runs)
+    budget = max(4 * worst_ext, 100_000)
+    for ratio, edges_, n_, memory in points:
+        for name in ("DFS-SCC", "EM-SCC"):
+            sweep.runs.append(
+                run_algorithm(name, edges_, n_, memory, block_size=BLOCK_SIZE,
+                              io_budget=budget, x=ratio)
+            )
+    return sweep
+
+
+def test_fig7_webspam_memory(benchmark):
+    sweep = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    report(sweep, "fig7_webspam_memory.txt",
+           extra=shape_summary(sweep, "Ext-SCC-Op", "DFS-SCC"))
+
+    for name in ("Ext-SCC", "Ext-SCC-Op"):
+        series = sweep.series(name)
+        assert all(r.ok for r in series)
+        # Paper: cost falls as memory grows.
+        assert_monotone([r.io_total for r in series], increasing=False)
+        # Sharp drop past the semi-external threshold: zero iterations.
+        assert series[-1].iterations == 0
+        assert series[0].iterations >= 1
+        # Ext-SCC is scan/sort only.
+        assert all(r.io_random == 0 for r in series)
+
+    # DFS-SCC / EM-SCC lose at every point (INF, NONTERM, or random-bound).
+    assert_ext_wins_or_inf(sweep, "Ext-SCC-Op", "DFS-SCC")
+    assert all(r.status == "NONTERM" for r in sweep.series("EM-SCC"))

@@ -1,0 +1,68 @@
+"""Figure 9(c)/(d) — Large-SCC: cost vs average degree D.
+
+Paper: D swept 2..6; cost rises with D (more edges: more iterations and
+bigger sorts), and the Ext-SCC-Op / Ext-SCC gap widens with D because the
+edge-reduction techniques have more to prune.
+
+Here: same sweep at a node count where the D=6 deep-contraction point
+stays tractable in pure Python.
+"""
+
+from conftest import assert_ext_wins_or_inf, assert_monotone, report
+
+from repro.bench import (
+    BLOCK_SIZE,
+    family_graph,
+    memory_for_ratio,
+    run_algorithm,
+    run_sweep,
+    shuffled_edges,
+)
+
+DEGREES = (2, 3, 4, 5, 6)
+NUM_NODES = 2000
+
+
+def _run_sweep():
+    memory = memory_for_ratio(NUM_NODES, 0.5)
+    points = []
+    for degree in DEGREES:
+        graph = family_graph("large-scc", num_nodes=NUM_NODES,
+                             avg_degree=degree, seed=2)
+        points.append((degree, shuffled_edges(graph), NUM_NODES, memory))
+    sweep = run_sweep(
+        "Fig 9(c)/(d) — Large-SCC: cost vs average degree", "D", points,
+        ["Ext-SCC", "Ext-SCC-Op"], block_size=BLOCK_SIZE,
+    )
+    budget = max(4 * max(r.io_total for r in sweep.runs), 100_000)
+    for degree, edges, n, memory_ in points:
+        for name in ("DFS-SCC", "EM-SCC"):
+            sweep.runs.append(
+                run_algorithm(name, edges, n, memory_, block_size=BLOCK_SIZE,
+                              io_budget=budget, x=degree)
+            )
+    return sweep
+
+
+def test_fig9_vary_degree(benchmark):
+    sweep = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    report(sweep, "fig9_vary_degree.txt")
+
+    for name in ("Ext-SCC", "Ext-SCC-Op"):
+        series = sweep.series(name)
+        assert all(r.ok for r in series)
+        assert_monotone([r.io_total for r in series], increasing=True,
+                        slack=1.25)
+        assert all(r.io_random == 0 for r in series)
+
+    # Paper: "when D is larger, the gap between Ext-SCC-Op and Ext-SCC is
+    # larger" — compare the relative gap at both ends.
+    def gap(degree):
+        base = sweep.result("Ext-SCC", degree).io_total
+        opt = sweep.result("Ext-SCC-Op", degree).io_total
+        return base / max(1, opt)
+
+    assert gap(DEGREES[-1]) >= gap(DEGREES[0]) * 0.9
+
+    assert_ext_wins_or_inf(sweep, "Ext-SCC-Op", "DFS-SCC")
+    assert all(not r.ok for r in sweep.series("EM-SCC"))

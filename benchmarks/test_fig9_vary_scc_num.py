@@ -1,0 +1,56 @@
+"""Figure 9(g)/(h) — Large-SCC: cost vs the number of SCCs.
+
+Paper: the SCC count swept 30..70 at fixed |V|, |E|; like the SCC-size
+sweep, the costs of both Ext variants barely move — Exp-5's point that
+only |V| and |E| drive the algorithm.
+"""
+
+from conftest import assert_ext_wins_or_inf, report
+
+from repro.bench import (
+    BENCH_NODES,
+    BLOCK_SIZE,
+    family_graph,
+    memory_for_ratio,
+    run_algorithm,
+    run_sweep,
+    shuffled_edges,
+)
+
+SCC_COUNTS = (30, 40, 50, 60, 70)
+SCC_SIZE = max(4, BENCH_NODES // 200)  # fixed size; 70 SCCs stay < |V|/2
+
+
+def _run_sweep():
+    memory = memory_for_ratio(BENCH_NODES, 0.5)
+    points = []
+    for count in SCC_COUNTS:
+        graph = family_graph("large-scc", scc_size=SCC_SIZE,
+                             scc_count=count, seed=4)
+        points.append((count, shuffled_edges(graph), BENCH_NODES, memory))
+    sweep = run_sweep(
+        "Fig 9(g)/(h) — Large-SCC: cost vs number of SCCs", "#sccs", points,
+        ["Ext-SCC", "Ext-SCC-Op"], block_size=BLOCK_SIZE,
+    )
+    budget = max(4 * max(r.io_total for r in sweep.runs), 100_000)
+    for count, edges, n, memory_ in points:
+        sweep.runs.append(
+            run_algorithm("DFS-SCC", edges, n, memory_, block_size=BLOCK_SIZE,
+                          io_budget=budget, x=count)
+        )
+    return sweep
+
+
+def test_fig9_vary_scc_num(benchmark):
+    sweep = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    report(sweep, "fig9_vary_scc_num.txt")
+
+    for name in ("Ext-SCC", "Ext-SCC-Op"):
+        series = sweep.series(name)
+        assert all(r.ok for r in series)
+        costs = [r.io_total for r in series]
+        # Paper: insensitive to the SCC count at fixed |V|, |E|.
+        assert max(costs) <= 2.0 * min(costs), (name, costs)
+        assert all(r.io_random == 0 for r in series)
+
+    assert_ext_wins_or_inf(sweep, "Ext-SCC-Op", "DFS-SCC")

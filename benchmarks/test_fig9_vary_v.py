@@ -1,0 +1,66 @@
+"""Figure 9(a)/(b) — Large-SCC: cost vs node count |V| at fixed memory.
+
+Paper: |V| swept 25M..200M with M fixed at 400M; costs rise steeply with
+|V| (the stop condition gets harder, each iteration sorts more), DFS-SCC
+is INF from 50M up and takes >20h even at 25M.
+
+Here: |V| swept around the benchmark scale with M fixed at half the
+mid-size threshold, so the largest graphs run at the deep ratios where the
+paper's own runs approached the 24h cutoff — the largest point is allowed
+to hit the I/O budget, exactly like the paper's near-INF right edge.
+"""
+
+from conftest import assert_ext_wins_or_inf, assert_monotone, report
+
+from repro.bench import (
+    BLOCK_SIZE,
+    family_graph,
+    memory_for_ratio,
+    run_algorithm,
+    run_sweep,
+    shape_summary,
+    shuffled_edges,
+)
+
+NODE_COUNTS = (1500, 2000, 3000, 4000, 6000)
+FIXED_MEMORY_NODES = 3000  # M = 0.5 * threshold(3000), fixed across the sweep
+EXT_BUDGET = 1_500_000
+
+
+def _run_sweep():
+    memory = memory_for_ratio(FIXED_MEMORY_NODES, 0.5)
+    points = []
+    for n in NODE_COUNTS:
+        graph = family_graph("large-scc", num_nodes=n, seed=1)
+        points.append((n, shuffled_edges(graph), n, memory))
+    sweep = run_sweep(
+        "Fig 9(a)/(b) — Large-SCC: cost vs |V| (M fixed)", "|V|", points,
+        ["Ext-SCC", "Ext-SCC-Op"], block_size=BLOCK_SIZE, io_budget=EXT_BUDGET,
+    )
+    finished = [r.io_total for r in sweep.runs if r.ok]
+    budget = max(4 * max(finished), 100_000)
+    for n, edges, n_, memory_ in points:
+        for name in ("DFS-SCC", "EM-SCC"):
+            sweep.runs.append(
+                run_algorithm(name, edges, n_, memory_, block_size=BLOCK_SIZE,
+                              io_budget=budget, x=n)
+            )
+    return sweep
+
+
+def test_fig9_vary_v(benchmark):
+    sweep = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    report(sweep, "fig9_vary_v.txt",
+           extra=shape_summary(sweep, "Ext-SCC-Op", "DFS-SCC"))
+
+    for name in ("Ext-SCC", "Ext-SCC-Op"):
+        series = sweep.series(name)
+        finished = [r for r in series if r.ok]
+        # The small end always finishes; the largest point may be INF —
+        # the paper's own 200M point nearly was.
+        assert series[0].ok and series[1].ok, name
+        assert_monotone([r.io_total for r in finished], increasing=True)
+        assert all(r.io_random == 0 for r in finished)
+
+    assert_ext_wins_or_inf(sweep, "Ext-SCC-Op", "DFS-SCC")
+    assert all(not r.ok for r in sweep.series("EM-SCC"))

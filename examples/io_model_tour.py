@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A tour of the simulated external-memory subsystem.
+
+Shows the machinery underneath Ext-SCC: the block device and its I/O
+ledger, external sort under a memory budget, merge joins, and how the four
+SCC algorithms differ in their I/O *pattern* on the same graph — the
+quantity the paper's evaluation is about.
+
+Run:  python examples/io_model_tour.py
+"""
+
+import random
+
+from repro.bench import run_algorithm, shuffled_edges
+from repro.graph import EdgeFile, large_scc_graph
+from repro.io import BlockDevice, MemoryBudget, external_sort
+
+
+def tour_the_device() -> None:
+    print("=== 1. The block device and its ledger =========================")
+    device = BlockDevice(block_size=256)  # 256-byte blocks: 32 edges each
+    edges = [(random.Random(0).randrange(500), i) for i in range(10_000)]
+    edge_file = EdgeFile.from_edges(device, "edges", edges)
+    print(f"wrote {edge_file.num_edges} edges -> "
+          f"{edge_file.file.num_blocks} blocks, "
+          f"{device.stats.seq_writes} sequential writes")
+
+    before = device.stats.snapshot()
+    total = sum(1 for _ in edge_file.scan())
+    delta = device.stats.snapshot() - before
+    print(f"scanned {total} edges: {delta.seq_reads} sequential reads, "
+          f"{delta.random} random")
+
+    before = device.stats.snapshot()
+    edge_file.file.read_block_random(edge_file.file.num_blocks // 2)
+    delta = device.stats.snapshot() - before
+    print(f"one seek into the middle: {delta.rand_reads} random read")
+
+
+def tour_external_sort() -> None:
+    print("\n=== 2. External sort under a memory budget =====================")
+    for memory_bytes in (1024, 8192, 65536):
+        device = BlockDevice(block_size=256)
+        rng = random.Random(1)
+        records = [(rng.randrange(100_000), 0) for _ in range(20_000)]
+        from repro.io import ExternalFile
+
+        infile = ExternalFile.from_records(device, "in", records, 8)
+        before = device.stats.snapshot()
+        out = external_sort(infile, MemoryBudget(memory_bytes))
+        delta = device.stats.snapshot() - before
+        assert list(out.scan())[:3] == sorted(records)[:3]
+        print(f"M = {memory_bytes:>6} bytes: sort of 20k records costs "
+              f"{delta.total:>6} block I/Os (all sequential: {delta.random == 0})")
+
+
+def tour_algorithms() -> None:
+    print("\n=== 3. Four algorithms, one graph, four I/O profiles ===========")
+    graph = large_scc_graph(num_nodes=1200, seed=3)
+    edges = shuffled_edges(graph)
+    memory_bytes = (8 * graph.num_nodes) // 2  # half the node array fits
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges; "
+          f"M = {memory_bytes} bytes (nodes do NOT fit)\n")
+    print(f"{'algorithm':>10}  {'status':>8}  {'I/Os':>8}  {'random':>7}  {'SCCs':>5}")
+    for name in ("Ext-SCC", "Ext-SCC-Op", "DFS-SCC", "EM-SCC"):
+        result = run_algorithm(name, edges, graph.num_nodes, memory_bytes,
+                               block_size=256, io_budget=2_000_000)
+        sccs = result.num_sccs if result.num_sccs is not None else "-"
+        print(f"{name:>10}  {result.status:>8}  {result.io_total:>8,}  "
+              f"{result.io_random:>7,}  {sccs:>5}")
+    print("\nExt-SCC's contraction/expansion touches the disk only through "
+          "scans and sorts\n(zero random I/Os); external DFS seeks per node; "
+          "EM-SCC's whole-graph\ncontraction heuristic does not terminate on "
+          "this input — the paper's Section IV.")
+
+
+def main() -> None:
+    tour_the_device()
+    tour_external_sort()
+    tour_algorithms()
+
+
+if __name__ == "__main__":
+    main()

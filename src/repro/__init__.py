@@ -1,0 +1,58 @@
+"""repro — Contract & Expand: I/O efficient external-memory SCC computation.
+
+Reproduction of Zhang, Qin, Yu, "Contract & Expand: I/O Efficient SCCs
+Computing" (ICDE 2014).  Quickstart::
+
+    from repro import compute_sccs
+
+    edges = [(0, 1), (1, 2), (2, 0), (2, 3)]
+    output = compute_sccs(edges, memory_bytes=1 << 20)
+    print(output.result.components())   # [[0, 1, 2], [3]]
+
+Subpackages:
+
+* :mod:`repro.io` — the simulated external-memory subsystem;
+* :mod:`repro.graph` — graph files, generators, datasets;
+* :mod:`repro.memory_scc` — in-memory reference solvers;
+* :mod:`repro.semi_external` — semi-external solvers (Semi-SCC);
+* :mod:`repro.baselines` — EM-SCC [13] and DFS-SCC [8];
+* :mod:`repro.core` — Ext-SCC / Ext-SCC-Op (the paper's contribution);
+* :mod:`repro.bench` — the figure-reproduction harness.
+"""
+
+from repro.core import (
+    ExtSCC,
+    ExtSCCConfig,
+    ExtSCCOutput,
+    SCCResult,
+    compute_sccs,
+)
+from repro.exceptions import (
+    InsufficientMemory,
+    IOBudgetExceeded,
+    NonTermination,
+    ReproError,
+    StorageError,
+)
+from repro.io import BlockDevice, ExternalFile, IOBudget, IOStats, MemoryBudget
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compute_sccs",
+    "ExtSCC",
+    "ExtSCCConfig",
+    "ExtSCCOutput",
+    "SCCResult",
+    "BlockDevice",
+    "ExternalFile",
+    "MemoryBudget",
+    "IOStats",
+    "IOBudget",
+    "ReproError",
+    "IOBudgetExceeded",
+    "NonTermination",
+    "InsufficientMemory",
+    "StorageError",
+    "__version__",
+]

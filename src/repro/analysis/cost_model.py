@@ -1,0 +1,143 @@
+"""Analytic I/O cost model (the paper's Theorems 5.1, 5.2 and 6.1).
+
+The paper states per-phase I/O complexities:
+
+* Get-V (Thm 5.1):      O(sort(|E_i|) + sort(|V_i|))
+* Get-E (Thm 5.2):      O(sort(|E_i|) + scan(|V_{i+1}|) + scan(|E_{i+1}|))
+* Expansion (Thm 6.1):  O(scan(|V_{i+1}|) + sort(|E_i|) + sort(|V_i|))
+
+:class:`CostModel` turns those statements into concrete block counts for
+this implementation (each O(·) expanded into the actual number of sorts
+and scans the pipeline performs), so a benchmark can check the *measured*
+ledger against the *predicted* cost — the closest an implementation can
+get to "reproducing a theorem".
+
+The constants below mirror `repro.core`: e.g. one contraction iteration
+sorts the edge file twice for ``E_in``/``E_out``, once for ``E_d``, once
+for the cover, once for ``E_pre``, and scans everything it sorts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.constants import (
+    AUGMENTED_EDGE_BYTES,
+    EDGE_RECORD_BYTES,
+    NODE_RECORD_BYTES,
+    SCC_RECORD_BYTES,
+)
+from repro.core.ext_scc import IterationRecord
+
+__all__ = ["CostModel"]
+
+
+class CostModel:
+    """Block-level cost predictions under the Aggarwal–Vitter model.
+
+    Args:
+        block_size: the device's ``B`` in bytes.
+        memory_bytes: the budget ``M`` (drives sort fan-in and run count).
+    """
+
+    def __init__(self, block_size: int, memory_bytes: int) -> None:
+        self.block_size = block_size
+        self.memory_bytes = memory_bytes
+
+    # -- primitives ----------------------------------------------------------
+
+    def blocks(self, records: int, record_size: int) -> int:
+        """Blocks occupied by ``records`` records."""
+        return math.ceil(max(0, records) * record_size / self.block_size)
+
+    def scan(self, records: int, record_size: int) -> int:
+        """``scan(m)``: one sequential pass."""
+        return self.blocks(records, record_size)
+
+    def sort(self, records: int, record_size: int) -> int:
+        """``sort(m)``: run formation writes + merge passes (reads+writes).
+
+        Matches :func:`repro.io.sort.external_sort_records`: runs of
+        ``M / record_size`` records, merge fan-in ``M/B - 1``, one final
+        merge producing the output file.
+        """
+        if records <= 0:
+            return 0
+        nblocks = self.blocks(records, record_size)
+        run_records = max(1, self.memory_bytes // record_size)
+        runs = math.ceil(records / run_records)
+        fan_in = max(2, self.memory_bytes // self.block_size - 1)
+        # Merge levels until a single output run remains.
+        levels = 1 if runs <= 1 else math.ceil(math.log(runs, fan_in)) or 1
+        # run formation writes + each level reads and writes every block.
+        return nblocks + 2 * nblocks * levels
+
+    # -- pipeline phases -------------------------------------------------------
+
+    def get_v(self, num_nodes: int, num_edges: int,
+              product_operator: bool = False) -> int:
+        """Theorem 5.1 instantiated: Get-V's sorts and scans."""
+        e, v = num_edges, num_nodes
+        ed_width = EDGE_RECORD_BYTES + (8 if product_operator else 4)
+        cost = 2 * self.sort(e, EDGE_RECORD_BYTES)        # E_in, E_out
+        cost += 2 * self.scan(e, EDGE_RECORD_BYTES)       # degree co-scan
+        cost += self.scan(v, 12 if product_operator else 8)  # V_d write
+        cost += 2 * self.scan(e, ed_width)                # E_d build + read
+        cost += self.sort(e, ed_width)                    # E_d resort by v
+        cost += self.sort(e, NODE_RECORD_BYTES)           # cover sort+dedupe
+        return cost
+
+    def get_e(self, num_edges: int, next_nodes: int, next_edges: int) -> int:
+        """Theorem 5.2 instantiated: Get-E's joins and the E_pre sort."""
+        cost = 2 * self.scan(num_edges, EDGE_RECORD_BYTES)   # E_del co-scans
+        cost += self.sort(num_edges, EDGE_RECORD_BYTES)      # E_pre resort
+        cost += self.scan(next_nodes, NODE_RECORD_BYTES)     # cover scans
+        cost += self.scan(next_edges, EDGE_RECORD_BYTES)     # E_{i+1} write
+        return cost
+
+    def contraction_iteration(self, record: IterationRecord,
+                              product_operator: bool = False) -> int:
+        """Predicted blocks for one full contraction iteration."""
+        return (
+            self.get_v(record.num_nodes, record.num_edges, product_operator)
+            + self.get_e(record.num_edges, record.next_num_nodes,
+                         record.next_num_edges)
+        )
+
+    def expansion_iteration(self, record: IterationRecord) -> int:
+        """Theorem 6.1 instantiated: two augments + the label merge."""
+        e, v = record.num_edges, record.num_nodes
+        per_augment = (
+            self.sort(e, EDGE_RECORD_BYTES)          # group by destination
+            + self.sort(e, EDGE_RECORD_BYTES)        # re-sort by source
+            + self.scan(v, SCC_RECORD_BYTES)         # label merge join
+            + self.sort(e, AUGMENTED_EDGE_BYTES)     # (v, SCC, u) grouping
+        )
+        reverse_copy = 2 * self.scan(e, EDGE_RECORD_BYTES)
+        labels = 2 * self.scan(v, SCC_RECORD_BYTES)  # SCC_del + merged SCC_i
+        return 2 * per_augment + reverse_copy + labels
+
+    def semi_scc(self, num_edges: int, passes: int) -> int:
+        """Semi-SCC: ``passes`` sequential scans of the edge file plus the
+        label write-back."""
+        return passes * self.scan(num_edges, EDGE_RECORD_BYTES)
+
+    def ext_scc(
+        self,
+        iterations: Iterable[IterationRecord],
+        semi_passes: int = 3,
+        product_operator: bool = False,
+    ) -> int:
+        """Predicted total for a whole Ext-SCC run, given the measured
+        per-iteration graph sizes (the sizes are data-dependent; the I/O
+        per size is what the model predicts)."""
+        records = list(iterations)
+        total = 0
+        final_edges = 0
+        for record in records:
+            total += self.contraction_iteration(record, product_operator)
+            total += self.expansion_iteration(record)
+            final_edges = record.next_num_edges
+        total += self.semi_scc(final_edges, semi_passes)
+        return total

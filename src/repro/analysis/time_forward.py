@@ -1,0 +1,133 @@
+"""Time-forward processing over an external DAG (Chiang et al. [10]).
+
+The classic application of an external priority queue: evaluate a
+per-node function over a DAG stored on disk, visiting nodes in topological
+order and *sending results forward along edges as messages* keyed by the
+recipient's topological time.  Because times are processed in increasing
+order, the EPQ's min-order drain is exactly the delivery schedule.
+
+:func:`dag_levels` computes longest-path levels (the stage number of a
+scheduling pipeline) this way — the downstream computation the paper's
+topological-sort application needs once the SCCs have been contracted:
+``Ext-SCC → condensation → topological order → time-forward levels``.
+
+All graph data moves through external sorts, merge joins and sequential
+scans; only O(M) lives in memory (the EPQ's in-memory heap).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.constants import SCC_RECORD_BYTES
+from repro.graph.edge_file import EdgeFile
+from repro.io.blocks import BlockDevice
+from repro.io.files import ExternalFile
+from repro.io.join import cogroup, merge_join
+from repro.io.memory import MemoryBudget
+from repro.io.priority_queue import ExternalPriorityQueue
+from repro.io.sort import external_sort_records
+
+__all__ = ["dag_levels"]
+
+Record = Tuple[int, ...]
+
+
+def _time_map(
+    device: BlockDevice,
+    topo_order: Sequence[int],
+    memory: MemoryBudget,
+) -> ExternalFile:
+    """(node, time) records sorted by node id."""
+    records = ((node, time) for time, node in enumerate(topo_order))
+    return external_sort_records(device, records, SCC_RECORD_BYTES, memory)
+
+
+def _edges_in_time(
+    device: BlockDevice,
+    edges: EdgeFile,
+    time_map: ExternalFile,
+    memory: MemoryBudget,
+) -> ExternalFile:
+    """Edges rewritten as (t_u, t_v), sorted by t_u; rejects non-DAG input."""
+    by_src = edges.sorted_by_src(memory)
+
+    def src_mapped() -> Iterator[Record]:
+        for edge, mapping in merge_join(
+            by_src.scan(), time_map.scan(), lambda e: e[0], lambda m: m[0]
+        ):
+            yield (mapping[1], edge[1])  # (t_u, v)
+
+    half = external_sort_records(
+        device, src_mapped(), SCC_RECORD_BYTES, memory, key=lambda r: (r[1], r[0])
+    )
+    by_src.delete()
+
+    def both_mapped() -> Iterator[Record]:
+        for record, mapping in merge_join(
+            half.scan(), time_map.scan(), lambda r: r[1], lambda m: m[0]
+        ):
+            t_u, t_v = record[0], mapping[1]
+            if t_u >= t_v:
+                raise ValueError(
+                    f"edge violates the topological order (t_u={t_u} >= t_v={t_v}); "
+                    "contract the SCCs first"
+                )
+            yield (t_u, t_v)
+
+    result = external_sort_records(device, both_mapped(), SCC_RECORD_BYTES, memory)
+    half.delete()
+    return result
+
+
+def dag_levels(
+    device: BlockDevice,
+    edges: EdgeFile,
+    topo_order: Sequence[int],
+    memory: MemoryBudget,
+) -> ExternalFile:
+    """Longest-path level of every DAG node, by time-forward processing.
+
+    Args:
+        device: the simulated disk.
+        edges: the DAG's edge file (every edge must respect ``topo_order``).
+        topo_order: all node ids in topological order.
+        memory: the budget (heap size of the EPQ, sort fan-in).
+
+    Returns:
+        An :class:`ExternalFile` of ``(node, level)`` records sorted by
+        node id, where sources have level 0 and each edge raises the level
+        by at least one.
+
+    Raises:
+        ValueError: when an edge contradicts ``topo_order`` (the input was
+            not a DAG, or the order was wrong).
+    """
+    time_map = _time_map(device, topo_order, memory)
+    timed_edges = _edges_in_time(device, edges, time_map, memory)
+    time_map.delete()
+
+    queue = ExternalPriorityQueue(device, memory, name=device.temp_name("tfp"))
+    levels = ExternalFile.create(device, device.temp_name("levels"), SCC_RECORD_BYTES)
+
+    def time_stream() -> Iterator[Record]:
+        for time in range(len(topo_order)):
+            yield (time,)
+
+    for time, _node_group, edge_group in cogroup(
+        time_stream(), timed_edges.scan(), lambda r: r[0], lambda e: e[0]
+    ):
+        incoming = queue.pop_key(time)
+        level = max(incoming, default=0)
+        levels.append((topo_order[time], level))
+        for _t_u, t_v in edge_group:
+            queue.push(t_v, level + 1)
+    levels.close()
+    queue.drop()
+    timed_edges.delete()
+
+    result = external_sort_records(
+        device, levels.scan(), SCC_RECORD_BYTES, memory
+    )
+    levels.delete()
+    return result

@@ -1,0 +1,13 @@
+"""Downstream applications from the paper's introduction: reachability
+indexing (GRAIL-style, [25]) and external topological sorting — both
+consumers of the SCC labeling Ext-SCC produces."""
+
+from repro.apps.reachability import IndexStats, ReachabilityIndex
+from repro.apps.topological import CycleDetected, external_topological_sort
+
+__all__ = [
+    "ReachabilityIndex",
+    "IndexStats",
+    "external_topological_sort",
+    "CycleDetected",
+]

@@ -1,0 +1,167 @@
+"""Reachability index over a general digraph (the paper's application 2).
+
+"Almost all algorithms to process reachability queries over a general
+directed graph G first convert G into a DAG by contracting an SCC into a
+node" — this module is that consumer, in the style of GRAIL [25] (cited by
+the paper): contract SCCs, then label the condensation with ``k``
+independent randomized postorder *interval labelings*; a query
+``u -> v?`` is
+
+* **True** immediately when ``u`` and ``v`` share an SCC;
+* **False** whenever *any* labeling's interval of ``v`` falls outside
+  ``u``'s (intervals over-approximate reachability, so exclusion is
+  sound);
+* otherwise decided exactly by a memoized DFS on the condensation
+  (GRAIL's "exception" path).
+
+More labelings prune more negative queries before the DFS fallback;
+:attr:`ReachabilityIndex.stats` reports how often each path fired.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Set, Tuple
+
+from repro.graph.digraph import DiGraph
+from repro.memory_scc.condensation import condensation
+
+__all__ = ["ReachabilityIndex", "IndexStats"]
+
+
+@dataclass
+class IndexStats:
+    """Which path answered each query."""
+
+    same_scc: int = 0
+    interval_pruned: int = 0
+    dfs_decided: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total queries answered."""
+        return self.same_scc + self.interval_pruned + self.dfs_decided
+
+
+class ReachabilityIndex:
+    """GRAIL-style reachability over SCC labels.
+
+    Args:
+        graph: the original digraph.
+        labels: an SCC labeling of it (e.g. ``compute_sccs(...).result.labels``).
+        num_labelings: number of independent interval labelings ``k``.
+        seed: RNG seed for the randomized DFS orders.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        labels: Mapping[int, int],
+        num_labelings: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if num_labelings < 1:
+            raise ValueError("need at least one interval labeling")
+        self._labels = dict(labels)
+        self._dag = condensation(graph, labels)
+        self._intervals: List[Dict[int, Tuple[int, int]]] = [
+            self._build_labeling(random.Random(seed + i))
+            for i in range(num_labelings)
+        ]
+        self._reach_cache: Dict[int, Set[int]] = {}
+        self.stats = IndexStats()
+
+    # -- construction ------------------------------------------------------
+
+    def _build_labeling(self, rng: random.Random) -> Dict[int, Tuple[int, int]]:
+        """One randomized postorder interval labeling of the DAG.
+
+        Every node gets ``(low, post)`` where ``post`` is its postorder
+        number and ``low`` the minimum over its subtree *and* its
+        children's labels — so ``reach(u) ⊆ [low(u), post(u)]``.
+        """
+        nodes = list(self._dag.nodes())
+        rng.shuffle(nodes)
+        post: Dict[int, int] = {}
+        low: Dict[int, int] = {}
+        counter = 0
+        visited: Set[int] = set()
+        for root in nodes:
+            if root in visited:
+                continue
+            visited.add(root)
+            stack: List[Tuple[int, List[int], int]] = [
+                (root, self._shuffled_children(root, rng), 0)
+            ]
+            while stack:
+                node, children, cursor = stack.pop()
+                advanced = False
+                while cursor < len(children):
+                    child = children[cursor]
+                    cursor += 1
+                    if child not in visited:
+                        visited.add(child)
+                        stack.append((node, children, cursor))
+                        stack.append(
+                            (child, self._shuffled_children(child, rng), 0)
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    child_lows = [low[c] for c in self._dag.out_neighbors(node)]
+                    post[node] = counter
+                    low[node] = min(child_lows + [counter])
+                    counter += 1
+        return {v: (low[v], post[v]) for v in post}
+
+    def _shuffled_children(self, node: int, rng: random.Random) -> List[int]:
+        children = list(self._dag.out_neighbors(node))
+        rng.shuffle(children)
+        return children
+
+    # -- queries ------------------------------------------------------------
+
+    def reachable(self, u: int, v: int) -> bool:
+        """Can ``u`` reach ``v`` in the original graph?"""
+        cu, cv = self._labels[u], self._labels[v]
+        if cu == cv:
+            self.stats.same_scc += 1
+            return True
+        for intervals in self._intervals:
+            low_u, post_u = intervals[cu]
+            low_v, post_v = intervals[cv]
+            if not (low_u <= low_v and post_v <= post_u):
+                self.stats.interval_pruned += 1
+                return False
+        self.stats.dfs_decided += 1
+        return cv in self._reach_set(cu)
+
+    def _reach_set(self, node: int) -> Set[int]:
+        cached = self._reach_cache.get(node)
+        if cached is not None:
+            return cached
+        reach: Set[int] = {node}
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for child in self._dag.out_neighbors(current):
+                if child not in reach:
+                    # Reuse any cached descendant set wholesale.
+                    cached_child = self._reach_cache.get(child)
+                    if cached_child is not None:
+                        reach |= cached_child
+                    else:
+                        reach.add(child)
+                        stack.append(child)
+        self._reach_cache[node] = reach
+        return reach
+
+    def strongly_connected(self, u: int, v: int) -> bool:
+        """Are ``u`` and ``v`` in the same SCC?"""
+        return self._labels[u] == self._labels[v]
+
+    @property
+    def num_dag_nodes(self) -> int:
+        """Size of the condensation the index is built over."""
+        return self._dag.num_nodes

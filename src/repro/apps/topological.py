@@ -1,0 +1,117 @@
+"""External topological sort by peeling (the paper's application 1).
+
+Once Ext-SCC has contracted every cycle, the condensation is a DAG whose
+topological order the downstream applications need.  When even that DAG is
+external, Kahn's algorithm externalizes as *peeling*: each round computes
+in-degrees with one sort/co-scan, emits the zero-in-degree layer, and
+filters the layer's edges out — ``O(L)`` rounds of ``sort(|E|)`` for depth
+``L``.  (This is also exactly the repeated Type-1 trimming of the
+``trim_rounds`` extension, viewed as a standalone algorithm.)
+
+A graph with a cycle makes no progress in some round and is rejected — so
+the function doubles as an external acyclicity check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.constants import NODE_RECORD_BYTES, SCC_RECORD_BYTES
+from repro.graph.edge_file import EdgeFile, NodeFile
+from repro.io.blocks import BlockDevice
+from repro.io.files import ExternalFile
+from repro.io.join import anti_join, semi_join
+from repro.io.memory import MemoryBudget
+from repro.io.sort import external_sort_records
+
+__all__ = ["external_topological_sort", "CycleDetected"]
+
+
+class CycleDetected(ValueError):
+    """The input graph has a directed cycle (no topological order exists)."""
+
+
+def external_topological_sort(
+    device: BlockDevice,
+    edges: EdgeFile,
+    nodes: NodeFile,
+    memory: MemoryBudget,
+) -> ExternalFile:
+    """Topologically sort an external DAG by layer peeling.
+
+    Args:
+        device: the simulated disk.
+        edges: the DAG's edges.
+        nodes: all node ids (sorted).
+        memory: the budget for the per-round sorts.
+
+    Returns:
+        ``(node, layer)`` records sorted by node id; reading them sorted by
+        ``(layer, node)`` gives a valid topological order and ``layer`` is
+        each node's longest-path depth.
+
+    Raises:
+        CycleDetected: when a round removes no node while edges remain.
+    """
+    current_edges: ExternalFile = external_sort_records(
+        device, edges.scan(), 8, memory, key=lambda e: (e[1], e[0])
+    )  # sorted by destination
+    current_nodes: ExternalFile = ExternalFile.from_records(
+        device, device.temp_name("topon"), ((v,) for v in nodes.scan()),
+        NODE_RECORD_BYTES,
+    )
+    layers = ExternalFile.create(device, device.temp_name("topol"), SCC_RECORD_BYTES)
+    layer = 0
+    while current_nodes.num_records:
+        # Zero-in-degree nodes: those absent from the destination column.
+        def destinations() -> Iterator[int]:
+            previous = None
+            for _u, v in current_edges.scan():
+                if v != previous:
+                    yield v
+                    previous = v
+
+        ready = ExternalFile.from_records(
+            device,
+            device.temp_name("topor"),
+            anti_join(current_nodes.scan(), destinations(), lambda r: r[0]),
+            NODE_RECORD_BYTES,
+        )
+        if ready.num_records == 0:
+            ready.delete()
+            current_edges.delete()
+            current_nodes.delete()
+            layers.delete()
+            raise CycleDetected(
+                f"no zero-in-degree node at layer {layer}: the graph has a cycle"
+            )
+        for (v,) in ready.scan():
+            layers.append((v, layer))
+        # Drop the emitted layer and its outgoing edges.
+        remaining_nodes = ExternalFile.from_records(
+            device,
+            device.temp_name("topon"),
+            anti_join(current_nodes.scan(), (v for (v,) in ready.scan()),
+                      lambda r: r[0]),
+            NODE_RECORD_BYTES,
+        )
+        by_src = external_sort_records(device, current_edges.scan(), 8, memory)
+        current_edges.delete()
+        surviving = semi_join(
+            by_src.scan(), (v for (v,) in remaining_nodes.scan()), lambda e: e[0]
+        )
+        next_edges = external_sort_records(
+            device, surviving, 8, memory, key=lambda e: (e[1], e[0])
+        )
+        by_src.delete()
+        ready.delete()
+        current_nodes.delete()
+        current_nodes = remaining_nodes
+        current_edges = next_edges
+        layer += 1
+    current_edges.delete()
+    current_nodes.delete()
+    layers.close()
+    result = external_sort_records(device, layers.scan(), SCC_RECORD_BYTES, memory)
+    layers.delete()
+    return result

@@ -1,0 +1,113 @@
+"""Fully external BFS (the Munagala–Ranade lineage, related work [18]).
+
+The related-work section's external traversal family: compute BFS levels
+of a directed graph with *no* per-node memory — frontiers and the visited
+set are files, each round is a semi-join of the frontier against the
+sorted adjacency, a sort-dedupe of the neighbor multiset, and an anti-join
+against the visited file.
+
+For directed graphs every earlier level must be subtracted (a back edge
+may target any ancestor level), so the visited file is cumulative; the
+cost is ``O(L * (sort(|E|) + scan(|V|)))`` for ``L`` BFS levels — fine for
+small-diameter graphs, and exactly why external *DFS* (which cannot
+batch like this) is so much harder, per the paper's Section III.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.constants import NODE_RECORD_BYTES, SCC_RECORD_BYTES
+from repro.graph.edge_file import EdgeFile
+from repro.io.files import ExternalFile
+from repro.io.join import anti_join, merge_join
+from repro.io.memory import MemoryBudget
+from repro.io.sort import external_sort_records, merge_runs
+
+__all__ = ["external_bfs_levels", "external_reachable"]
+
+
+def external_bfs_levels(
+    edge_file: EdgeFile,
+    sources: Iterable[int],
+    memory: MemoryBudget,
+    max_levels: Optional[int] = None,
+) -> ExternalFile:
+    """BFS distances from ``sources`` over an on-disk graph.
+
+    Args:
+        edge_file: the directed edges.
+        sources: the level-0 node set.
+        memory: the external budget (sorts, joins).
+        max_levels: optional cap on rounds (for tests).
+
+    Returns:
+        ``(node, distance)`` records sorted by node id, covering exactly
+        the reachable nodes.
+    """
+    device = edge_file.device
+    adjacency = edge_file.sorted_by_src(memory)
+
+    frontier = external_sort_records(
+        device, ((v,) for v in sources), NODE_RECORD_BYTES, memory, unique=True
+    )
+    visited = ExternalFile.from_records(
+        device, device.temp_name("bfsvis"), frontier.scan(), NODE_RECORD_BYTES
+    )
+    levels = ExternalFile.create(device, device.temp_name("bfslvl"), SCC_RECORD_BYTES)
+    for (v,) in frontier.scan():
+        levels.append((v, 0))
+
+    distance = 0
+    while frontier.num_records:
+        distance += 1
+        if max_levels is not None and distance > max_levels:
+            break
+        # Neighbors of the frontier: one merge join against the adjacency.
+        def neighbor_stream() -> Iterator[Tuple[int]]:
+            for _frontier_rec, edge in merge_join(
+                frontier.scan(), adjacency.scan(), lambda r: r[0], lambda e: e[0]
+            ):
+                yield (edge[1],)
+
+        candidates = external_sort_records(
+            device, neighbor_stream(), NODE_RECORD_BYTES, memory, unique=True
+        )
+        fresh = anti_join(
+            candidates.scan(), (v for (v,) in visited.scan()), lambda r: r[0]
+        )
+        next_frontier = ExternalFile.from_records(
+            device, device.temp_name("bfsfr"), fresh, NODE_RECORD_BYTES
+        )
+        candidates.delete()
+        for (v,) in next_frontier.scan():
+            levels.append((v, distance))
+        # visited := merge(visited, next_frontier)  (both sorted).
+        merged = merge_runs([visited.scan(), next_frontier.scan()])
+        new_visited = ExternalFile.from_records(
+            device, device.temp_name("bfsvis"), merged, NODE_RECORD_BYTES
+        )
+        visited.delete()
+        visited = new_visited
+        frontier.delete()
+        frontier = next_frontier
+    frontier.delete()
+    visited.delete()
+    adjacency.delete()
+    levels.close()
+
+    result = external_sort_records(device, levels.scan(), SCC_RECORD_BYTES, memory)
+    levels.delete()
+    return result
+
+
+def external_reachable(
+    edge_file: EdgeFile,
+    source: int,
+    memory: MemoryBudget,
+) -> List[int]:
+    """The nodes reachable from ``source`` (including it), sorted."""
+    levels = external_bfs_levels(edge_file, [source], memory)
+    nodes = [v for v, _ in levels.scan()]
+    levels.delete()
+    return nodes

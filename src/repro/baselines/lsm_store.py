@@ -1,0 +1,173 @@
+"""LSM-style message store — the BRT's database-flavored alternative.
+
+The external DFS needs a key→values store with buffered ``insert`` and
+destructive ``extract_all``.  [8] uses a buffered repository tree; Kumar &
+Schwabe [17] used tournament trees for the same role.  This module
+implements the third classic realization, a log-structured merge store:
+
+* ``insert`` appends to an in-memory memtable; a full memtable is flushed
+  as a key-sorted *run* (sequential writes), and when too many runs
+  accumulate they are compacted into one (sequential merge);
+* ``extract_all(key)`` drains the memtable entry plus, for every run whose
+  fence keys admit the key, a binary-searched block probe (random reads)
+  with an in-place rewrite of the emptied slots (random writes).
+
+Same interface as :class:`~repro.baselines.brt.BufferedRepositoryTree`, so
+:func:`~repro.baselines.dfs_scc.dfs_scc` accepts either through its
+``message_store`` parameter — and ``benchmarks/test_message_stores.py``
+races the two I/O profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.io.blocks import BlockDevice
+from repro.io.files import ExternalFile
+from repro.io.sort import merge_runs
+
+__all__ = ["LSMMessageStore"]
+
+Item = Tuple[int, int]
+
+_RECORD_BYTES = 8
+
+
+class _Run:
+    """One sorted on-disk run plus its in-memory fence keys."""
+
+    def __init__(self, file: ExternalFile, fences: List[int]) -> None:
+        self.file = file
+        # First key of every block: one int per block, the classic
+        # in-memory index allowance.  Fences go stale as extractions
+        # shrink blocks, but a stale fence range is a superset of the
+        # block's keys, so probes never miss.
+        self.fences = fences
+
+    @classmethod
+    def from_items(cls, device: BlockDevice, name: str,
+                   items: List[Item]) -> "_Run":
+        file = ExternalFile.from_records(device, name, items, _RECORD_BYTES)
+        capacity = file._file.block_capacity
+        fences = [items[index * capacity][0] for index in range(file.num_blocks)]
+        return cls(file, fences)
+
+    def candidate_blocks(self, key: int) -> List[int]:
+        """Blocks that may hold ``key`` (fence-key range check)."""
+        out = []
+        for index, first in enumerate(self.fences):
+            last_key = (
+                self.fences[index + 1]
+                if index + 1 < len(self.fences)
+                else None
+            )
+            if first <= key and (last_key is None or key <= last_key):
+                out.append(index)
+        return out
+
+
+class LSMMessageStore:
+    """A log-structured key→values store over the simulated disk.
+
+    Args:
+        device: the simulated disk.
+        key_space: exclusive upper bound on keys (interface parity with the
+            BRT; only validated).
+        memtable_entries: memtable flush threshold (default: one block).
+        max_runs: compaction trigger.
+        name: file-name prefix.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        key_space: int,
+        memtable_entries: int = 0,
+        max_runs: int = 6,
+        name: str = "lsm",
+    ) -> None:
+        self.device = device
+        self.key_space = max(1, key_space)
+        self.max_runs = max(2, max_runs)
+        self.name = name
+        self._memtable: Dict[int, List[int]] = {}
+        self._memtable_size = 0
+        self._memtable_capacity = (
+            memtable_entries
+            if memtable_entries > 0
+            else max(8, device.block_size // _RECORD_BYTES)
+        )
+        self._runs: List[_Run] = []
+        self._counter = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def insert(self, key: int, value: int) -> None:
+        """Buffer ``(key, value)``; surfaces on ``extract_all(key)``."""
+        if not 0 <= key < self.key_space:
+            raise ValueError(f"key {key} outside key space [0, {self.key_space})")
+        self._memtable.setdefault(key, []).append(value)
+        self._memtable_size += 1
+        if self._memtable_size >= self._memtable_capacity:
+            self._flush_memtable()
+
+    def _flush_memtable(self) -> None:
+        if not self._memtable:
+            return
+        items = [
+            (key, value)
+            for key in sorted(self._memtable)
+            for value in self._memtable[key]
+        ]
+        self._memtable.clear()
+        self._memtable_size = 0
+        self._counter += 1
+        self._runs.append(
+            _Run.from_items(self.device, f"{self.name}.run.{self._counter}", items)
+        )
+        if len(self._runs) > self.max_runs:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Merge every run into one (sequential read + write)."""
+        merged = list(merge_runs(run.file.scan() for run in self._runs))
+        for run in self._runs:
+            run.file.delete()
+        self._runs = []
+        if merged:
+            self._counter += 1
+            self._runs.append(
+                _Run.from_items(
+                    self.device, f"{self.name}.run.{self._counter}", merged
+                )
+            )
+
+    # -- reading ---------------------------------------------------------------
+
+    def extract_all(self, key: int) -> List[int]:
+        """Remove and return every buffered value for ``key``."""
+        extracted = list(self._memtable.pop(key, []))
+        self._memtable_size -= len(extracted)
+        for run in self._runs:
+            for index in run.candidate_blocks(key):
+                block = list(run.file.read_block_random(index))
+                kept = [item for item in block if item[0] != key]
+                if len(kept) != len(block):
+                    extracted.extend(v for k, v in block if k == key)
+                    self.device.overwrite_block(
+                        run.file._file, index, kept, sequential=False
+                    )
+        return extracted
+
+    @property
+    def num_runs(self) -> int:
+        """On-disk runs currently live."""
+        return len(self._runs)
+
+    def drop(self) -> None:
+        """Delete every run file from the device."""
+        for run in self._runs:
+            run.file.delete()
+        self._runs = []
+        self._memtable.clear()
+        self._memtable_size = 0

@@ -1,0 +1,129 @@
+"""External node table with an LRU block cache (DFS-SCC's on-disk state).
+
+The external DFS must consult and update per-node state (adjacency offsets,
+visited flags) for nodes scattered over the id space — the access pattern
+that makes it random-I/O bound.  :class:`NodeTable` stores fixed-width node
+records sorted by id in an :class:`ExternalFile`, found by binary search
+over block-leading keys, through a :class:`~repro.io.cache.BufferPool`
+sized from the memory budget.  Cache misses are charged as random reads;
+dirty evictions as random writes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.exceptions import StorageError
+from repro.io.blocks import BlockDevice
+from repro.io.cache import BufferPool
+from repro.io.files import ExternalFile
+from repro.io.memory import MemoryBudget
+
+__all__ = ["NodeTable"]
+
+Record = Tuple[int, ...]
+
+
+class NodeTable:
+    """Sorted fixed-width node records with cached random access.
+
+    Args:
+        device: the simulated disk.
+        records: node records, *sorted by node id* (field 0), one per node.
+        record_size: record width in bytes.
+        memory: budget used to size the cache (half of it, in blocks).
+        name: file name on the device.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        records: Iterable[Record],
+        record_size: int,
+        memory: MemoryBudget,
+        name: str = "node-table",
+    ) -> None:
+        self.device = device
+        self.file = ExternalFile.from_records(device, name, records, record_size)
+        self._capacity = self.file._file.block_capacity
+        cache_blocks = max(1, memory.block_capacity(device.block_size) // 2)
+        self._pool = BufferPool(self.file, cache_blocks)
+        # Block-leading node ids, learned lazily (a real deployment keeps
+        # this fence-key array in memory: one id per block, far below M).
+        self._fence: List[Optional[int]] = [None] * self.file.num_blocks
+
+    # -- lookup -----------------------------------------------------------
+
+    def _load_block(self, index: int) -> List[Record]:
+        block = self._pool.get_block(index)
+        if self._fence[index] is None:
+            self._fence[index] = block[0][0] if block else None
+        return block
+
+    def _fence_key(self, index: int) -> int:
+        key = self._fence[index]
+        if key is None:
+            block = self._load_block(index)
+            key = block[0][0] if block else 0
+        return key
+
+    def _locate_block(self, node: int) -> int:
+        """Index of the block whose range contains ``node``."""
+        lo, hi = 0, self.file.num_blocks - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._fence_key(mid) <= node:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def get(self, node: int) -> Optional[Record]:
+        """The record for ``node``, or None when absent."""
+        if self.file.num_blocks == 0:
+            return None
+        block = self._load_block(self._locate_block(node))
+        lo, hi = 0, len(block)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if block[mid][0] < node:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(block) and block[lo][0] == node:
+            return block[lo]
+        return None
+
+    def update(self, node: int, record: Record) -> None:
+        """Replace ``node``'s record (marks the block dirty)."""
+        if record[0] != node:
+            raise StorageError("record key must equal the node id")
+        index = self._locate_block(node)
+        block = self._load_block(index)
+        for position, existing in enumerate(block):
+            if existing[0] == node:
+                block[position] = record
+                self._pool.mark_dirty(index)
+                return
+        raise StorageError(f"node {node} not present in table")
+
+    # -- management -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write back every dirty cached block (random writes)."""
+        self._pool.flush()
+
+    def scan(self):
+        """Sequential scan of all records (flushes dirty blocks first)."""
+        self.flush()
+        return self.file.scan()
+
+    def delete(self) -> None:
+        """Remove the table's file from the device."""
+        self._pool.drop()
+        self.file.delete()
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of block accesses served from the buffer pool."""
+        return self._pool.hit_rate

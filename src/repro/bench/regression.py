@@ -1,0 +1,158 @@
+"""Sweep-to-sweep regression checking.
+
+Benchmarks persist their sweeps as JSON (``sweep_to_json``); this module
+compares two such files — a baseline and a candidate — point by point and
+flags I/O or status regressions beyond a tolerance.  The workflow a
+maintainer runs before merging a change to the pipeline:
+
+    pytest benchmarks/ --benchmark-only          # writes results/*.json
+    python -c "from repro.bench.regression import compare_files, render; \\
+               print(render(compare_files('old/fig7.json', 'new/fig7.json')))"
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["PointDelta", "SweepComparison", "compare_sweeps", "compare_files", "render"]
+
+
+@dataclass(frozen=True)
+class PointDelta:
+    """One grid point's change between baseline and candidate."""
+
+    algorithm: str
+    x: object
+    baseline_status: str
+    candidate_status: str
+    baseline_io: int
+    candidate_io: int
+
+    @property
+    def io_ratio(self) -> float:
+        """candidate / baseline block I/Os (1.0 = unchanged)."""
+        if self.baseline_io == 0:
+            return 1.0 if self.candidate_io == 0 else float("inf")
+        return self.candidate_io / self.baseline_io
+
+    @property
+    def status_changed(self) -> bool:
+        """True when OK/INF/NONTERM flipped in either direction."""
+        return self.baseline_status != self.candidate_status
+
+
+@dataclass
+class SweepComparison:
+    """All deltas between two sweeps plus the regression verdict."""
+
+    title: str
+    deltas: List[PointDelta]
+    tolerance: float
+    missing_points: List[Tuple[str, object]]
+
+    @property
+    def regressions(self) -> List[PointDelta]:
+        """Points that got worse: status flipped away from OK, or I/O grew
+        beyond the tolerance."""
+        out = []
+        for delta in self.deltas:
+            if delta.baseline_status == "OK" and delta.candidate_status != "OK":
+                out.append(delta)
+            elif (
+                delta.baseline_status == "OK"
+                and delta.io_ratio > 1.0 + self.tolerance
+            ):
+                out.append(delta)
+        return out
+
+    @property
+    def improvements(self) -> List[PointDelta]:
+        """Points that got better beyond the tolerance."""
+        return [
+            d for d in self.deltas
+            if d.candidate_status == "OK"
+            and (d.baseline_status != "OK" or d.io_ratio < 1.0 - self.tolerance)
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed and every point was comparable."""
+        return not self.regressions and not self.missing_points
+
+
+def compare_sweeps(baseline: dict, candidate: dict,
+                   tolerance: float = 0.10) -> SweepComparison:
+    """Compare two decoded sweep-JSON payloads.
+
+    Args:
+        baseline, candidate: payloads in the ``sweep_to_json`` schema.
+        tolerance: relative I/O growth tolerated before flagging (10%).
+    """
+    def index(payload: dict) -> Dict[Tuple[str, object], dict]:
+        return {(r["algorithm"], r["x"]): r for r in payload["runs"]}
+
+    base_index = index(baseline)
+    cand_index = index(candidate)
+    deltas: List[PointDelta] = []
+    missing: List[Tuple[str, object]] = []
+    for key, base_run in base_index.items():
+        cand_run = cand_index.get(key)
+        if cand_run is None:
+            missing.append(key)
+            continue
+        deltas.append(
+            PointDelta(
+                algorithm=key[0],
+                x=key[1],
+                baseline_status=base_run["status"],
+                candidate_status=cand_run["status"],
+                baseline_io=base_run["io_total"],
+                candidate_io=cand_run["io_total"],
+            )
+        )
+    return SweepComparison(
+        title=candidate.get("title", baseline.get("title", "sweep")),
+        deltas=deltas,
+        tolerance=tolerance,
+        missing_points=missing,
+    )
+
+
+def compare_files(baseline_path: str, candidate_path: str,
+                  tolerance: float = 0.10) -> SweepComparison:
+    """Compare two sweep JSON files on disk."""
+    with open(baseline_path, "r", encoding="utf-8") as f:
+        baseline = json.load(f)
+    with open(candidate_path, "r", encoding="utf-8") as f:
+        candidate = json.load(f)
+    return compare_sweeps(baseline, candidate, tolerance=tolerance)
+
+
+def render(comparison: SweepComparison) -> str:
+    """Human-readable comparison report."""
+    lines = [f"{comparison.title} — regression check "
+             f"(tolerance {comparison.tolerance:.0%})"]
+    if comparison.ok:
+        lines.append("OK: no regressions")
+    for delta in comparison.regressions:
+        if delta.status_changed:
+            lines.append(
+                f"REGRESSION {delta.algorithm} @ {delta.x}: "
+                f"{delta.baseline_status} -> {delta.candidate_status}"
+            )
+        else:
+            lines.append(
+                f"REGRESSION {delta.algorithm} @ {delta.x}: I/O "
+                f"{delta.baseline_io:,} -> {delta.candidate_io:,} "
+                f"({delta.io_ratio:.2f}x)"
+            )
+    for delta in comparison.improvements:
+        lines.append(
+            f"improved {delta.algorithm} @ {delta.x}: "
+            f"{delta.baseline_io:,} -> {delta.candidate_io:,}"
+        )
+    for key in comparison.missing_points:
+        lines.append(f"MISSING {key[0]} @ {key[1]} in the candidate sweep")
+    return "\n".join(lines)

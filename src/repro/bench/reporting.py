@@ -1,0 +1,143 @@
+"""Rendering sweeps as the rows/series the paper's figures report,
+including a log-scale ASCII chart approximating the figures themselves and
+a JSON export for downstream plotting."""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import List, Optional
+
+from repro.bench.harness import RunResult, Sweep
+
+__all__ = ["format_sweep", "print_sweep", "shape_summary", "ascii_chart",
+           "sweep_to_json"]
+
+
+def format_sweep(sweep: Sweep, metric: str = "io") -> str:
+    """One text table per figure: x values down, algorithms across.
+
+    Args:
+        sweep: the grid of runs.
+        metric: ``"io"`` (block I/Os, the paper's "Number of I/Os" axis),
+            ``"time"`` (wall seconds, the paper's time axis), or
+            ``"random"`` (random block I/Os).
+    """
+    algorithms = sweep.algorithms
+    header = [sweep.x_label] + algorithms
+    rows: List[List[str]] = [header]
+    for x in sweep.x_values:
+        row = [str(x)]
+        for algorithm in algorithms:
+            row.append(sweep.result(algorithm, x).cell(metric))
+        rows.append(row)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = [f"{sweep.title}  —  metric: {metric}"]
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def print_sweep(sweep: Sweep, metrics: Optional[List[str]] = None) -> None:
+    """Print the sweep in every requested metric (default: I/Os and time)."""
+    for metric in metrics or ["io", "time"]:
+        print()
+        print(format_sweep(sweep, metric))
+
+
+def ascii_chart(sweep: Sweep, metric: str = "io", width: int = 50) -> str:
+    """A log-scale horizontal bar chart of the sweep — the figures' shapes
+    as text.  Non-OK points render as their status instead of a bar.
+
+    Args:
+        sweep: the grid of runs.
+        metric: ``"io"``, ``"time"``, or ``"random"``.
+        width: bar width in characters for the largest value.
+    """
+    def value(run: RunResult) -> Optional[float]:
+        if not run.ok:
+            return None
+        if metric == "io":
+            return float(run.io_total)
+        if metric == "time":
+            return run.wall_seconds
+        if metric == "random":
+            return float(run.io_random)
+        raise ValueError(f"unknown metric {metric!r}")
+
+    values = [v for run in sweep.runs if (v := value(run)) is not None and v > 0]
+    if not values:
+        return f"{sweep.title} — no finished runs to chart"
+    low, high = math.log10(min(values)), math.log10(max(values))
+    span = max(high - low, 1e-9)
+    label_width = max(
+        len(f"{run.algorithm} @ {run.x}") for run in sweep.runs
+    )
+    lines = [f"{sweep.title}  —  {metric} (log scale)"]
+    for x in sweep.x_values:
+        for algorithm in sweep.algorithms:
+            run = sweep.result(algorithm, x)
+            label = f"{algorithm} @ {x}".rjust(label_width)
+            v = value(run)
+            if v is None:
+                lines.append(f"{label} | {run.status}")
+            elif v <= 0:
+                lines.append(f"{label} | 0")
+            else:
+                bar = "#" * max(1, round((math.log10(v) - low) / span * width))
+                lines.append(f"{label} | {bar} {run.cell(metric)}")
+        lines.append(label_width * " " + " |")
+    return "\n".join(lines[:-1])
+
+
+def sweep_to_json(sweep: Sweep, indent: Optional[int] = 1) -> str:
+    """Serialize a sweep for external plotting tools.
+
+    The schema is one record per run: algorithm, sweep coordinate, status,
+    the three I/O counters, wall seconds, SCC count, iteration count.
+    """
+    payload = {
+        "title": sweep.title,
+        "x_label": sweep.x_label,
+        "runs": [
+            {
+                "algorithm": run.algorithm,
+                "x": run.x,
+                "status": run.status,
+                "io_total": run.io_total,
+                "io_random": run.io_random,
+                "io_sequential": run.io_sequential,
+                "wall_seconds": run.wall_seconds,
+                "num_sccs": run.num_sccs,
+                "iterations": run.iterations,
+            }
+            for run in sweep.runs
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def shape_summary(sweep: Sweep, better: str, worse: str) -> str:
+    """Summarize who wins and by what factor, point by point.
+
+    Points where ``worse`` hit INF/NONTERM are reported as such — that *is*
+    the paper's result for DFS-SCC and EM-SCC.
+    """
+    lines = [f"{better} vs {worse}:"]
+    for x in sweep.x_values:
+        b = sweep.result(better, x)
+        w = sweep.result(worse, x)
+        if not w.ok:
+            lines.append(f"  {sweep.x_label}={x}: {worse} -> {w.status}")
+        elif not b.ok:
+            lines.append(f"  {sweep.x_label}={x}: {better} -> {b.status} (!)")
+        elif b.io_total == 0:
+            lines.append(f"  {sweep.x_label}={x}: {better} used no I/O")
+        else:
+            ratio = w.io_total / b.io_total
+            lines.append(
+                f"  {sweep.x_label}={x}: {better} wins {ratio:.1f}x on I/Os"
+            )
+    return "\n".join(lines)

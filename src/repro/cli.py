@@ -1,0 +1,297 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands make the library usable as a tool:
+
+* ``scc`` — compute all SCCs of an edge-list file (text ``u v`` lines or
+  packed binary) and write a ``node scc`` labels file, printing the
+  paper's statistics (iterations, sequential/random block I/Os);
+* ``generate`` — materialize a Table I / webspam workload to a file;
+* ``bench`` — run one algorithm on an edge-list file under a simulated
+  memory budget and report the I/O ledger;
+* ``stats`` — degree/structure statistics of an edge-list file;
+* ``verify`` — check a ``node scc`` labels file against a recomputation.
+
+Sizes accept suffixes: ``64K``, ``4M``, ``1G``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.harness import ALGORITHMS, run_algorithm
+from repro.core import ExtSCCConfig, compute_sccs
+from repro.exceptions import ReproError
+from repro.graph.datasets import build_dataset
+from repro.graph.io_formats import read_edge_binary, read_edge_text, write_edge_binary, write_edge_text
+
+__all__ = ["main", "parse_size"]
+
+_SUFFIXES = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+
+
+def _count(text: str) -> int:
+    """Parse a count that may use scientific notation (``1e8``)."""
+    return int(float(text))
+
+
+def parse_size(text: str) -> int:
+    """Parse ``4096`` / ``64K`` / ``4M`` / ``1G`` into bytes."""
+    text = text.strip().upper()
+    if text and text[-1] in _SUFFIXES:
+        return int(float(text[:-1]) * _SUFFIXES[text[-1]])
+    return int(text)
+
+
+def _load_edges(path: str, binary: bool) -> List:
+    reader = read_edge_binary if binary else read_edge_text
+    return list(reader(path))
+
+
+def _cmd_scc(args: argparse.Namespace) -> int:
+    edges = _load_edges(args.input, args.binary)
+    num_nodes = args.nodes if args.nodes else None
+    config = (
+        ExtSCCConfig.optimized() if args.algorithm == "ext-scc-op"
+        else ExtSCCConfig.baseline()
+    )
+
+    def progress(record) -> None:
+        print(
+            f"  iteration {record.level}: |V| {record.num_nodes:,} -> "
+            f"{record.next_num_nodes:,}, |E| {record.num_edges:,} -> "
+            f"{record.next_num_edges:,} ({record.io.total:,} I/Os)",
+            file=sys.stderr,
+        )
+
+    started = time.perf_counter()
+    out = compute_sccs(
+        edges,
+        num_nodes=num_nodes,
+        memory_bytes=parse_size(args.memory),
+        block_size=parse_size(args.block_size),
+        config=config,
+        on_iteration=progress if args.verbose else None,
+    )
+    elapsed = time.perf_counter() - started
+    result = out.result
+    print(f"nodes: {result.num_nodes}  edges: {len(edges)}", file=sys.stderr)
+    print(
+        f"sccs: {result.num_sccs}  largest: {result.largest_size}  "
+        f"non-trivial: {result.num_nontrivial}",
+        file=sys.stderr,
+    )
+    print(
+        f"iterations: {out.num_iterations}  block I/Os: {out.io.total} "
+        f"(sequential {out.io.sequential}, random {out.io.random})  "
+        f"{elapsed:.2f}s",
+        file=sys.stderr,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as f:
+            for node in sorted(result.labels):
+                f.write(f"{node} {result.labels[node]}\n")
+        print(f"labels written to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = build_dataset(
+        args.family,
+        num_nodes=args.nodes,
+        avg_degree=args.degree,
+        scc_size=args.scc_size,
+        scc_count=args.scc_count,
+        seed=args.seed,
+    )
+    writer = write_edge_binary if args.binary else write_edge_text
+    count = writer(args.output, graph.edges)
+    print(
+        f"{args.family}: {graph.num_nodes} nodes, {count} edges -> {args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    edges = _load_edges(args.input, args.binary)
+    num_nodes = args.nodes or (1 + max(max(u, v) for u, v in edges))
+    result = run_algorithm(
+        args.algorithm,
+        edges,
+        num_nodes,
+        memory_bytes=parse_size(args.memory),
+        block_size=parse_size(args.block_size),
+        io_budget=args.io_budget,
+    )
+    print(
+        f"{result.algorithm}: {result.status}  I/Os: {result.io_total} "
+        f"(random {result.io_random})  wall: {result.wall_seconds:.2f}s  "
+        f"sccs: {result.num_sccs}"
+    )
+    return 0 if result.ok else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis import arboricity_upper_bound, degree_stats
+    from repro.graph.edge_file import EdgeFile
+    from repro.io.blocks import BlockDevice
+    from repro.io.memory import MemoryBudget
+
+    edges = _load_edges(args.input, args.binary)
+    device = BlockDevice(block_size=parse_size(args.block_size))
+    memory = MemoryBudget(parse_size(args.memory))
+    edge_file = EdgeFile.from_edges(device, "edges", edges)
+    stats = degree_stats(edge_file, memory)
+    print(f"nodes (touched): {stats.num_nodes}")
+    print(f"edges:           {stats.num_edges}")
+    print(f"avg degree:      {stats.average_degree:.2f}")
+    print(f"max deg in/out:  {stats.max_in_degree}/{stats.max_out_degree} "
+          f"(total {stats.max_total_degree})")
+    print(f"sources/sinks:   {stats.num_sources}/{stats.num_sinks} "
+          "(Type-1 candidates)")
+    print(f"arboricity <=    {arboricity_upper_bound(stats)} "
+          "(Chiba-Nishizeki bound)")
+    if args.histogram:
+        for degree in sorted(stats.histogram):
+            print(f"  deg {degree:>5}: {stats.histogram[degree]}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.result import SCCResult
+    from repro.graph.digraph import DiGraph
+    from repro.memory_scc import tarjan_scc
+
+    edges = _load_edges(args.input, args.binary)
+    claimed_pairs = []
+    with open(args.labels, "r", encoding="ascii") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                node, label = line.split()
+                claimed_pairs.append((int(node), int(label)))
+    claimed = SCCResult.from_pairs(claimed_pairs)
+    graph = DiGraph(edges, nodes=list(claimed.labels))
+    expected = SCCResult(tarjan_scc(graph))
+    if claimed == expected:
+        print(f"OK: {claimed.num_sccs} SCCs over {claimed.num_nodes} nodes "
+              "match the reference recomputation")
+        return 0
+    mismatched = sum(
+        1 for node in expected.labels
+        if claimed.labels.get(node) != expected.labels[node]
+    )
+    print(f"MISMATCH: {mismatched} of {expected.num_nodes} node labels "
+          f"disagree (claimed {claimed.num_sccs} SCCs, "
+          f"expected {expected.num_sccs})", file=sys.stderr)
+    return 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.analysis import plan_ext_scc
+
+    plan = plan_ext_scc(
+        args.nodes,
+        args.edges,
+        memory_bytes=parse_size(args.memory),
+        block_size=parse_size(args.block_size),
+        node_retention=args.node_retention,
+        edge_growth=args.edge_growth,
+    )
+    print(plan.render())
+    return 0 if plan.feasible else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Contract & Expand: I/O efficient external SCC computation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scc = sub.add_parser("scc", help="compute all SCCs of an edge-list file")
+    scc.add_argument("input", help="edge list: 'u v' per line (or --binary)")
+    scc.add_argument("--output", "-o", help="write 'node scc' labels here")
+    scc.add_argument("--nodes", type=int, default=0,
+                     help="node count (nodes are 0..N-1; default: derive from edges)")
+    scc.add_argument("--memory", "-m", default="1M", help="memory budget (e.g. 512K)")
+    scc.add_argument("--block-size", "-b", default="4K", help="disk block size")
+    scc.add_argument("--algorithm", choices=["ext-scc", "ext-scc-op"],
+                     default="ext-scc-op")
+    scc.add_argument("--binary", action="store_true", help="input is packed <II")
+    scc.add_argument("--verbose", "-v", action="store_true",
+                     help="print per-iteration contraction progress")
+    scc.set_defaults(func=_cmd_scc)
+
+    gen = sub.add_parser("generate", help="generate a Table I / webspam dataset")
+    gen.add_argument("family",
+                     choices=["massive-scc", "large-scc", "small-scc", "webspam"])
+    gen.add_argument("output")
+    gen.add_argument("--nodes", type=int, default=None)
+    gen.add_argument("--degree", type=float, default=None)
+    gen.add_argument("--scc-size", type=int, default=None)
+    gen.add_argument("--scc-count", type=int, default=None)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--binary", action="store_true")
+    gen.set_defaults(func=_cmd_generate)
+
+    bench = sub.add_parser("bench", help="run one algorithm, report the I/O ledger")
+    bench.add_argument("input")
+    bench.add_argument("--algorithm", "-a", choices=sorted(ALGORITHMS),
+                       default="Ext-SCC-Op")
+    bench.add_argument("--nodes", type=int, default=0)
+    bench.add_argument("--memory", "-m", default="1M")
+    bench.add_argument("--block-size", "-b", default="4K")
+    bench.add_argument("--io-budget", type=int, default=None,
+                       help="block-I/O cap; exceeded -> INF (exit 1)")
+    bench.add_argument("--binary", action="store_true")
+    bench.set_defaults(func=_cmd_bench)
+
+    stats = sub.add_parser("stats", help="degree/structure statistics")
+    stats.add_argument("input")
+    stats.add_argument("--memory", "-m", default="1M")
+    stats.add_argument("--block-size", "-b", default="4K")
+    stats.add_argument("--histogram", action="store_true",
+                       help="print the full degree histogram")
+    stats.add_argument("--binary", action="store_true")
+    stats.set_defaults(func=_cmd_stats)
+
+    verify = sub.add_parser("verify",
+                            help="check a labels file against a recomputation")
+    verify.add_argument("input", help="the edge list the labels refer to")
+    verify.add_argument("labels", help="a 'node scc' labels file (from scc -o)")
+    verify.add_argument("--binary", action="store_true")
+    verify.set_defaults(func=_cmd_verify)
+
+    explain = sub.add_parser(
+        "explain", help="predict an Ext-SCC run's iterations and I/O"
+    )
+    explain.add_argument("--nodes", type=_count, required=True)
+    explain.add_argument("--edges", type=_count, required=True)
+    explain.add_argument("--memory", "-m", default="1M")
+    explain.add_argument("--block-size", "-b", default="4K")
+    explain.add_argument("--node-retention", type=float, default=0.72)
+    explain.add_argument("--edge-growth", type=float, default=1.25)
+    explain.set_defaults(func=_cmd_explain)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

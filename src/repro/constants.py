@@ -1,0 +1,37 @@
+"""Record widths and model constants shared across the package.
+
+The paper stores a node id in 4 bytes ("4 is the number of bytes to keep a
+node in memory") and reports that the semi-external solver 1PB-SCC needs
+``2 * |V|`` node words plus one disk block, i.e. ``M >= 8*|V| + B``.  The
+same constants drive both the simulated record files and Ext-SCC's stop
+condition, so the memory crossover of Figure 7 falls in the same place.
+"""
+
+from __future__ import annotations
+
+NODE_ID_BYTES = 4
+"""Width of one node identifier (paper: 4 bytes)."""
+
+NODE_RECORD_BYTES = NODE_ID_BYTES
+"""A node file record is a bare ``(v,)`` id."""
+
+EDGE_RECORD_BYTES = 2 * NODE_ID_BYTES
+"""An edge file record is ``(u, v)``."""
+
+DEGREE_RECORD_BYTES = NODE_ID_BYTES + 4
+"""A ``V_d`` record ``(v, deg)``; the optimized variant appends the
+in*out-degree product and uses :data:`DEGREE_PROD_RECORD_BYTES`."""
+
+DEGREE_PROD_RECORD_BYTES = NODE_ID_BYTES + 4 + 4
+"""Optimized ``V_d`` record ``(v, deg, degin*degout)`` (Definition 7.1)."""
+
+SCC_RECORD_BYTES = 2 * NODE_ID_BYTES
+"""An SCC label record ``(v, scc_id)``."""
+
+AUGMENTED_EDGE_BYTES = 3 * NODE_ID_BYTES
+"""An expansion-phase record ``(u, v, SCC(u))`` (Algorithm 5's E')."""
+
+SEMI_EXTERNAL_BYTES_PER_NODE = 8
+"""In-memory bytes the semi-external solver charges per node (paper:
+``2 * |V|`` 4-byte words for 1PB-SCC).  Ext-SCC's contraction loop stops
+when ``SEMI_EXTERNAL_BYTES_PER_NODE * |V_i| + B <= M``."""

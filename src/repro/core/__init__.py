@@ -1,0 +1,30 @@
+"""The paper's contribution: Ext-SCC / Ext-SCC-Op contract-and-expand
+external SCC computation."""
+
+from repro.core.config import ExtSCCConfig
+from repro.core.contraction import ContractionLevel, contract, get_e, get_v
+from repro.core.expansion import augment, expand_level
+from repro.core.ext_scc import ExtSCC, ExtSCCOutput, IterationRecord, compute_sccs
+from repro.core.operators import basic_key, make_key_fn, product_key
+from repro.core.result import SCCResult
+from repro.core.vertex_cover import BoundedCoverTable, external_vertex_cover
+
+__all__ = [
+    "ExtSCC",
+    "ExtSCCConfig",
+    "ExtSCCOutput",
+    "IterationRecord",
+    "compute_sccs",
+    "SCCResult",
+    "ContractionLevel",
+    "contract",
+    "get_v",
+    "get_e",
+    "expand_level",
+    "augment",
+    "basic_key",
+    "product_key",
+    "make_key_fn",
+    "BoundedCoverTable",
+    "external_vertex_cover",
+]

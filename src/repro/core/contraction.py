@@ -1,0 +1,406 @@
+"""Graph contraction: Get-V (Algorithm 3) and Get-E (Algorithm 4).
+
+One contraction iteration turns ``G_i`` into ``G_{i+1}``:
+
+1. **Get-V** selects ``V_{i+1}`` as a vertex cover of ``G_i`` — externally:
+   sort edges into ``E_in``/``E_out``, co-scan them into a degree file
+   ``V_d``, augment both endpoints of every edge with their degrees
+   (``E_d``), then a single scan adds each edge's larger endpoint under the
+   ``>`` operator.  The cover is sorted and deduplicated.  This guarantees
+   the **recoverable** (cover) and **contractible** (the smallest node is
+   never picked) properties — Lemmas 5.1/5.2.
+
+2. **Get-E** builds ``E_{i+1}``: the preserved edges with both endpoints in
+   ``V_{i+1}`` (two semi-joins and a sort), plus, for every removed node
+   ``v``, the bypass edges ``nbr_in(v) × nbr_out(v)`` (a co-scan of the
+   removed in- and out-edge groups).  This yields the **SCC-preservable**
+   property — Lemma 5.3.
+
+Section VII reductions hook in where the paper puts them: Type-1 trimming
+inside the ``V_d`` co-scan, Type-2 inside the cover scan via the bounded
+table, self-loop removal inside the ``E_add`` emission, parallel-edge
+removal inside the ``E_in``/``E_out`` sorts, and the product-aware operator
+inside the cover comparison.
+
+Every step is a sequential scan or an external sort on the simulated
+device; the I/O ledger shows zero random accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.constants import NODE_RECORD_BYTES
+from repro.core.config import ExtSCCConfig
+from repro.core.operators import make_key_fn
+from repro.core.vertex_cover import BoundedCoverTable
+from repro.graph.edge_file import EdgeFile, NodeFile
+from repro.io.blocks import BlockDevice
+from repro.io.files import ExternalFile
+from repro.io.join import anti_join, cogroup, merge_join, semi_join
+from repro.io.memory import MemoryBudget
+from repro.io.sort import external_sort_records
+
+__all__ = ["ContractionLevel", "contract", "get_v", "get_e", "build_degree_file"]
+
+Record = Tuple[int, ...]
+
+
+@dataclass
+class ContractionLevel:
+    """Everything one contraction iteration leaves behind for expansion.
+
+    Attributes:
+        level: iteration number ``i`` (1-based).
+        edges: ``E_i`` — the edge file of ``G_i`` (input of the iteration).
+        next_nodes: ``V_{i+1}`` — the cover, sorted.
+        removed: ``V_i - V_{i+1}`` — the removed nodes, sorted.
+        next_edges: ``E_{i+1}``.
+        num_nodes: ``|V_i|``.
+        num_edges: ``|E_i|`` (records, incl. duplicates).
+    """
+
+    level: int
+    edges: EdgeFile
+    next_nodes: NodeFile
+    removed: NodeFile
+    next_edges: EdgeFile
+    num_nodes: int
+    num_edges: int
+
+    def cleanup(self) -> None:
+        """Delete this level's output files after its expansion step.
+
+        ``edges`` is intentionally not deleted here: it is either the
+        caller's input file or the previous level's ``next_edges``, which
+        that level's own cleanup removes.
+        """
+        self.next_nodes.delete()
+        self.removed.delete()
+        self.next_edges.delete()
+
+
+def build_degree_file(
+    device: BlockDevice,
+    ein: EdgeFile,
+    eout: EdgeFile,
+    config: ExtSCCConfig,
+    memory: Optional[MemoryBudget] = None,
+) -> ExternalFile:
+    """``V_d``: one record per node with its degree fields, sorted by id.
+
+    Records are ``(v, deg)`` under Definition 5.1 and ``(v, deg,
+    deg_in*deg_out)`` under Definition 7.1.  With Type-1 trimming enabled,
+    nodes with ``deg_in == 0`` or ``deg_out == 0`` are omitted, which
+    removes them (and their edges) from the contracted graph — they are
+    singleton SCCs (Lemma 7.1) and the expansion phase labels them so.
+
+    With ``config.trim_rounds > 1`` (and ``memory`` provided for the extra
+    sorts) the trimming *cascades*: after dropping the dead-end nodes, the
+    incident edges are filtered out and degrees recomputed, exposing the
+    next layer of dead ends — an extension beyond the paper's single pass.
+    """
+    current_ein, current_eout = ein, eout
+    owns_edges = False
+    rounds = max(1, config.trim_rounds) if config.trim_type1 else 1
+    for round_number in range(1, rounds + 1):
+        vd, trimmed = _degree_pass(device, current_ein, current_eout, config)
+        last_round = (
+            not config.trim_type1
+            or not trimmed
+            or round_number == rounds
+            or memory is None
+        )
+        if last_round:
+            if owns_edges:
+                current_ein.delete()
+                current_eout.delete()
+            return vd
+        next_ein, next_eout = _filter_to_survivors(
+            device, current_eout, vd, memory
+        )
+        vd.delete()
+        if owns_edges:
+            current_ein.delete()
+            current_eout.delete()
+        current_ein, current_eout = next_ein, next_eout
+        owns_edges = True
+    raise AssertionError("unreachable")  # the loop always returns
+
+
+def _degree_pass(
+    device: BlockDevice,
+    ein: EdgeFile,
+    eout: EdgeFile,
+    config: ExtSCCConfig,
+) -> Tuple[ExternalFile, bool]:
+    """One degree-computation co-scan; returns (V_d, any-node-trimmed)."""
+    record_size = 12 if config.product_operator else 8
+    trimmed = False
+    vd = ExternalFile.create(device, device.temp_name("vd"), record_size)
+    for node, in_group, out_group in cogroup(
+        ein.scan(), eout.scan(), lambda e: e[1], lambda e: e[0]
+    ):
+        deg_in = len(in_group)
+        deg_out = len(out_group)
+        if config.trim_type1 and (deg_in == 0 or deg_out == 0):
+            trimmed = True
+            continue
+        if config.product_operator:
+            vd.append((node, deg_in + deg_out, deg_in * deg_out))
+        else:
+            vd.append((node, deg_in + deg_out))
+    vd.close()
+    return vd, trimmed
+
+
+def _filter_to_survivors(
+    device: BlockDevice,
+    eout: EdgeFile,
+    vd: ExternalFile,
+    memory: MemoryBudget,
+) -> Tuple[EdgeFile, EdgeFile]:
+    """Drop edges touching trimmed nodes; return fresh (E_in, E_out)."""
+    survivors = lambda: (r[0] for r in vd.scan())  # noqa: E731 - tiny closure
+    src_ok = semi_join(eout.scan(), survivors(), lambda e: e[0])
+    new_ein_file = external_sort_records(
+        device,
+        src_ok,
+        8,
+        memory,
+        key=lambda e: (e[1], e[0]),
+    )
+    fully_ok = semi_join(new_ein_file.scan(), survivors(), lambda e: e[1])
+    filtered_ein = ExternalFile.from_records(
+        device, device.temp_name("tein"), fully_ok, 8
+    )
+    new_ein_file.delete()
+    new_eout = external_sort_records(device, filtered_ein.scan(), 8, memory)
+    return EdgeFile(filtered_ein), EdgeFile(new_eout)
+
+
+def get_v(
+    device: BlockDevice,
+    edges: EdgeFile,
+    ein: EdgeFile,
+    eout: EdgeFile,
+    memory: MemoryBudget,
+    config: ExtSCCConfig,
+) -> NodeFile:
+    """Algorithm 3: select ``V_{i+1}`` (sorted, unique) from ``G_i``.
+
+    Args:
+        device: the simulated disk.
+        edges: ``E_i`` (only used for naming; scans use ``ein``/``eout``).
+        ein: ``E_i`` sorted by ``(dst, src)``.
+        eout: ``E_i`` sorted by ``(src, dst)``.
+        memory: the budget ``M``.
+        config: toggles (see :class:`ExtSCCConfig`).
+    """
+    vd = build_degree_file(device, ein, eout, config, memory=memory)
+    key_fn = make_key_fn(config.product_operator)
+    info_width = 2 if config.product_operator else 1
+
+    # E_d step 1: augment deg(u) on every edge (E_out join V_d on u).
+    def ed1_records() -> Iterator[Record]:
+        for edge, node_rec in merge_join(
+            eout.scan(), vd.scan(), lambda e: e[0], lambda r: r[0]
+        ):
+            # (u, v, deg_u[, prod_u])
+            yield (edge[0], edge[1]) + node_rec[1:]
+
+    ed1 = ExternalFile.from_records(
+        device, device.temp_name("ed1"), ed1_records(), 8 + 4 * info_width
+    )
+    # E_d step 2: sort by the non-augmented endpoint v.
+    ed2 = external_sort_records(
+        device, ed1.scan(), ed1.record_size, memory, key=lambda r: (r[1], r[0])
+    )
+    ed1.delete()
+
+    # E_d step 3 + cover scan fused: augment deg(v) and pick the larger
+    # endpoint of every edge under the > operator.
+    table_bytes = (
+        config.type2_table_bytes if config.type2_table_bytes is not None else memory.nbytes
+    )
+    table = BoundedCoverTable.from_memory(table_bytes) if config.type2_reduction else None
+
+    def cover_records() -> Iterator[Record]:
+        for ed_rec, node_rec in merge_join(
+            ed2.scan(), vd.scan(), lambda r: r[1], lambda r: r[0]
+        ):
+            u, v = ed_rec[0], ed_rec[1]
+            if u == v:
+                # A self-loop never forces its node into the cover
+                # (Definition 5.1 compares distinct nodes; Lemma 5.2's
+                # progress argument depends on this).
+                continue
+            ku = key_fn(u, ed_rec[2:])
+            kv = key_fn(v, node_rec[1:])
+            if ku > kv:
+                larger, larger_key = u, ku
+                smaller, smaller_key = v, kv
+            else:
+                larger, larger_key = v, kv
+                smaller, smaller_key = u, ku
+            if table is not None:
+                if smaller in table or larger in table:
+                    # Type-2: the edge is already covered.
+                    continue
+                table.add(larger, larger_key)
+            yield (larger,)
+
+    cover = external_sort_records(
+        device,
+        cover_records(),
+        NODE_RECORD_BYTES,
+        memory,
+        unique=True,
+        out_name=device.temp_name("vnext"),
+    )
+    ed2.delete()
+    vd.delete()
+    return NodeFile(cover)
+
+
+def get_e(
+    device: BlockDevice,
+    ein: EdgeFile,
+    eout: EdgeFile,
+    v_next: NodeFile,
+    memory: MemoryBudget,
+    config: ExtSCCConfig,
+) -> EdgeFile:
+    """Algorithm 4: build ``E_{i+1}`` from ``G_i`` and ``V_{i+1}``.
+
+    ``E_{i+1} = E_pre ∪ E_add`` where ``E_pre`` keeps the edges with both
+    endpoints in the cover and ``E_add`` bypasses every removed node ``v``
+    with ``nbr_in(v) × nbr_out(v)``.
+    """
+    out = ExternalFile.create(device, device.temp_name("enext"), 8)
+
+    # E_del (in): edges (u, v) with v removed, grouped by v (E_in order).
+    def removed_in() -> Iterator[Record]:
+        return anti_join(ein.scan(), v_next.scan(), lambda e: e[1])
+
+    # E_del (out): edges (v, w) with v removed, grouped by v (E_out order).
+    def removed_out() -> Iterator[Record]:
+        return anti_join(eout.scan(), v_next.scan(), lambda e: e[0])
+
+    in_stream: Iterator[Record] = removed_in()
+    out_stream: Iterator[Record] = removed_out()
+    if config.trim_type1:
+        # Type-1 trimming can remove two adjacent nodes in one iteration,
+        # so a removed node's neighbor is no longer guaranteed to be in the
+        # cover.  Filter the deleted-edge lists down to cover neighbors
+        # (sort + semi-join + sort back); a dropped neighbor is a trimmed
+        # dead-end node whose paths cannot participate in any SCC.
+        in_stream = _filter_neighbors(device, in_stream, v_next, memory, side=0, by_dst=True)
+        out_stream = _filter_neighbors(device, out_stream, v_next, memory, side=1, by_dst=False)
+
+    # E_add: for each removed v, bypass edges nbr_in(v) x nbr_out(v).
+    for v, in_group, out_group in cogroup(
+        in_stream, out_stream, lambda e: e[1], lambda e: e[0]
+    ):
+        for u, _v in in_group:
+            if u == v:
+                continue  # a self-loop on the removed node is not a neighbor
+            for _v2, w in out_group:
+                if w == v:
+                    continue
+                if config.remove_self_loops and u == w:
+                    continue
+                out.append((u, w))
+
+    # E_pre: edges with both endpoints in the cover.
+    pre1 = ExternalFile.from_records(
+        device,
+        device.temp_name("epre"),
+        semi_join(eout.scan(), v_next.scan(), lambda e: e[0]),
+        8,
+    )
+    pre2 = external_sort_records(
+        device, pre1.scan(), 8, memory, key=lambda e: (e[1], e[0])
+    )
+    pre1.delete()
+    for edge in semi_join(pre2.scan(), v_next.scan(), lambda e: e[1]):
+        out.append(edge)
+    pre2.delete()
+    out.close()
+    return EdgeFile(out)
+
+
+def _filter_neighbors(
+    device: BlockDevice,
+    edges: Iterator[Record],
+    v_next: NodeFile,
+    memory: MemoryBudget,
+    side: int,
+    by_dst: bool,
+) -> Iterator[Record]:
+    """Keep deleted edges whose *neighbor* endpoint (``side``) is in the
+    cover, restoring the original grouping order afterwards."""
+    spill = ExternalFile.from_records(device, device.temp_name("edel"), edges, 8)
+    resorted = external_sort_records(
+        device, spill.scan(), 8, memory, key=lambda e: (e[side], e[1 - side])
+    )
+    spill.delete()
+    filtered = semi_join(resorted.scan(), v_next.scan(), lambda e: e[side])
+    group_key = (lambda e: (e[1], e[0])) if by_dst else None
+    regrouped = external_sort_records(device, filtered, 8, memory, key=group_key)
+    resorted.delete()
+    yield from regrouped.scan()
+    regrouped.delete()
+
+
+def contract(
+    device: BlockDevice,
+    edges: EdgeFile,
+    nodes: NodeFile,
+    memory: MemoryBudget,
+    config: ExtSCCConfig,
+    level: int,
+) -> ContractionLevel:
+    """One full contraction iteration ``G_i -> G_{i+1}``.
+
+    Builds ``E_in``/``E_out`` once and shares them between Get-V and Get-E
+    (as the paper does), derives the removed set by an anti-join of the two
+    sorted node files, and returns the :class:`ContractionLevel` bundle the
+    expansion phase will need.
+    """
+    unique = config.dedupe_parallel_edges
+    eout = edges.sorted_by_src(memory, unique=unique)
+    ein = edges.sorted_by_dst(memory, unique=unique)
+    if config.compress_edge_lists:
+        from repro.graph.compressed import CompressedEdgeFile
+
+        eout_compressed = CompressedEdgeFile.from_sorted_edges(
+            device, device.temp_name("ceout"), eout.scan()
+        )
+        ein_compressed = CompressedEdgeFile.from_sorted_edges(
+            device, device.temp_name("cein"),
+            ((v, u) for u, v in ein.scan()), flipped=True,
+        )
+        eout.delete()
+        ein.delete()
+        eout, ein = eout_compressed, ein_compressed  # type: ignore[assignment]
+    v_next = get_v(device, edges, ein, eout, memory, config)
+    e_next = get_e(device, ein, eout, v_next, memory, config)
+    removed_file = ExternalFile.from_records(
+        device,
+        device.temp_name("removed"),
+        anti_join(((v,) for v in nodes.scan()), v_next.scan(), lambda r: r[0]),
+        NODE_RECORD_BYTES,
+    )
+    ein.delete()
+    eout.delete()
+    return ContractionLevel(
+        level=level,
+        edges=edges,
+        next_nodes=v_next,
+        removed=NodeFile(removed_file),
+        next_edges=e_next,
+        num_nodes=nodes.num_nodes,
+        num_edges=edges.num_edges,
+    )

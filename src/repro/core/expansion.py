@@ -1,0 +1,175 @@
+"""Graph expansion: Algorithm 5.
+
+Given ``G_i``, its contraction ``G_{i+1}``, and the SCC labels of every node
+of ``V_{i+1}``, the expansion step labels the removed nodes
+``V_i - V_{i+1}``.  By Lemma 6.4 a removed node ``v`` only needs the SCC
+labels of its in- and out-neighbors (all of which are in ``V_{i+1}`` by the
+recoverable property):
+
+* if some SCC appears among both the in-neighbors and the out-neighbors,
+  that SCC is ``SCC(v)`` — and by Lemma 6.2 it is the *only* such SCC;
+* otherwise ``v`` is a singleton SCC.
+
+Externally this is two ``augment`` pipelines (paper lines 8–14) — keep the
+edges into removed nodes, attach ``SCC(u)`` to each by a sort + merge join,
+regroup by ``(v, SCC, u)`` — one over ``E_i`` for in-neighbors and one over
+the reversed ``E_i`` for out-neighbors, followed by a single co-scan that
+intersects the two sorted SCC lists per removed node.  Sequential scans and
+external sorts only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.constants import AUGMENTED_EDGE_BYTES, SCC_RECORD_BYTES
+from repro.core.config import ExtSCCConfig
+from repro.core.contraction import ContractionLevel
+from repro.graph.edge_file import EdgeFile, NodeFile
+from repro.io.blocks import BlockDevice
+from repro.io.files import ExternalFile
+from repro.io.join import anti_join, cogroup, merge_join
+from repro.io.memory import MemoryBudget
+from repro.io.sort import external_sort_records, merge_runs
+
+__all__ = ["expand_level", "augment"]
+
+Record = Tuple[int, ...]
+
+
+def augment(
+    device: BlockDevice,
+    edges: EdgeFile,
+    v_next: NodeFile,
+    scc_next: ExternalFile,
+    memory: MemoryBudget,
+) -> ExternalFile:
+    """The paper's ``augment(E)`` (Algorithm 5, lines 8–14).
+
+    Produces records ``(u, v, SCC(u))`` for every edge ``(u, v)`` of
+    ``edges`` whose destination ``v`` is a *removed* node, sorted by
+    ``(v, SCC(u), u)`` so a single scan can read each removed node's
+    neighbor-SCC list in sorted order.
+
+    Edges whose source has no label in ``scc_next`` (possible only for
+    Type-1-trimmed neighbors, which are singleton SCCs that can never
+    witness a shared SCC) are dropped by the inner merge join.
+    """
+    # line 9: group edges by destination.
+    by_dst = external_sort_records(
+        device, edges.scan(), 8, memory, key=lambda e: (e[1], e[0])
+    )
+    # line 10: keep edges into removed nodes (V_{i+1} anti-join).
+    into_removed = anti_join(by_dst.scan(), v_next.scan(), lambda e: e[1])
+    # line 11: re-sort by the source endpoint.
+    by_src = external_sort_records(device, into_removed, 8, memory)
+    by_dst.delete()
+
+    # line 12: attach SCC(u) via a merge join with the label file.
+    def augmented() -> Iterator[Record]:
+        for edge, label_rec in merge_join(
+            by_src.scan(), scc_next.scan(), lambda e: e[0], lambda r: r[0]
+        ):
+            yield (edge[0], edge[1], label_rec[1])
+
+    # line 13: group by (v, SCC(u), u).
+    result = external_sort_records(
+        device,
+        augmented(),
+        AUGMENTED_EDGE_BYTES,
+        memory,
+        key=lambda r: (r[1], r[2], r[0]),
+    )
+    by_src.delete()
+    return result
+
+
+def _scc_list(group: List[Record]) -> List[int]:
+    """Distinct SCC labels of an augmented group (already sorted by SCC)."""
+    labels: List[int] = []
+    for record in group:
+        scc = record[2]
+        if not labels or labels[-1] != scc:
+            labels.append(scc)
+    return labels
+
+
+def _intersect_sorted(a: List[int], b: List[int]) -> List[int]:
+    """Intersection of two sorted unique lists."""
+    out: List[int] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i] == b[j]:
+            out.append(a[i])
+            i += 1
+            j += 1
+        elif a[i] < b[j]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def expand_level(
+    device: BlockDevice,
+    level: ContractionLevel,
+    scc_next: ExternalFile,
+    memory: MemoryBudget,
+    config: ExtSCCConfig,
+) -> ExternalFile:
+    """One expansion step: compute ``SCC_i`` from ``SCC_{i+1}``.
+
+    Args:
+        device: the simulated disk.
+        level: the bundle produced by the matching contraction iteration.
+        scc_next: ``(node, scc)`` records for ``V_{i+1}``, sorted by node.
+        memory: the budget ``M``.
+        config: pipeline configuration (``validate`` enables the Lemma 6.2
+            uniqueness assertion).
+
+    Returns:
+        ``(node, scc)`` records for all of ``V_i``, sorted by node id.
+    """
+    # E'_in: in-neighbor SCCs of removed nodes (over E_i).
+    e_in = augment(device, level.edges, level.next_nodes, scc_next, memory)
+    # E'_out: out-neighbor SCCs (over reversed E_i — in-neighbors of the
+    # reverse graph are out-neighbors of G_i).
+    reversed_edges = level.edges.reversed_copy()
+    e_out = augment(device, reversed_edges, level.next_nodes, scc_next, memory)
+    reversed_edges.delete()
+
+    def removed_labels() -> Iterator[Record]:
+        """Labels for removed nodes: 3-way co-scan with singleton default."""
+        groups = cogroup(e_in.scan(), e_out.scan(), lambda r: r[1], lambda r: r[1])
+        current = next(groups, None)
+        for v in level.removed.scan():
+            while current is not None and current[0] < v:  # type: ignore[operator]
+                current = next(groups, None)
+            if current is not None and current[0] == v:
+                common = _intersect_sorted(
+                    _scc_list(current[1]), _scc_list(current[2])
+                )
+                if config.validate and len(common) > 1:
+                    raise AssertionError(
+                        f"Lemma 6.2 violated: node {v} sees {len(common)} shared SCCs"
+                    )
+                yield (v, common[0]) if common else (v, v)
+            else:
+                # No surviving in- or out-edges: singleton SCC.
+                yield (v, v)
+
+    scc_del = ExternalFile.from_records(
+        device, device.temp_name("sccdel"), removed_labels(), SCC_RECORD_BYTES
+    )
+    e_in.delete()
+    e_out.delete()
+
+    # SCC_i = SCC_{i+1} ∪ SCC_del, sorted by node id.  Both inputs are
+    # already node-sorted, so one merge pass suffices (paper line 6 sorts).
+    merged = merge_runs([scc_next.scan(), scc_del.scan()])
+    scc_i = ExternalFile.from_records(
+        device, device.temp_name("scc"), merged, SCC_RECORD_BYTES
+    )
+    scc_del.delete()
+    scc_next.delete()
+    return scc_i

@@ -1,0 +1,261 @@
+"""Ext-SCC: the contract-and-expand external SCC algorithm (Algorithm 2).
+
+Pipeline::
+
+    G_1 = G
+    while V_i does not fit in memory:          # graph contraction
+        V_{i+1} = Get-V(G_i)                   # Algorithm 3
+        E_{i+1} = Get-E(G_i, V_{i+1})          # Algorithm 4
+    SCC_l = Semi-SCC(G_l)                      # semi-external solver
+    for i = l-1 .. 1:                          # graph expansion
+        SCC_i = Expansion(G_i, G_{i+1}, SCC_{i+1})   # Algorithm 5
+    return SCC_1
+
+The stop condition is the paper's ``bytes_per_node * |V_i| + B <= M`` (the
+memory 1PB-SCC needs).  When the input already satisfies it, no contraction
+happens and the semi-external solver runs directly — the sharp cost drop at
+``M >= 8|V| + B`` in Figure 7.
+
+:func:`compute_sccs` is the one-call convenience API used by the examples;
+:class:`ExtSCC` is the object API exposing per-iteration statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.core.config import ExtSCCConfig
+from repro.core.contraction import ContractionLevel, contract
+from repro.core.expansion import expand_level
+from repro.core.result import SCCResult
+from repro.exceptions import ReproError
+from repro.graph.edge_file import EdgeFile, NodeFile
+from repro.io.blocks import DEFAULT_BLOCK_SIZE, BlockDevice
+from repro.io.memory import MemoryBudget
+from repro.io.stats import IOBudget, IOSnapshot, IOStats
+from repro.semi_external import SEMI_SCC_SOLVERS, run_semi_scc_to_file
+
+__all__ = ["ExtSCC", "ExtSCCOutput", "IterationRecord", "compute_sccs"]
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Sizes and I/O of one contraction iteration (``G_i -> G_{i+1}``).
+
+    These are the quantities behind Theorems 5.3/5.4 and the paper's
+    discussion of contraction stability; the ablation benchmark prints
+    them per iteration.
+    """
+
+    level: int
+    num_nodes: int
+    num_edges: int
+    next_num_nodes: int
+    next_num_edges: int
+    io: IOSnapshot
+
+    @property
+    def nodes_removed(self) -> int:
+        """How many nodes this iteration removed."""
+        return self.num_nodes - self.next_num_nodes
+
+    @property
+    def edge_growth(self) -> float:
+        """``|E_{i+1}| / |E_i|`` — Section VII aims to push this below 1."""
+        if self.num_edges == 0:
+            return 0.0
+        return self.next_num_edges / self.num_edges
+
+
+@dataclass
+class ExtSCCOutput:
+    """Everything an Ext-SCC run produces.
+
+    Attributes:
+        result: the SCC labeling (canonicalized).
+        iterations: one record per contraction iteration (empty when the
+            input fit in memory immediately).
+        io: total block I/O of the run.
+        contraction_io / semi_io / expansion_io: per-phase I/O.
+        wall_seconds: wall-clock time of the run.
+        config: the configuration used.
+    """
+
+    result: SCCResult
+    iterations: List[IterationRecord]
+    io: IOSnapshot
+    contraction_io: IOSnapshot
+    semi_io: IOSnapshot
+    expansion_io: IOSnapshot
+    wall_seconds: float
+    config: ExtSCCConfig
+
+    @property
+    def num_iterations(self) -> int:
+        """Number of contraction iterations performed."""
+        return len(self.iterations)
+
+
+class ExtSCC:
+    """The contract-and-expand external SCC solver.
+
+    Args:
+        config: pipeline configuration; defaults to plain Ext-SCC
+            (:meth:`ExtSCCConfig.baseline`).  Use
+            :meth:`ExtSCCConfig.optimized` for Ext-SCC-Op.
+    """
+
+    def __init__(self, config: Optional[ExtSCCConfig] = None) -> None:
+        self.config = config if config is not None else ExtSCCConfig.baseline()
+        if self.config.semi_scc not in SEMI_SCC_SOLVERS:
+            raise ReproError(
+                f"unknown semi-external solver {self.config.semi_scc!r}; "
+                f"choose from {sorted(SEMI_SCC_SOLVERS)}"
+            )
+
+    def nodes_fit(self, num_nodes: int, memory: MemoryBudget, block_size: int) -> bool:
+        """The contraction stop condition: can Semi-SCC handle |V| nodes?"""
+        return self.config.bytes_per_node * num_nodes + block_size <= memory.nbytes
+
+    def run(
+        self,
+        device: BlockDevice,
+        edges: EdgeFile,
+        memory: MemoryBudget,
+        nodes: Optional[NodeFile] = None,
+        on_iteration: Optional[Callable[[IterationRecord], None]] = None,
+    ) -> ExtSCCOutput:
+        """Compute all SCCs of the graph stored in ``edges``.
+
+        Args:
+            device: the simulated disk the graph lives on.
+            edges: the edge file ``E``.
+            memory: the budget ``M`` (must satisfy ``M >= 2B``).
+            nodes: the node file ``V``; derived from the edges when omitted
+                (isolated nodes must be supplied explicitly).
+            on_iteration: optional progress callback invoked after every
+                contraction iteration with its :class:`IterationRecord`
+                (long external runs report progress this way).
+
+        Returns:
+            An :class:`ExtSCCOutput` with the labeling and statistics.
+        """
+        config = self.config
+        memory.validate_against_block(device.block_size)
+        stats: IOStats = device.stats
+        start = time.perf_counter()
+        run_start = stats.snapshot()
+
+        if nodes is None:
+            nodes = edges.node_file(memory)
+
+        levels: List[ContractionLevel] = []
+        iterations: List[IterationRecord] = []
+        current_edges, current_nodes = edges, nodes
+        contraction_start = stats.snapshot()
+        with stats.phase("contraction"):
+            i = 1
+            while not self.nodes_fit(current_nodes.num_nodes, memory, device.block_size):
+                if i > config.max_iterations:
+                    raise ReproError(
+                        f"contraction did not converge in {config.max_iterations} "
+                        "iterations"
+                    )
+                before = stats.snapshot()
+                level = contract(
+                    device, current_edges, current_nodes, memory, config, level=i
+                )
+                record = IterationRecord(
+                    level=i,
+                    num_nodes=level.num_nodes,
+                    num_edges=level.num_edges,
+                    next_num_nodes=level.next_nodes.num_nodes,
+                    next_num_edges=level.next_edges.num_edges,
+                    io=stats.snapshot() - before,
+                )
+                iterations.append(record)
+                if on_iteration is not None:
+                    on_iteration(record)
+                levels.append(level)
+                current_edges = level.next_edges
+                current_nodes = level.next_nodes
+                i += 1
+        contraction_io = stats.snapshot() - contraction_start
+
+        semi_start = stats.snapshot()
+        with stats.phase("semi-scc"):
+            solver = SEMI_SCC_SOLVERS[config.semi_scc]
+            scc_file = run_semi_scc_to_file(
+                solver, current_edges, current_nodes.scan(), memory
+            )
+        semi_io = stats.snapshot() - semi_start
+
+        expansion_start = stats.snapshot()
+        with stats.phase("expansion"):
+            for level in reversed(levels):
+                scc_file = expand_level(device, level, scc_file, memory, config)
+                level.cleanup()
+        expansion_io = stats.snapshot() - expansion_start
+
+        result = SCCResult.from_pairs(scc_file.scan())  # final output scan
+        scc_file.delete()
+        return ExtSCCOutput(
+            result=result,
+            iterations=iterations,
+            io=stats.snapshot() - run_start,
+            contraction_io=contraction_io,
+            semi_io=semi_io,
+            expansion_io=expansion_io,
+            wall_seconds=time.perf_counter() - start,
+            config=config,
+        )
+
+
+def compute_sccs(
+    edges: Iterable[Edge],
+    num_nodes: Optional[int] = None,
+    memory_bytes: int = 1 << 20,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    optimized: bool = True,
+    config: Optional[ExtSCCConfig] = None,
+    io_budget: Optional[int] = None,
+    on_iteration: Optional[Callable[[IterationRecord], None]] = None,
+) -> ExtSCCOutput:
+    """One-call API: load an edge list onto a fresh simulated disk and run
+    Ext-SCC.
+
+    Args:
+        edges: ``(u, v)`` pairs (any integer ids).
+        num_nodes: when given, nodes are ``0 .. num_nodes-1`` (so isolated
+            nodes are included); otherwise the node set is derived from the
+            edges.
+        memory_bytes: the simulated main-memory budget ``M``.
+        block_size: the simulated disk block size ``B``.
+        optimized: run Ext-SCC-Op (default) instead of plain Ext-SCC;
+            ignored when ``config`` is given.
+        config: full configuration override.
+        io_budget: optional block-I/O cap (raises
+            :class:`~repro.exceptions.IOBudgetExceeded`).
+        on_iteration: optional per-iteration progress callback.
+
+    Returns:
+        An :class:`ExtSCCOutput`.
+    """
+    budget = IOBudget(io_budget) if io_budget is not None else None
+    device = BlockDevice(block_size=block_size, budget=budget)
+    memory = MemoryBudget(memory_bytes)
+    edge_file = EdgeFile.from_edges(device, "input-edges", edges)
+    node_file: Optional[NodeFile] = None
+    if num_nodes is not None:
+        node_file = NodeFile.from_ids(
+            device, "input-nodes", range(num_nodes), memory, presorted=True
+        )
+    if config is None:
+        config = ExtSCCConfig.optimized() if optimized else ExtSCCConfig.baseline()
+    return ExtSCC(config).run(
+        device, edge_file, memory, nodes=node_file, on_iteration=on_iteration
+    )

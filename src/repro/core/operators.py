@@ -1,0 +1,46 @@
+"""The ``>`` node-order operators of Definitions 5.1 and 7.1.
+
+Get-V adds, for every edge, the *larger* endpoint under ``>`` to the vertex
+cover.  The basic operator (Def. 5.1) orders by total degree with id
+tie-break; the optimized operator (Def. 7.1) inserts ``deg_in * deg_out``
+as a second criterion so that, among equal-degree nodes, the one whose
+removal would create more new edges is *kept* and the cheap one is removed
+— this is the edge-reduction lever of Ext-SCC-Op.
+
+Both are exposed as *key functions*: ``u > v  iff  key(u) > key(v)``
+(lexicographic tuple comparison), which is also exactly what the Type-2
+bounded table orders by.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+__all__ = ["basic_key", "product_key", "NodeKey", "OperatorInfo"]
+
+NodeKey = Tuple[int, ...]
+
+OperatorInfo = Tuple[int, ...]
+"""Per-node operator payload carried through the Ed file: ``(deg,)`` for the
+basic operator, ``(deg, deg_in * deg_out)`` for the optimized one."""
+
+
+def basic_key(node_id: int, deg: int) -> NodeKey:
+    """Definition 5.1: order by ``(deg, id)``."""
+    return (deg, node_id)
+
+
+def product_key(node_id: int, deg: int, product: int) -> NodeKey:
+    """Definition 7.1: order by ``(deg, deg_in*deg_out, id)``."""
+    return (deg, product, node_id)
+
+
+def make_key_fn(product_operator: bool) -> Callable[[int, OperatorInfo], NodeKey]:
+    """Return ``key(node_id, info)`` for the configured operator.
+
+    ``info`` is the tuple of operator fields stored next to the node id in
+    the ``V_d`` / ``E_d`` records: ``(deg,)`` or ``(deg, product)``.
+    """
+    if product_operator:
+        return lambda node_id, info: (info[0], info[1], node_id)
+    return lambda node_id, info: (info[0], node_id)

@@ -1,0 +1,112 @@
+"""SCC computation results.
+
+Every solver in this package ultimately produces a mapping ``node -> SCC
+label``.  Labels produced by different algorithms differ (Tarjan uses min
+member ids, Ext-SCC uses representatives inherited through contraction
+levels), so :class:`SCCResult` canonicalizes to *min member id per
+component* and compares partitions, not raw labels.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+__all__ = ["SCCResult"]
+
+
+class SCCResult:
+    """An SCC labeling of a node set.
+
+    Args:
+        labels: mapping ``node -> label``; two nodes share a label iff they
+            are strongly connected.  Labels are canonicalized on
+            construction to the minimum node id of each component.
+    """
+
+    def __init__(self, labels: Mapping[int, int]) -> None:
+        self.labels: Dict[int, int] = self._canonicalize(labels)
+
+    @staticmethod
+    def _canonicalize(labels: Mapping[int, int]) -> Dict[int, int]:
+        rep: Dict[int, int] = {}
+        for node, label in labels.items():
+            current = rep.get(label)
+            if current is None or node < current:
+                rep[label] = node
+        return {node: rep[label] for node, label in labels.items()}
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "SCCResult":
+        """Build from an iterable of ``(node, label)`` pairs."""
+        return cls(dict(pairs))
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of labeled nodes."""
+        return len(self.labels)
+
+    @property
+    def num_sccs(self) -> int:
+        """Number of components (including singletons)."""
+        return len(set(self.labels.values()))
+
+    def components(self) -> List[List[int]]:
+        """Components as sorted node lists, ordered by representative."""
+        groups: Dict[int, List[int]] = defaultdict(list)
+        for node, label in self.labels.items():
+            groups[label].append(node)
+        return [sorted(groups[label]) for label in sorted(groups)]
+
+    def component_of(self, node: int) -> List[int]:
+        """The sorted member list of ``node``'s component."""
+        label = self.labels[node]
+        return sorted(n for n, l in self.labels.items() if l == label)
+
+    def size_histogram(self) -> Dict[int, int]:
+        """Mapping ``component size -> number of components of that size``."""
+        sizes = Counter(Counter(self.labels.values()).values())
+        return dict(sizes)
+
+    @property
+    def largest_size(self) -> int:
+        """Size of the largest component (0 for an empty labeling)."""
+        if not self.labels:
+            return 0
+        return max(Counter(self.labels.values()).values())
+
+    @property
+    def num_trivial(self) -> int:
+        """Number of singleton components."""
+        return self.size_histogram().get(1, 0)
+
+    @property
+    def num_nontrivial(self) -> int:
+        """Number of components with at least two nodes."""
+        return self.num_sccs - self.num_trivial
+
+    # -- comparison --------------------------------------------------------
+
+    def same_partition(self, other: "SCCResult") -> bool:
+        """True when both results induce the same node partition."""
+        return self.labels == other.labels
+
+    def strongly_connected(self, u: int, v: int) -> bool:
+        """True when ``u`` and ``v`` are in the same SCC."""
+        return self.labels[u] == self.labels[v]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SCCResult):
+            return NotImplemented
+        return self.labels == other.labels
+
+    def __hash__(self) -> int:  # results are comparable, not hashable state
+        return hash(frozenset(self.labels.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SCCResult(nodes={self.num_nodes}, sccs={self.num_sccs}, "
+            f"largest={self.largest_size})"
+        )

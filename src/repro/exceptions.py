@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class. The two subclasses that benchmark harnesses care about
+are :class:`IOBudgetExceeded` (a run used more block I/Os than allowed, the
+simulation analogue of the paper's 24-hour "INF" cutoff) and
+:class:`NonTermination` (the EM-SCC baseline detected that it cannot make
+progress, the paper's Case-1/Case-2).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class IOBudgetExceeded(ReproError):
+    """Raised when a run exceeds its block-I/O budget.
+
+    The paper reports runs that do not finish within 24 hours as ``INF``.
+    In the simulated I/O model the equivalent cutoff is a cap on the total
+    number of block I/Os; crossing it raises this exception, which the
+    benchmark harness renders as ``INF``.
+    """
+
+    def __init__(self, used: int, budget: int) -> None:
+        super().__init__(f"I/O budget exceeded: used {used} block I/Os, budget {budget}")
+        self.used = used
+        self.budget = budget
+
+
+class NonTermination(ReproError):
+    """Raised when an algorithm detects it cannot terminate.
+
+    The EM-SCC baseline [13] contracts partition-local SCCs until the graph
+    fits in memory; on DAG-like graphs or graphs whose SCCs straddle every
+    partitioning (the paper's Case-2 and Case-1) no progress is possible and
+    the loop would run forever.  We detect a full pass with no contraction
+    and raise this instead.
+    """
+
+
+class InsufficientMemory(ReproError):
+    """Raised when an algorithm's minimum memory requirement is not met.
+
+    For example the semi-external solvers need ``c * |V|`` bytes plus one
+    block; calling them with a smaller :class:`~repro.io.memory.MemoryBudget`
+    raises this.
+    """
+
+
+class StorageError(ReproError):
+    """Raised on misuse of the simulated block device (missing file, write
+    after close, record wider than a block, ...)."""

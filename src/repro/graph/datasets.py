@@ -1,0 +1,190 @@
+"""Named datasets: the paper's running example and the Table I families.
+
+:func:`figure1_graph` is the 13-node, 20-edge graph of Figure 1 with its two
+SCCs ``{b,c,d,e,f,g}`` and ``{i,j,k,l}``; tests replay the contraction trace
+of Figure 4 and the expansion trace of Figure 5 on it.
+
+``TABLE1`` records the paper's parameter ranges and defaults, scaled by
+``SCALE = 1e-3`` on node-count-like quantities so pure-Python runs finish
+(see DESIGN.md's substitution table); :func:`build_dataset` turns a family
+name plus overrides into a generated graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.graph.generators import (
+    GeneratedGraph,
+    large_scc_graph,
+    massive_scc_graph,
+    small_scc_graph,
+    webspam_like,
+)
+
+__all__ = [
+    "figure1_graph",
+    "FIGURE1_SCCS",
+    "TABLE1",
+    "Table1Row",
+    "build_dataset",
+    "DATASET_FAMILIES",
+]
+
+# Node labels of Figure 1, in the paper's drawing: a..m -> 0..12.
+FIGURE1_LABELS = "abcdefghijklm"
+_L = {c: i for i, c in enumerate(FIGURE1_LABELS)}
+
+FIGURE1_SCCS: List[List[str]] = [list("bcdefg"), list("ijkl")]
+"""The two non-trivial SCCs of Figure 1 (SCC1 and SCC2)."""
+
+
+def figure1_graph(as_labels: bool = False) -> GeneratedGraph:
+    """The running-example graph of Figure 1 (13 nodes, 20 edges).
+
+    Edges are reconstructed from the paper's narrative: the SCC1 cycle
+    b→c→d→e→f→g→b with chord paths (b→e via (b,c,d,e) and e→b via
+    (e,f,g,b) are quoted in Example 2.1), the SCC2 ring over {i,j,k,l},
+    and the connecting nodes a, h, m.
+
+    Args:
+        as_labels: return edges over letter labels instead of integer ids
+            (useful for printing).
+    """
+    letter_edges: List[Tuple[str, str]] = [
+        # SCC1 = {b, c, d, e, f, g}
+        ("b", "c"), ("c", "d"), ("d", "e"), ("e", "f"), ("f", "g"), ("g", "b"),
+        ("g", "c"), ("e", "g"),
+        # a feeds SCC1; h bridges SCC1 to SCC2; m hangs off SCC2
+        ("a", "b"), ("f", "h"), ("h", "i"), ("g", "i"),
+        # SCC2 = {i, j, k, l}
+        ("i", "j"), ("j", "k"), ("k", "l"), ("l", "i"), ("j", "l"), ("k", "i"),
+        ("j", "m"), ("l", "m"),
+    ]
+    if as_labels:
+        return GeneratedGraph(letter_edges, 13, [sorted(s) for s in FIGURE1_SCCS])  # type: ignore[arg-type]
+    edges = [(_L[u], _L[v]) for u, v in letter_edges]
+    planted = [sorted(_L[c] for c in scc) for scc in FIGURE1_SCCS]
+    return GeneratedGraph(edges, 13, planted, strict=True)
+
+
+SCALE = 1e-3
+"""Scale factor applied to the paper's node-count-like parameters."""
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table I, with the scaled sweep and default."""
+
+    name: str
+    paper_range: Tuple
+    paper_default: object
+    scaled_range: Tuple
+    scaled_default: object
+
+
+TABLE1: Dict[str, Table1Row] = {
+    "num_nodes": Table1Row(
+        "Size of |V|",
+        ("25M", "50M", "100M", "150M", "200M"), "100M",
+        (25_000, 50_000, 100_000, 150_000, 200_000), 100_000,
+    ),
+    "avg_degree": Table1Row(
+        "Average Degree D", (2, 3, 4, 5, 6), 4, (2, 3, 4, 5, 6), 4,
+    ),
+    "memory": Table1Row(
+        "Memory Size M",
+        ("200M", "300M", "400M", "500M", "600M"), "400M",
+        (200_000, 300_000, 400_000, 500_000, 600_000), 400_000,
+    ),
+    "massive_scc_size": Table1Row(
+        "Size of Massive-SCC",
+        ("200K", "300K", "400K", "500K", "600K"), "400K",
+        (200, 300, 400, 500, 600), 400,
+    ),
+    "large_scc_size": Table1Row(
+        "Size of Large-SCC", ("4K", "6K", "8K", "10K", "12K"), "8K",
+        (40, 60, 80, 100, 120), 80,
+    ),
+    "small_scc_size": Table1Row(
+        "Size of Small-SCC", (20, 30, 40, 50, 60), 40, (20, 30, 40, 50, 60), 40,
+    ),
+    "num_large_sccs": Table1Row(
+        "Number of Large-SCCs", (30, 40, 50, 60, 70), 50, (30, 40, 50, 60, 70), 50,
+    ),
+    "num_small_sccs": Table1Row(
+        "Number of Small-SCCs", ("6K", "8K", "10K", "12K", "14K"), "10K",
+        (600, 800, 1000, 1200, 1400), 1000,
+    ),
+}
+"""Table I, paper values next to the 1e-3-scaled simulation values."""
+
+
+def _build_massive(num_nodes: int, avg_degree: float, scc_size: int,
+                   scc_count: int, seed: int) -> GeneratedGraph:
+    return massive_scc_graph(num_nodes, avg_degree, scc_size, seed=seed)
+
+
+def _build_large(num_nodes: int, avg_degree: float, scc_size: int,
+                 scc_count: int, seed: int) -> GeneratedGraph:
+    return large_scc_graph(num_nodes, avg_degree, scc_size, scc_count, seed=seed)
+
+
+def _build_small(num_nodes: int, avg_degree: float, scc_size: int,
+                 scc_count: int, seed: int) -> GeneratedGraph:
+    return small_scc_graph(num_nodes, avg_degree, scc_size, scc_count, seed=seed)
+
+
+DATASET_FAMILIES: Dict[str, Callable[..., GeneratedGraph]] = {
+    "massive-scc": _build_massive,
+    "large-scc": _build_large,
+    "small-scc": _build_small,
+}
+"""The three Table I families by name."""
+
+
+def build_dataset(
+    family: str,
+    num_nodes: Optional[int] = None,
+    avg_degree: Optional[float] = None,
+    scc_size: Optional[int] = None,
+    scc_count: Optional[int] = None,
+    seed: int = 0,
+) -> GeneratedGraph:
+    """Build a Table I dataset with the scaled defaults, allowing overrides.
+
+    Args:
+        family: one of ``"massive-scc"``, ``"large-scc"``, ``"small-scc"``,
+            or ``"webspam"``.
+        num_nodes, avg_degree, scc_size, scc_count: overrides of the
+            corresponding Table I defaults (scaled).
+        seed: RNG seed.
+    """
+    if family == "webspam":
+        return webspam_like(
+            num_nodes=num_nodes or 50_000,
+            avg_degree=avg_degree or 8.0,
+            seed=seed,
+        )
+    try:
+        builder = DATASET_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown family {family!r}; choose from "
+            f"{sorted(DATASET_FAMILIES) + ['webspam']}"
+        ) from None
+    defaults = {
+        "massive-scc": (TABLE1["massive_scc_size"].scaled_default, 1),
+        "large-scc": (TABLE1["large_scc_size"].scaled_default,
+                      TABLE1["num_large_sccs"].scaled_default),
+        "small-scc": (TABLE1["small_scc_size"].scaled_default,
+                      TABLE1["num_small_sccs"].scaled_default),
+    }[family]
+    return builder(
+        num_nodes or TABLE1["num_nodes"].scaled_default,
+        avg_degree or TABLE1["avg_degree"].scaled_default,
+        scc_size or defaults[0],
+        scc_count or defaults[1],
+        seed,
+    )

@@ -1,0 +1,119 @@
+"""A small in-memory directed graph.
+
+Used by the reference SCC algorithms, by EM-SCC's per-partition solver, and
+by tests.  It deliberately stays minimal: adjacency dictionaries over
+hashable integer node ids, no attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+__all__ = ["DiGraph"]
+
+Edge = Tuple[int, int]
+
+
+class DiGraph:
+    """Directed graph with integer node ids.
+
+    Parallel edges collapse (adjacency is a set); self-loops are allowed
+    (they never affect SCC structure).
+    """
+
+    def __init__(self, edges: Iterable[Edge] = (), nodes: Iterable[int] = ()) -> None:
+        self._out: Dict[int, Set[int]] = {}
+        self._in: Dict[int, Set[int]] = {}
+        for v in nodes:
+            self.add_node(v)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, v: int) -> None:
+        """Ensure ``v`` exists (no-op when already present)."""
+        if v not in self._out:
+            self._out[v] = set()
+            self._in[v] = set()
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add edge ``u -> v``, creating endpoints as needed."""
+        self.add_node(u)
+        self.add_node(v)
+        self._out[u].add(v)
+        self._in[v].add(u)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct directed edges."""
+        return sum(len(nbrs) for nbrs in self._out.values())
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate node ids (insertion order)."""
+        return iter(self._out)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate distinct edges as ``(u, v)`` pairs."""
+        for u, nbrs in self._out.items():
+            for v in nbrs:
+                yield u, v
+
+    def has_node(self, v: int) -> bool:
+        """True when ``v`` is a node of the graph."""
+        return v in self._out
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when edge ``u -> v`` exists."""
+        return u in self._out and v in self._out[u]
+
+    def out_neighbors(self, v: int) -> Set[int]:
+        """``nbr_out(v)``: successors of ``v``."""
+        return self._out[v]
+
+    def in_neighbors(self, v: int) -> Set[int]:
+        """``nbr_in(v)``: predecessors of ``v``."""
+        return self._in[v]
+
+    def out_degree(self, v: int) -> int:
+        """``deg_out(v)``."""
+        return len(self._out[v])
+
+    def in_degree(self, v: int) -> int:
+        """``deg_in(v)``."""
+        return len(self._in[v])
+
+    def degree(self, v: int) -> int:
+        """``deg(v) = deg_in(v) + deg_out(v)`` (the paper's total degree)."""
+        return len(self._out[v]) + len(self._in[v])
+
+    # -- derived graphs ----------------------------------------------------
+
+    def reversed(self) -> "DiGraph":
+        """The transpose graph (every edge flipped)."""
+        g = DiGraph(nodes=self.nodes())
+        for u, v in self.edges():
+            g.add_edge(v, u)
+        return g
+
+    def subgraph(self, keep: Set[int]) -> "DiGraph":
+        """The induced subgraph on the node set ``keep``."""
+        g = DiGraph(nodes=(v for v in self.nodes() if v in keep))
+        for u, v in self.edges():
+            if u in keep and v in keep:
+                g.add_edge(u, v)
+        return g
+
+    def edge_list(self) -> List[Edge]:
+        """Materialize the distinct edges as a sorted list."""
+        return sorted(self.edges())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiGraph(nodes={self.num_nodes}, edges={self.num_edges})"

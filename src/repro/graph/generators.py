@@ -1,0 +1,388 @@
+"""Synthetic graph generators for the paper's workloads.
+
+Three families mirror Table I of the paper (Massive-SCC, Large-SCC,
+Small-SCC): nodes are first assigned to planted SCCs, each planted SCC is
+made strongly connected (a random Hamiltonian cycle over its members plus
+random chords), and the remaining "filler" nodes and edges are added around
+them.  In ``strict`` mode the filler edges only go from lower- to
+higher-ranked groups, which guarantees the planted SCCs are exactly the
+SCCs of the generated graph — convenient for tests; benchmarks use the
+non-strict mode, matching the paper's "additional random nodes and edges".
+
+A :func:`webspam_like` generator stands in for WEBSPAM-UK2007 (see
+DESIGN.md): a bow-tie web graph with a giant core SCC, IN/OUT sets and
+tendrils, with skewed out-degrees.
+
+All generators take an explicit ``seed`` and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "GeneratedGraph",
+    "planted_scc_graph",
+    "massive_scc_graph",
+    "large_scc_graph",
+    "small_scc_graph",
+    "webspam_like",
+    "random_digraph",
+    "random_dag",
+    "rmat_graph",
+    "cycle_graph",
+    "path_graph",
+    "complete_digraph",
+]
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class GeneratedGraph:
+    """A generated edge list plus ground-truth metadata.
+
+    Attributes:
+        edges: the directed edge list (may contain parallel edges).
+        num_nodes: number of nodes (ids are ``0 .. num_nodes - 1``).
+        planted_sccs: the node sets of the planted SCCs (only exact SCCs
+            when the generator ran in strict mode).
+        strict: True when filler edges were rank-constrained so the planted
+            SCCs are guaranteed to be the exact non-trivial SCCs.
+    """
+
+    edges: List[Edge]
+    num_nodes: int
+    planted_sccs: List[List[int]] = field(default_factory=list)
+    strict: bool = False
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edge records."""
+        return len(self.edges)
+
+    @property
+    def nodes(self) -> range:
+        """The node id range ``0 .. num_nodes - 1``."""
+        return range(self.num_nodes)
+
+
+def _make_strongly_connected(members: Sequence[int], rng: random.Random,
+                             extra_edges: int) -> List[Edge]:
+    """Edges making ``members`` one SCC: a random cycle plus random chords."""
+    if len(members) == 1:
+        return []
+    order = list(members)
+    rng.shuffle(order)
+    edges: List[Edge] = [
+        (order[i], order[(i + 1) % len(order)]) for i in range(len(order))
+    ]
+    for _ in range(extra_edges):
+        u = rng.choice(order)
+        v = rng.choice(order)
+        if u != v:
+            edges.append((u, v))
+    return edges
+
+
+def planted_scc_graph(
+    num_nodes: int,
+    avg_degree: float,
+    scc_sizes: Sequence[int],
+    seed: int = 0,
+    strict: bool = False,
+) -> GeneratedGraph:
+    """Generate a graph with planted SCCs per the paper's recipe.
+
+    Args:
+        num_nodes: total node count ``|V|``.
+        avg_degree: target ``|E| / |V|`` (the paper's average degree D).
+        scc_sizes: sizes of the planted SCCs; their sum must not exceed
+            ``num_nodes``.
+        seed: RNG seed.
+        strict: constrain filler edges to a topological rank order so the
+            planted SCCs are *exactly* the non-trivial SCCs.
+
+    Returns:
+        A :class:`GeneratedGraph`.
+    """
+    if sum(scc_sizes) > num_nodes:
+        raise ValueError(
+            f"planted SCCs need {sum(scc_sizes)} nodes but only {num_nodes} exist"
+        )
+    rng = random.Random(seed)
+    node_ids = list(range(num_nodes))
+    rng.shuffle(node_ids)
+
+    edges: List[Edge] = []
+    planted: List[List[int]] = []
+    rank: Dict[int, int] = {}
+    cursor = 0
+    for group_index, size in enumerate(scc_sizes):
+        members = node_ids[cursor : cursor + size]
+        cursor += size
+        planted.append(sorted(members))
+        for v in members:
+            rank[v] = group_index
+        # Inside an SCC: cycle + ~1 chord per 2 members keeps it sparse.
+        edges.extend(_make_strongly_connected(members, rng, extra_edges=size // 2))
+    next_rank = len(scc_sizes)
+    for v in node_ids[cursor:]:
+        rank[v] = next_rank
+        next_rank += 1
+
+    target_edges = int(round(avg_degree * num_nodes))
+    attempts = 0
+    while len(edges) < target_edges and attempts < 20 * target_edges:
+        attempts += 1
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v:
+            continue
+        if strict:
+            if rank[u] == rank[v]:
+                continue
+            if rank[u] > rank[v]:
+                u, v = v, u
+        edges.append((u, v))
+    return GeneratedGraph(edges, num_nodes, planted, strict=strict)
+
+
+def _table1_graph(
+    num_nodes: int,
+    avg_degree: float,
+    scc_size: int,
+    scc_count: int,
+    seed: int,
+    strict: bool,
+) -> GeneratedGraph:
+    # Fit the requested SCC population into at most half the nodes: first
+    # shrink the per-SCC size (floor 2), then drop surplus SCCs.
+    budget = max(2, num_nodes // 2)
+    size = max(2, min(scc_size, budget // max(1, scc_count)))
+    count = min(scc_count, budget // size)
+    sizes = [size] * max(1, count)
+    return planted_scc_graph(num_nodes, avg_degree, sizes, seed=seed, strict=strict)
+
+
+def massive_scc_graph(
+    num_nodes: int = 100_000,
+    avg_degree: float = 4.0,
+    scc_size: int = 400,
+    seed: int = 0,
+    strict: bool = False,
+) -> GeneratedGraph:
+    """The paper's Massive-SCC family: one huge SCC (Table I, scaled 1e-3).
+
+    Paper defaults: |V|=100M, D=4, one SCC of 400K nodes; here 100K nodes
+    with one 400-node-per-1K-scaled SCC by default.
+    """
+    return _table1_graph(num_nodes, avg_degree, scc_size, 1, seed, strict)
+
+
+def large_scc_graph(
+    num_nodes: int = 100_000,
+    avg_degree: float = 4.0,
+    scc_size: int = 80,
+    scc_count: int = 50,
+    seed: int = 0,
+    strict: bool = False,
+) -> GeneratedGraph:
+    """The paper's Large-SCC family: tens of mid-sized SCCs (Table I).
+
+    Paper defaults: 50 SCCs of 8K nodes in a 100M-node graph; scaled 1e-3
+    this is 50 SCCs of 80 nodes in a 100K-node graph.
+    """
+    return _table1_graph(num_nodes, avg_degree, scc_size, scc_count, seed, strict)
+
+
+def small_scc_graph(
+    num_nodes: int = 100_000,
+    avg_degree: float = 4.0,
+    scc_size: int = 40,
+    scc_count: int = 1000,
+    seed: int = 0,
+    strict: bool = False,
+) -> GeneratedGraph:
+    """The paper's Small-SCC family: many small SCCs (Table I).
+
+    Paper defaults: 10K SCCs of 40 nodes in a 100M-node graph; at the 1e-3
+    node scale we keep the SCC size (40) and scale the count.
+    """
+    return _table1_graph(num_nodes, avg_degree, scc_size, scc_count, seed, strict)
+
+
+def webspam_like(
+    num_nodes: int = 50_000,
+    avg_degree: float = 8.0,
+    core_fraction: float = 0.3,
+    in_fraction: float = 0.2,
+    out_fraction: float = 0.2,
+    seed: int = 0,
+) -> GeneratedGraph:
+    """A bow-tie web graph standing in for WEBSPAM-UK2007.
+
+    The node set splits into CORE (one giant SCC), IN (reaches the core),
+    OUT (reached from the core), and TENDRILS (everything else, mostly
+    acyclic with a sprinkle of small planted SCCs).  Out-degrees are skewed
+    (Zipf-like) as in real web crawls.
+
+    Returns a :class:`GeneratedGraph` whose first planted SCC is the core.
+    """
+    rng = random.Random(seed)
+    n_core = max(2, int(num_nodes * core_fraction))
+    n_in = int(num_nodes * in_fraction)
+    n_out = int(num_nodes * out_fraction)
+    node_ids = list(range(num_nodes))
+    rng.shuffle(node_ids)
+    core = node_ids[:n_core]
+    in_set = node_ids[n_core : n_core + n_in]
+    out_set = node_ids[n_core + n_in : n_core + n_in + n_out]
+    tendrils = node_ids[n_core + n_in + n_out :]
+
+    edges: List[Edge] = []
+    planted: List[List[int]] = [sorted(core)]
+    # Core: one giant SCC with skewed internal degrees.
+    edges.extend(_make_strongly_connected(core, rng, extra_edges=0))
+    hubs = core[: max(1, n_core // 50)]
+    target_core_edges = int(avg_degree * n_core * 0.6)
+    while len(edges) < target_core_edges:
+        u = rng.choice(hubs) if rng.random() < 0.5 else rng.choice(core)
+        v = rng.choice(core)
+        if u != v:
+            edges.append((u, v))
+
+    def _attach(source_pool: List[int], sink_pool: List[int], count: int) -> None:
+        for _ in range(count):
+            u = rng.choice(source_pool)
+            v = rng.choice(sink_pool)
+            if u != v:
+                edges.append((u, v))
+
+    if in_set:
+        _attach(in_set, core + in_set, int(avg_degree * len(in_set) * 0.8))
+        _attach(in_set, core, max(1, len(in_set) // 2))
+    if out_set:
+        _attach(core + out_set, out_set, int(avg_degree * len(out_set) * 0.8))
+        _attach(core, out_set, max(1, len(out_set) // 2))
+
+    # Tendrils: sparse, mostly acyclic, with a few small planted SCCs.
+    i = 0
+    while i + 4 < len(tendrils) and rng.random() < 0.3:
+        members = tendrils[i : i + rng.randint(2, 5)]
+        i += len(members)
+        planted.append(sorted(members))
+        edges.extend(_make_strongly_connected(members, rng, extra_edges=0))
+    if tendrils:
+        _attach(tendrils, node_ids, int(avg_degree * len(tendrils) * 0.4))
+
+    # Top up to the target edge count with skewed random edges.
+    target_edges = int(avg_degree * num_nodes)
+    while len(edges) < target_edges:
+        u = rng.choice(hubs) if rng.random() < 0.2 else rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u != v:
+            edges.append((u, v))
+    return GeneratedGraph(edges, num_nodes, planted, strict=False)
+
+
+def random_digraph(num_nodes: int, num_edges: int, seed: int = 0,
+                   allow_self_loops: bool = False) -> GeneratedGraph:
+    """A uniform random directed multigraph G(n, m)."""
+    rng = random.Random(seed)
+    edges: List[Edge] = []
+    while len(edges) < num_edges:
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v and not allow_self_loops:
+            continue
+        edges.append((u, v))
+    return GeneratedGraph(edges, num_nodes)
+
+
+def random_dag(num_nodes: int, num_edges: int, seed: int = 0) -> GeneratedGraph:
+    """A random DAG (every SCC is a singleton) — the EM-SCC Case-2 input."""
+    rng = random.Random(seed)
+    labels = list(range(num_nodes))
+    rng.shuffle(labels)  # hide the topological order from node ids
+    edges: List[Edge] = []
+    while len(edges) < num_edges:
+        a = rng.randrange(num_nodes)
+        b = rng.randrange(num_nodes)
+        if a == b:
+            continue
+        if a > b:
+            a, b = b, a
+        edges.append((labels[a], labels[b]))
+    return GeneratedGraph(edges, num_nodes)
+
+
+def cycle_graph(num_nodes: int) -> GeneratedGraph:
+    """A single directed cycle — one SCC spanning every node."""
+    edges = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+    return GeneratedGraph(edges, num_nodes, [list(range(num_nodes))], strict=True)
+
+
+def path_graph(num_nodes: int) -> GeneratedGraph:
+    """A directed path — every SCC is a singleton."""
+    edges = [(i, i + 1) for i in range(num_nodes - 1)]
+    return GeneratedGraph(edges, num_nodes, [], strict=True)
+
+
+def complete_digraph(num_nodes: int) -> GeneratedGraph:
+    """All ordered pairs — the worst case for vertex-cover contraction."""
+    edges = [(u, v) for u in range(num_nodes) for v in range(num_nodes) if u != v]
+    return GeneratedGraph(edges, num_nodes, [list(range(num_nodes))], strict=True)
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: float = 8.0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    allow_self_loops: bool = False,
+) -> GeneratedGraph:
+    """An R-MAT recursive-matrix graph (Chakrabarti–Zhan–Faloutsos).
+
+    The standard synthetic family for web-scale graph benchmarks: edges
+    land in quadrants of the adjacency matrix recursively with
+    probabilities ``a, b, c, d = 1 - a - b - c``, producing the heavy-tail
+    degree skew of real crawls.  Graph500's parameters are the defaults.
+
+    Args:
+        scale: ``|V| = 2**scale``.
+        edge_factor: ``|E| = edge_factor * |V|``.
+        a, b, c: quadrant probabilities (top-left, top-right, bottom-left).
+        seed: RNG seed.
+        allow_self_loops: keep ``(v, v)`` edges instead of resampling.
+    """
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must sum to at most 1")
+    rng = random.Random(seed)
+    num_nodes = 1 << scale
+    num_edges = int(edge_factor * num_nodes)
+    edges: List[Edge] = []
+    while len(edges) < num_edges:
+        u = v = 0
+        for _ in range(scale):
+            r = rng.random()
+            u <<= 1
+            v <<= 1
+            if r < a:
+                pass
+            elif r < a + b:
+                v |= 1
+            elif r < a + b + c:
+                u |= 1
+            else:
+                u |= 1
+                v |= 1
+        if u == v and not allow_self_loops:
+            continue
+        edges.append((u, v))
+    return GeneratedGraph(edges, num_nodes)

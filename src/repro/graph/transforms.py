@@ -1,0 +1,160 @@
+"""External edge-file transforms.
+
+Dataset preparation at external-memory scale must itself be external:
+subsampling (the Figure 6 sweep), relabeling node ids (anonymization /
+densification of sparse id spaces), inducing subgraphs on a node set,
+merging edge files, and symmetrizing.  Every transform here streams
+through sorts, merge joins and sequential scans on the simulated device.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Tuple
+
+from repro.constants import EDGE_RECORD_BYTES
+from repro.graph.edge_file import EdgeFile, NodeFile
+from repro.io.files import ExternalFile
+from repro.io.join import merge_join, semi_join
+from repro.io.memory import MemoryBudget
+from repro.io.sort import external_sort_records
+
+__all__ = [
+    "subsample",
+    "relabel",
+    "induced_subgraph",
+    "merge_edge_files",
+    "symmetrize",
+    "remove_self_loops",
+]
+
+Edge = Tuple[int, int]
+
+
+def subsample(
+    edge_file: EdgeFile,
+    fraction: float,
+    seed: int = 0,
+    out_name: Optional[str] = None,
+) -> EdgeFile:
+    """Keep each edge independently with probability ``fraction``.
+
+    One sequential scan + write (Bernoulli sampling preserves streaming,
+    unlike exact-count sampling which would need a shuffle).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    device = edge_file.device
+    rng = random.Random(seed)
+    name = out_name if out_name is not None else device.temp_name("sample")
+    kept = (edge for edge in edge_file.scan() if rng.random() < fraction)
+    return EdgeFile.from_edges(device, name, kept)
+
+
+def relabel(
+    edge_file: EdgeFile,
+    mapping: ExternalFile,
+    memory: MemoryBudget,
+    out_name: Optional[str] = None,
+) -> EdgeFile:
+    """Rewrite both endpoints through a ``(old, new)`` mapping file.
+
+    The mapping must be sorted by ``old`` and total over the edge file's
+    endpoints; two sorts and two merge joins, as in EM-SCC's contraction
+    rewrite.
+    """
+    device = edge_file.device
+
+    def map_endpoint(edges: Iterator[Edge], endpoint: int) -> Iterator[Edge]:
+        for edge, entry in merge_join(
+            edges, mapping.scan(), lambda e: e[endpoint], lambda m: m[0]
+        ):
+            if endpoint == 0:
+                yield (entry[1], edge[1])
+            else:
+                yield (edge[0], entry[1])
+
+    by_src = edge_file.sorted_by_src(memory)
+    half = external_sort_records(
+        device, map_endpoint(by_src.scan(), 0), EDGE_RECORD_BYTES, memory,
+        key=lambda e: (e[1], e[0]),
+    )
+    by_src.delete()
+    name = out_name if out_name is not None else device.temp_name("relabel")
+    result = EdgeFile.from_edges(device, name, map_endpoint(half.scan(), 1))
+    half.delete()
+    return result
+
+
+def induced_subgraph(
+    edge_file: EdgeFile,
+    nodes: NodeFile,
+    memory: MemoryBudget,
+    out_name: Optional[str] = None,
+) -> EdgeFile:
+    """Keep edges with *both* endpoints in ``nodes`` (two semi-joins)."""
+    device = edge_file.device
+    by_src = edge_file.sorted_by_src(memory)
+    src_ok = semi_join(by_src.scan(), nodes.scan(), lambda e: e[0])
+    half = external_sort_records(
+        device, src_ok, EDGE_RECORD_BYTES, memory, key=lambda e: (e[1], e[0])
+    )
+    by_src.delete()
+    name = out_name if out_name is not None else device.temp_name("induced")
+    result = EdgeFile.from_edges(
+        device, name, semi_join(half.scan(), nodes.scan(), lambda e: e[1])
+    )
+    half.delete()
+    return result
+
+
+def merge_edge_files(
+    first: EdgeFile,
+    second: EdgeFile,
+    out_name: Optional[str] = None,
+) -> EdgeFile:
+    """Concatenate two edge files (union with multiplicity)."""
+    device = first.device
+    name = out_name if out_name is not None else device.temp_name("union")
+    out = ExternalFile.create(device, name, EDGE_RECORD_BYTES)
+    out.extend(first.scan())
+    out.extend(second.scan())
+    out.close()
+    return EdgeFile(out)
+
+
+def symmetrize(
+    edge_file: EdgeFile,
+    memory: MemoryBudget,
+    out_name: Optional[str] = None,
+) -> EdgeFile:
+    """Add the reverse of every edge and deduplicate.
+
+    Turns the digraph into a symmetric one (every SCC becomes a weakly
+    connected component) — useful for sanity baselines.
+    """
+    device = edge_file.device
+
+    def both_directions() -> Iterator[Edge]:
+        for u, v in edge_file.scan():
+            yield (u, v)
+            yield (v, u)
+
+    name = out_name if out_name is not None else device.temp_name("sym")
+    result = external_sort_records(
+        device, both_directions(), EDGE_RECORD_BYTES, memory,
+        unique=True, out_name=name,
+    )
+    return EdgeFile(result)
+
+
+def remove_self_loops(
+    edge_file: EdgeFile,
+    out_name: Optional[str] = None,
+) -> EdgeFile:
+    """Drop ``(v, v)`` records with one sequential pass."""
+    device = edge_file.device
+    name = out_name if out_name is not None else device.temp_name("noloops")
+    return EdgeFile.from_edges(
+        device, name, (e for e in edge_file.scan() if e[0] != e[1])
+    )

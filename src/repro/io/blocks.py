@@ -1,0 +1,183 @@
+"""Simulated block device.
+
+The device stores named files as sequences of fixed-capacity blocks.  A block
+nominally holds ``block_size`` bytes; a file created with ``record_size = r``
+therefore packs ``block_size // r`` records per block.  Records themselves
+are kept as Python tuples (serialization is *accounted*, not performed — the
+quantity under study is the number of block I/Os, and packing bytes in pure
+Python would only slow the simulation without changing any counter).
+
+Every block read/write is reported to the device's :class:`IOStats` with its
+access pattern; callers declare the pattern through the API they use
+(``append_block``/``read_block(..., sequential=True)`` for scans,
+``sequential=False`` for seeks), which keeps the classification deterministic
+and independent of interleaving between files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import StorageError
+from repro.io.stats import IOBudget, IOStats
+
+__all__ = ["BlockDevice", "DiskFile", "DEFAULT_BLOCK_SIZE"]
+
+DEFAULT_BLOCK_SIZE = 4096
+"""Default simulated block size in bytes (the paper uses 256 KB blocks on a
+2008-era disk; 4 KB keeps the block count meaningful at simulation scale)."""
+
+Record = Tuple[int, ...]
+
+
+class DiskFile:
+    """A named file on the simulated device: a list of record blocks.
+
+    Not created directly — use :meth:`BlockDevice.create`.
+    """
+
+    def __init__(self, name: str, record_size: int, block_capacity: int) -> None:
+        if block_capacity < 1:
+            raise StorageError(
+                f"record of {record_size} bytes does not fit in one block"
+            )
+        self.name = name
+        self.record_size = record_size
+        self.block_capacity = block_capacity
+        self.blocks: List[Sequence[Record]] = []
+        self.num_records = 0
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks currently held by the file."""
+        return len(self.blocks)
+
+
+class BlockDevice:
+    """A simulated disk: named record files plus an I/O ledger.
+
+    Args:
+        block_size: bytes per block; record capacity of each file is
+            ``block_size // record_size``.
+        stats: the :class:`IOStats` ledger to charge; a fresh one is created
+            when omitted.
+        budget: optional I/O budget installed on the ledger.
+    """
+
+    def __init__(
+        self,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        stats: Optional[IOStats] = None,
+        budget: Optional[IOBudget] = None,
+    ) -> None:
+        if block_size <= 0:
+            raise StorageError(f"block size must be positive, got {block_size}")
+        self.block_size = block_size
+        self.stats = stats if stats is not None else IOStats()
+        if budget is not None:
+            self.stats.budget = budget
+        self._files: Dict[str, DiskFile] = {}
+        self._tmp_counter = 0
+
+    # -- file namespace ----------------------------------------------------
+
+    def create(self, name: str, record_size: int, overwrite: bool = False) -> DiskFile:
+        """Create an empty file of ``record_size``-byte records."""
+        if name in self._files and not overwrite:
+            raise StorageError(f"file {name!r} already exists")
+        f = DiskFile(name, record_size, self.block_size // record_size)
+        self._files[name] = f
+        return f
+
+    def open(self, name: str) -> DiskFile:
+        """Look up an existing file by name."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StorageError(f"no such file: {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        """Return True when ``name`` is a file on this device."""
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        """Remove a file (its blocks are freed; deleting is not an I/O)."""
+        if name not in self._files:
+            raise StorageError(f"no such file: {name!r}")
+        del self._files[name]
+
+    def rename(self, old: str, new: str, overwrite: bool = True) -> None:
+        """Rename a file in place (metadata only, no I/O)."""
+        f = self.open(old)
+        if new in self._files and not overwrite:
+            raise StorageError(f"file {new!r} already exists")
+        del self._files[old]
+        f.name = new
+        self._files[new] = f
+
+    def temp_name(self, prefix: str = "tmp") -> str:
+        """Return a fresh unused file name for intermediates."""
+        while True:
+            self._tmp_counter += 1
+            name = f"{prefix}.{self._tmp_counter}"
+            if name not in self._files:
+                return name
+
+    def list_files(self) -> List[str]:
+        """Names of all files on the device."""
+        return sorted(self._files)
+
+    # -- block I/O ---------------------------------------------------------
+
+    def _assert_live(self, f: DiskFile) -> None:
+        """Reject I/O on files that were deleted from the namespace."""
+        if self._files.get(f.name) is not f:
+            raise StorageError(f"file {f.name!r} is not open on this device")
+
+    def append_block(self, f: DiskFile, records: Sequence[Record]) -> None:
+        """Append one block of records to ``f`` (a sequential write)."""
+        self._assert_live(f)
+        if len(records) > f.block_capacity:
+            raise StorageError(
+                f"{len(records)} records exceed block capacity {f.block_capacity}"
+            )
+        f.blocks.append(tuple(records))
+        f.num_records += len(records)
+        self.stats.record_write(sequential=True)
+
+    def read_block(self, f: DiskFile, index: int, sequential: bool) -> Sequence[Record]:
+        """Read block ``index`` of ``f``, charging one read of the given pattern."""
+        self._assert_live(f)
+        try:
+            block = f.blocks[index]
+        except IndexError:
+            raise StorageError(
+                f"block {index} out of range for {f.name!r} ({f.num_blocks} blocks)"
+            ) from None
+        self.stats.record_read(sequential=sequential)
+        return block
+
+    def overwrite_block(self, f: DiskFile, index: int, records: Sequence[Record], sequential: bool = False) -> None:
+        """Overwrite block ``index`` in place (a random write by default).
+
+        Only the DFS baseline's mutable structures (external stack, buffered
+        repository tree) use in-place writes; the Ext-SCC pipeline never
+        does.
+        """
+        self._assert_live(f)
+        if len(records) > f.block_capacity:
+            raise StorageError(
+                f"{len(records)} records exceed block capacity {f.block_capacity}"
+            )
+        if not 0 <= index < len(f.blocks):
+            raise StorageError(f"block {index} out of range for {f.name!r}")
+        old_len = len(f.blocks[index])
+        f.blocks[index] = tuple(records)
+        f.num_records += len(records) - old_len
+        self.stats.record_write(sequential=sequential)
+
+    # -- reporting ---------------------------------------------------------
+
+    def total_blocks(self) -> int:
+        """Total number of blocks across all files (simulated disk usage)."""
+        return sum(f.num_blocks for f in self._files.values())

@@ -1,0 +1,84 @@
+"""A bounded LRU buffer pool over one external file's blocks.
+
+External structures that mutate state in place — the DFS baseline's node
+table, the visited bitmaps, the buffered trees — all need the same thing:
+random block access through a small cache with dirty write-back, where
+every miss is a *random* read and every dirty eviction a *random* write.
+:class:`BufferPool` centralizes that policy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Sequence, Tuple
+
+from repro.io.files import ExternalFile
+
+__all__ = ["BufferPool"]
+
+Record = Tuple[int, ...]
+
+
+class BufferPool:
+    """LRU cache of mutable block copies for one :class:`ExternalFile`.
+
+    Args:
+        file: the backing file (must be closed for writing).
+        capacity_blocks: number of blocks held in memory at once.
+    """
+
+    def __init__(self, file: ExternalFile, capacity_blocks: int) -> None:
+        if capacity_blocks < 1:
+            raise ValueError("buffer pool needs at least one block")
+        self.file = file
+        self.capacity_blocks = capacity_blocks
+        self._entries: "OrderedDict[int, Tuple[List[Record], bool]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_block(self, index: int) -> List[Record]:
+        """The (mutable) cached copy of block ``index``; misses seek."""
+        entry = self._entries.get(index)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(index)
+            return entry[0]
+        self.misses += 1
+        block = list(self.file.read_block_random(index))
+        self._entries[index] = (block, False)
+        self._evict()
+        return block
+
+    def mark_dirty(self, index: int) -> None:
+        """Flag block ``index`` for write-back (must be cached)."""
+        block, _ = self._entries[index]
+        self._entries[index] = (block, True)
+        self._entries.move_to_end(index)
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.capacity_blocks:
+            index, (block, dirty) = self._entries.popitem(last=False)
+            if dirty:
+                self._write_back(index, block)
+
+    def _write_back(self, index: int, block: Sequence[Record]) -> None:
+        self.file.device.overwrite_block(
+            self.file._file, index, block, sequential=False
+        )
+
+    def flush(self) -> None:
+        """Write back every dirty block; the cache stays warm."""
+        for index, (block, dirty) in list(self._entries.items()):
+            if dirty:
+                self._write_back(index, block)
+                self._entries[index] = (block, False)
+
+    def drop(self) -> None:
+        """Discard the cache *without* writing anything back."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from memory."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,132 @@
+"""Merge joins and grouping over sorted record streams.
+
+Algorithms 3–5 of the paper are phrased as sequences of external sorts and
+``X ⋈ Y`` merge joins consumed by single sequential scans.  The helpers here
+implement that vocabulary:
+
+* :func:`grouped` — stream (key, [records]) groups off a sorted scan;
+* :func:`merge_join` — inner join of two sorted streams on their keys;
+* :func:`cogroup` — full outer co-grouping of two sorted streams;
+* :func:`semi_join` / :func:`anti_join` — keep records whose key is
+  (not) present in a sorted key stream, the ``V_{i+1} ⋈ E`` filters.
+
+Groups are buffered in memory one key at a time; in the contraction pipeline
+group sizes are node degrees, and Theorem 5.3 bounds the degree of every
+node the pipeline groups on by ``sqrt(2|E|)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Tuple
+
+__all__ = ["grouped", "merge_join", "cogroup", "semi_join", "anti_join"]
+
+Record = Tuple[int, ...]
+KeyFn = Callable[[Record], object]
+
+_SENTINEL = object()
+
+
+def grouped(records: Iterable[Record], key: KeyFn) -> Iterator[Tuple[object, List[Record]]]:
+    """Yield ``(key, group)`` for consecutive equal-key records.
+
+    The input must already be sorted by ``key`` (as after an external sort);
+    only one group is held in memory at a time.
+    """
+    current_key = _SENTINEL
+    group: List[Record] = []
+    for record in records:
+        k = key(record)
+        if k != current_key:
+            if current_key is not _SENTINEL:
+                yield current_key, group
+            current_key = k
+            group = []
+        group.append(record)
+    if current_key is not _SENTINEL:
+        yield current_key, group
+
+
+def cogroup(
+    left: Iterable[Record],
+    right: Iterable[Record],
+    left_key: KeyFn,
+    right_key: KeyFn,
+) -> Iterator[Tuple[object, List[Record], List[Record]]]:
+    """Full outer co-grouping of two key-sorted streams.
+
+    Yields ``(key, left_group, right_group)`` for every key present in either
+    stream, in key order; the missing side is an empty list.  Both streams
+    are consumed with a single forward pass each.
+    """
+    left_groups = grouped(left, left_key)
+    right_groups = grouped(right, right_key)
+    l = next(left_groups, None)
+    r = next(right_groups, None)
+    while l is not None or r is not None:
+        if r is None or (l is not None and l[0] < r[0]):  # type: ignore[operator]
+            yield l[0], l[1], []
+            l = next(left_groups, None)
+        elif l is None or r[0] < l[0]:  # type: ignore[operator]
+            yield r[0], [], r[1]
+            r = next(right_groups, None)
+        else:
+            yield l[0], l[1], r[1]
+            l = next(left_groups, None)
+            r = next(right_groups, None)
+
+
+def merge_join(
+    left: Iterable[Record],
+    right: Iterable[Record],
+    left_key: KeyFn,
+    right_key: KeyFn,
+) -> Iterator[Tuple[Record, Record]]:
+    """Inner merge join: yield every (left, right) pair with equal keys."""
+    for _, lgroup, rgroup in cogroup(left, right, left_key, right_key):
+        if lgroup and rgroup:
+            for lrec in lgroup:
+                for rrec in rgroup:
+                    yield lrec, rrec
+
+
+def semi_join(
+    records: Iterable[Record],
+    keys: Iterable[object],
+    key: KeyFn,
+) -> Iterator[Record]:
+    """Keep records whose ``key`` appears in the sorted ``keys`` stream.
+
+    Both inputs must be sorted; this is the single-scan filter the paper
+    writes as ``V_{i+1} ⋈ E``.
+    """
+    yield from _membership_join(records, keys, key, keep_present=True)
+
+
+def anti_join(
+    records: Iterable[Record],
+    keys: Iterable[object],
+    key: KeyFn,
+) -> Iterator[Record]:
+    """Keep records whose ``key`` does NOT appear in the sorted ``keys``.
+
+    This selects the edges incident to *removed* nodes (``v ∉ V_{i+1}``).
+    """
+    yield from _membership_join(records, keys, key, keep_present=False)
+
+
+def _membership_join(
+    records: Iterable[Record],
+    keys: Iterable[object],
+    key: KeyFn,
+    keep_present: bool,
+) -> Iterator[Record]:
+    key_iter = iter(keys)
+    current = next(key_iter, _SENTINEL)
+    for record in records:
+        k = key(record)
+        while current is not _SENTINEL and current < k:  # type: ignore[operator]
+            current = next(key_iter, _SENTINEL)
+        present = current is not _SENTINEL and current == k
+        if present == keep_present:
+            yield record

@@ -1,0 +1,65 @@
+"""Memory budget for the external-memory model.
+
+The paper's setting is ``2*B <= M < ||G||``: at least two disk blocks fit in
+memory but the graph does not.  :class:`MemoryBudget` carries ``M`` in bytes
+and answers the two capacity questions every external algorithm asks: how
+many *records* of a given width fit, and how many *blocks* fit (which bounds
+the fan-in of the external merge sort).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InsufficientMemory
+
+__all__ = ["MemoryBudget"]
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """Main-memory budget ``M`` in bytes.
+
+    Attributes:
+        nbytes: the size of main memory in bytes.
+    """
+
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise InsufficientMemory(f"memory budget must be positive, got {self.nbytes}")
+
+    def record_capacity(self, record_size: int) -> int:
+        """Number of records of ``record_size`` bytes that fit in memory."""
+        if record_size <= 0:
+            raise ValueError(f"record_size must be positive, got {record_size}")
+        return self.nbytes // record_size
+
+    def block_capacity(self, block_size: int) -> int:
+        """Number of disk blocks of ``block_size`` bytes that fit in memory."""
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        return self.nbytes // block_size
+
+    def require_at_least(self, nbytes: int, what: str = "operation") -> None:
+        """Raise :class:`InsufficientMemory` unless ``nbytes`` fit in M.
+
+        Used by semi-external algorithms to assert their ``c * |V|``
+        in-memory footprint before they start.
+        """
+        if nbytes > self.nbytes:
+            raise InsufficientMemory(
+                f"{what} needs {nbytes} bytes of memory but the budget is {self.nbytes}"
+            )
+
+    def fits(self, nbytes: int) -> bool:
+        """Return True when ``nbytes`` fit within the budget."""
+        return nbytes <= self.nbytes
+
+    def validate_against_block(self, block_size: int) -> None:
+        """Enforce the model's ``M >= 2 * B`` assumption."""
+        if self.nbytes < 2 * block_size:
+            raise InsufficientMemory(
+                f"the I/O model requires M >= 2*B; got M={self.nbytes}, B={block_size}"
+            )

@@ -1,0 +1,187 @@
+"""External priority queue (the Kumar–Schwabe substrate [17]).
+
+Kumar and Schwabe's external DFS keeps its deferred-edge messages in
+*tournament trees* — external priority queues with O((1/B)·log(N/B))
+amortized I/O per operation.  This module implements the standard
+buffered-heap realization of an external PQ: an in-memory heap holds the
+freshest items; when it overflows, its contents are spilled as a sorted
+run to disk (sequential writes); ``pop_min`` draws from the in-memory heap
+and from a lazy merge over the runs' heads (sequential reads per run).
+
+Items are ``(key, payload)`` pairs ordered by ``key`` then ``payload``.
+Duplicates are allowed.  ``pop_min``/``peek_min`` interleave freely with
+``push``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.io.blocks import BlockDevice
+from repro.io.files import ExternalFile
+from repro.io.memory import MemoryBudget
+
+__all__ = ["ExternalPriorityQueue"]
+
+Item = Tuple[int, int]
+
+_RECORD_BYTES = 8
+
+
+class _RunCursor:
+    """A sorted on-disk run with a one-block read-ahead buffer."""
+
+    def __init__(self, file: ExternalFile) -> None:
+        self.file = file
+        self._block_index = 0
+        self._buffer: List[Item] = []
+        self._position = 0
+        self._advance_block()
+
+    def _advance_block(self) -> None:
+        if self._block_index < self.file.num_blocks:
+            self._buffer = list(
+                self.file.device.read_block(
+                    self.file._file, self._block_index, sequential=True
+                )
+            )
+            self._block_index += 1
+            self._position = 0
+        else:
+            self._buffer = []
+            self._position = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= len(self._buffer)
+
+    def peek(self) -> Item:
+        return self._buffer[self._position]
+
+    def pop(self) -> Item:
+        item = self._buffer[self._position]
+        self._position += 1
+        if self._position >= len(self._buffer):
+            self._advance_block()
+        return item
+
+
+class ExternalPriorityQueue:
+    """A min-priority queue whose bulk lives on the simulated disk.
+
+    Args:
+        device: the simulated disk.
+        memory: sizes the in-memory heap (half the budget's records).
+        name: file-name prefix for spilled runs.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        memory: MemoryBudget,
+        name: str = "epq",
+    ) -> None:
+        self.device = device
+        self.name = name
+        self._heap_capacity = max(16, memory.record_capacity(_RECORD_BYTES) // 2)
+        self._heap: List[Item] = []
+        self._runs: List[_RunCursor] = []
+        self._run_heads: List[Tuple[Item, int]] = []  # (item, run index)
+        self._counter = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def num_runs(self) -> int:
+        """Number of spilled runs currently on disk."""
+        return len(self._runs)
+
+    # -- writing ------------------------------------------------------------
+
+    def push(self, key: int, payload: int = 0) -> None:
+        """Insert an item; overflow spills the heap as a sorted run."""
+        heapq.heappush(self._heap, (key, payload))
+        self._size += 1
+        if len(self._heap) >= self._heap_capacity:
+            self._spill()
+
+    def _spill(self) -> None:
+        items = sorted(self._heap)
+        self._heap = []
+        self._counter += 1
+        run_file = ExternalFile.from_records(
+            self.device, f"{self.name}.run.{self._counter}", items, _RECORD_BYTES
+        )
+        cursor = _RunCursor(run_file)
+        run_index = len(self._runs)
+        self._runs.append(cursor)
+        if not cursor.exhausted:
+            heapq.heappush(self._run_heads, (cursor.peek(), run_index))
+
+    # -- reading ------------------------------------------------------------
+
+    def _min_source(self) -> Optional[int]:
+        """-1 for the in-memory heap, a run index, or None when empty."""
+        best: Optional[int] = None
+        best_item: Optional[Item] = None
+        if self._heap:
+            best, best_item = -1, self._heap[0]
+        while self._run_heads:
+            item, run_index = self._run_heads[0]
+            cursor = self._runs[run_index]
+            if cursor.exhausted or cursor.peek() != item:
+                heapq.heappop(self._run_heads)  # stale head
+                if not cursor.exhausted:
+                    heapq.heappush(self._run_heads, (cursor.peek(), run_index))
+                continue
+            if best_item is None or item < best_item:
+                return run_index
+            return best
+        return best
+
+    def peek_min(self) -> Item:
+        """The smallest item without removing it."""
+        source = self._min_source()
+        if source is None:
+            raise IndexError("peek on an empty external priority queue")
+        return self._heap[0] if source == -1 else self._runs[source].peek()
+
+    def pop_min(self) -> Item:
+        """Remove and return the smallest item."""
+        source = self._min_source()
+        if source is None:
+            raise IndexError("pop on an empty external priority queue")
+        self._size -= 1
+        if source == -1:
+            return heapq.heappop(self._heap)
+        cursor = self._runs[source]
+        item = cursor.pop()
+        heapq.heappop(self._run_heads)
+        if not cursor.exhausted:
+            heapq.heappush(self._run_heads, (cursor.peek(), source))
+        return item
+
+    def pop_key(self, key: int) -> List[int]:
+        """Remove every item whose key equals ``key`` *iff* it is minimal.
+
+        This is the "extract all messages for the current node" operation
+        of the Kumar–Schwabe scheme; it only makes sense when ``key`` is
+        the queue's current minimum (keys are popped in order).
+        """
+        payloads: List[int] = []
+        while self._size and self.peek_min()[0] == key:
+            payloads.append(self.pop_min()[1])
+        return payloads
+
+    def drop(self) -> None:
+        """Delete every spilled run from the device."""
+        for cursor in self._runs:
+            if self.device.exists(cursor.file.name):
+                cursor.file.delete()
+        self._runs.clear()
+        self._run_heads = []
+        self._heap = []
+        self._size = 0

@@ -1,0 +1,68 @@
+"""Sorted-run helpers for the external merge sort.
+
+A *run* is a sorted :class:`~repro.io.files.ExternalFile` produced during run
+formation.  This module contains the two halves external sort is built from:
+forming initial runs from an unsorted scan under a memory budget, and lazily
+streaming a run back for merging.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.io.blocks import BlockDevice
+from repro.io.files import ExternalFile
+from repro.io.memory import MemoryBudget
+
+__all__ = ["form_runs", "run_iterator"]
+
+Record = Tuple[int, ...]
+KeyFn = Callable[[Record], object]
+
+
+def form_runs(
+    device: BlockDevice,
+    records: Iterable[Record],
+    record_size: int,
+    memory: MemoryBudget,
+    key: Optional[KeyFn] = None,
+    prefix: str = "run",
+) -> List[ExternalFile]:
+    """Split ``records`` into memory-sized sorted runs written to disk.
+
+    Each run holds at most ``memory.record_capacity(record_size)`` records,
+    sorted in memory and written with sequential writes — the classic run
+    formation pass of external merge sort.
+
+    Returns:
+        The list of run files (possibly empty for empty input).
+    """
+    capacity = max(1, memory.record_capacity(record_size))
+    runs: List[ExternalFile] = []
+    buffer: List[Record] = []
+    for record in records:
+        buffer.append(record)
+        if len(buffer) >= capacity:
+            runs.append(_write_run(device, buffer, record_size, key, prefix))
+            buffer = []
+    if buffer:
+        runs.append(_write_run(device, buffer, record_size, key, prefix))
+    return runs
+
+
+def _write_run(
+    device: BlockDevice,
+    buffer: List[Record],
+    record_size: int,
+    key: Optional[KeyFn],
+    prefix: str,
+) -> ExternalFile:
+    buffer.sort(key=key)
+    return ExternalFile.from_records(
+        device, device.temp_name(prefix), buffer, record_size
+    )
+
+
+def run_iterator(run: ExternalFile) -> Iterator[Record]:
+    """Stream a run's records sequentially (one buffered block at a time)."""
+    return run.scan()

@@ -1,0 +1,128 @@
+"""External merge sort under a memory budget.
+
+This is the ``sort(m)`` primitive of the paper's I/O model: run formation
+reads and writes every block once; each merge pass reads and writes every
+block once; the number of passes is ``ceil(log_F(#runs))`` where the fan-in
+``F`` is bounded by the number of blocks that fit in memory minus one output
+buffer.  All accesses are sequential, matching
+``sort(m) = Theta(m/B * log_{M/B}(m/B))``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.io.blocks import BlockDevice
+from repro.io.files import ExternalFile
+from repro.io.memory import MemoryBudget
+from repro.io.runs import form_runs
+
+__all__ = ["external_sort", "external_sort_records", "merge_runs", "sorted_unique_scan"]
+
+Record = Tuple[int, ...]
+KeyFn = Callable[[Record], object]
+
+
+def external_sort(
+    infile: ExternalFile,
+    memory: MemoryBudget,
+    key: Optional[KeyFn] = None,
+    unique: bool = False,
+    out_name: Optional[str] = None,
+    delete_input: bool = False,
+) -> ExternalFile:
+    """Sort an :class:`ExternalFile` into a new file.
+
+    Args:
+        infile: closed input file.
+        memory: memory budget governing run size and merge fan-in.
+        key: sort key (default: the record tuple itself).
+        unique: drop duplicate *records* (exact tuple equality) during the
+            final merge — used for node files and lazy parallel-edge removal.
+        out_name: name for the output file (a temp name when omitted).
+        delete_input: delete ``infile`` once the sorted copy exists.
+
+    Returns:
+        A new sorted (optionally deduplicated) file on the same device.
+    """
+    device = infile.device
+    result = external_sort_records(
+        device,
+        infile.scan(),
+        record_size=infile.record_size,
+        memory=memory,
+        key=key,
+        unique=unique,
+        out_name=out_name,
+    )
+    if delete_input:
+        infile.delete()
+    return result
+
+
+def external_sort_records(
+    device: BlockDevice,
+    records: Iterable[Record],
+    record_size: int,
+    memory: MemoryBudget,
+    key: Optional[KeyFn] = None,
+    unique: bool = False,
+    out_name: Optional[str] = None,
+) -> ExternalFile:
+    """Sort a record stream into a new file (see :func:`external_sort`)."""
+    memory.validate_against_block(device.block_size)
+    runs = form_runs(device, records, record_size, memory, key=key)
+    out_name = out_name if out_name is not None else device.temp_name("sorted")
+    if not runs:
+        return ExternalFile.from_records(device, out_name, [], record_size)
+    fan_in = max(2, memory.block_capacity(device.block_size) - 1)
+    while len(runs) > fan_in:
+        runs = _merge_pass(device, runs, record_size, fan_in, key)
+    merged = merge_runs((run.scan() for run in runs), key=key)
+    if unique:
+        merged = sorted_unique_scan(merged)
+    result = ExternalFile.from_records(device, out_name, merged, record_size, overwrite=True)
+    for run in runs:
+        run.delete()
+    return result
+
+
+def _merge_pass(
+    device: BlockDevice,
+    runs: List[ExternalFile],
+    record_size: int,
+    fan_in: int,
+    key: Optional[KeyFn],
+) -> List[ExternalFile]:
+    """Merge groups of ``fan_in`` runs into longer runs (one full pass)."""
+    next_runs: List[ExternalFile] = []
+    for start in range(0, len(runs), fan_in):
+        group = runs[start : start + fan_in]
+        merged = merge_runs((run.scan() for run in group), key=key)
+        next_runs.append(
+            ExternalFile.from_records(
+                device, device.temp_name("merge"), merged, record_size
+            )
+        )
+        for run in group:
+            run.delete()
+    return next_runs
+
+
+def merge_runs(
+    streams: Iterable[Iterator[Record]], key: Optional[KeyFn] = None
+) -> Iterator[Record]:
+    """K-way merge of sorted record streams (an in-memory heap of heads)."""
+    if key is None:
+        return heapq.merge(*streams)
+    return heapq.merge(*streams, key=key)
+
+
+def sorted_unique_scan(records: Iterable[Record]) -> Iterator[Record]:
+    """Drop exact-duplicate neighbors from an already-sorted stream."""
+    previous: Optional[Record] = None
+    for record in records:
+        if record != previous:
+            yield record
+            previous = record

@@ -1,0 +1,177 @@
+"""I/O accounting for the simulated external-memory model.
+
+The paper evaluates algorithms by the number of block I/Os they perform and
+distinguishes the *sequential* access pattern of scans and external sorts
+from the *random* accesses of external DFS.  :class:`IOStats` is the ledger
+every simulated device writes into; it tracks reads/writes split by
+sequential/random, optionally broken down by a user-pushed *phase* label
+(e.g. ``"contraction"`` / ``"expansion"``), and enforces an optional
+:class:`IOBudget`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.exceptions import IOBudgetExceeded
+
+__all__ = ["IOBudget", "IOStats", "IOSnapshot"]
+
+
+@dataclass
+class IOBudget:
+    """A cap on the total number of block I/Os a run may perform.
+
+    This is the deterministic analogue of the paper's 24-hour wall-clock
+    limit: once ``max_ios`` block operations have been counted, the next
+    operation raises :class:`~repro.exceptions.IOBudgetExceeded` and the
+    benchmark harness reports the run as ``INF``.
+    """
+
+    max_ios: int
+
+    def check(self, used: int) -> None:
+        """Raise :class:`IOBudgetExceeded` if ``used`` exceeds the cap."""
+        if used > self.max_ios:
+            raise IOBudgetExceeded(used, self.max_ios)
+
+
+@dataclass(frozen=True)
+class IOSnapshot:
+    """An immutable copy of the four I/O counters at a point in time."""
+
+    seq_reads: int = 0
+    seq_writes: int = 0
+    rand_reads: int = 0
+    rand_writes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total number of block I/Os."""
+        return self.seq_reads + self.seq_writes + self.rand_reads + self.rand_writes
+
+    @property
+    def sequential(self) -> int:
+        """Number of sequential block I/Os (scans, sort runs, appends)."""
+        return self.seq_reads + self.seq_writes
+
+    @property
+    def random(self) -> int:
+        """Number of random block I/Os (seeks into the middle of files)."""
+        return self.rand_reads + self.rand_writes
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(
+            seq_reads=self.seq_reads - other.seq_reads,
+            seq_writes=self.seq_writes - other.seq_writes,
+            rand_reads=self.rand_reads - other.rand_reads,
+            rand_writes=self.rand_writes - other.rand_writes,
+        )
+
+
+class IOStats:
+    """Mutable ledger of block I/Os performed on a simulated device.
+
+    Counters are in units of *blocks*.  ``record_read`` / ``record_write``
+    are called by the :class:`~repro.io.blocks.BlockDevice`; user code only
+    reads the properties, takes snapshots, or pushes phase labels::
+
+        stats = IOStats(budget=IOBudget(10_000))
+        with stats.phase("contraction"):
+            ...  # device operations are attributed to "contraction"
+        print(stats.total, stats.by_phase["contraction"].total)
+    """
+
+    def __init__(self, budget: Optional[IOBudget] = None) -> None:
+        self.seq_reads = 0
+        self.seq_writes = 0
+        self.rand_reads = 0
+        self.rand_writes = 0
+        self.budget = budget
+        self.by_phase: Dict[str, IOSnapshot] = {}
+        self._phase_stack: list[str] = []
+
+    # -- recording (called by the device) ---------------------------------
+
+    def record_read(self, sequential: bool, blocks: int = 1) -> None:
+        """Count ``blocks`` block reads with the given access pattern."""
+        if sequential:
+            self.seq_reads += blocks
+        else:
+            self.rand_reads += blocks
+        self._attribute(sequential, blocks, is_read=True)
+        self._enforce_budget()
+
+    def record_write(self, sequential: bool, blocks: int = 1) -> None:
+        """Count ``blocks`` block writes with the given access pattern."""
+        if sequential:
+            self.seq_writes += blocks
+        else:
+            self.rand_writes += blocks
+        self._attribute(sequential, blocks, is_read=False)
+        self._enforce_budget()
+
+    def _attribute(self, sequential: bool, blocks: int, is_read: bool) -> None:
+        for label in self._phase_stack:
+            snap = self.by_phase.get(label, IOSnapshot())
+            if is_read and sequential:
+                snap = IOSnapshot(snap.seq_reads + blocks, snap.seq_writes, snap.rand_reads, snap.rand_writes)
+            elif is_read:
+                snap = IOSnapshot(snap.seq_reads, snap.seq_writes, snap.rand_reads + blocks, snap.rand_writes)
+            elif sequential:
+                snap = IOSnapshot(snap.seq_reads, snap.seq_writes + blocks, snap.rand_reads, snap.rand_writes)
+            else:
+                snap = IOSnapshot(snap.seq_reads, snap.seq_writes, snap.rand_reads, snap.rand_writes + blocks)
+            self.by_phase[label] = snap
+
+    def _enforce_budget(self) -> None:
+        if self.budget is not None:
+            self.budget.check(self.total)
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Total block I/Os so far."""
+        return self.seq_reads + self.seq_writes + self.rand_reads + self.rand_writes
+
+    @property
+    def sequential(self) -> int:
+        """Sequential block I/Os so far."""
+        return self.seq_reads + self.seq_writes
+
+    @property
+    def random(self) -> int:
+        """Random block I/Os so far."""
+        return self.rand_reads + self.rand_writes
+
+    def snapshot(self) -> IOSnapshot:
+        """Freeze the current counters (use ``later - earlier`` for deltas)."""
+        return IOSnapshot(self.seq_reads, self.seq_writes, self.rand_reads, self.rand_writes)
+
+    @contextlib.contextmanager
+    def phase(self, label: str) -> Iterator[None]:
+        """Attribute all I/O inside the ``with`` block to ``label``.
+
+        Phases nest: inner-phase I/O is attributed to every label on the
+        stack, so a ``"contraction"`` phase containing a ``"sort"`` phase
+        charges both.
+        """
+        self._phase_stack.append(label)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    def reset(self) -> None:
+        """Zero every counter and drop all phase attributions."""
+        self.seq_reads = self.seq_writes = self.rand_reads = self.rand_writes = 0
+        self.by_phase.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IOStats(seq_reads={self.seq_reads}, seq_writes={self.seq_writes}, "
+            f"rand_reads={self.rand_reads}, rand_writes={self.rand_writes})"
+        )

@@ -1,0 +1,64 @@
+"""Condensation: contract every SCC to a node, producing a DAG.
+
+This is the downstream operation that motivates SCC computation in the
+paper's introduction (reachability indexing, topological sort, pattern
+matching): with SCC labels in hand, the condensed graph is a DAG on which
+those problems become tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["condensation", "topological_order", "is_dag"]
+
+
+def condensation(graph: DiGraph, labels: Mapping[int, int]) -> DiGraph:
+    """Contract each SCC of ``graph`` into one node.
+
+    Args:
+        graph: the original graph.
+        labels: SCC labeling ``node -> representative`` (e.g. from
+            :func:`~repro.memory_scc.tarjan.tarjan_scc`).
+
+    Returns:
+        The condensation DAG whose nodes are SCC representatives; self-loops
+        and parallel condensed edges are dropped.
+    """
+    dag = DiGraph(nodes=set(labels.values()))
+    for u, v in graph.edges():
+        cu, cv = labels[u], labels[v]
+        if cu != cv:
+            dag.add_edge(cu, cv)
+    return dag
+
+
+def topological_order(dag: DiGraph) -> List[int]:
+    """Kahn's algorithm; raises ``ValueError`` when the graph has a cycle.
+
+    The paper's topological-sort application: run on the condensation.
+    """
+    indegree: Dict[int, int] = {v: dag.in_degree(v) for v in dag.nodes()}
+    ready = sorted(v for v, d in indegree.items() if d == 0)
+    order: List[int] = []
+    while ready:
+        v = ready.pop()
+        order.append(v)
+        for w in dag.out_neighbors(v):
+            indegree[w] -= 1
+            if indegree[w] == 0:
+                ready.append(w)
+    if len(order) != dag.num_nodes:
+        raise ValueError("graph has a cycle; condense its SCCs first")
+    return order
+
+
+def is_dag(graph: DiGraph) -> bool:
+    """True when ``graph`` has no directed cycle (a self-loop is a cycle)."""
+    try:
+        topological_order(graph)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,73 @@
+"""Iterative depth-first search utilities.
+
+The Kosaraju–Sharir reference solver and the external DFS baseline both need
+a DFS *postorder*; this module provides it without recursion so deep graphs
+(long paths) do not overflow the interpreter stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["dfs_postorder", "dfs_preorder", "reachable_from"]
+
+
+def dfs_postorder(graph: DiGraph, roots: Optional[Iterable[int]] = None) -> List[int]:
+    """DFS postorder over all nodes, restarting from ``roots`` in order.
+
+    Args:
+        graph: the graph to traverse.
+        roots: restart order (default: the graph's node order).
+
+    Returns:
+        Node ids in the order they finished (postorder).
+    """
+    if roots is None:
+        roots = list(graph.nodes())
+    visited: Set[int] = set()
+    order: List[int] = []
+    for root in roots:
+        if root in visited:
+            continue
+        visited.add(root)
+        work = [(root, iter(graph.out_neighbors(root)))]
+        while work:
+            v, successors = work[-1]
+            advanced = False
+            for w in successors:
+                if w not in visited:
+                    visited.add(w)
+                    work.append((w, iter(graph.out_neighbors(w))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(v)
+                work.pop()
+    return order
+
+
+def dfs_preorder(graph: DiGraph, root: int) -> List[int]:
+    """DFS preorder of the nodes reachable from ``root``."""
+    visited: Set[int] = {root}
+    order: List[int] = [root]
+    work = [(root, iter(graph.out_neighbors(root)))]
+    while work:
+        v, successors = work[-1]
+        advanced = False
+        for w in successors:
+            if w not in visited:
+                visited.add(w)
+                order.append(w)
+                work.append((w, iter(graph.out_neighbors(w))))
+                advanced = True
+                break
+        if not advanced:
+            work.pop()
+    return order
+
+
+def reachable_from(graph: DiGraph, root: int) -> Set[int]:
+    """The set of nodes reachable from ``root`` (including ``root``)."""
+    return set(dfs_preorder(graph, root))

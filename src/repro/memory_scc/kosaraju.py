@@ -1,0 +1,50 @@
+"""Iterative Kosaraju–Sharir SCC.
+
+The two-DFS-pass algorithm the paper's DFS-SCC baseline externalizes
+(Algorithm 1): a postorder of ``G`` followed by a DFS of the transpose in
+decreasing postorder; each second-pass tree is one SCC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.graph.digraph import DiGraph
+from repro.memory_scc.dfs import dfs_postorder
+
+__all__ = ["kosaraju_scc"]
+
+
+def kosaraju_scc(graph: DiGraph) -> Dict[int, int]:
+    """Compute SCCs with Kosaraju–Sharir.
+
+    Returns:
+        A canonical labeling ``node -> min id of its SCC``.
+    """
+    order = dfs_postorder(graph)
+    transpose = graph.reversed()
+    visited: Set[int] = set()
+    labels: Dict[int, int] = {}
+    for root in reversed(order):
+        if root in visited:
+            continue
+        component: List[int] = []
+        visited.add(root)
+        work = [(root, iter(transpose.out_neighbors(root)))]
+        component.append(root)
+        while work:
+            v, successors = work[-1]
+            advanced = False
+            for w in successors:
+                if w not in visited:
+                    visited.add(w)
+                    component.append(w)
+                    work.append((w, iter(transpose.out_neighbors(w))))
+                    advanced = True
+                    break
+            if not advanced:
+                work.pop()
+        rep = min(component)
+        for v in component:
+            labels[v] = rep
+    return labels

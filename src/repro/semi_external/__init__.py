@@ -1,0 +1,67 @@
+"""Semi-external SCC solvers: all node state in memory (``c*|V| <= M``),
+edges streamed from disk with sequential scans only.
+
+The spanning-tree solver reproduces the mechanism of the paper's Semi-SCC
+substrate (1PB-SCC [26]); FW-BW and coloring are independent
+implementations used to cross-check it and offered as alternates through
+:data:`SEMI_SCC_SOLVERS`.
+"""
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.constants import SCC_RECORD_BYTES
+from repro.graph.edge_file import EdgeFile
+from repro.io.blocks import BlockDevice
+from repro.io.files import ExternalFile
+from repro.io.memory import MemoryBudget
+from repro.semi_external.coloring import coloring_scc
+from repro.semi_external.forward_backward import forward_backward_scc
+from repro.semi_external.semi_kosaraju import semi_kosaraju_scc
+from repro.semi_external.spanning_tree import SpanningTreeStats, spanning_tree_scc
+from repro.semi_external.union_find import UnionFind
+
+__all__ = [
+    "spanning_tree_scc",
+    "forward_backward_scc",
+    "coloring_scc",
+    "semi_kosaraju_scc",
+    "SpanningTreeStats",
+    "UnionFind",
+    "SEMI_SCC_SOLVERS",
+    "SemiSCCSolver",
+    "run_semi_scc_to_file",
+]
+
+SemiSCCSolver = Callable[..., Dict[int, int]]
+"""A semi-external solver: ``(edge_file, node_ids, memory=...) -> labels``."""
+
+SEMI_SCC_SOLVERS: Dict[str, SemiSCCSolver] = {
+    "spanning-tree": spanning_tree_scc,
+    "forward-backward": forward_backward_scc,
+    "coloring": coloring_scc,
+}
+"""Scan-only semi-external solvers by name; ``"spanning-tree"`` is the
+default Semi-SCC used by Ext-SCC (mirrors the paper's choice of 1PB-SCC).
+The DFS-based :func:`semi_kosaraju_scc` is kept out of this map because
+its I/O profile is random-read-bound — it is the Section III comparison
+point, not a scan-only substrate."""
+
+
+def run_semi_scc_to_file(
+    solver: SemiSCCSolver,
+    edge_file: EdgeFile,
+    node_ids: Iterable[int],
+    memory: MemoryBudget,
+    out_name: Optional[str] = None,
+) -> ExternalFile:
+    """Run a semi-external solver and persist ``(node, scc)`` records.
+
+    The labels live in memory while the solver runs (the semi-external
+    allowance); they are written back sorted by node id with sequential
+    writes, which is the format the expansion phase consumes.
+    """
+    labels = solver(edge_file, node_ids, memory=memory)
+    device: BlockDevice = edge_file.device
+    name = out_name if out_name is not None else device.temp_name("scc")
+    records = ((node, labels[node]) for node in sorted(labels))
+    return ExternalFile.from_records(device, name, records, SCC_RECORD_BYTES)

@@ -1,0 +1,44 @@
+"""Array-backed union-find used by the in-memory side of the semi-external
+solvers (node state is exactly the O(|V|) the semi-external model allows)."""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Disjoint sets over dense indices ``0 .. n-1``.
+
+    Path-halving find and union by size; both amortized near-constant.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.parent: List[int] = list(range(n))
+        self.size: List[int] = [1] * n
+        self.num_sets = n
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set."""
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; returns the new representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.num_sets -= 1
+        return ra
+
+    def connected(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)

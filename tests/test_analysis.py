@@ -1,0 +1,191 @@
+"""Tests for the analysis layer: cost model, graph stats, time-forward."""
+
+import math
+
+import pytest
+
+from tests.conftest import random_edges
+
+from repro.analysis import (
+    BowTie,
+    CostModel,
+    arboricity_upper_bound,
+    bowtie_decomposition,
+    dag_levels,
+    degree_stats,
+)
+from repro.core import compute_sccs
+from repro.graph.digraph import DiGraph
+from repro.graph.edge_file import EdgeFile
+from repro.graph.generators import path_graph, random_dag, webspam_like
+from repro.io.blocks import BlockDevice
+from repro.io.memory import MemoryBudget
+from repro.memory_scc import tarjan_scc, topological_order
+
+
+class TestCostModelPrimitives:
+    model = CostModel(block_size=64, memory_bytes=512)
+
+    def test_blocks(self):
+        assert self.model.blocks(16, 8) == 2
+        assert self.model.blocks(17, 8) == 3
+        assert self.model.blocks(0, 8) == 0
+
+    def test_scan_equals_blocks(self):
+        assert self.model.scan(100, 8) == self.model.blocks(100, 8)
+
+    def test_sort_zero(self):
+        assert self.model.sort(0, 8) == 0
+
+    def test_sort_single_run(self):
+        # 40 records of 8B fit in one 512B run: formation + one merge level.
+        blocks = self.model.blocks(40, 8)
+        assert self.model.sort(40, 8) == blocks + 2 * blocks
+
+    def test_sort_grows_with_less_memory(self):
+        small = CostModel(block_size=64, memory_bytes=128)
+        big = CostModel(block_size=64, memory_bytes=4096)
+        assert small.sort(2000, 8) > big.sort(2000, 8)
+
+    def test_matches_measured_sort(self, device):
+        """Predicted sort cost within 2x of the real ledger."""
+        from repro.io.sort import external_sort_records
+
+        records = [(i * 37 % 997, i) for i in range(1500)]
+        before = device.stats.snapshot()
+        external_sort_records(device, iter(records), 8, MemoryBudget(512))
+        measured = (device.stats.snapshot() - before).total
+        predicted = CostModel(64, 512).sort(1500, 8)
+        assert predicted / 2 <= measured <= predicted * 2
+
+
+class TestCostModelPipeline:
+    def test_predicts_ext_scc_within_factor(self):
+        """End-to-end: Theorems 5.1/5.2/6.1 instantiated vs. the ledger."""
+        edges = random_edges(80, 200, seed=0)
+        out = compute_sccs(edges, num_nodes=80, memory_bytes=300,
+                           block_size=64, optimized=False)
+        assert out.num_iterations >= 1
+        model = CostModel(block_size=64, memory_bytes=300)
+        predicted = model.ext_scc(out.iterations)
+        measured = out.io.total
+        assert predicted / 3 <= measured <= predicted * 3, (predicted, measured)
+
+    def test_iteration_costs_scale_with_edges(self):
+        model = CostModel(block_size=64, memory_bytes=512)
+        small = model.get_v(100, 200)
+        large = model.get_v(100, 2000)
+        assert large > small
+
+
+class TestDegreeStats:
+    def test_star_graph(self, device, memory):
+        edges = [(0, i) for i in range(1, 9)]
+        ef = EdgeFile.from_edges(device, "e", edges)
+        stats = degree_stats(ef, memory)
+        assert stats.num_nodes == 9
+        assert stats.max_out_degree == 8
+        assert stats.max_in_degree == 1
+        assert stats.num_sources == 1   # the hub has indeg 0
+        assert stats.num_sinks == 8
+        assert stats.histogram[8] == 1
+        assert stats.histogram[1] == 8
+
+    def test_average_degree(self, device, memory):
+        edges = random_edges(20, 60, seed=1)
+        ef = EdgeFile.from_edges(device, "e", edges)
+        stats = degree_stats(ef, memory)
+        assert stats.num_edges == 60
+        assert stats.average_degree == pytest.approx(60 / stats.num_nodes)
+
+    def test_empty(self, device, memory):
+        ef = EdgeFile.from_edges(device, "e", [])
+        stats = degree_stats(ef, memory)
+        assert stats.num_nodes == 0
+        assert stats.average_degree == 0.0
+
+    def test_arboricity_bound(self, device, memory):
+        edges = random_edges(30, 100, seed=2)
+        stats = degree_stats(EdgeFile.from_edges(device, "e", edges), memory)
+        bound = arboricity_upper_bound(stats)
+        assert bound <= math.ceil(math.sqrt(100))
+        assert bound <= stats.max_total_degree
+
+    def test_arboricity_empty(self, device, memory):
+        stats = degree_stats(EdgeFile.from_edges(device, "e", []), memory)
+        assert arboricity_upper_bound(stats) == 0
+
+
+class TestBowTie:
+    def test_simple_bowtie(self):
+        # IN(0) -> CORE{1,2} -> OUT(3); 4 isolated-ish tendril (5).
+        edges = [(0, 1), (1, 2), (2, 1), (2, 3)]
+        graph = DiGraph(edges, nodes=[0, 1, 2, 3, 5])
+        labels = tarjan_scc(graph)
+        tie = bowtie_decomposition(graph, labels)
+        assert tie.core == 2
+        assert tie.in_size == 1
+        assert tie.out_size == 1
+        assert tie.tendrils == 1
+        assert tie.total == 5
+
+    def test_webspam_core_dominates(self):
+        g = webspam_like(400, avg_degree=5.0, seed=3)
+        graph = DiGraph(g.edges, nodes=range(400))
+        tie = bowtie_decomposition(graph, tarjan_scc(graph))
+        assert tie.core >= len(g.planted_sccs[0])
+        assert tie.total == 400
+
+
+class TestTimeForward:
+    def run_levels(self, edges, num_nodes, block=64, mem=512):
+        device = BlockDevice(block_size=block)
+        memory = MemoryBudget(mem)
+        ef = EdgeFile.from_edges(device, "E", edges)
+        graph = DiGraph(edges, nodes=range(num_nodes))
+        order = topological_order(graph)
+        out = dag_levels(device, ef, order, memory)
+        return dict(out.scan()), device
+
+    def test_path_levels(self):
+        levels, _ = self.run_levels(path_graph(10).edges, 10)
+        assert levels == {i: i for i in range(10)}
+
+    def test_diamond(self):
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        levels, _ = self.run_levels(edges, 4)
+        assert levels == {0: 0, 1: 1, 2: 1, 3: 2}
+
+    def test_isolated_nodes_level_zero(self):
+        levels, _ = self.run_levels([(0, 1)], 4)
+        assert levels[2] == 0
+        assert levels[3] == 0
+
+    def test_matches_longest_path_on_random_dags(self):
+        for seed in range(4):
+            g = random_dag(40, 100, seed=seed)
+            levels, _ = self.run_levels(g.edges, 40)
+            graph = DiGraph(g.edges, nodes=range(40))
+            expected = {}
+            for v in topological_order(graph):
+                expected[v] = max(
+                    (expected[u] + 1 for u in graph.in_neighbors(v)), default=0
+                )
+            assert levels == expected
+
+    def test_rejects_cycles(self):
+        device = BlockDevice(block_size=64)
+        ef = EdgeFile.from_edges(device, "E", [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            dag_levels(device, ef, [0, 1], MemoryBudget(512))
+
+    def test_no_random_io(self):
+        g = random_dag(50, 140, seed=9)
+        _, device = self.run_levels(g.edges, 50)
+        assert device.stats.random == 0
+
+    def test_every_edge_strictly_raises_level(self):
+        g = random_dag(35, 90, seed=5)
+        levels, _ = self.run_levels(g.edges, 35)
+        for u, v in g.edges:
+            assert levels[v] >= levels[u] + 1

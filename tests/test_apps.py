@@ -1,0 +1,150 @@
+"""Tests for the downstream applications (reachability, external toposort)."""
+
+import random
+
+import pytest
+
+from tests.conftest import random_edges
+
+from repro.apps import (
+    CycleDetected,
+    IndexStats,
+    ReachabilityIndex,
+    external_topological_sort,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.edge_file import EdgeFile, NodeFile
+from repro.graph.generators import cycle_graph, path_graph, planted_scc_graph, random_dag
+from repro.memory_scc import reachable_from, tarjan_scc
+
+
+class TestReachabilityIndex:
+    def build(self, edges, num_nodes, k=3):
+        graph = DiGraph(edges, nodes=range(num_nodes))
+        return graph, ReachabilityIndex(graph, tarjan_scc(graph), num_labelings=k)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bfs_on_random_graphs(self, seed):
+        edges = random_edges(40, 90, seed)
+        graph, index = self.build(edges, 40)
+        rng = random.Random(seed)
+        for _ in range(200):
+            u, v = rng.randrange(40), rng.randrange(40)
+            assert index.reachable(u, v) == (v in reachable_from(graph, u)), (u, v)
+
+    def test_same_scc_fast_path(self):
+        _, index = self.build(cycle_graph(10).edges, 10)
+        assert index.reachable(3, 7)
+        assert index.stats.same_scc == 1
+        assert index.stats.dfs_decided == 0
+
+    def test_interval_pruning_fires(self):
+        # Two parallel chains: cross-chain queries are interval-pruned.
+        edges = [(i, i + 1) for i in range(9)]
+        edges += [(10 + i, 11 + i) for i in range(9)]
+        _, index = self.build(edges, 20)
+        assert not index.reachable(0, 15) or not index.reachable(15, 0)
+        assert index.stats.interval_pruned >= 1
+
+    def test_path_graph_directionality(self):
+        _, index = self.build(path_graph(12).edges, 12)
+        assert index.reachable(0, 11)
+        assert not index.reachable(11, 0)
+
+    def test_planted_sccs(self):
+        g = planted_scc_graph(60, 2.0, [12, 10], seed=2, strict=True)
+        graph, index = self.build(g.edges, 60)
+        a, b = g.planted_sccs[0][0], g.planted_sccs[0][-1]
+        assert index.reachable(a, b) and index.reachable(b, a)
+        assert index.strongly_connected(a, b)
+
+    def test_stats_accounting(self):
+        edges = random_edges(30, 60, seed=5)
+        _, index = self.build(edges, 30)
+        for u in range(10):
+            index.reachable(u, (u + 7) % 30)
+        assert index.stats.total == 10
+
+    def test_single_labeling_allowed(self):
+        _, index = self.build(path_graph(5).edges, 5, k=1)
+        assert index.reachable(0, 4)
+
+    def test_zero_labelings_rejected(self):
+        graph = DiGraph(path_graph(3).edges)
+        with pytest.raises(ValueError):
+            ReachabilityIndex(graph, tarjan_scc(graph), num_labelings=0)
+
+    def test_num_dag_nodes(self):
+        _, index = self.build(cycle_graph(10).edges, 10)
+        assert index.num_dag_nodes == 1
+
+
+class TestExternalToposort:
+    def run(self, device, memory, edges, num_nodes):
+        ef = EdgeFile.from_edges(device, device.temp_name("e"), edges)
+        nf = NodeFile.from_ids(device, device.temp_name("n"),
+                               range(num_nodes), memory, presorted=True)
+        out = external_topological_sort(device, ef, nf, memory)
+        layers = dict(out.scan())
+        out.delete()
+        return layers
+
+    def test_path(self, device, memory):
+        layers = self.run(device, memory, path_graph(8).edges, 8)
+        assert layers == {i: i for i in range(8)}
+
+    def test_respects_every_edge(self, device, memory):
+        g = random_dag(50, 130, seed=1)
+        layers = self.run(device, memory, g.edges, 50)
+        for u, v in g.edges:
+            assert layers[u] < layers[v]
+
+    def test_layers_are_longest_paths(self, device, memory):
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]
+        layers = self.run(device, memory, edges, 5)
+        assert layers == {0: 0, 1: 1, 2: 1, 3: 2, 4: 3}
+
+    def test_isolated_nodes_layer_zero(self, device, memory):
+        layers = self.run(device, memory, [(0, 1)], 4)
+        assert layers[2] == 0 and layers[3] == 0
+
+    def test_cycle_rejected(self, device, memory):
+        with pytest.raises(CycleDetected):
+            self.run(device, memory, cycle_graph(6).edges, 6)
+
+    def test_cycle_reachable_from_dag_part(self, device, memory):
+        edges = [(0, 1), (1, 2), (2, 1)]
+        with pytest.raises(CycleDetected):
+            self.run(device, memory, edges, 3)
+
+    def test_sequential_io_only(self, device, memory):
+        g = random_dag(40, 100, seed=3)
+        self.run(device, memory, g.edges, 40)
+        assert device.stats.random == 0
+
+    def test_intermediate_files_cleaned(self, device, memory):
+        g = random_dag(30, 70, seed=4)
+        before = set(device.list_files())
+        ef = EdgeFile.from_edges(device, "keep-e", g.edges)
+        nf = NodeFile.from_ids(device, "keep-n", range(30), memory, presorted=True)
+        out = external_topological_sort(device, ef, nf, memory)
+        out.delete()
+        assert set(device.list_files()) - before == {"keep-e", "keep-n"}
+
+    def test_pipeline_with_ext_scc(self, device, memory):
+        """Cyclic graph -> Ext-SCC -> condensed edges -> external toposort."""
+        from repro.core import compute_sccs
+
+        g = planted_scc_graph(60, 2.0, [15, 10], seed=6, strict=True)
+        out = compute_sccs(g.edges, num_nodes=60, memory_bytes=300, block_size=64)
+        labels = out.result.labels
+        condensed = sorted(
+            {(labels[u], labels[v]) for u, v in g.edges if labels[u] != labels[v]}
+        )
+        reps = sorted(set(labels.values()))
+        ef = EdgeFile.from_edges(device, "c-e", condensed)
+        nf = NodeFile.from_ids(device, "c-n", reps, memory, presorted=True)
+        result = external_topological_sort(device, ef, nf, memory)
+        layers = dict(result.scan())
+        for u, v in condensed:
+            assert layers[u] < layers[v]

@@ -1,0 +1,132 @@
+"""Tests for the benchmark harness (statuses, sweeps, reporting)."""
+
+import pytest
+
+from repro.bench import (
+    ALGORITHMS,
+    format_sweep,
+    memory_for_ratio,
+    run_algorithm,
+    run_sweep,
+    semi_threshold,
+    shape_summary,
+    shuffled_edges,
+    subsample_edges,
+)
+from repro.graph.generators import cycle_graph, random_dag, random_digraph
+
+
+class TestRunAlgorithm:
+    def test_ext_scc_ok(self):
+        g = random_digraph(40, 100, seed=0)
+        result = run_algorithm("Ext-SCC", g.edges, 40, memory_bytes=512,
+                               block_size=64)
+        assert result.ok
+        assert result.io_total > 0
+        assert result.num_sccs is not None
+        assert result.iterations is not None
+
+    def test_algorithms_agree_on_scc_count(self):
+        g = random_digraph(40, 100, seed=1)
+        counts = set()
+        for name in ("Ext-SCC", "Ext-SCC-Op", "DFS-SCC", "Semi-SCC"):
+            r = run_algorithm(name, g.edges, 40, memory_bytes=2048, block_size=64)
+            assert r.ok, name
+            counts.add(r.num_sccs)
+        assert len(counts) == 1
+
+    def test_inf_status_on_budget(self):
+        g = cycle_graph(100)
+        result = run_algorithm("DFS-SCC", g.edges, 100, memory_bytes=512,
+                               block_size=64, io_budget=100)
+        assert result.status == "INF"
+        assert result.cell() == "INF"
+
+    def test_nonterm_status(self):
+        g = random_dag(200, 500, seed=0)
+        edges = shuffled_edges(g)
+        result = run_algorithm("EM-SCC", edges, 200, memory_bytes=800,
+                               block_size=64)
+        assert result.status == "NONTERM"
+
+    def test_nomem_status(self):
+        g = cycle_graph(100)
+        result = run_algorithm("Semi-SCC", g.edges, 100, memory_bytes=256,
+                               block_size=64)
+        assert result.status == "NOMEM"
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            run_algorithm("Quantum-SCC", [], 0, memory_bytes=128, block_size=64)
+
+    def test_cell_metrics(self):
+        g = random_digraph(20, 40, seed=2)
+        r = run_algorithm("Ext-SCC", g.edges, 20, memory_bytes=512, block_size=64)
+        assert r.cell("io").replace(",", "").isdigit()
+        assert r.cell("time").endswith("s")
+        with pytest.raises(ValueError):
+            r.cell("nope")
+
+
+class TestSweep:
+    @pytest.fixture
+    def sweep(self):
+        g = random_digraph(30, 70, seed=3)
+        points = [
+            (m, g.edges, 30, m) for m in (256, 512)
+        ]
+        return run_sweep("test", "M", points, ["Ext-SCC", "Ext-SCC-Op"],
+                         block_size=64)
+
+    def test_grid_complete(self, sweep):
+        assert sweep.algorithms == ["Ext-SCC", "Ext-SCC-Op"]
+        assert sweep.x_values == [256, 512]
+        assert len(sweep.runs) == 4
+
+    def test_result_lookup(self, sweep):
+        r = sweep.result("Ext-SCC", 256)
+        assert r.algorithm == "Ext-SCC"
+        assert r.x == 256
+
+    def test_series(self, sweep):
+        series = sweep.series("Ext-SCC-Op")
+        assert [r.x for r in series] == [256, 512]
+
+    def test_missing_point(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.result("Ext-SCC", 999)
+
+    def test_format_table(self, sweep):
+        table = format_sweep(sweep, "io")
+        assert "Ext-SCC-Op" in table
+        assert "256" in table
+
+    def test_shape_summary(self, sweep):
+        text = shape_summary(sweep, "Ext-SCC-Op", "Ext-SCC")
+        assert "Ext-SCC-Op vs Ext-SCC" in text
+
+
+class TestWorkloadHelpers:
+    def test_semi_threshold(self):
+        assert semi_threshold(100, block_size=64) == 864
+
+    def test_memory_for_ratio(self):
+        assert memory_for_ratio(100, 0.5, block_size=64) == 432
+
+    def test_memory_floor_is_2b(self):
+        assert memory_for_ratio(1, 0.01, block_size=1024) == 2048
+
+    def test_shuffle_is_deterministic_permutation(self):
+        g = random_digraph(30, 80, seed=0)
+        a = shuffled_edges(g, seed=1)
+        b = shuffled_edges(g, seed=1)
+        assert a == b
+        assert sorted(a) == sorted(g.edges)
+        assert a != g.edges
+
+    def test_subsample(self):
+        edges = [(i, i + 1) for i in range(100)]
+        sub = subsample_edges(edges, 40)
+        assert len(sub) == 40
+        assert set(sub) <= set(edges)
+        assert subsample_edges(edges, 100) == edges

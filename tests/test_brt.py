@@ -1,0 +1,100 @@
+"""Tests for the buffered repository tree."""
+
+import random
+
+import pytest
+
+from repro.baselines.brt import BufferedRepositoryTree
+
+
+class TestBasics:
+    def test_insert_then_extract(self, device):
+        brt = BufferedRepositoryTree(device, key_space=100)
+        brt.insert(5, 42)
+        assert brt.extract_all(5) == [42]
+
+    def test_extract_is_destructive(self, device):
+        brt = BufferedRepositoryTree(device, key_space=100)
+        brt.insert(5, 42)
+        brt.extract_all(5)
+        assert brt.extract_all(5) == []
+
+    def test_extract_missing_key(self, device):
+        brt = BufferedRepositoryTree(device, key_space=100)
+        assert brt.extract_all(7) == []
+
+    def test_multiple_values_per_key(self, device):
+        brt = BufferedRepositoryTree(device, key_space=100)
+        for value in (1, 2, 3):
+            brt.insert(9, value)
+        assert sorted(brt.extract_all(9)) == [1, 2, 3]
+
+    def test_keys_are_independent(self, device):
+        brt = BufferedRepositoryTree(device, key_space=100)
+        brt.insert(1, 10)
+        brt.insert(2, 20)
+        assert brt.extract_all(1) == [10]
+        assert brt.extract_all(2) == [20]
+
+    def test_key_out_of_range(self, device):
+        brt = BufferedRepositoryTree(device, key_space=10)
+        with pytest.raises(ValueError):
+            brt.insert(10, 0)
+        with pytest.raises(ValueError):
+            brt.insert(-1, 0)
+
+
+class TestBuffering:
+    def test_staging_overflow_flushes_to_disk(self, device):
+        # 64-byte blocks -> staging capacity 8 records.
+        brt = BufferedRepositoryTree(device, key_space=1000)
+        before = device.stats.total
+        for i in range(100):
+            brt.insert(i % 50, i)
+        assert device.stats.total > before  # staged blocks hit the disk
+
+    def test_extract_after_deep_flush(self, device):
+        brt = BufferedRepositoryTree(device, key_space=4096, buffer_blocks=1)
+        rng = random.Random(0)
+        expected = {}
+        for i in range(600):
+            key = rng.randrange(4096)
+            expected.setdefault(key, []).append(i)
+            brt.insert(key, i)
+        for key, values in list(expected.items())[:80]:
+            assert sorted(brt.extract_all(key)) == sorted(values)
+
+    def test_extract_charges_random_io(self, device):
+        brt = BufferedRepositoryTree(device, key_space=1000, buffer_blocks=1)
+        for i in range(200):
+            brt.insert(i % 97, i)
+        before = device.stats.snapshot()
+        brt.extract_all(13)
+        delta = device.stats.snapshot() - before
+        assert delta.rand_reads > 0
+
+    def test_drop_removes_files(self, device):
+        brt = BufferedRepositoryTree(device, key_space=1000, name="mybrt")
+        for i in range(200):
+            brt.insert(i % 11, i)
+        brt.drop()
+        assert not any(name.startswith("mybrt") for name in device.list_files())
+
+
+class TestStress:
+    def test_randomized_against_dict(self, device):
+        brt = BufferedRepositoryTree(device, key_space=256, buffer_blocks=2)
+        rng = random.Random(42)
+        oracle = {}
+        for step in range(1500):
+            if rng.random() < 0.7:
+                key = rng.randrange(256)
+                value = step
+                oracle.setdefault(key, []).append(value)
+                brt.insert(key, value)
+            else:
+                key = rng.randrange(256)
+                expected = sorted(oracle.pop(key, []))
+                assert sorted(brt.extract_all(key)) == expected
+        for key, values in oracle.items():
+            assert sorted(brt.extract_all(key)) == sorted(values)

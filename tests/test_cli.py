@@ -1,0 +1,188 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_size
+from repro.graph.io_formats import read_edge_text, write_edge_text
+from repro.graph.generators import cycle_graph
+
+
+class TestParseSize:
+    def test_plain_number(self):
+        assert parse_size("4096") == 4096
+
+    def test_suffixes(self):
+        assert parse_size("64K") == 64 * 1024
+        assert parse_size("4M") == 4 * 1024 * 1024
+        assert parse_size("1G") == 1 << 30
+
+    def test_lowercase_and_spaces(self):
+        assert parse_size(" 2k ") == 2048
+
+    def test_fractional(self):
+        assert parse_size("0.5M") == 512 * 1024
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")
+
+
+class TestGenerate:
+    def test_generate_text(self, tmp_path):
+        out = tmp_path / "g.txt"
+        code = main(["generate", "large-scc", str(out),
+                     "--nodes", "300", "--seed", "3"])
+        assert code == 0
+        edges = list(read_edge_text(out))
+        assert len(edges) > 300
+
+    def test_generate_binary(self, tmp_path):
+        out = tmp_path / "g.bin"
+        code = main(["generate", "webspam", str(out),
+                     "--nodes", "200", "--binary"])
+        assert code == 0
+        from repro.graph.io_formats import read_edge_binary
+
+        assert len(list(read_edge_binary(out))) > 0
+
+    def test_generate_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        main(["generate", "small-scc", str(a), "--nodes", "300", "--seed", "9"])
+        main(["generate", "small-scc", str(b), "--nodes", "300", "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+
+class TestScc:
+    @pytest.fixture
+    def edge_path(self, tmp_path):
+        path = tmp_path / "cycle.txt"
+        write_edge_text(path, cycle_graph(50).edges)
+        return path
+
+    def test_scc_labels_file(self, tmp_path, edge_path, capsys):
+        labels_path = tmp_path / "labels.txt"
+        code = main(["scc", str(edge_path), "-o", str(labels_path),
+                     "-m", "300", "-b", "64"])
+        assert code == 0
+        lines = labels_path.read_text().splitlines()
+        assert len(lines) == 50
+        labels = {int(l.split()[1]) for l in lines}
+        assert labels == {0}  # one SCC
+        assert "sccs: 1" in capsys.readouterr().err
+
+    def test_scc_baseline_algorithm(self, edge_path, capsys):
+        code = main(["scc", str(edge_path), "-m", "300", "-b", "64",
+                     "--algorithm", "ext-scc"])
+        assert code == 0
+        assert "iterations:" in capsys.readouterr().err
+
+    def test_scc_explicit_node_count(self, tmp_path, capsys):
+        path = tmp_path / "e.txt"
+        write_edge_text(path, [(0, 1)])
+        code = main(["scc", str(path), "--nodes", "5", "-m", "16K"])
+        assert code == 0
+        assert "sccs: 5" in capsys.readouterr().err
+
+    def test_missing_input(self, capsys):
+        code = main(["scc", "/nonexistent/file.txt"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBench:
+    @pytest.fixture
+    def edge_path(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_text(path, cycle_graph(80).edges)
+        return path
+
+    def test_bench_ok(self, edge_path, capsys):
+        code = main(["bench", str(edge_path), "-a", "Ext-SCC-Op",
+                     "-m", "400", "-b", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ext-SCC-Op: OK" in out
+
+    def test_bench_inf_exit_code(self, edge_path, capsys):
+        code = main(["bench", str(edge_path), "-a", "DFS-SCC",
+                     "-m", "400", "-b", "64", "--io-budget", "10"])
+        assert code == 1
+        assert "INF" in capsys.readouterr().out
+
+    def test_bench_derives_node_count(self, edge_path, capsys):
+        code = main(["bench", str(edge_path), "-m", "16K"])
+        assert code == 0
+        assert "sccs: 1" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_output(self, tmp_path, capsys):
+        path = tmp_path / "star.txt"
+        write_edge_text(path, [(0, i) for i in range(1, 6)])
+        code = main(["stats", str(path), "-m", "16K"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "edges:           5" in out
+        assert "sources/sinks:   1/5" in out
+
+    def test_stats_histogram(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_text(path, cycle_graph(4).edges)
+        code = main(["stats", str(path), "--histogram", "-m", "16K"])
+        assert code == 0
+        assert "deg     2: 4" in capsys.readouterr().out
+
+
+class TestVerify:
+    @pytest.fixture
+    def workload(self, tmp_path):
+        edge_path = tmp_path / "g.txt"
+        write_edge_text(edge_path, cycle_graph(20).edges)
+        labels_path = tmp_path / "labels.txt"
+        assert main(["scc", str(edge_path), "-o", str(labels_path),
+                     "-m", "16K"]) == 0
+        return edge_path, labels_path
+
+    def test_verify_ok(self, workload, capsys):
+        edge_path, labels_path = workload
+        assert main(["verify", str(edge_path), str(labels_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, workload, tmp_path, capsys):
+        edge_path, labels_path = workload
+        lines = labels_path.read_text().splitlines()
+        lines[3] = "3 3"  # break node 3 out of the cycle's SCC
+        bad = tmp_path / "bad.txt"
+        bad.write_text("\n".join(lines) + "\n")
+        assert main(["verify", str(edge_path), str(bad)]) == 1
+        assert "MISMATCH" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_feasible_plan(self, capsys):
+        code = main(["explain", "--nodes", "10000", "--edges", "40000",
+                     "-m", "40K", "-b", "512"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ext-SCC plan" in out
+        assert "TOTAL predicted" in out
+
+    def test_infeasible_plan_exit_code(self, capsys):
+        code = main(["explain", "--nodes", "10000", "--edges", "40000",
+                     "-m", "40K", "-b", "512", "--node-retention", "1.0"])
+        assert code == 1
+        assert "NOT FEASIBLE" in capsys.readouterr().out
+
+    def test_no_iterations_when_fits(self, capsys):
+        code = main(["explain", "--nodes", "100", "--edges", "300", "-m", "1M"])
+        assert code == 0
+        assert "(0 iterations)" in capsys.readouterr().out
+
+
+class TestVerboseScc:
+    def test_verbose_prints_iterations(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_text(path, cycle_graph(60).edges)
+        code = main(["scc", str(path), "-m", "300", "-b", "64", "-v"])
+        assert code == 0
+        assert "iteration 1:" in capsys.readouterr().err

@@ -1,0 +1,170 @@
+"""Tests for variable-record files and gap-compressed edge storage."""
+
+import pytest
+
+from tests.conftest import random_edges
+
+from repro.exceptions import StorageError
+from repro.graph.compressed import CompressedEdgeFile
+from repro.graph.edge_file import EdgeFile
+from repro.io.varfile import VarRecordFile, varint_size
+
+
+class TestVarintSize:
+    def test_one_byte(self):
+        assert varint_size(0) == 1
+        assert varint_size(127) == 1
+
+    def test_two_bytes(self):
+        assert varint_size(128) == 2
+        assert varint_size(16383) == 2
+
+    def test_larger(self):
+        assert varint_size(16384) == 3
+        assert varint_size(1 << 28) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            varint_size(-1)
+
+
+class TestVarRecordFile:
+    def test_roundtrip(self, device):
+        f = VarRecordFile(device, "v")
+        payloads = [f"rec{i}" for i in range(20)]
+        for i, payload in enumerate(payloads):
+            f.append(payload, nbytes=5 + i % 3)
+        f.close()
+        assert list(f.scan()) == payloads
+        assert f.num_records == 20
+
+    def test_blocks_fill_by_bytes(self, device):
+        f = VarRecordFile(device, "v")  # 64-byte blocks
+        for i in range(8):
+            f.append(i, nbytes=16)  # 4 per block
+        f.close()
+        assert f.num_blocks == 2
+
+    def test_oversized_record_rejected(self, device):
+        f = VarRecordFile(device, "v")
+        with pytest.raises(StorageError):
+            f.append("big", nbytes=65)
+
+    def test_zero_size_rejected(self, device):
+        f = VarRecordFile(device, "v")
+        with pytest.raises(ValueError):
+            f.append("x", nbytes=0)
+
+    def test_scan_before_close_rejected(self, device):
+        f = VarRecordFile(device, "v")
+        f.append("x", 4)
+        with pytest.raises(StorageError):
+            list(f.scan())
+
+    def test_append_after_close_rejected(self, device):
+        f = VarRecordFile(device, "v")
+        f.close()
+        with pytest.raises(StorageError):
+            f.append("x", 4)
+
+
+class TestCompressedEdgeFile:
+    def test_roundtrip_preserves_sorted_edges(self, device, memory):
+        edges = sorted(random_edges(40, 120, seed=0))
+        cf = CompressedEdgeFile.from_sorted_edges(device, "c", edges)
+        assert list(cf.scan()) == edges
+        assert cf.num_edges == 120
+
+    def test_from_edge_file_sorts_first(self, device, memory):
+        edges = random_edges(30, 90, seed=1)
+        ef = EdgeFile.from_edges(device, "e", edges)
+        cf = CompressedEdgeFile.from_edge_file(ef, memory)
+        assert list(cf.scan()) == sorted(edges)
+
+    def test_unsorted_input_rejected(self, device):
+        with pytest.raises(ValueError):
+            CompressedEdgeFile.from_sorted_edges(device, "c", [(5, 0), (1, 0)])
+
+    def test_parallel_edges_preserved(self, device):
+        edges = [(0, 3), (0, 3), (0, 3)]
+        cf = CompressedEdgeFile.from_sorted_edges(device, "c", edges)
+        assert list(cf.scan()) == edges
+
+    def test_adjacency_groups(self, device):
+        edges = [(0, 1), (0, 4), (2, 0)]
+        cf = CompressedEdgeFile.from_sorted_edges(device, "c", edges)
+        assert list(cf.scan_adjacency()) == [(0, (1, 4)), (2, (0,))]
+
+    def test_compression_beats_fixed_width(self, device, memory):
+        """Sorted local ids -> small gaps -> well under 8 bytes/edge."""
+        edges = sorted(random_edges(60, 400, seed=2))
+        cf = CompressedEdgeFile.from_sorted_edges(device, "c", edges)
+        assert cf.compression_ratio > 2.0
+        assert cf.compressed_bytes < cf.uncompressed_bytes
+
+    def test_fewer_scan_ios_than_plain(self, device, memory):
+        edges = sorted(random_edges(60, 400, seed=3))
+        plain = EdgeFile.from_edges(device, "plain", edges)
+        cf = CompressedEdgeFile.from_sorted_edges(device, "comp", edges)
+        before = device.stats.snapshot()
+        assert sum(1 for _ in plain.scan()) == 400
+        plain_cost = (device.stats.snapshot() - before).total
+        before = device.stats.snapshot()
+        assert sum(1 for _ in cf.scan()) == 400
+        comp_cost = (device.stats.snapshot() - before).total
+        assert comp_cost < plain_cost
+
+    def test_empty(self, device):
+        cf = CompressedEdgeFile.from_sorted_edges(device, "c", [])
+        assert list(cf.scan()) == []
+        assert cf.compression_ratio == 1.0
+
+    def test_sequential_io_only(self, device, memory):
+        edges = random_edges(40, 150, seed=4)
+        ef = EdgeFile.from_edges(device, "e", edges)
+        CompressedEdgeFile.from_edge_file(ef, memory)
+        assert device.stats.random == 0
+
+    def test_flipped_matches_dst_sorted_plain(self, device):
+        edges = random_edges(25, 70, seed=5)
+        dst_sorted = sorted(edges, key=lambda e: (e[1], e[0]))
+        cf = CompressedEdgeFile.from_sorted_edges(
+            device, "c", ((v, u) for u, v in dst_sorted), flipped=True
+        )
+        assert list(cf.scan()) == dst_sorted
+
+
+class TestCompressedPipeline:
+    """The compress_edge_lists extension inside Ext-SCC."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_sccs_as_plain(self, seed):
+        from tests.conftest import reference_sccs
+
+        from repro.core import ExtSCCConfig, compute_sccs
+
+        edges = random_edges(50, 130, seed, self_loops=True)
+        config = ExtSCCConfig.optimized(compress_edge_lists=True)
+        out = compute_sccs(edges, num_nodes=50, memory_bytes=300,
+                           block_size=64, config=config)
+        assert out.result == reference_sccs(edges, 50)
+
+    def test_saves_io_on_larger_graphs(self):
+        from repro.core import ExtSCCConfig, compute_sccs
+        from repro.graph.generators import large_scc_graph
+
+        g = large_scc_graph(num_nodes=800, seed=3)
+        base = compute_sccs(g.edges, num_nodes=800, memory_bytes=3200,
+                            block_size=512, config=ExtSCCConfig.optimized())
+        comp = compute_sccs(
+            g.edges, num_nodes=800, memory_bytes=3200, block_size=512,
+            config=ExtSCCConfig.optimized(compress_edge_lists=True),
+        )
+        assert comp.result == base.result
+        assert comp.io.total < base.io.total
+
+    def test_config_name_still_custom(self):
+        from repro.core import ExtSCCConfig
+
+        config = ExtSCCConfig(compress_edge_lists=True)
+        assert config.name == "Ext-SCC"  # not a Section VII lever

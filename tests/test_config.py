@@ -1,0 +1,55 @@
+"""Tests for ExtSCCConfig."""
+
+import pytest
+
+from repro.core.config import ExtSCCConfig
+from repro.exceptions import ReproError
+
+
+class TestPresets:
+    def test_baseline_all_off(self):
+        config = ExtSCCConfig.baseline()
+        assert not config.trim_type1
+        assert not config.type2_reduction
+        assert not config.dedupe_parallel_edges
+        assert not config.remove_self_loops
+        assert not config.product_operator
+
+    def test_optimized_all_on(self):
+        config = ExtSCCConfig.optimized()
+        assert config.trim_type1
+        assert config.type2_reduction
+        assert config.dedupe_parallel_edges
+        assert config.remove_self_loops
+        assert config.product_operator
+
+    def test_optimized_overrides(self):
+        config = ExtSCCConfig.optimized(product_operator=False)
+        assert config.trim_type1
+        assert not config.product_operator
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ExtSCCConfig.baseline().trim_type1 = True  # type: ignore[misc]
+
+
+class TestNames:
+    def test_baseline_name(self):
+        assert ExtSCCConfig.baseline().name == "Ext-SCC"
+
+    def test_optimized_name(self):
+        assert ExtSCCConfig.optimized().name == "Ext-SCC-Op"
+
+    def test_partial_name(self):
+        assert ExtSCCConfig(trim_type1=True).name == "Ext-SCC-custom"
+
+
+class TestValidation:
+    def test_unknown_semi_solver_rejected(self):
+        from repro.core import ExtSCC
+
+        with pytest.raises(ReproError):
+            ExtSCC(ExtSCCConfig(semi_scc="not-a-solver"))
+
+    def test_paper_stop_constant(self):
+        assert ExtSCCConfig.baseline().bytes_per_node == 8

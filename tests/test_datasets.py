@@ -1,0 +1,91 @@
+"""Tests for the named datasets: Figure 1 and Table I."""
+
+import pytest
+
+from tests.conftest import reference_sccs
+
+from repro.graph.datasets import (
+    FIGURE1_SCCS,
+    TABLE1,
+    build_dataset,
+    figure1_graph,
+)
+
+
+class TestFigure1:
+    def test_counts_match_paper(self):
+        g = figure1_graph()
+        assert g.num_nodes == 13  # "a graph G with 13 nodes and 20 edges"
+        assert g.num_edges == 20
+
+    def test_sccs_match_example_2_1(self):
+        """SCC1 = {b..g} (6 nodes), SCC2 = {i,j,k,l} (4 nodes)."""
+        g = figure1_graph()
+        result = reference_sccs(g.edges, g.num_nodes)
+        nontrivial = sorted(
+            (c for c in result.components() if len(c) > 1), key=len, reverse=True
+        )
+        assert [len(c) for c in nontrivial] == [6, 4]
+        assert nontrivial[0] == g.planted_sccs[0]
+        assert nontrivial[1] == g.planted_sccs[1]
+
+    def test_five_sccs_total(self):
+        """Example 3.1: SCCs are {a},{b..g},{h},{i..l},{m}."""
+        g = figure1_graph()
+        assert reference_sccs(g.edges, g.num_nodes).num_sccs == 5
+
+    def test_example_2_1_paths(self):
+        """b <-> e via (b,c,d,e) and (e,f,g,b)."""
+        g = figure1_graph(as_labels=True)
+        edges = set(g.edges)
+        for path in [("b", "c", "d", "e"), ("e", "f", "g", "b")]:
+            for a, b in zip(path, path[1:]):
+                assert (a, b) in edges
+
+    def test_label_variant_matches_integer_variant(self):
+        labels = "abcdefghijklm"
+        lettered = {(labels.index(u), labels.index(v)) for u, v in figure1_graph(as_labels=True).edges}
+        assert lettered == set(figure1_graph().edges)
+
+
+class TestTable1:
+    def test_all_parameters_present(self):
+        expected = {
+            "num_nodes", "avg_degree", "memory", "massive_scc_size",
+            "large_scc_size", "small_scc_size", "num_large_sccs",
+            "num_small_sccs",
+        }
+        assert set(TABLE1) == expected
+
+    def test_defaults_match_paper_scaled(self):
+        assert TABLE1["num_nodes"].scaled_default == 100_000
+        assert TABLE1["avg_degree"].paper_default == 4
+        assert TABLE1["large_scc_size"].scaled_default == 80  # paper: 8K
+        assert TABLE1["num_large_sccs"].paper_default == 50
+
+    def test_ranges_have_five_points(self):
+        for row in TABLE1.values():
+            assert len(row.paper_range) == len(row.scaled_range)
+            assert len(row.scaled_range) >= 1
+
+
+class TestBuildDataset:
+    @pytest.mark.parametrize("family", ["massive-scc", "large-scc", "small-scc"])
+    def test_families_build_small(self, family):
+        g = build_dataset(family, num_nodes=1000, seed=0)
+        assert g.num_nodes == 1000
+        assert g.num_edges > 0
+
+    def test_webspam_family(self):
+        g = build_dataset("webspam", num_nodes=400, seed=0)
+        assert g.num_nodes == 400
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            build_dataset("nope")
+
+    def test_overrides(self):
+        g = build_dataset("large-scc", num_nodes=600, avg_degree=2.0,
+                          scc_size=10, scc_count=3, seed=0)
+        assert len(g.planted_sccs) == 3
+        assert all(len(s) == 10 for s in g.planted_sccs)

@@ -1,0 +1,74 @@
+"""Tests for the in-memory DiGraph."""
+
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = DiGraph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_from_edges(self):
+        g = DiGraph([(0, 1), (1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_explicit_nodes(self):
+        g = DiGraph([(0, 1)], nodes=[5, 6])
+        assert g.num_nodes == 4
+        assert g.has_node(5)
+
+    def test_parallel_edges_collapse(self):
+        g = DiGraph([(0, 1), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_allowed(self):
+        g = DiGraph([(3, 3)])
+        assert g.has_edge(3, 3)
+        assert g.num_nodes == 1
+
+
+class TestQueries:
+    def test_neighbors(self):
+        g = DiGraph([(0, 1), (0, 2), (3, 0)])
+        assert g.out_neighbors(0) == {1, 2}
+        assert g.in_neighbors(0) == {3}
+
+    def test_degrees(self):
+        g = DiGraph([(0, 1), (0, 2), (3, 0)])
+        assert g.out_degree(0) == 2
+        assert g.in_degree(0) == 1
+        assert g.degree(0) == 3
+
+    def test_has_edge(self):
+        g = DiGraph([(0, 1)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_edges_iteration(self):
+        edges = {(0, 1), (1, 2), (2, 0)}
+        g = DiGraph(edges)
+        assert set(g.edges()) == edges
+
+
+class TestDerived:
+    def test_reversed(self):
+        g = DiGraph([(0, 1), (1, 2)])
+        r = g.reversed()
+        assert set(r.edges()) == {(1, 0), (2, 1)}
+        assert r.num_nodes == g.num_nodes
+
+    def test_reversed_keeps_isolated_nodes(self):
+        g = DiGraph([(0, 1)], nodes=[9])
+        assert g.reversed().has_node(9)
+
+    def test_subgraph(self):
+        g = DiGraph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        s = g.subgraph({0, 1, 2})
+        assert set(s.edges()) == {(0, 1), (1, 2), (2, 0)}
+        assert not s.has_node(3)
+
+    def test_edge_list_sorted(self):
+        g = DiGraph([(2, 0), (0, 1)])
+        assert g.edge_list() == [(0, 1), (2, 0)]

@@ -1,0 +1,66 @@
+"""Tests for edge and node files on the simulated disk."""
+
+from repro.graph.edge_file import EdgeFile, NodeFile
+
+
+EDGES = [(3, 1), (0, 2), (3, 2), (1, 0), (0, 2)]
+
+
+class TestEdgeFile:
+    def test_roundtrip(self, device):
+        ef = EdgeFile.from_edges(device, "e", EDGES)
+        assert list(ef.scan()) == EDGES
+        assert ef.num_edges == 5
+
+    def test_sorted_by_src(self, device, memory):
+        ef = EdgeFile.from_edges(device, "e", EDGES)
+        out = ef.sorted_by_src(memory)
+        assert list(out.scan()) == sorted(EDGES)
+
+    def test_sorted_by_dst(self, device, memory):
+        ef = EdgeFile.from_edges(device, "e", EDGES)
+        out = ef.sorted_by_dst(memory)
+        assert list(out.scan()) == sorted(EDGES, key=lambda e: (e[1], e[0]))
+
+    def test_sorted_unique_removes_parallels(self, device, memory):
+        ef = EdgeFile.from_edges(device, "e", EDGES)
+        out = ef.sorted_by_src(memory, unique=True)
+        assert list(out.scan()) == sorted(set(EDGES))
+
+    def test_reversed_copy(self, device):
+        ef = EdgeFile.from_edges(device, "e", EDGES)
+        rev = ef.reversed_copy()
+        assert list(rev.scan()) == [(v, u) for u, v in EDGES]
+
+    def test_node_file_derivation(self, device, memory):
+        ef = EdgeFile.from_edges(device, "e", EDGES)
+        nf = ef.node_file(memory)
+        assert list(nf.scan()) == [0, 1, 2, 3]
+
+    def test_deduplicated(self, device, memory):
+        ef = EdgeFile.from_edges(device, "e", EDGES)
+        out = ef.deduplicated(memory)
+        assert out.num_edges == len(set(EDGES))
+
+    def test_count_self_loops(self, device):
+        ef = EdgeFile.from_edges(device, "e", [(0, 0), (0, 1), (1, 1)])
+        assert ef.count_self_loops() == 2
+
+    def test_len(self, device):
+        assert len(EdgeFile.from_edges(device, "e", EDGES)) == 5
+
+
+class TestNodeFile:
+    def test_from_unsorted_ids(self, device, memory):
+        nf = NodeFile.from_ids(device, "n", [5, 1, 3, 1, 5], memory)
+        assert list(nf.scan()) == [1, 3, 5]
+        assert nf.num_nodes == 3
+
+    def test_presorted(self, device, memory):
+        nf = NodeFile.from_ids(device, "n", range(10), memory, presorted=True)
+        assert list(nf.scan()) == list(range(10))
+
+    def test_empty(self, device, memory):
+        nf = NodeFile.from_ids(device, "n", [], memory)
+        assert list(nf.scan()) == []
+        assert len(nf) == 0

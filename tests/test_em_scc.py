@@ -1,0 +1,87 @@
+"""Tests for the EM-SCC baseline ([13]): convergence and non-termination."""
+
+import random
+
+import pytest
+
+from tests.conftest import random_edges, reference_sccs
+
+from repro.baselines import em_scc
+from repro.exceptions import NonTermination
+from repro.graph.edge_file import EdgeFile, NodeFile
+from repro.graph.generators import cycle_graph, planted_scc_graph, random_dag
+from repro.io.blocks import BlockDevice
+from repro.io.memory import MemoryBudget
+
+
+def run_em(edges, num_nodes, memory_bytes, block_size=64):
+    device = BlockDevice(block_size=block_size)
+    memory = MemoryBudget(memory_bytes)
+    edge_file = EdgeFile.from_edges(device, "E", edges)
+    node_file = NodeFile.from_ids(device, "V", range(num_nodes), memory, presorted=True)
+    return em_scc(device, edge_file, node_file, memory), device
+
+
+class TestConvergentCases:
+    def test_graph_already_fits(self):
+        edges = random_edges(20, 50, seed=0)
+        out, _ = run_em(edges, 20, memory_bytes=50_000)
+        assert out.result == reference_sccs(edges, 20)
+        assert out.iterations == 0
+
+    def test_contiguous_planted_sccs_contract(self):
+        g = planted_scc_graph(120, 3.0, [20] * 4, seed=0, strict=True)
+        out, _ = run_em(g.edges, 120, memory_bytes=8000, block_size=128)
+        assert out.result == reference_sccs(g.edges, 120)
+        assert out.iterations >= 1
+        assert out.contractions > 0
+
+    def test_labels_cover_all_nodes(self):
+        g = planted_scc_graph(100, 2.5, [25, 15], seed=2, strict=True)
+        out, _ = run_em(g.edges, 100, memory_bytes=8000, block_size=128)
+        assert sorted(out.result.labels) == list(range(100))
+
+    def test_isolated_nodes_labelled(self):
+        out, _ = run_em([(0, 1), (1, 0)], 6, memory_bytes=50_000)
+        assert out.result.num_sccs == 5
+
+
+class TestNonTermination:
+    def test_case1_scc_across_partitions(self):
+        """A big cycle in shuffled storage order: no chunk sees a cycle."""
+        edges = list(cycle_graph(300).edges)
+        random.Random(0).shuffle(edges)
+        with pytest.raises(NonTermination):
+            run_em(edges, 300, memory_bytes=1000)
+
+    def test_case2_dag_never_contracts(self):
+        g = random_dag(300, 700, seed=1)
+        with pytest.raises(NonTermination):
+            run_em(g.edges, 300, memory_bytes=1000)
+
+    def test_iteration_cap(self):
+        device = BlockDevice(block_size=64)
+        memory = MemoryBudget(1000)
+        g = planted_scc_graph(400, 2.0, [3] * 80, seed=3, strict=True)
+        edge_file = EdgeFile.from_edges(device, "E", g.edges)
+        node_file = NodeFile.from_ids(device, "V", range(400), memory, presorted=True)
+        with pytest.raises(NonTermination):
+            em_scc(device, edge_file, node_file, memory, max_iterations=0)
+
+
+class TestStopCondition:
+    def test_requires_whole_graph_to_fit(self):
+        """EM-SCC's stop condition is stricter than Ext-SCC's: with memory
+        for all nodes but not all edges, EM-SCC keeps iterating (or fails)
+        while Ext-SCC finishes immediately — the paper's Section IV point."""
+        from repro.core import compute_sccs
+
+        edges = list(cycle_graph(100).edges)
+        random.Random(1).shuffle(edges)
+        memory_bytes = 8 * 100 + 64  # nodes fit; the edge file does not
+        ext = compute_sccs(edges, num_nodes=100, memory_bytes=memory_bytes,
+                           block_size=64)
+        assert ext.num_iterations == 0
+        assert ext.result.num_sccs == 1
+        with pytest.raises(NonTermination):
+            run_em(edges, 100, memory_bytes=memory_bytes)

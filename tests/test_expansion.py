@@ -1,0 +1,108 @@
+"""Tests for the expansion phase (Algorithm 5)."""
+
+import pytest
+
+from tests.conftest import make_graph_files, random_edges, reference_sccs
+
+from repro.core.config import ExtSCCConfig
+from repro.core.contraction import contract
+from repro.core.expansion import augment, expand_level
+from repro.core.result import SCCResult
+from repro.semi_external import run_semi_scc_to_file, spanning_tree_scc
+
+
+def one_round(device, memory, edges, num_nodes, config):
+    """Contract once, solve the contracted graph exactly, expand back."""
+    edge_file, node_file = make_graph_files(device, edges, num_nodes, memory)
+    level = contract(device, edge_file, node_file, memory, config, level=1)
+    scc_next = run_semi_scc_to_file(
+        spanning_tree_scc, level.next_edges, level.next_nodes.scan(), memory
+    )
+    scc_file = expand_level(device, level, scc_next, memory, config)
+    return level, SCCResult.from_pairs(scc_file.scan())
+
+
+CONFIGS = {
+    "baseline": ExtSCCConfig.baseline(),
+    "optimized": ExtSCCConfig.optimized(),
+    "validating": ExtSCCConfig(validate=True),
+}
+
+
+@pytest.fixture(params=sorted(CONFIGS), ids=str)
+def config(request):
+    return CONFIGS[request.param]
+
+
+class TestExpandLevel:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_recovers_reference_sccs(self, device, memory, config, seed):
+        edges = random_edges(35, 85, seed, self_loops=True)
+        _, result = one_round(device, memory, edges, 35, config)
+        assert result == reference_sccs(edges, 35)
+
+    def test_labels_every_node(self, device, memory, config):
+        edges = random_edges(30, 60, seed=9)
+        _, result = one_round(device, memory, edges, 30, config)
+        assert sorted(result.labels) == list(range(30))
+
+    def test_isolated_nodes_become_singletons(self, device, memory, config):
+        edges = [(0, 1), (1, 0)]
+        _, result = one_round(device, memory, edges, 6, config)
+        for v in range(2, 6):
+            assert result.component_of(v) == [v]
+
+    def test_removed_cycle_member_joins_scc(self, device, memory):
+        # 0-1-2 form a triangle; the lowest-degree corner is removed by
+        # contraction and must be re-attached to the SCC during expansion.
+        edges = [(0, 1), (1, 2), (2, 0), (3, 0)]
+        _, result = one_round(device, memory, edges, 4, ExtSCCConfig.baseline())
+        assert result.component_of(0) == [0, 1, 2]
+        assert result.component_of(3) == [3]
+
+    def test_bridge_node_stays_singleton(self, device, memory, config):
+        # h-style node between two SCCs (Example 6.1: in-neighbor SCCs and
+        # out-neighbor SCCs are disjoint -> singleton).
+        edges = [(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 3)]
+        _, result = one_round(device, memory, edges, 5, config)
+        assert result.component_of(2) == [2]
+
+    def test_only_sequential_io(self, device, memory, config):
+        edges = random_edges(30, 70, seed=4)
+        one_round(device, memory, edges, 30, config)
+        assert device.stats.random == 0
+
+
+class TestAugment:
+    def test_records_sorted_by_removed_node_then_scc(self, device, memory):
+        edges = random_edges(25, 60, seed=3)
+        edge_file, node_file = make_graph_files(device, edges, 25, memory)
+        config = ExtSCCConfig.baseline()
+        level = contract(device, edge_file, node_file, memory, config, level=1)
+        scc_next = run_semi_scc_to_file(
+            spanning_tree_scc, level.next_edges, level.next_nodes.scan(), memory
+        )
+        out = augment(device, level.edges, level.next_nodes, scc_next, memory)
+        records = list(out.scan())
+        keys = [(r[1], r[2], r[0]) for r in records]
+        assert keys == sorted(keys)
+        removed = set(level.removed.scan())
+        assert all(r[1] in removed for r in records)
+
+    def test_augment_attaches_correct_scc(self, device, memory):
+        # Graph: 1 <-> 2 one SCC; removed node is 0 with edge (1, 0).
+        edges = [(1, 2), (2, 1), (1, 0)]
+        edge_file, node_file = make_graph_files(device, edges, 3, memory)
+        config = ExtSCCConfig.baseline()
+        level = contract(device, edge_file, node_file, memory, config, level=1)
+        removed = set(level.removed.scan())
+        if 0 not in removed:
+            pytest.skip("contraction kept node 0 on this layout")
+        scc_next = run_semi_scc_to_file(
+            spanning_tree_scc, level.next_edges, level.next_nodes.scan(), memory
+        )
+        out = augment(device, level.edges, level.next_nodes, scc_next, memory)
+        records = [r for r in out.scan() if r[1] == 0]
+        assert records, "edge into removed node 0 must be augmented"
+        labels = dict((n, s) for n, s in scc_next.scan())
+        assert all(r[2] == labels[r[0]] for r in records)

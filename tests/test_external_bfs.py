@@ -1,0 +1,92 @@
+"""Tests for the fully external BFS."""
+
+import pytest
+
+from tests.conftest import random_edges
+
+from repro.baselines import external_bfs_levels, external_reachable
+from repro.graph.digraph import DiGraph
+from repro.graph.edge_file import EdgeFile
+from repro.graph.generators import cycle_graph, path_graph
+
+
+def bfs_reference(edges, sources, num_nodes):
+    """In-memory BFS distances for comparison."""
+    graph = DiGraph(edges, nodes=range(num_nodes))
+    from collections import deque
+
+    dist = {s: 0 for s in sources}
+    queue = deque(sources)
+    while queue:
+        u = queue.popleft()
+        for v in graph.out_neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def run_bfs(device, memory, edges, sources):
+    ef = EdgeFile.from_edges(device, device.temp_name("e"), edges)
+    out = external_bfs_levels(ef, sources, memory)
+    levels = dict(out.scan())
+    out.delete()
+    return levels
+
+
+class TestLevels:
+    def test_path(self, device, memory):
+        levels = run_bfs(device, memory, path_graph(10).edges, [0])
+        assert levels == {i: i for i in range(10)}
+
+    def test_cycle(self, device, memory):
+        levels = run_bfs(device, memory, cycle_graph(6).edges, [0])
+        assert levels == {i: i for i in range(6)}
+
+    def test_unreachable_omitted(self, device, memory):
+        levels = run_bfs(device, memory, [(0, 1), (2, 3)], [0])
+        assert levels == {0: 0, 1: 1}
+
+    def test_multiple_sources(self, device, memory):
+        levels = run_bfs(device, memory, path_graph(10).edges, [0, 5])
+        assert levels[5] == 0
+        assert levels[6] == 1
+        assert levels[4] == 4
+
+    def test_back_edges_do_not_relabel(self, device, memory):
+        # 0->1->2 plus 2->0: directed BFS must not revisit 0 at level 3.
+        levels = run_bfs(device, memory, [(0, 1), (1, 2), (2, 0)], [0])
+        assert levels == {0: 0, 1: 1, 2: 2}
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs_match_reference(self, device, memory, seed):
+        edges = random_edges(40, 100, seed)
+        levels = run_bfs(device, memory, edges, [0])
+        assert levels == bfs_reference(edges, [0], 40)
+
+    def test_max_levels_cap(self, device, memory):
+        ef = EdgeFile.from_edges(device, "e", path_graph(10).edges)
+        out = external_bfs_levels(ef, [0], memory, max_levels=3)
+        assert max(d for _, d in out.scan()) == 3
+
+
+class TestReachable:
+    def test_reachable_sorted(self, device, memory):
+        edges = [(0, 2), (2, 1), (5, 0)]
+        ef = EdgeFile.from_edges(device, "e", edges)
+        assert external_reachable(ef, 0, memory) == [0, 1, 2]
+        assert external_reachable(ef, 5, memory) == [0, 1, 2, 5]
+
+    def test_io_is_sequential_only(self, device, memory):
+        edges = random_edges(40, 100, seed=1)
+        run_bfs(device, memory, edges, [0])
+        assert device.stats.random == 0
+
+    def test_intermediate_files_cleaned(self, device, memory):
+        before = set(device.list_files())
+        edges = random_edges(30, 80, seed=2)
+        ef = EdgeFile.from_edges(device, "keep-e", edges)
+        out = external_bfs_levels(ef, [0], memory)
+        out.delete()
+        after = set(device.list_files())
+        assert after - before == {"keep-e"}

@@ -1,0 +1,103 @@
+"""Failure injection: budgets tripping mid-run, misuse, and recovery."""
+
+import pytest
+
+from tests.conftest import random_edges, reference_sccs
+
+from repro.core import ExtSCC, ExtSCCConfig, compute_sccs
+from repro.exceptions import IOBudgetExceeded, StorageError
+from repro.graph.edge_file import EdgeFile, NodeFile
+from repro.graph.generators import cycle_graph
+from repro.io.blocks import BlockDevice
+from repro.io.files import ExternalFile
+from repro.io.memory import MemoryBudget
+from repro.io.stats import IOBudget
+
+
+class TestBudgetTrips:
+    def test_ledger_stops_exactly_at_cap(self):
+        g = cycle_graph(100)
+        device = BlockDevice(block_size=64, budget=IOBudget(500))
+        memory = MemoryBudget(300)
+        edge_file = EdgeFile.from_edges(device, "E", g.edges)
+        node_file = NodeFile.from_ids(device, "V", range(100), memory,
+                                      presorted=True)
+        with pytest.raises(IOBudgetExceeded) as excinfo:
+            ExtSCC().run(device, edge_file, memory, nodes=node_file)
+        assert excinfo.value.used == 501
+        assert device.stats.total == 501
+
+    def test_budget_in_contraction_phase(self):
+        """The failure is attributable: the phase ledger shows where."""
+        g = cycle_graph(100)
+        device = BlockDevice(block_size=64, budget=IOBudget(300))
+        memory = MemoryBudget(300)
+        edge_file = EdgeFile.from_edges(device, "E", g.edges)
+        node_file = NodeFile.from_ids(device, "V", range(100), memory,
+                                      presorted=True)
+        with pytest.raises(IOBudgetExceeded):
+            ExtSCC().run(device, edge_file, memory, nodes=node_file)
+        assert device.stats.by_phase["contraction"].total > 0
+
+    def test_rerun_after_budget_increase_succeeds(self):
+        g = cycle_graph(60)
+        with pytest.raises(IOBudgetExceeded):
+            compute_sccs(g.edges, num_nodes=60, memory_bytes=300,
+                         block_size=64, io_budget=100)
+        out = compute_sccs(g.edges, num_nodes=60, memory_bytes=300,
+                           block_size=64, io_budget=10_000_000)
+        assert out.result.num_sccs == 1
+
+
+class TestMisuse:
+    def test_scan_deleted_file(self, device):
+        ef = ExternalFile.from_records(device, "x", [(1, 2)], 8)
+        ef.delete()
+        with pytest.raises(StorageError):
+            list(ef.scan())
+
+    def test_double_delete(self, device):
+        ef = ExternalFile.from_records(device, "x", [(1, 2)], 8)
+        ef.delete()
+        with pytest.raises(StorageError):
+            ef.delete()
+
+    def test_rename_collision_guard(self, device):
+        ExternalFile.from_records(device, "a", [(1, 2)], 8)
+        b = ExternalFile.from_records(device, "b", [(3, 4)], 8)
+        with pytest.raises(StorageError):
+            b.rename("a", overwrite=False)
+
+    def test_memory_below_two_blocks(self):
+        g = cycle_graph(10)
+        with pytest.raises(Exception):
+            compute_sccs(g.edges, num_nodes=10, memory_bytes=100,
+                         block_size=64)
+
+
+class TestDeterminismAcrossReruns:
+    def test_identical_ledger_for_identical_runs(self):
+        edges = random_edges(60, 150, seed=8)
+        outs = [
+            compute_sccs(edges, num_nodes=60, memory_bytes=300, block_size=64)
+            for _ in range(2)
+        ]
+        assert outs[0].io.total == outs[1].io.total
+        assert outs[0].num_iterations == outs[1].num_iterations
+        assert outs[0].result == outs[1].result
+
+
+class TestProgressCallback:
+    def test_callback_sees_every_iteration(self):
+        g = cycle_graph(80)
+        seen = []
+        out = compute_sccs(g.edges, num_nodes=80, memory_bytes=300,
+                           block_size=64, on_iteration=seen.append)
+        assert len(seen) == out.num_iterations
+        assert [r.level for r in seen] == list(range(1, out.num_iterations + 1))
+
+    def test_callback_not_called_when_no_contraction(self):
+        seen = []
+        compute_sccs([(0, 1)], num_nodes=2, memory_bytes=4096,
+                     block_size=64, on_iteration=seen.append)
+        assert seen == []

@@ -1,0 +1,170 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from tests.conftest import reference_sccs
+
+from repro.graph.generators import (
+    complete_digraph,
+    cycle_graph,
+    large_scc_graph,
+    massive_scc_graph,
+    path_graph,
+    planted_scc_graph,
+    random_dag,
+    random_digraph,
+    rmat_graph,
+    small_scc_graph,
+    webspam_like,
+)
+from repro.graph.digraph import DiGraph
+from repro.memory_scc import is_dag, tarjan_scc
+
+
+class TestPlanted:
+    def test_determinism(self):
+        a = planted_scc_graph(100, 3.0, [10, 10], seed=5)
+        b = planted_scc_graph(100, 3.0, [10, 10], seed=5)
+        assert a.edges == b.edges
+
+    def test_seed_changes_graph(self):
+        a = planted_scc_graph(100, 3.0, [10], seed=1)
+        b = planted_scc_graph(100, 3.0, [10], seed=2)
+        assert a.edges != b.edges
+
+    def test_target_edge_count(self):
+        g = planted_scc_graph(200, 4.0, [20], seed=0)
+        assert g.num_edges >= 4.0 * 200 * 0.9
+
+    def test_oversized_sccs_rejected(self):
+        with pytest.raises(ValueError):
+            planted_scc_graph(10, 2.0, [8, 8], seed=0)
+
+    def test_strict_mode_sccs_exact(self):
+        g = planted_scc_graph(150, 2.5, [12, 9, 7], seed=3, strict=True)
+        result = reference_sccs(g.edges, g.num_nodes)
+        nontrivial = [c for c in result.components() if len(c) > 1]
+        assert sorted(map(tuple, nontrivial)) == sorted(map(tuple, g.planted_sccs))
+
+    def test_nonstrict_planted_are_at_least_connected(self):
+        g = planted_scc_graph(150, 2.5, [12, 9], seed=3, strict=False)
+        result = reference_sccs(g.edges, g.num_nodes)
+        for scc in g.planted_sccs:
+            labels = {result.labels[v] for v in scc}
+            assert len(labels) == 1  # planted members stay together
+
+    def test_no_self_loops(self):
+        g = planted_scc_graph(100, 3.0, [10], seed=0)
+        assert all(u != v for u, v in g.edges)
+
+
+class TestTable1Families:
+    @pytest.mark.parametrize(
+        "builder", [massive_scc_graph, large_scc_graph, small_scc_graph]
+    )
+    def test_family_builds(self, builder):
+        g = builder(num_nodes=2000, seed=1)
+        assert g.num_nodes == 2000
+        assert g.num_edges > 0
+        assert g.planted_sccs
+
+    def test_massive_has_one_planted(self):
+        g = massive_scc_graph(num_nodes=2000, scc_size=200, seed=0)
+        assert len(g.planted_sccs) == 1
+        assert len(g.planted_sccs[0]) == 200
+
+    def test_large_scc_counts(self):
+        g = large_scc_graph(num_nodes=5000, scc_size=50, scc_count=10, seed=0)
+        assert len(g.planted_sccs) == 10
+        assert all(len(s) == 50 for s in g.planted_sccs)
+
+    def test_small_family_shrinks_to_fit(self):
+        g = small_scc_graph(num_nodes=500, scc_size=40, scc_count=100, seed=0)
+        assert sum(len(s) for s in g.planted_sccs) <= 500
+
+
+class TestWebspam:
+    def test_core_is_one_scc(self):
+        g = webspam_like(500, avg_degree=5.0, seed=2)
+        result = reference_sccs(g.edges, g.num_nodes)
+        core = g.planted_sccs[0]
+        assert len({result.labels[v] for v in core}) == 1
+        # The core should be the giant component.
+        assert result.largest_size >= len(core)
+
+    def test_edge_budget(self):
+        g = webspam_like(500, avg_degree=5.0, seed=2)
+        assert g.num_edges >= 5.0 * 500
+
+    def test_determinism(self):
+        assert webspam_like(300, seed=9).edges == webspam_like(300, seed=9).edges
+
+
+class TestSimpleShapes:
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert reference_sccs(g.edges, 5).num_sccs == 1
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert reference_sccs(g.edges, 5).num_sccs == 5
+
+    def test_complete(self):
+        g = complete_digraph(5)
+        assert g.num_edges == 20
+        assert reference_sccs(g.edges, 5).num_sccs == 1
+
+    def test_random_dag_is_acyclic(self):
+        g = random_dag(60, 150, seed=4)
+        assert is_dag(DiGraph(g.edges, nodes=range(60)))
+
+    def test_random_digraph_counts(self):
+        g = random_digraph(30, 90, seed=0)
+        assert g.num_edges == 90
+        assert all(u != v for u, v in g.edges)
+
+    def test_random_digraph_self_loops_flag(self):
+        g = random_digraph(10, 200, seed=0, allow_self_loops=True)
+        assert any(u == v for u, v in g.edges)
+
+
+class TestRMAT:
+    def test_sizes(self):
+        g = rmat_graph(7, edge_factor=4.0, seed=0)
+        assert g.num_nodes == 128
+        assert g.num_edges == 512
+
+    def test_node_range(self):
+        g = rmat_graph(6, seed=1)
+        assert all(0 <= u < 64 and 0 <= v < 64 for u, v in g.edges)
+
+    def test_deterministic(self):
+        assert rmat_graph(6, seed=5).edges == rmat_graph(6, seed=5).edges
+
+    def test_skewed_degrees(self):
+        """R-MAT's point: heavy-tailed out-degrees (vs uniform random)."""
+        from collections import Counter
+
+        g = rmat_graph(9, edge_factor=8.0, seed=2)
+        degrees = Counter(u for u, _ in g.edges)
+        average = g.num_edges / g.num_nodes
+        assert max(degrees.values()) > 5 * average
+
+    def test_no_self_loops_by_default(self):
+        g = rmat_graph(6, seed=3)
+        assert all(u != v for u, v in g.edges)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_graph(5, a=0.6, b=0.3, c=0.3)
+
+    def test_solvable_by_all_algorithms(self):
+        g = rmat_graph(6, edge_factor=3.0, seed=4)
+        result = reference_sccs(g.edges, g.num_nodes)
+        from repro.core import compute_sccs
+
+        out = compute_sccs(g.edges, num_nodes=g.num_nodes, memory_bytes=300,
+                           block_size=64)
+        assert out.result == result

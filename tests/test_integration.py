@@ -1,0 +1,144 @@
+"""Cross-module integration tests: all five solver families on the same
+workloads, file-format round trips through the full pipeline, and the
+memory-regime transitions the paper's Figure 7 hinges on."""
+
+import pytest
+
+from tests.conftest import reference_sccs
+
+from repro.baselines import dfs_scc, em_scc
+from repro.core import ExtSCCConfig, compute_sccs
+from repro.core.result import SCCResult
+from repro.exceptions import NonTermination
+from repro.graph import (
+    EdgeFile,
+    NodeFile,
+    dump_edge_file,
+    load_edge_file,
+    planted_scc_graph,
+    webspam_like,
+)
+from repro.io import BlockDevice, MemoryBudget
+from repro.memory_scc import condensation, is_dag, tarjan_scc, topological_order
+from repro.graph.digraph import DiGraph
+from repro.semi_external import SEMI_SCC_SOLVERS
+
+
+class TestAllSolversOneWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        g = webspam_like(250, avg_degree=4.0, seed=11)
+        return g.edges, g.num_nodes, reference_sccs(g.edges, g.num_nodes)
+
+    def test_ext_scc_both_variants(self, workload):
+        edges, n, reference = workload
+        for optimized in (False, True):
+            out = compute_sccs(edges, num_nodes=n, memory_bytes=1100,
+                               block_size=128, optimized=optimized)
+            assert out.result == reference
+
+    def test_dfs_scc(self, workload):
+        edges, n, reference = workload
+        device = BlockDevice(block_size=128)
+        memory = MemoryBudget(1100)
+        ef = EdgeFile.from_edges(device, "E", edges)
+        nf = NodeFile.from_ids(device, "V", range(n), memory, presorted=True)
+        assert dfs_scc(device, ef, nf, memory).result == reference
+
+    def test_semi_external_all(self, workload):
+        edges, n, reference = workload
+        device = BlockDevice(block_size=128)
+        ef = EdgeFile.from_edges(device, "E", edges)
+        for name, solver in SEMI_SCC_SOLVERS.items():
+            assert SCCResult(solver(ef, range(n))) == reference, name
+
+    def test_em_scc_with_plenty_of_memory(self, workload):
+        edges, n, reference = workload
+        device = BlockDevice(block_size=128)
+        memory = MemoryBudget(1 << 20)
+        ef = EdgeFile.from_edges(device, "E", edges)
+        nf = NodeFile.from_ids(device, "V", range(n), memory, presorted=True)
+        assert em_scc(device, ef, nf, memory).result == reference
+
+
+class TestFileFormatPipeline:
+    def test_text_file_to_sccs(self, tmp_path):
+        g = planted_scc_graph(60, 2.0, [10, 8], seed=0, strict=True)
+        path = tmp_path / "graph.txt"
+        from repro.graph import write_edge_text
+
+        write_edge_text(path, g.edges)
+        device = BlockDevice(block_size=64)
+        edge_file = load_edge_file(device, path)
+        memory = MemoryBudget(300)
+        from repro.core import ExtSCC
+
+        nodes = NodeFile.from_ids(device, "V", range(60), memory, presorted=True)
+        out = ExtSCC(ExtSCCConfig.optimized()).run(device, edge_file, memory, nodes=nodes)
+        assert out.result == reference_sccs(g.edges, 60)
+
+    def test_dump_after_contraction(self, tmp_path):
+        from repro.core.contraction import contract
+
+        g = planted_scc_graph(50, 2.0, [10], seed=1)
+        device = BlockDevice(block_size=64)
+        memory = MemoryBudget(300)
+        ef = EdgeFile.from_edges(device, "E", g.edges)
+        nf = NodeFile.from_ids(device, "V", range(50), memory, presorted=True)
+        level = contract(device, ef, nf, memory, ExtSCCConfig.baseline(), level=1)
+        path = tmp_path / "contracted.bin"
+        count = dump_edge_file(level.next_edges, path, binary=True)
+        assert count == level.next_edges.num_edges
+
+
+class TestMemoryRegimes:
+    """The Figure 7 story: behaviour flips at M = 8|V| + B."""
+
+    def test_exactly_at_threshold_no_contraction(self):
+        g = planted_scc_graph(64, 2.0, [12], seed=2)
+        threshold = 8 * 64 + 64
+        out = compute_sccs(g.edges, num_nodes=64, memory_bytes=threshold,
+                           block_size=64)
+        assert out.num_iterations == 0
+
+    def test_one_byte_below_threshold_contracts(self):
+        g = planted_scc_graph(64, 2.0, [12], seed=2)
+        threshold = 8 * 64 + 64
+        out = compute_sccs(g.edges, num_nodes=64, memory_bytes=threshold - 1,
+                           block_size=64)
+        assert out.num_iterations >= 1
+
+    def test_io_decreases_with_memory(self):
+        g = planted_scc_graph(80, 2.0, [15], seed=3)
+        costs = []
+        for m in (220, 400, 8 * 80 + 64):
+            out = compute_sccs(g.edges, num_nodes=80, memory_bytes=m,
+                               block_size=64, optimized=True)
+            costs.append(out.io.total)
+        assert costs[0] > costs[-1]
+        assert costs[1] >= costs[-1]
+
+
+class TestDownstreamApplications:
+    """The paper's motivating applications, end to end."""
+
+    def test_topological_sort_of_condensation(self):
+        g = webspam_like(120, avg_degree=3.0, seed=4)
+        out = compute_sccs(g.edges, num_nodes=120, memory_bytes=2048,
+                           block_size=64)
+        graph = DiGraph(g.edges, nodes=range(120))
+        dag = condensation(graph, out.result.labels)
+        assert is_dag(dag)
+        order = topological_order(dag)
+        assert len(order) == out.result.num_sccs
+
+    def test_reachability_equivalence_inside_scc(self):
+        g = planted_scc_graph(60, 2.5, [12, 8], seed=5, strict=True)
+        out = compute_sccs(g.edges, num_nodes=60, memory_bytes=300, block_size=64)
+        from repro.memory_scc import reachable_from
+
+        graph = DiGraph(g.edges, nodes=range(60))
+        scc = g.planted_sccs[0]
+        reach = reachable_from(graph, scc[0])
+        assert set(scc) <= reach
+        assert all(out.result.strongly_connected(scc[0], v) for v in scc)

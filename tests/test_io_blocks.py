@@ -1,0 +1,105 @@
+"""Tests for the simulated block device."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.io.blocks import BlockDevice
+
+
+class TestFileNamespace:
+    def test_create_and_open(self, device):
+        f = device.create("data", record_size=8)
+        assert device.open("data") is f
+        assert device.exists("data")
+
+    def test_create_duplicate_rejected(self, device):
+        device.create("data", record_size=8)
+        with pytest.raises(StorageError):
+            device.create("data", record_size=8)
+
+    def test_create_overwrite(self, device):
+        device.create("data", record_size=8)
+        f = device.create("data", record_size=4, overwrite=True)
+        assert device.open("data") is f
+
+    def test_open_missing(self, device):
+        with pytest.raises(StorageError):
+            device.open("ghost")
+
+    def test_delete(self, device):
+        device.create("data", record_size=8)
+        device.delete("data")
+        assert not device.exists("data")
+
+    def test_delete_missing(self, device):
+        with pytest.raises(StorageError):
+            device.delete("ghost")
+
+    def test_rename(self, device):
+        device.create("old", record_size=8)
+        device.rename("old", "new")
+        assert device.exists("new")
+        assert not device.exists("old")
+
+    def test_temp_names_unique(self, device):
+        names = {device.temp_name() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_list_files_sorted(self, device):
+        device.create("b", record_size=4)
+        device.create("a", record_size=4)
+        assert device.list_files() == ["a", "b"]
+
+
+class TestBlockIO:
+    def test_block_capacity_from_record_size(self, device):
+        f = device.create("data", record_size=8)
+        assert f.block_capacity == 64 // 8
+
+    def test_record_wider_than_block_rejected(self, device):
+        with pytest.raises(StorageError):
+            device.create("data", record_size=128)
+
+    def test_append_counts_sequential_write(self, device):
+        f = device.create("data", record_size=8)
+        device.append_block(f, [(1, 2)])
+        assert device.stats.seq_writes == 1
+        assert f.num_records == 1
+
+    def test_append_overfull_block_rejected(self, device):
+        f = device.create("data", record_size=32)  # capacity 2
+        with pytest.raises(StorageError):
+            device.append_block(f, [(1,), (2,), (3,)])
+
+    def test_read_block_patterns(self, device):
+        f = device.create("data", record_size=8)
+        device.append_block(f, [(1, 2)])
+        device.read_block(f, 0, sequential=True)
+        device.read_block(f, 0, sequential=False)
+        assert device.stats.seq_reads == 1
+        assert device.stats.rand_reads == 1
+
+    def test_read_block_out_of_range(self, device):
+        f = device.create("data", record_size=8)
+        with pytest.raises(StorageError):
+            device.read_block(f, 0, sequential=True)
+
+    def test_overwrite_block_counts_random_write(self, device):
+        f = device.create("data", record_size=8)
+        device.append_block(f, [(1, 2), (3, 4)])
+        device.overwrite_block(f, 0, [(9, 9)])
+        assert device.stats.rand_writes == 1
+        assert f.num_records == 1
+        assert list(device.read_block(f, 0, sequential=True)) == [(9, 9)]
+
+    def test_total_blocks(self, device):
+        f = device.create("a", record_size=8)
+        g = device.create("b", record_size=8)
+        device.append_block(f, [(1, 1)])
+        device.append_block(g, [(2, 2)])
+        device.append_block(g, [(3, 3)])
+        assert device.total_blocks() == 3
+
+    def test_invalid_block_size(self):
+        with pytest.raises(StorageError):
+            BlockDevice(block_size=0)

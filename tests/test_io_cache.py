@@ -1,0 +1,98 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.io.cache import BufferPool
+from repro.io.files import ExternalFile
+
+
+def make_file(device, blocks=6):
+    # 64-byte blocks, 8-byte records -> 8 records per block.
+    records = [(i, i) for i in range(8 * blocks)]
+    return ExternalFile.from_records(device, "data", records, 8)
+
+
+class TestCaching:
+    def test_miss_then_hit(self, device):
+        pool = BufferPool(make_file(device), capacity_blocks=2)
+        before = device.stats.snapshot()
+        pool.get_block(0)
+        pool.get_block(0)
+        delta = device.stats.snapshot() - before
+        assert delta.rand_reads == 1
+        assert pool.hits == 1
+        assert pool.misses == 1
+
+    def test_lru_eviction_order(self, device):
+        pool = BufferPool(make_file(device), capacity_blocks=2)
+        pool.get_block(0)
+        pool.get_block(1)
+        pool.get_block(0)  # touch 0 -> 1 becomes LRU
+        pool.get_block(2)  # evicts 1
+        before = device.stats.snapshot()
+        pool.get_block(0)  # still cached
+        assert (device.stats.snapshot() - before).total == 0
+        pool.get_block(1)  # was evicted -> miss
+        assert pool.misses == 4
+
+    def test_capacity_must_be_positive(self, device):
+        with pytest.raises(ValueError):
+            BufferPool(make_file(device), capacity_blocks=0)
+
+    def test_hit_rate(self, device):
+        pool = BufferPool(make_file(device), capacity_blocks=4)
+        for _ in range(3):
+            pool.get_block(1)
+        assert pool.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_empty(self, device):
+        pool = BufferPool(make_file(device), capacity_blocks=1)
+        assert pool.hit_rate == 0.0
+
+
+class TestDirtyWriteBack:
+    def test_clean_eviction_writes_nothing(self, device):
+        pool = BufferPool(make_file(device), capacity_blocks=1)
+        pool.get_block(0)
+        before = device.stats.snapshot()
+        pool.get_block(1)  # evicts clean block 0
+        assert (device.stats.snapshot() - before).rand_writes == 0
+
+    def test_dirty_eviction_writes_back(self, device):
+        f = make_file(device)
+        pool = BufferPool(f, capacity_blocks=1)
+        block = pool.get_block(0)
+        block[0] = (99, 99)
+        pool.mark_dirty(0)
+        pool.get_block(1)  # evicts dirty block 0 -> random write
+        assert device.stats.rand_writes == 1
+        assert f.read_block_random(0)[0] == (99, 99)
+
+    def test_flush_persists_and_keeps_cache(self, device):
+        f = make_file(device)
+        pool = BufferPool(f, capacity_blocks=2)
+        block = pool.get_block(1)
+        block[2] = (7, 7)
+        pool.mark_dirty(1)
+        pool.flush()
+        assert f.read_block_random(1)[2] == (7, 7)
+        before = device.stats.snapshot()
+        pool.get_block(1)  # still cached after flush
+        assert (device.stats.snapshot() - before).total == 0
+
+    def test_flush_twice_writes_once(self, device):
+        pool = BufferPool(make_file(device), capacity_blocks=2)
+        pool.get_block(0)[0] = (5, 5)
+        pool.mark_dirty(0)
+        pool.flush()
+        before = device.stats.snapshot()
+        pool.flush()
+        assert (device.stats.snapshot() - before).total == 0
+
+    def test_drop_discards_dirty_state(self, device):
+        f = make_file(device)
+        pool = BufferPool(f, capacity_blocks=2)
+        pool.get_block(0)[0] = (42, 42)
+        pool.mark_dirty(0)
+        pool.drop()
+        assert f.read_block_random(0)[0] == (0, 0)

@@ -1,0 +1,129 @@
+"""Tests for record-oriented external files."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.io.files import ExternalFile
+
+
+class TestWriteRead:
+    def test_roundtrip(self, device):
+        records = [(i, i * 2) for i in range(50)]
+        ef = ExternalFile.from_records(device, "data", records, record_size=8)
+        assert list(ef.scan()) == records
+        assert ef.num_records == 50
+
+    def test_partial_block_flushed_on_close(self, device):
+        ef = ExternalFile.create(device, "data", record_size=8)  # capacity 8
+        ef.append((1, 2))
+        assert ef.num_blocks == 0  # still buffered
+        ef.close()
+        assert ef.num_blocks == 1
+        assert list(ef.scan()) == [(1, 2)]
+
+    def test_num_records_includes_buffer(self, device):
+        ef = ExternalFile.create(device, "data", record_size=8)
+        ef.append((1, 2))
+        assert ef.num_records == 1
+
+    def test_write_after_close_rejected(self, device):
+        ef = ExternalFile.from_records(device, "data", [(1, 2)], record_size=8)
+        with pytest.raises(StorageError):
+            ef.append((3, 4))
+
+    def test_scan_before_close_rejected(self, device):
+        ef = ExternalFile.create(device, "data", record_size=8)
+        ef.append((1, 2))
+        with pytest.raises(StorageError):
+            list(ef.scan())
+
+    def test_empty_file(self, device):
+        ef = ExternalFile.from_records(device, "data", [], record_size=8)
+        assert list(ef.scan()) == []
+        assert ef.num_records == 0
+        assert ef.num_blocks == 0
+
+    def test_nbytes(self, device):
+        ef = ExternalFile.from_records(device, "data", [(1,)] * 10, record_size=4)
+        assert ef.nbytes == 40
+
+
+class TestIOAccounting:
+    def test_write_charges_one_io_per_block(self, device):
+        # 64-byte blocks, 8-byte records -> 8 per block; 20 records -> 3 blocks.
+        ExternalFile.from_records(device, "data", [(i, i) for i in range(20)], 8)
+        assert device.stats.seq_writes == 3
+
+    def test_scan_charges_one_io_per_block(self, device):
+        ef = ExternalFile.from_records(device, "data", [(i, i) for i in range(20)], 8)
+        before = device.stats.snapshot()
+        list(ef.scan())
+        delta = device.stats.snapshot() - before
+        assert delta.seq_reads == 3
+        assert delta.random == 0
+
+    def test_random_read_charged_random(self, device):
+        ef = ExternalFile.from_records(device, "data", [(i, i) for i in range(20)], 8)
+        before = device.stats.snapshot()
+        ef.read_block_random(1)
+        delta = device.stats.snapshot() - before
+        assert delta.rand_reads == 1
+
+
+class TestRandomAccess:
+    def test_read_record_random(self, device):
+        ef = ExternalFile.from_records(device, "data", [(i, i * 3) for i in range(30)], 8)
+        assert ef.read_record_random(17) == (17, 51)
+
+    def test_read_record_out_of_range(self, device):
+        ef = ExternalFile.from_records(device, "data", [(1, 1)], 8)
+        with pytest.raises(StorageError):
+            ef.read_record_random(5)
+
+
+class TestScanBlocks:
+    def test_yields_whole_blocks(self, device):
+        records = [(i, i) for i in range(20)]  # 8 per 64B block
+        ef = ExternalFile.from_records(device, "data", records, 8)
+        blocks = list(ef.scan_blocks())
+        assert [len(b) for b in blocks] == [8, 8, 4]
+        assert [r for b in blocks for r in b] == records
+
+    def test_scan_blocks_before_close_rejected(self, device):
+        ef = ExternalFile.create(device, "data", record_size=8)
+        ef.append((1, 2))
+        with pytest.raises(StorageError):
+            list(ef.scan_blocks())
+
+
+class TestScanReverse:
+    def test_reverse_order(self, device):
+        records = [(i,) for i in range(25)]
+        ef = ExternalFile.from_records(device, "data", records, record_size=4)
+        assert list(ef.scan_reverse()) == list(reversed(records))
+
+    def test_reverse_charges_sequential(self, device):
+        ef = ExternalFile.from_records(device, "data", [(i,) for i in range(25)], 4)
+        before = device.stats.snapshot()
+        list(ef.scan_reverse())
+        delta = device.stats.snapshot() - before
+        assert delta.seq_reads == ef.num_blocks
+        assert delta.random == 0
+
+
+class TestManagement:
+    def test_open_existing(self, device):
+        ExternalFile.from_records(device, "data", [(1, 2)], 8)
+        again = ExternalFile.open(device, "data")
+        assert list(again.scan()) == [(1, 2)]
+
+    def test_rename(self, device):
+        ef = ExternalFile.from_records(device, "data", [(1, 2)], 8)
+        ef.rename("renamed")
+        assert device.exists("renamed")
+        assert not device.exists("data")
+
+    def test_delete(self, device):
+        ef = ExternalFile.from_records(device, "data", [(1, 2)], 8)
+        ef.delete()
+        assert not device.exists("data")

@@ -1,0 +1,96 @@
+"""Tests for merge joins and grouping over sorted streams."""
+
+from repro.io.join import anti_join, cogroup, grouped, merge_join, semi_join
+
+
+def key0(record):
+    return record[0]
+
+
+class TestGrouped:
+    def test_basic_groups(self):
+        records = [(1, "a"), (1, "b"), (2, "c")]
+        assert list(grouped(records, key0)) == [
+            (1, [(1, "a"), (1, "b")]),
+            (2, [(2, "c")]),
+        ]
+
+    def test_empty(self):
+        assert list(grouped([], key0)) == []
+
+    def test_single_group(self):
+        assert list(grouped([(5,), (5,)], key0)) == [(5, [(5,), (5,)])]
+
+
+class TestCogroup:
+    def test_aligned_keys(self):
+        left = [(1, "l")]
+        right = [(1, "r")]
+        assert list(cogroup(left, right, key0, key0)) == [(1, [(1, "l")], [(1, "r")])]
+
+    def test_left_only_key(self):
+        out = list(cogroup([(1, "l")], [(2, "r")], key0, key0))
+        assert out == [(1, [(1, "l")], []), (2, [], [(2, "r")])]
+
+    def test_interleaved(self):
+        left = [(1, 0), (3, 0), (5, 0)]
+        right = [(2, 1), (3, 1), (6, 1)]
+        keys = [k for k, _, _ in cogroup(left, right, key0, key0)]
+        assert keys == [1, 2, 3, 5, 6]
+
+    def test_both_empty(self):
+        assert list(cogroup([], [], key0, key0)) == []
+
+    def test_one_empty(self):
+        out = list(cogroup([(1, 0)], [], key0, key0))
+        assert out == [(1, [(1, 0)], [])]
+
+
+class TestMergeJoin:
+    def test_inner_join_pairs(self):
+        left = [(1, "a"), (2, "b"), (2, "c")]
+        right = [(2, "x"), (2, "y"), (3, "z")]
+        pairs = list(merge_join(left, right, key0, key0))
+        assert pairs == [
+            ((2, "b"), (2, "x")),
+            ((2, "b"), (2, "y")),
+            ((2, "c"), (2, "x")),
+            ((2, "c"), (2, "y")),
+        ]
+
+    def test_no_common_keys(self):
+        assert list(merge_join([(1,)], [(2,)], key0, key0)) == []
+
+
+class TestMembershipJoins:
+    def test_semi_join(self):
+        records = [(1, 0), (2, 0), (3, 0), (4, 0)]
+        assert list(semi_join(records, [2, 4], key0)) == [(2, 0), (4, 0)]
+
+    def test_anti_join(self):
+        records = [(1, 0), (2, 0), (3, 0), (4, 0)]
+        assert list(anti_join(records, [2, 4], key0)) == [(1, 0), (3, 0)]
+
+    def test_semi_join_duplicate_records(self):
+        records = [(2, 0), (2, 1), (3, 0)]
+        assert list(semi_join(records, [2], key0)) == [(2, 0), (2, 1)]
+
+    def test_anti_join_empty_keys(self):
+        records = [(1, 0), (2, 0)]
+        assert list(anti_join(records, [], key0)) == records
+
+    def test_semi_join_empty_keys(self):
+        assert list(semi_join([(1, 0)], [], key0)) == []
+
+    def test_keys_beyond_records(self):
+        assert list(semi_join([(1, 0)], [1, 2, 3], key0)) == [(1, 0)]
+
+    def test_partition_property(self):
+        """semi + anti is a partition of the input."""
+        records = [(i, i % 3) for i in range(20)]
+        keys = [0, 4, 7, 13, 19]
+        kept = list(semi_join(records, keys, key0))
+        dropped = list(anti_join(records, keys, key0))
+        assert sorted(kept + dropped) == records
+        assert all(r[0] in keys for r in kept)
+        assert all(r[0] not in keys for r in dropped)

@@ -1,0 +1,45 @@
+"""Tests for the memory budget."""
+
+import pytest
+
+from repro.exceptions import InsufficientMemory
+from repro.io.memory import MemoryBudget
+
+
+class TestCapacities:
+    def test_record_capacity(self):
+        assert MemoryBudget(100).record_capacity(8) == 12
+
+    def test_block_capacity(self):
+        assert MemoryBudget(1000).block_capacity(256) == 3
+
+    def test_invalid_record_size(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(100).record_capacity(0)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(100).block_capacity(-1)
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(InsufficientMemory):
+            MemoryBudget(0)
+
+
+class TestRequirements:
+    def test_require_at_least_passes(self):
+        MemoryBudget(100).require_at_least(100)
+
+    def test_require_at_least_fails(self):
+        with pytest.raises(InsufficientMemory):
+            MemoryBudget(100).require_at_least(101, what="test op")
+
+    def test_fits(self):
+        budget = MemoryBudget(64)
+        assert budget.fits(64)
+        assert not budget.fits(65)
+
+    def test_model_assumption_m_ge_2b(self):
+        MemoryBudget(128).validate_against_block(64)
+        with pytest.raises(InsufficientMemory):
+            MemoryBudget(127).validate_against_block(64)

@@ -1,0 +1,62 @@
+"""Tests for run formation (the first half of external merge sort)."""
+
+import random
+
+from repro.io.memory import MemoryBudget
+from repro.io.runs import form_runs, run_iterator
+from repro.io.sort import merge_runs
+
+
+class TestFormRuns:
+    def test_each_run_sorted(self, device):
+        rng = random.Random(0)
+        records = [(rng.randrange(100), i) for i in range(200)]
+        runs = form_runs(device, iter(records), 8, MemoryBudget(256))
+        for run in runs:
+            contents = list(run.scan())
+            assert contents == sorted(contents)
+
+    def test_run_sizes_respect_memory(self, device):
+        # M=256 bytes, 8-byte records -> 32 records per run.
+        records = [(i, 0) for i in range(100)]
+        runs = form_runs(device, iter(records), 8, MemoryBudget(256))
+        assert len(runs) == 4  # 32+32+32+4
+        assert all(run.num_records <= 32 for run in runs)
+
+    def test_union_of_runs_is_input(self, device):
+        records = [(i * 7 % 53, i) for i in range(150)]
+        runs = form_runs(device, iter(records), 8, MemoryBudget(256))
+        collected = [r for run in runs for r in run.scan()]
+        assert sorted(collected) == sorted(records)
+
+    def test_empty_input(self, device):
+        assert form_runs(device, iter([]), 8, MemoryBudget(256)) == []
+
+    def test_custom_key(self, device):
+        records = [(i, 100 - i) for i in range(50)]
+        runs = form_runs(device, iter(records), 8, MemoryBudget(4096),
+                         key=lambda r: r[1])
+        contents = list(runs[0].scan())
+        assert contents == sorted(records, key=lambda r: r[1])
+
+    def test_run_iterator(self, device):
+        runs = form_runs(device, iter([(2, 0), (1, 0)]), 8, MemoryBudget(256))
+        assert list(run_iterator(runs[0])) == [(1, 0), (2, 0)]
+
+
+class TestMergeRuns:
+    def test_merge_restores_total_order(self, device):
+        rng = random.Random(1)
+        records = [(rng.randrange(500), i) for i in range(300)]
+        runs = form_runs(device, iter(records), 8, MemoryBudget(128))
+        assert len(runs) > 2
+        merged = list(merge_runs(run.scan() for run in runs))
+        assert merged == sorted(records)
+
+    def test_merge_with_key(self, device):
+        records = [(i, 50 - i) for i in range(50)]
+        runs = form_runs(device, iter(records), 8, MemoryBudget(128),
+                         key=lambda r: r[1])
+        merged = list(merge_runs((run.scan() for run in runs),
+                                 key=lambda r: r[1]))
+        assert merged == sorted(records, key=lambda r: r[1])

@@ -1,0 +1,103 @@
+"""Tests for external merge sort."""
+
+import random
+
+import pytest
+
+from repro.io.files import ExternalFile
+from repro.io.memory import MemoryBudget
+from repro.io.sort import external_sort, external_sort_records, sorted_unique_scan
+
+
+def _file_of(device, records, record_size=8, name="in"):
+    return ExternalFile.from_records(device, name, records, record_size)
+
+
+class TestSorting:
+    def test_sorts_random_records(self, device, memory):
+        rng = random.Random(0)
+        records = [(rng.randrange(1000), rng.randrange(1000)) for _ in range(500)]
+        out = external_sort(_file_of(device, records), memory)
+        assert list(out.scan()) == sorted(records)
+
+    def test_sort_with_key(self, device, memory):
+        records = [(i, 100 - i) for i in range(100)]
+        out = external_sort(_file_of(device, records), memory, key=lambda r: r[1])
+        assert list(out.scan()) == sorted(records, key=lambda r: r[1])
+
+    def test_sort_empty(self, device, memory):
+        out = external_sort(_file_of(device, []), memory)
+        assert list(out.scan()) == []
+
+    def test_sort_single_record(self, device, memory):
+        out = external_sort(_file_of(device, [(5, 6)]), memory)
+        assert list(out.scan()) == [(5, 6)]
+
+    def test_sort_already_sorted(self, device, memory):
+        records = [(i, 0) for i in range(200)]
+        out = external_sort(_file_of(device, records), memory)
+        assert list(out.scan()) == records
+
+    def test_sort_is_stable_for_equal_tuples(self, device, memory):
+        records = [(1, 1)] * 50 + [(0, 0)] * 50
+        out = external_sort(_file_of(device, records), memory)
+        assert list(out.scan()) == sorted(records)
+
+    def test_unique_drops_duplicates(self, device, memory):
+        records = [(i % 10, 0) for i in range(100)]
+        out = external_sort(_file_of(device, records), memory, unique=True)
+        assert list(out.scan()) == [(i, 0) for i in range(10)]
+
+    def test_out_name_respected(self, device, memory):
+        out = external_sort(_file_of(device, [(2, 0), (1, 0)]), memory, out_name="sorted")
+        assert out.name == "sorted"
+        assert device.exists("sorted")
+
+    def test_delete_input(self, device, memory):
+        infile = _file_of(device, [(2, 0), (1, 0)])
+        external_sort(infile, memory, delete_input=True)
+        assert not device.exists("in")
+
+
+class TestMultiPass:
+    def test_tiny_memory_forces_multiple_passes(self, device):
+        # 64-byte blocks; M=128 -> fan-in 2; 2000 records of 8 bytes ->
+        # 125 runs merged pairwise over ~7 passes.
+        memory = MemoryBudget(128)
+        rng = random.Random(1)
+        records = [(rng.randrange(10_000), 0) for _ in range(2000)]
+        out = external_sort_records(device, iter(records), 8, memory)
+        assert list(out.scan()) == sorted(records)
+
+    def test_temp_runs_cleaned_up(self, device, memory):
+        records = [(i % 7, i) for i in range(300)]
+        before = set(device.list_files())
+        out = external_sort_records(device, iter(records), 8, memory, out_name="result")
+        after = set(device.list_files())
+        assert after - before == {"result"}
+
+    def test_io_cost_scales_with_passes(self, device):
+        """More memory => fewer merge passes => fewer I/Os."""
+        records = [(i * 37 % 5000, 0) for i in range(3000)]
+        small = MemoryBudget(128)
+        big = MemoryBudget(4096)
+        before = device.stats.total
+        external_sort_records(device, iter(records), 8, small)
+        small_cost = device.stats.total - before
+        before = device.stats.total
+        external_sort_records(device, iter(records), 8, big)
+        big_cost = device.stats.total - before
+        assert big_cost < small_cost
+
+    def test_sort_never_random(self, device, memory):
+        records = [(i * 13 % 997, i) for i in range(1500)]
+        external_sort_records(device, iter(records), 8, memory)
+        assert device.stats.random == 0
+
+
+class TestSortedUniqueScan:
+    def test_dedupes_neighbors(self):
+        assert list(sorted_unique_scan([(1,), (1,), (2,), (3,), (3,)])) == [(1,), (2,), (3,)]
+
+    def test_empty(self):
+        assert list(sorted_unique_scan([])) == []

@@ -1,0 +1,122 @@
+"""Tests for the I/O ledger: counting, phases, snapshots, budgets."""
+
+import pytest
+
+from repro.exceptions import IOBudgetExceeded
+from repro.io.stats import IOBudget, IOSnapshot, IOStats
+
+
+class TestCounters:
+    def test_starts_at_zero(self):
+        stats = IOStats()
+        assert stats.total == 0
+        assert stats.sequential == 0
+        assert stats.random == 0
+
+    def test_sequential_read_counts(self):
+        stats = IOStats()
+        stats.record_read(sequential=True)
+        assert stats.seq_reads == 1
+        assert stats.total == 1
+        assert stats.random == 0
+
+    def test_random_write_counts(self):
+        stats = IOStats()
+        stats.record_write(sequential=False, blocks=3)
+        assert stats.rand_writes == 3
+        assert stats.random == 3
+        assert stats.sequential == 0
+
+    def test_mixed_totals(self):
+        stats = IOStats()
+        stats.record_read(sequential=True, blocks=2)
+        stats.record_read(sequential=False)
+        stats.record_write(sequential=True, blocks=4)
+        stats.record_write(sequential=False, blocks=5)
+        assert stats.total == 12
+        assert stats.sequential == 6
+        assert stats.random == 6
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_read(sequential=True)
+        with stats.phase("p"):
+            stats.record_write(sequential=True)
+        stats.reset()
+        assert stats.total == 0
+        assert stats.by_phase == {}
+
+
+class TestSnapshots:
+    def test_snapshot_is_frozen(self):
+        stats = IOStats()
+        stats.record_read(sequential=True)
+        snap = stats.snapshot()
+        stats.record_read(sequential=True)
+        assert snap.seq_reads == 1
+        assert stats.seq_reads == 2
+
+    def test_snapshot_delta(self):
+        stats = IOStats()
+        stats.record_read(sequential=True)
+        before = stats.snapshot()
+        stats.record_write(sequential=False, blocks=2)
+        delta = stats.snapshot() - before
+        assert delta.total == 2
+        assert delta.rand_writes == 2
+        assert delta.seq_reads == 0
+
+    def test_snapshot_properties(self):
+        snap = IOSnapshot(seq_reads=1, seq_writes=2, rand_reads=3, rand_writes=4)
+        assert snap.total == 10
+        assert snap.sequential == 3
+        assert snap.random == 7
+
+
+class TestPhases:
+    def test_phase_attribution(self):
+        stats = IOStats()
+        with stats.phase("sort"):
+            stats.record_read(sequential=True)
+            stats.record_write(sequential=True)
+        stats.record_read(sequential=True)  # outside any phase
+        assert stats.by_phase["sort"].total == 2
+        assert stats.total == 3
+
+    def test_nested_phases_charge_both(self):
+        stats = IOStats()
+        with stats.phase("outer"):
+            with stats.phase("inner"):
+                stats.record_read(sequential=False)
+        assert stats.by_phase["outer"].rand_reads == 1
+        assert stats.by_phase["inner"].rand_reads == 1
+
+    def test_phase_reenter_accumulates(self):
+        stats = IOStats()
+        for _ in range(2):
+            with stats.phase("p"):
+                stats.record_write(sequential=True)
+        assert stats.by_phase["p"].seq_writes == 2
+
+
+class TestBudget:
+    def test_budget_allows_under_cap(self):
+        stats = IOStats(budget=IOBudget(3))
+        for _ in range(3):
+            stats.record_read(sequential=True)
+        assert stats.total == 3
+
+    def test_budget_raises_over_cap(self):
+        stats = IOStats(budget=IOBudget(2))
+        stats.record_read(sequential=True)
+        stats.record_read(sequential=True)
+        with pytest.raises(IOBudgetExceeded) as excinfo:
+            stats.record_read(sequential=True)
+        assert excinfo.value.used == 3
+        assert excinfo.value.budget == 2
+
+    def test_budget_counts_all_kinds(self):
+        stats = IOStats(budget=IOBudget(1))
+        stats.record_write(sequential=False)
+        with pytest.raises(IOBudgetExceeded):
+            stats.record_write(sequential=True)

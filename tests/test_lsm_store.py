@@ -1,0 +1,119 @@
+"""Tests for the LSM-style message store and its use inside DFS-SCC."""
+
+import random
+
+import pytest
+
+from tests.conftest import random_edges, reference_sccs
+
+from repro.baselines.lsm_store import LSMMessageStore
+from repro.graph.edge_file import EdgeFile, NodeFile
+from repro.io.blocks import BlockDevice
+from repro.io.memory import MemoryBudget
+
+
+class TestBasics:
+    def test_insert_extract(self, device):
+        store = LSMMessageStore(device, key_space=100)
+        store.insert(5, 42)
+        assert store.extract_all(5) == [42]
+        assert store.extract_all(5) == []
+
+    def test_multiple_values(self, device):
+        store = LSMMessageStore(device, key_space=100)
+        for value in (3, 1, 2):
+            store.insert(9, value)
+        assert sorted(store.extract_all(9)) == [1, 2, 3]
+
+    def test_key_isolation(self, device):
+        store = LSMMessageStore(device, key_space=100)
+        store.insert(1, 10)
+        store.insert(2, 20)
+        assert store.extract_all(2) == [20]
+        assert store.extract_all(1) == [10]
+
+    def test_key_out_of_range(self, device):
+        store = LSMMessageStore(device, key_space=10)
+        with pytest.raises(ValueError):
+            store.insert(10, 0)
+
+    def test_extract_missing(self, device):
+        store = LSMMessageStore(device, key_space=10)
+        assert store.extract_all(3) == []
+
+
+class TestRunsAndCompaction:
+    def test_memtable_flush_creates_runs(self, device):
+        store = LSMMessageStore(device, key_space=1000, memtable_entries=8)
+        for i in range(40):
+            store.insert(i % 50, i)
+        assert store.num_runs > 0
+
+    def test_compaction_bounds_run_count(self, device):
+        store = LSMMessageStore(device, key_space=1000, memtable_entries=4,
+                                max_runs=3)
+        for i in range(200):
+            store.insert(i % 37, i)
+        assert store.num_runs <= 3 + 1
+
+    def test_extract_spans_memtable_and_runs(self, device):
+        store = LSMMessageStore(device, key_space=1000, memtable_entries=4)
+        for i in range(10):
+            store.insert(7, i)  # forces flushes between inserts
+        assert sorted(store.extract_all(7)) == list(range(10))
+
+    def test_extract_uses_random_io(self, device):
+        store = LSMMessageStore(device, key_space=1000, memtable_entries=4)
+        for i in range(60):
+            store.insert(i % 29, i)
+        before = device.stats.snapshot()
+        store.extract_all(13)
+        assert (device.stats.snapshot() - before).random > 0
+
+    def test_drop_removes_files(self, device):
+        store = LSMMessageStore(device, key_space=1000, memtable_entries=4,
+                                name="mylsm")
+        for i in range(50):
+            store.insert(i % 11, i)
+        store.drop()
+        assert not any(n.startswith("mylsm") for n in device.list_files())
+
+    def test_randomized_against_dict(self, device):
+        store = LSMMessageStore(device, key_space=64, memtable_entries=6,
+                                max_runs=3)
+        rng = random.Random(9)
+        oracle = {}
+        for step in range(800):
+            if rng.random() < 0.7:
+                key = rng.randrange(64)
+                oracle.setdefault(key, []).append(step)
+                store.insert(key, step)
+            else:
+                key = rng.randrange(64)
+                assert sorted(store.extract_all(key)) == sorted(oracle.pop(key, []))
+        for key in list(oracle):
+            assert sorted(store.extract_all(key)) == sorted(oracle.pop(key))
+
+
+class TestInsideDFSSCC:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lsm_backed_dfs_scc_correct(self, seed):
+        from repro.baselines import dfs_scc
+
+        edges = random_edges(40, 100, seed)
+        device = BlockDevice(block_size=64)
+        memory = MemoryBudget(512)
+        ef = EdgeFile.from_edges(device, "E", edges)
+        nf = NodeFile.from_ids(device, "V", range(40), memory, presorted=True)
+        out = dfs_scc(device, ef, nf, memory, message_store="lsm")
+        assert out.result == reference_sccs(edges, 40)
+
+    def test_unknown_store_rejected(self):
+        from repro.baselines import dfs_scc
+
+        device = BlockDevice(block_size=64)
+        memory = MemoryBudget(512)
+        ef = EdgeFile.from_edges(device, "E", [(0, 1)])
+        nf = NodeFile.from_ids(device, "V", range(2), memory, presorted=True)
+        with pytest.raises(ValueError):
+            dfs_scc(device, ef, nf, memory, message_store="btree")

@@ -1,0 +1,112 @@
+"""Tests for the cached external node table."""
+
+import random
+
+import pytest
+
+from repro.baselines.node_table import NodeTable
+from repro.exceptions import StorageError
+from repro.io.memory import MemoryBudget
+
+
+def make_table(device, n=50, memory_bytes=512):
+    records = [(i * 3, i, i * 2, 0) for i in range(n)]  # sparse ids 0,3,6,...
+    table = NodeTable(device, records, 16, MemoryBudget(memory_bytes))
+    return table, records
+
+
+class TestLookup:
+    def test_get_present(self, device):
+        table, records = make_table(device)
+        assert table.get(9) == (9, 3, 6, 0)
+
+    def test_get_absent_between_keys(self, device):
+        table, _ = make_table(device)
+        assert table.get(10) is None
+
+    def test_get_first_and_last(self, device):
+        table, records = make_table(device)
+        assert table.get(records[0][0]) == records[0]
+        assert table.get(records[-1][0]) == records[-1]
+
+    def test_get_beyond_range(self, device):
+        table, _ = make_table(device)
+        assert table.get(10_000) is None
+
+    def test_empty_table(self, device):
+        table = NodeTable(device, [], 16, MemoryBudget(512))
+        assert table.get(0) is None
+
+
+class TestUpdate:
+    def test_update_roundtrip(self, device):
+        table, _ = make_table(device)
+        table.update(9, (9, 3, 6, 1))
+        assert table.get(9) == (9, 3, 6, 1)
+
+    def test_update_missing_rejected(self, device):
+        table, _ = make_table(device)
+        with pytest.raises(StorageError):
+            table.update(10, (10, 0, 0, 0))
+
+    def test_update_wrong_key_rejected(self, device):
+        table, _ = make_table(device)
+        with pytest.raises(StorageError):
+            table.update(9, (8, 0, 0, 0))
+
+    def test_updates_survive_eviction(self, device):
+        # Tiny cache: 1 block; walk across many blocks to force evictions.
+        table, records = make_table(device, n=60, memory_bytes=128)
+        for node, *_ in records:
+            table.update(node, (node, 0, 0, 1))
+        for node, *_ in records:
+            assert table.get(node) == (node, 0, 0, 1)
+
+    def test_scan_sees_flushed_updates(self, device):
+        table, records = make_table(device)
+        table.update(0, (0, 0, 0, 1))
+        scanned = list(table.scan())
+        assert scanned[0] == (0, 0, 0, 1)
+        assert len(scanned) == len(records)
+
+
+class TestIOAccounting:
+    def test_cache_miss_charges_random_read(self, device):
+        table, _ = make_table(device, n=60, memory_bytes=128)
+        before = device.stats.snapshot()
+        table.get(0)
+        table.get(177)  # far block: miss
+        delta = device.stats.snapshot() - before
+        assert delta.rand_reads >= 1
+
+    def test_cache_hit_is_free(self, device):
+        table, _ = make_table(device)
+        table.get(9)
+        before = device.stats.snapshot()
+        table.get(9)
+        delta = device.stats.snapshot() - before
+        assert delta.total == 0
+
+    def test_dirty_eviction_charges_random_write(self, device):
+        table, records = make_table(device, n=80, memory_bytes=128)
+        before = device.stats.snapshot()
+        for node, *_ in records:
+            table.update(node, (node, 0, 0, 1))
+        delta = device.stats.snapshot() - before
+        assert delta.rand_writes >= 1
+
+
+class TestStress:
+    def test_randomized_against_dict(self, device):
+        table, records = make_table(device, n=70, memory_bytes=192)
+        oracle = {r[0]: r for r in records}
+        rng = random.Random(7)
+        keys = list(oracle)
+        for step in range(800):
+            node = rng.choice(keys)
+            if rng.random() < 0.5:
+                updated = (node, step, step + 1, step % 2)
+                oracle[node] = updated
+                table.update(node, updated)
+            else:
+                assert table.get(node) == oracle[node]

@@ -1,0 +1,44 @@
+"""Tests for the Definition 5.1 / 7.1 node-order operators."""
+
+from repro.core.operators import basic_key, make_key_fn, product_key
+
+
+class TestBasicKey:
+    def test_degree_dominates(self):
+        assert basic_key(1, 10) > basic_key(99, 9)
+
+    def test_id_breaks_ties(self):
+        assert basic_key(5, 10) > basic_key(4, 10)
+
+    def test_total_order(self):
+        keys = [basic_key(i, d) for i in range(5) for d in range(5)]
+        assert len(set(keys)) == len(keys)
+
+
+class TestProductKey:
+    def test_degree_still_dominates(self):
+        assert product_key(1, 10, 0) > product_key(2, 9, 100)
+
+    def test_product_breaks_degree_ties(self):
+        # Equal degree: the node whose removal creates more edges is larger
+        # (kept in the cover) — Definition 7.1's edge-reduction lever.
+        assert product_key(1, 10, 25) > product_key(2, 10, 9)
+
+    def test_id_breaks_full_ties(self):
+        assert product_key(7, 10, 25) > product_key(6, 10, 25)
+
+
+class TestMakeKeyFn:
+    def test_basic_fn(self):
+        key = make_key_fn(product_operator=False)
+        assert key(3, (8,)) == (8, 3)
+
+    def test_product_fn(self):
+        key = make_key_fn(product_operator=True)
+        assert key(3, (8, 15)) == (8, 15, 3)
+
+    def test_consistency_with_module_functions(self):
+        basic = make_key_fn(False)
+        prod = make_key_fn(True)
+        assert basic(4, (9,)) == basic_key(4, 9)
+        assert prod(4, (9, 14)) == product_key(4, 9, 14)

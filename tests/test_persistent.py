@@ -1,0 +1,139 @@
+"""Tests for the persistent (real-filesystem) block device."""
+
+import pytest
+
+from tests.conftest import random_edges, reference_sccs
+
+from repro.core import ExtSCC, ExtSCCConfig
+from repro.exceptions import StorageError
+from repro.graph.edge_file import EdgeFile, NodeFile
+from repro.io.blocks import BlockDevice
+from repro.io.files import ExternalFile
+from repro.io.memory import MemoryBudget
+from repro.io.persistent import PersistentBlockDevice
+from repro.io.sort import external_sort
+
+
+@pytest.fixture
+def pdevice(tmp_path):
+    return PersistentBlockDevice(tmp_path / "disk", block_size=64)
+
+
+class TestBasicIO:
+    def test_roundtrip(self, pdevice):
+        records = [(i, i * 2) for i in range(50)]
+        ef = ExternalFile.from_records(pdevice, "data", records, 8)
+        assert list(ef.scan()) == records
+
+    def test_data_actually_on_disk(self, tmp_path, pdevice):
+        ExternalFile.from_records(pdevice, "data", [(1, 2)], 8)
+        blk_files = list((tmp_path / "disk").glob("*.blk"))
+        assert blk_files
+        assert blk_files[0].stat().st_size > 0
+
+    def test_random_block_read(self, pdevice):
+        records = [(i, 0) for i in range(40)]
+        ef = ExternalFile.from_records(pdevice, "data", records, 8)
+        assert ef.read_block_random(2)[0] == (16, 0)
+
+    def test_overwrite_block(self, pdevice):
+        ef = ExternalFile.from_records(pdevice, "data", [(i, 0) for i in range(16)], 8)
+        pdevice.overwrite_block(ef._file, 0, [(99, 99)])
+        assert list(ef.read_block_random(0)) == [(99, 99)]
+        assert ef.num_records == 9  # 1 + second block's 8
+
+    def test_io_accounting_matches_ram_device(self, tmp_path):
+        """Same workload, same ledger on both backends."""
+        records = [(i * 7 % 97, i) for i in range(300)]
+        ram = BlockDevice(block_size=64)
+        disk = PersistentBlockDevice(tmp_path / "d2", block_size=64)
+        for device in (ram, disk):
+            infile = ExternalFile.from_records(device, "in", records, 8)
+            external_sort(infile, MemoryBudget(256))
+        assert ram.stats.total == disk.stats.total
+        assert ram.stats.random == disk.stats.random
+
+    def test_negative_values_roundtrip(self, pdevice):
+        ef = ExternalFile.from_records(pdevice, "data", [(-5, 2**40)], 8)
+        assert list(ef.scan()) == [(-5, 2**40)]
+
+    def test_misaligned_record_size_rejected(self, pdevice):
+        with pytest.raises(StorageError):
+            pdevice.create("bad", record_size=7)
+
+    def test_wrong_arity_rejected(self, pdevice):
+        f = pdevice.create("data", record_size=8)
+        with pytest.raises(StorageError):
+            pdevice.append_block(f, [(1, 2, 3)])
+
+
+class TestNamespace:
+    def test_delete_removes_file(self, tmp_path, pdevice):
+        ef = ExternalFile.from_records(pdevice, "data", [(1, 2)], 8)
+        path = ef._file.path
+        ef.delete()
+        assert not path.exists()
+        assert not pdevice.exists("data")
+
+    def test_rename(self, pdevice):
+        ef = ExternalFile.from_records(pdevice, "old", [(1, 2)], 8)
+        pdevice.rename("old", "new")
+        again = ExternalFile.open(pdevice, "new")
+        assert list(again.scan()) == [(1, 2)]
+
+    def test_awkward_names_sanitized(self, pdevice):
+        ef = ExternalFile.from_records(pdevice, "a/b c:d", [(1, 2)], 8)
+        assert list(ef.scan()) == [(1, 2)]
+
+
+class TestPersistence:
+    def test_reopen_after_close(self, tmp_path):
+        records = [(i, i + 1) for i in range(30)]
+        with PersistentBlockDevice(tmp_path / "d", block_size=64) as device:
+            ExternalFile.from_records(device, "kept", records, 8)
+        reopened = PersistentBlockDevice(tmp_path / "d", block_size=64)
+        ef = ExternalFile.open(reopened, "kept")
+        assert list(ef.scan()) == records
+        assert ef.num_records == 30
+
+    def test_reopen_wrong_block_size_rejected(self, tmp_path):
+        with PersistentBlockDevice(tmp_path / "d", block_size=64):
+            pass
+        with pytest.raises(StorageError):
+            PersistentBlockDevice(tmp_path / "d", block_size=128)
+
+    def test_overwrite_counts_survive_reopen(self, tmp_path):
+        with PersistentBlockDevice(tmp_path / "d", block_size=64) as device:
+            ef = ExternalFile.from_records(
+                device, "data", [(i, 0) for i in range(16)], 8
+            )
+            device.overwrite_block(ef._file, 0, [(5, 5)])
+        reopened = PersistentBlockDevice(tmp_path / "d", block_size=64)
+        ef = ExternalFile.open(reopened, "data")
+        assert ef.num_records == 9
+
+
+class TestFullPipeline:
+    def test_ext_scc_on_persistent_device(self, tmp_path):
+        edges = random_edges(50, 120, seed=4)
+        device = PersistentBlockDevice(tmp_path / "d", block_size=64)
+        memory = MemoryBudget(300)
+        edge_file = EdgeFile.from_edges(device, "E", edges)
+        node_file = NodeFile.from_ids(device, "V", range(50), memory, presorted=True)
+        out = ExtSCC(ExtSCCConfig.optimized()).run(device, edge_file, memory,
+                                                   nodes=node_file)
+        assert out.num_iterations >= 1
+        assert out.result == reference_sccs(edges, 50)
+        assert out.io.random == 0
+
+    def test_dfs_scc_on_persistent_device(self, tmp_path):
+        from repro.baselines import dfs_scc
+
+        edges = random_edges(40, 90, seed=5)
+        device = PersistentBlockDevice(tmp_path / "d", block_size=64)
+        memory = MemoryBudget(512)
+        edge_file = EdgeFile.from_edges(device, "E", edges)
+        node_file = NodeFile.from_ids(device, "V", range(40), memory, presorted=True)
+        out = dfs_scc(device, edge_file, node_file, memory)
+        assert out.result == reference_sccs(edges, 40)
+        assert out.io.random > 0

@@ -1,0 +1,86 @@
+"""Tests for the Ext-SCC planner (EXPLAIN)."""
+
+import pytest
+
+from repro.analysis import plan_ext_scc
+from repro.constants import SEMI_EXTERNAL_BYTES_PER_NODE
+
+
+class TestSchedule:
+    def test_no_iterations_when_nodes_fit(self):
+        plan = plan_ext_scc(100, 400, memory_bytes=8 * 100 + 4096)
+        assert plan.num_iterations == 0
+        assert plan.feasible
+        assert plan.total_ios == plan.semi_scc_ios
+
+    def test_iterations_until_threshold(self):
+        plan = plan_ext_scc(10_000, 40_000, memory_bytes=8 * 5000, block_size=512)
+        assert plan.num_iterations >= 1
+        last = plan.iterations[-1]
+        threshold = plan.memory_bytes - plan.block_size
+        assert SEMI_EXTERNAL_BYTES_PER_NODE * last.next_num_nodes <= threshold
+        assert SEMI_EXTERNAL_BYTES_PER_NODE * last.num_nodes > threshold
+
+    def test_node_counts_follow_retention(self):
+        plan = plan_ext_scc(10_000, 40_000, memory_bytes=8 * 5000,
+                            block_size=512, node_retention=0.5)
+        assert plan.iterations[0].next_num_nodes == 5000
+
+    def test_more_memory_fewer_iterations(self):
+        small = plan_ext_scc(10_000, 40_000, memory_bytes=8 * 3000, block_size=512)
+        large = plan_ext_scc(10_000, 40_000, memory_bytes=8 * 8000, block_size=512)
+        assert large.num_iterations < small.num_iterations
+        assert large.total_ios < small.total_ios
+
+    def test_infeasible_when_no_progress(self):
+        plan = plan_ext_scc(10_000, 40_000, memory_bytes=8 * 5000,
+                            block_size=512, node_retention=1.0)
+        assert not plan.feasible
+        assert "NOT FEASIBLE" in plan.render()
+
+    def test_max_iterations_marks_infeasible(self):
+        plan = plan_ext_scc(10_000_000, 40_000_000, memory_bytes=4096,
+                            block_size=512, node_retention=0.999,
+                            max_iterations=5)
+        assert not plan.feasible
+
+
+class TestRender:
+    def test_render_contains_rows(self):
+        plan = plan_ext_scc(10_000, 40_000, memory_bytes=8 * 5000, block_size=512)
+        text = plan.render()
+        assert "Ext-SCC plan" in text
+        assert "TOTAL predicted" in text
+        assert str(plan.num_iterations) in text
+
+    def test_paper_scale_is_plausible(self):
+        """At the paper's WEBSPAM point (|V|=105.9M, M=400M) the planner
+        must land in the paper's measured millions-of-I/Os regime."""
+        plan = plan_ext_scc(
+            105_900_000, 3_738_733_568 // 8,  # the 1/8 edge sample regime
+            memory_bytes=400 * (1 << 20), block_size=256 * 1024,
+        )
+        assert plan.feasible
+        assert 10_000 < plan.total_ios < 100_000_000
+
+
+class TestAccuracyAgainstRealRuns:
+    def test_prediction_within_factor_of_measurement(self):
+        """Feed the planner the *measured* retention/growth of a real run
+        and require its I/O total to be in range."""
+        from repro.core import compute_sccs
+        from tests.conftest import random_edges
+
+        edges = random_edges(300, 900, seed=3)
+        out = compute_sccs(edges, num_nodes=300, memory_bytes=1200,
+                           block_size=64, optimized=False)
+        assert out.num_iterations >= 1
+        retentions = [r.next_num_nodes / r.num_nodes for r in out.iterations]
+        growths = [max(0.01, r.edge_growth) for r in out.iterations]
+        plan = plan_ext_scc(
+            300, 900, memory_bytes=1200, block_size=64,
+            node_retention=sum(retentions) / len(retentions),
+            edge_growth=sum(growths) / len(growths),
+        )
+        assert plan.feasible
+        assert plan.total_ios / 4 <= out.io.total <= plan.total_ios * 4

@@ -1,0 +1,121 @@
+"""Tests for the external priority queue."""
+
+import heapq
+import random
+
+import pytest
+
+from repro.io.memory import MemoryBudget
+from repro.io.priority_queue import ExternalPriorityQueue
+
+
+def make_pq(device, memory_bytes=300):
+    return ExternalPriorityQueue(device, MemoryBudget(memory_bytes))
+
+
+class TestBasics:
+    def test_push_pop_single(self, device):
+        pq = make_pq(device)
+        pq.push(5, 50)
+        assert pq.pop_min() == (5, 50)
+        assert len(pq) == 0
+
+    def test_orders_by_key(self, device):
+        pq = make_pq(device)
+        for key in (3, 1, 2):
+            pq.push(key, key * 10)
+        assert [pq.pop_min() for _ in range(3)] == [(1, 10), (2, 20), (3, 30)]
+
+    def test_peek_does_not_remove(self, device):
+        pq = make_pq(device)
+        pq.push(4, 0)
+        assert pq.peek_min() == (4, 0)
+        assert len(pq) == 1
+
+    def test_empty_pop_raises(self, device):
+        pq = make_pq(device)
+        with pytest.raises(IndexError):
+            pq.pop_min()
+        with pytest.raises(IndexError):
+            pq.peek_min()
+
+    def test_duplicates_allowed(self, device):
+        pq = make_pq(device)
+        pq.push(1, 7)
+        pq.push(1, 7)
+        assert pq.pop_min() == (1, 7)
+        assert pq.pop_min() == (1, 7)
+
+    def test_pop_key_collects_all_payloads(self, device):
+        pq = make_pq(device)
+        for payload in (3, 1, 2):
+            pq.push(5, payload)
+        pq.push(9, 0)
+        assert pq.pop_key(5) == [1, 2, 3]
+        assert pq.pop_key(5) == []
+        assert len(pq) == 1
+
+
+class TestSpilling:
+    def test_overflow_spills_runs(self, device):
+        pq = make_pq(device, memory_bytes=64)  # tiny heap
+        for i in range(100):
+            pq.push(i % 37, i)
+        assert pq.num_runs > 0
+        assert device.stats.seq_writes > 0
+
+    def test_order_across_heap_and_runs(self, device):
+        pq = make_pq(device, memory_bytes=64)
+        rng = random.Random(0)
+        keys = [rng.randrange(1000) for _ in range(300)]
+        for key in keys:
+            pq.push(key, 0)
+        popped = [pq.pop_min()[0] for _ in range(len(keys))]
+        assert popped == sorted(keys)
+
+    def test_interleaved_push_pop(self, device):
+        pq = make_pq(device, memory_bytes=64)
+        rng = random.Random(1)
+        oracle = []
+        clock = 0
+        for _ in range(600):
+            if oracle and rng.random() < 0.4:
+                assert pq.pop_min() == heapq.heappop(oracle)
+            else:
+                clock += 1
+                item = (clock + rng.randrange(50), rng.randrange(100))
+                pq.push(*item)
+                heapq.heappush(oracle, item)
+        while oracle:
+            assert pq.pop_min() == heapq.heappop(oracle)
+
+    def test_monotone_pop_key_stream(self, device):
+        """The time-forward-processing pattern: keys drained in order."""
+        pq = make_pq(device, memory_bytes=64)
+        rng = random.Random(2)
+        expected = {}
+        for _ in range(400):
+            key = rng.randrange(40)
+            payload = rng.randrange(1000)
+            expected.setdefault(key, []).append(payload)
+            pq.push(key, payload)
+        for key in range(40):
+            assert pq.pop_key(key) == sorted(expected.get(key, []))
+        assert len(pq) == 0
+
+    def test_drop_removes_run_files(self, device):
+        pq = ExternalPriorityQueue(device, MemoryBudget(64), name="q")
+        for i in range(200):
+            pq.push(i, 0)
+        assert any(name.startswith("q.run") for name in device.list_files())
+        pq.drop()
+        assert not any(name.startswith("q.run") for name in device.list_files())
+
+    def test_runs_read_sequentially(self, device):
+        pq = make_pq(device, memory_bytes=64)
+        for i in range(300):
+            pq.push(i * 7 % 101, i)
+        before = device.stats.snapshot()
+        while len(pq):
+            pq.pop_min()
+        assert (device.stats.snapshot() - before).random == 0

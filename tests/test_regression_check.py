@@ -1,0 +1,98 @@
+"""Tests for the sweep regression checker."""
+
+import json
+
+import pytest
+
+from repro.bench.regression import compare_files, compare_sweeps, render
+
+
+def payload(runs, title="Fig T"):
+    return {"title": title, "x_label": "M", "runs": runs}
+
+
+def run(algorithm, x, status="OK", io_total=1000):
+    return {"algorithm": algorithm, "x": x, "status": status,
+            "io_total": io_total, "io_random": 0, "io_sequential": io_total,
+            "wall_seconds": 1.0, "num_sccs": 5, "iterations": 2}
+
+
+class TestComparison:
+    def test_identical_sweeps_ok(self):
+        base = payload([run("A", 1), run("A", 2)])
+        comparison = compare_sweeps(base, base)
+        assert comparison.ok
+        assert comparison.regressions == []
+        assert "no regressions" in render(comparison)
+
+    def test_io_growth_within_tolerance_ok(self):
+        base = payload([run("A", 1, io_total=1000)])
+        cand = payload([run("A", 1, io_total=1050)])
+        assert compare_sweeps(base, cand, tolerance=0.10).ok
+
+    def test_io_growth_beyond_tolerance_flagged(self):
+        base = payload([run("A", 1, io_total=1000)])
+        cand = payload([run("A", 1, io_total=1300)])
+        comparison = compare_sweeps(base, cand, tolerance=0.10)
+        assert not comparison.ok
+        assert len(comparison.regressions) == 1
+        assert "1.30x" in render(comparison)
+
+    def test_status_flip_to_inf_flagged(self):
+        base = payload([run("A", 1)])
+        cand = payload([run("A", 1, status="INF", io_total=0)])
+        comparison = compare_sweeps(base, cand)
+        assert comparison.regressions[0].status_changed
+        assert "OK -> INF" in render(comparison)
+
+    def test_improvement_reported_not_flagged(self):
+        base = payload([run("A", 1, io_total=1000)])
+        cand = payload([run("A", 1, io_total=500)])
+        comparison = compare_sweeps(base, cand)
+        assert comparison.ok
+        assert len(comparison.improvements) == 1
+        assert "improved" in render(comparison)
+
+    def test_recovery_from_inf_is_improvement(self):
+        base = payload([run("A", 1, status="INF", io_total=0)])
+        cand = payload([run("A", 1, io_total=800)])
+        comparison = compare_sweeps(base, cand)
+        assert comparison.ok
+        assert len(comparison.improvements) == 1
+
+    def test_missing_point_flagged(self):
+        base = payload([run("A", 1), run("A", 2)])
+        cand = payload([run("A", 1)])
+        comparison = compare_sweeps(base, cand)
+        assert not comparison.ok
+        assert comparison.missing_points == [("A", 2)]
+        assert "MISSING" in render(comparison)
+
+    def test_zero_baseline_io(self):
+        base = payload([run("A", 1, io_total=0)])
+        cand = payload([run("A", 1, io_total=0)])
+        assert compare_sweeps(base, cand).deltas[0].io_ratio == 1.0
+
+
+class TestFiles:
+    def test_compare_files(self, tmp_path):
+        base_path = tmp_path / "base.json"
+        cand_path = tmp_path / "cand.json"
+        base_path.write_text(json.dumps(payload([run("A", 1, io_total=100)])))
+        cand_path.write_text(json.dumps(payload([run("A", 1, io_total=400)])))
+        comparison = compare_files(str(base_path), str(cand_path))
+        assert not comparison.ok
+
+    def test_against_real_benchmark_json(self, tmp_path):
+        """Round-trip with the real sweep_to_json producer."""
+        from repro.bench import run_sweep, sweep_to_json
+        from repro.graph.generators import random_digraph
+
+        g = random_digraph(30, 70, seed=0)
+        points = [(m, g.edges, 30, m) for m in (256, 512)]
+        sweep = run_sweep("t", "M", points, ["Ext-SCC"], block_size=64)
+        path = tmp_path / "s.json"
+        path.write_text(sweep_to_json(sweep))
+        comparison = compare_files(str(path), str(path))
+        assert comparison.ok
+        assert len(comparison.deltas) == 2

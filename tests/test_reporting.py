@@ -1,0 +1,117 @@
+"""Tests for sweep rendering: tables, charts, summaries, JSON."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import RunResult, Sweep
+from repro.bench.reporting import (
+    ascii_chart,
+    format_sweep,
+    shape_summary,
+    sweep_to_json,
+)
+
+
+@pytest.fixture
+def sweep():
+    s = Sweep(title="Fig X", x_label="M")
+    s.runs = [
+        RunResult("Ext-SCC", 100, "OK", io_total=5000, io_random=0,
+                  io_sequential=5000, wall_seconds=1.5, num_sccs=7, iterations=3),
+        RunResult("DFS-SCC", 100, "OK", io_total=50000, io_random=40000,
+                  io_sequential=10000, wall_seconds=4.0, num_sccs=7),
+        RunResult("Ext-SCC", 200, "OK", io_total=500, io_random=0,
+                  io_sequential=500, wall_seconds=0.2, num_sccs=7, iterations=0),
+        RunResult("DFS-SCC", 200, "INF"),
+    ]
+    return s
+
+
+class TestFormatSweep:
+    def test_io_table(self, sweep):
+        table = format_sweep(sweep, "io")
+        assert "Fig X" in table
+        assert "5,000" in table
+        assert "INF" in table
+
+    def test_time_table(self, sweep):
+        table = format_sweep(sweep, "time")
+        assert "1.50s" in table
+
+    def test_random_table(self, sweep):
+        assert "40,000" in format_sweep(sweep, "random")
+
+    def test_unknown_metric(self, sweep):
+        with pytest.raises(ValueError):
+            format_sweep(sweep, "joules")
+
+    def test_header_row(self, sweep):
+        first_line = format_sweep(sweep, "io").splitlines()[1]
+        assert "M" in first_line
+        assert "Ext-SCC" in first_line and "DFS-SCC" in first_line
+
+
+class TestAsciiChart:
+    def test_bars_scale_with_values(self, sweep):
+        chart = ascii_chart(sweep, "io", width=40)
+        lines = {line.split("|")[0].strip(): line for line in chart.splitlines()
+                 if "|" in line and "#" in line}
+        big = lines["DFS-SCC @ 100"].count("#")
+        small = lines["Ext-SCC @ 200"].count("#")
+        assert big > small
+
+    def test_inf_rendered_as_status(self, sweep):
+        chart = ascii_chart(sweep, "io")
+        assert "INF" in chart
+
+    def test_empty_sweep(self):
+        s = Sweep(title="empty", x_label="x")
+        assert "no finished runs" in ascii_chart(s)
+
+    def test_time_metric(self, sweep):
+        assert "log scale" in ascii_chart(sweep, "time")
+
+
+class TestShapeSummary:
+    def test_ratio_reported(self, sweep):
+        text = shape_summary(sweep, "Ext-SCC", "DFS-SCC")
+        assert "10.0x" in text
+
+    def test_inf_reported(self, sweep):
+        text = shape_summary(sweep, "Ext-SCC", "DFS-SCC")
+        assert "DFS-SCC -> INF" in text
+
+
+class TestPrintSweep:
+    def test_prints_requested_metrics(self, sweep, capsys):
+        from repro.bench.reporting import print_sweep
+
+        print_sweep(sweep, ["io"])
+        out = capsys.readouterr().out
+        assert "metric: io" in out
+        assert "metric: time" not in out
+
+    def test_default_metrics(self, sweep, capsys):
+        from repro.bench.reporting import print_sweep
+
+        print_sweep(sweep)
+        out = capsys.readouterr().out
+        assert "metric: io" in out and "metric: time" in out
+
+
+class TestJsonExport:
+    def test_roundtrip(self, sweep):
+        payload = json.loads(sweep_to_json(sweep))
+        assert payload["title"] == "Fig X"
+        assert len(payload["runs"]) == 4
+        first = payload["runs"][0]
+        assert first["algorithm"] == "Ext-SCC"
+        assert first["io_total"] == 5000
+        assert first["iterations"] == 3
+
+    def test_inf_run_serialized(self, sweep):
+        payload = json.loads(sweep_to_json(sweep))
+        inf_runs = [r for r in payload["runs"] if r["status"] == "INF"]
+        assert len(inf_runs) == 1
+        assert inf_runs[0]["num_sccs"] is None

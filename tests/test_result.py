@@ -1,0 +1,64 @@
+"""Tests for SCCResult."""
+
+import pytest
+
+from repro.core.result import SCCResult
+
+
+class TestCanonicalization:
+    def test_labels_become_min_member(self):
+        result = SCCResult({5: 99, 3: 99, 7: 42})
+        assert result.labels == {5: 3, 3: 3, 7: 7}
+
+    def test_from_pairs(self):
+        result = SCCResult.from_pairs([(1, 10), (2, 10), (3, 30)])
+        assert result.labels == {1: 1, 2: 1, 3: 3}
+
+    def test_different_raw_labels_same_partition_equal(self):
+        a = SCCResult({0: 100, 1: 100, 2: 200})
+        b = SCCResult({0: 7, 1: 7, 2: 8})
+        assert a == b
+        assert a.same_partition(b)
+
+    def test_different_partitions_unequal(self):
+        a = SCCResult({0: 1, 1: 1, 2: 2})
+        b = SCCResult({0: 1, 1: 2, 2: 2})
+        assert a != b
+
+
+class TestStructure:
+    @pytest.fixture
+    def result(self):
+        return SCCResult({0: 0, 1: 0, 2: 0, 3: 3, 4: 4, 5: 4})
+
+    def test_counts(self, result):
+        assert result.num_nodes == 6
+        assert result.num_sccs == 3
+
+    def test_components_sorted(self, result):
+        assert result.components() == [[0, 1, 2], [3], [4, 5]]
+
+    def test_component_of(self, result):
+        assert result.component_of(1) == [0, 1, 2]
+        assert result.component_of(3) == [3]
+
+    def test_size_histogram(self, result):
+        assert result.size_histogram() == {3: 1, 1: 1, 2: 1}
+
+    def test_largest_and_trivial(self, result):
+        assert result.largest_size == 3
+        assert result.num_trivial == 1
+        assert result.num_nontrivial == 2
+
+    def test_strongly_connected(self, result):
+        assert result.strongly_connected(0, 2)
+        assert not result.strongly_connected(0, 3)
+
+    def test_empty(self):
+        result = SCCResult({})
+        assert result.num_sccs == 0
+        assert result.largest_size == 0
+        assert result.components() == []
+
+    def test_hashable(self, result):
+        assert hash(result) == hash(SCCResult(dict(result.labels)))

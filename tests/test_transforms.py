@@ -1,0 +1,121 @@
+"""Tests for the external edge-file transforms."""
+
+import pytest
+
+from tests.conftest import random_edges
+
+from repro.constants import SCC_RECORD_BYTES
+from repro.graph.edge_file import EdgeFile, NodeFile
+from repro.graph.transforms import (
+    induced_subgraph,
+    merge_edge_files,
+    relabel,
+    remove_self_loops,
+    subsample,
+    symmetrize,
+)
+from repro.io.files import ExternalFile
+
+
+EDGES = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 3)]
+
+
+@pytest.fixture
+def edge_file(device):
+    return EdgeFile.from_edges(device, "E", EDGES)
+
+
+class TestSubsample:
+    def test_full_fraction_keeps_all(self, edge_file):
+        assert list(subsample(edge_file, 1.0).scan()) == EDGES
+
+    def test_zero_fraction_keeps_none(self, edge_file):
+        assert list(subsample(edge_file, 0.0).scan()) == []
+
+    def test_subset_property(self, device):
+        edges = random_edges(30, 300, seed=0)
+        ef = EdgeFile.from_edges(device, "E", edges)
+        sample = list(subsample(ef, 0.5, seed=1).scan())
+        assert 0 < len(sample) < 300
+        remaining = list(edges)
+        for edge in sample:
+            remaining.remove(edge)  # multiset-subset check
+
+    def test_deterministic(self, edge_file):
+        a = list(subsample(edge_file, 0.5, seed=7, out_name="a").scan())
+        b = list(subsample(edge_file, 0.5, seed=7, out_name="b").scan())
+        assert a == b
+
+    def test_invalid_fraction(self, edge_file):
+        with pytest.raises(ValueError):
+            subsample(edge_file, 1.5)
+
+
+class TestRelabel:
+    def test_identity(self, device, memory, edge_file):
+        mapping = ExternalFile.from_records(
+            device, "map", [(i, i) for i in range(4)], SCC_RECORD_BYTES
+        )
+        out = relabel(edge_file, mapping, memory)
+        assert sorted(out.scan()) == sorted(EDGES)
+
+    def test_permutation(self, device, memory, edge_file):
+        perm = {0: 10, 1: 11, 2: 12, 3: 13}
+        mapping = ExternalFile.from_records(
+            device, "map", sorted(perm.items()), SCC_RECORD_BYTES
+        )
+        out = relabel(edge_file, mapping, memory)
+        expected = sorted((perm[u], perm[v]) for u, v in EDGES)
+        assert sorted(out.scan()) == expected
+
+    def test_contraction_map(self, device, memory, edge_file):
+        mapping = ExternalFile.from_records(
+            device, "map", [(0, 0), (1, 0), (2, 0), (3, 3)], SCC_RECORD_BYTES
+        )
+        out = relabel(edge_file, mapping, memory)
+        assert sorted(out.scan()) == sorted(
+            [(0, 0), (0, 0), (0, 0), (0, 3), (3, 3)]
+        )
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, device, memory, edge_file):
+        nodes = NodeFile.from_ids(device, "N", [0, 1, 2], memory)
+        out = induced_subgraph(edge_file, nodes, memory)
+        assert sorted(out.scan()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_empty_node_set(self, device, memory, edge_file):
+        nodes = NodeFile.from_ids(device, "N", [], memory)
+        assert list(induced_subgraph(edge_file, nodes, memory).scan()) == []
+
+
+class TestMergeAndSymmetrize:
+    def test_merge_concatenates(self, device, edge_file):
+        other = EdgeFile.from_edges(device, "E2", [(7, 8)])
+        out = merge_edge_files(edge_file, other)
+        assert out.num_edges == len(EDGES) + 1
+
+    def test_symmetrize_adds_reverses(self, device, memory):
+        ef = EdgeFile.from_edges(device, "E", [(0, 1)])
+        out = symmetrize(ef, memory)
+        assert sorted(out.scan()) == [(0, 1), (1, 0)]
+
+    def test_symmetrize_dedupes(self, device, memory):
+        ef = EdgeFile.from_edges(device, "E", [(0, 1), (1, 0), (0, 1)])
+        out = symmetrize(ef, memory)
+        assert sorted(out.scan()) == [(0, 1), (1, 0)]
+
+    def test_remove_self_loops(self, device, edge_file):
+        out = remove_self_loops(edge_file)
+        assert (3, 3) not in list(out.scan())
+        assert out.num_edges == len(EDGES) - 1
+
+
+class TestIOProfile:
+    def test_transforms_sequential_only(self, device, memory, edge_file):
+        nodes = NodeFile.from_ids(device, "N", [0, 1, 2], memory)
+        subsample(edge_file, 0.5)
+        induced_subgraph(edge_file, nodes, memory)
+        symmetrize(edge_file, memory)
+        remove_self_loops(edge_file)
+        assert device.stats.random == 0

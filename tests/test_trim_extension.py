@@ -1,0 +1,85 @@
+"""Tests for the cascading Type-1 trimming extension (trim_rounds > 1)."""
+
+import pytest
+
+from tests.conftest import make_graph_files, random_edges, reference_sccs
+
+from repro.core import ExtSCCConfig, compute_sccs
+from repro.core.contraction import contract
+from repro.graph.generators import random_dag
+
+
+def chain_cycle_chain(in_len=15, cycle_len=4, out_len=15):
+    """in-chain -> cycle -> out-chain: trimming cascades along the chains."""
+    edges = [(i, i + 1) for i in range(in_len)]
+    cycle_start = in_len
+    for i in range(cycle_len):
+        edges.append((cycle_start + i, cycle_start + (i + 1) % cycle_len))
+    out_start = cycle_start + cycle_len
+    edges.append((cycle_start, out_start))
+    edges.extend((out_start + i, out_start + i + 1) for i in range(out_len - 1))
+    return edges, out_start + out_len
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("rounds", [1, 2, 4, 8])
+    def test_chain_cycle_chain(self, rounds):
+        edges, n = chain_cycle_chain()
+        config = ExtSCCConfig.optimized(trim_rounds=rounds)
+        out = compute_sccs(edges, num_nodes=n, memory_bytes=160,
+                           block_size=64, config=config)
+        assert out.result == reference_sccs(edges, n)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("rounds", [2, 5])
+    def test_random_graphs(self, seed, rounds):
+        edges = random_edges(45, 100, seed, self_loops=True)
+        config = ExtSCCConfig.optimized(trim_rounds=rounds)
+        out = compute_sccs(edges, num_nodes=45, memory_bytes=250,
+                           block_size=64, config=config)
+        assert out.result == reference_sccs(edges, 45)
+
+    def test_dag_fully_trimmed(self, device, memory):
+        """On a DAG repeated trimming can peel the whole graph."""
+        g = random_dag(40, 80, seed=2)
+        config = ExtSCCConfig.optimized(trim_rounds=50)
+        out = compute_sccs(g.edges, num_nodes=40, memory_bytes=200,
+                           block_size=64, config=config)
+        assert out.result.num_sccs == 40
+
+
+class TestEffect:
+    def test_more_rounds_trim_more_nodes(self, device, memory):
+        edges, n = chain_cycle_chain(in_len=20, out_len=20)
+        covers = {}
+        for rounds in (1, 10):
+            config = ExtSCCConfig.optimized(trim_rounds=rounds)
+            edge_file, node_file = make_graph_files(device, edges, n, memory)
+            level = contract(device, edge_file, node_file, memory, config, level=1)
+            covers[rounds] = level.next_nodes.num_nodes
+        assert covers[10] < covers[1]
+
+    def test_round_one_matches_plain_type1(self, device, memory):
+        """trim_rounds=1 is exactly the paper's single-pass Type-1."""
+        edges = random_edges(40, 90, seed=3)
+        results = []
+        for rounds in (1,):
+            config_a = ExtSCCConfig(trim_type1=True, trim_rounds=rounds)
+            edge_file, node_file = make_graph_files(device, edges, 40, memory)
+            level = contract(device, edge_file, node_file, memory, config_a, level=1)
+            results.append(sorted(level.next_nodes.scan()))
+        config_b = ExtSCCConfig(trim_type1=True)
+        edge_file, node_file = make_graph_files(device, edges, 40, memory)
+        level = contract(device, edge_file, node_file, memory, config_b, level=1)
+        assert sorted(level.next_nodes.scan()) == results[0]
+
+    def test_rounds_ignored_without_type1(self, device, memory):
+        edges = random_edges(40, 90, seed=4)
+        config_plain = ExtSCCConfig.baseline()
+        config_rounds = ExtSCCConfig(trim_rounds=7)
+        outs = []
+        for config in (config_plain, config_rounds):
+            edge_file, node_file = make_graph_files(device, edges, 40, memory)
+            level = contract(device, edge_file, node_file, memory, config, level=1)
+            outs.append(sorted(level.next_nodes.scan()))
+        assert outs[0] == outs[1]

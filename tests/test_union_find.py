@@ -1,0 +1,60 @@
+"""Tests for the union-find structure."""
+
+import random
+
+from repro.semi_external.union_find import UnionFind
+
+
+class TestBasics:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.num_sets == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_union_connects(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.num_sets == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        rep = uf.union(0, 1)
+        assert uf.union(0, 1) == rep
+        assert uf.num_sets == 2
+
+    def test_union_returns_representative(self):
+        uf = UnionFind(3)
+        rep = uf.union(0, 1)
+        assert uf.find(0) == rep
+        assert uf.find(1) == rep
+
+    def test_transitivity(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 2)
+        assert uf.connected(0, 3)
+        assert uf.num_sets == 3
+
+
+class TestStress:
+    def test_against_naive_partition(self):
+        rng = random.Random(0)
+        n = 200
+        uf = UnionFind(n)
+        naive = {i: {i} for i in range(n)}
+        for _ in range(300):
+            a, b = rng.randrange(n), rng.randrange(n)
+            uf.union(a, b)
+            sa = next(s for s in naive.values() if a in s)
+            sb = next(s for s in naive.values() if b in s)
+            if sa is not sb:
+                sa |= sb
+                for member in sb:
+                    naive[member] = sa
+        for i in range(n):
+            for j in (0, n // 2, n - 1):
+                assert uf.connected(i, j) == (j in naive[i])
+        assert uf.num_sets == len({id(s) for s in naive.values()})

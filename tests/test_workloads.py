@@ -1,0 +1,74 @@
+"""Tests for the benchmark workload builders."""
+
+import pytest
+
+from repro.bench.workloads import (
+    BENCH_NODES,
+    BLOCK_SIZE,
+    DEFAULT_MEMORY_RATIO,
+    MEMORY_RATIOS,
+    WEBSPAM_MEMORY_RATIOS,
+    family_graph,
+    memory_for_ratio,
+    semi_threshold,
+    shuffled_edges,
+    subsample_edges,
+    webspam_graph,
+)
+
+
+class TestConstants:
+    def test_memory_ratios_span_feasible_range(self):
+        assert MEMORY_RATIOS[0] >= 0.35
+        assert MEMORY_RATIOS[-1] <= 1.0
+        assert list(MEMORY_RATIOS) == sorted(MEMORY_RATIOS)
+
+    def test_webspam_ratios_cross_the_threshold(self):
+        """Fig 7's sweep must include a >= 1.0 point (the sharp drop)."""
+        assert WEBSPAM_MEMORY_RATIOS[0] < 1.0 < WEBSPAM_MEMORY_RATIOS[-1]
+
+    def test_default_ratio_matches_table1(self):
+        # Paper default M=400M against 8|V|=800M.
+        assert DEFAULT_MEMORY_RATIO == 0.5
+
+
+class TestMemoryHelpers:
+    def test_threshold_formula(self):
+        assert semi_threshold(1000) == 8 * 1000 + BLOCK_SIZE
+
+    def test_ratio_one_reaches_threshold(self):
+        n = 5000
+        assert memory_for_ratio(n, 1.0) == semi_threshold(n)
+
+    def test_ratio_below_one_forces_contraction(self):
+        n = 5000
+        assert memory_for_ratio(n, 0.5) < semi_threshold(n)
+
+    def test_model_floor(self):
+        assert memory_for_ratio(1, 0.0001) == 2 * BLOCK_SIZE
+
+
+class TestGraphBuilders:
+    def test_webspam_default_size(self):
+        g = webspam_graph(num_nodes=500)
+        assert g.num_nodes == 500
+        assert g.num_edges >= 500 * 6  # degree-6 stand-in
+
+    def test_family_graph_uses_bench_scale(self):
+        g = family_graph("large-scc")
+        assert g.num_nodes == BENCH_NODES
+
+    def test_family_overrides(self):
+        g = family_graph("small-scc", num_nodes=800, avg_degree=2.0, seed=5)
+        assert g.num_nodes == 800
+        assert g.num_edges == pytest.approx(1600, rel=0.1)
+
+    def test_shuffle_preserves_multiset(self):
+        g = family_graph("massive-scc", num_nodes=500)
+        shuffled = shuffled_edges(g, seed=3)
+        assert sorted(shuffled) == sorted(g.edges)
+        assert shuffled != g.edges
+
+    def test_subsample_fraction(self):
+        edges = [(i, i + 1) for i in range(1000)]
+        assert len(subsample_edges(edges, 30)) == 300
