@@ -9,7 +9,7 @@ Here: same percentages on the webspam stand-in at the paper's default
 memory ratio (400M / 847M ≈ 0.47 of the semi-external threshold).
 """
 
-from conftest import assert_ext_wins_or_inf, assert_monotone, report
+from conftest import RESULTS_DIR, assert_ext_wins_or_inf, assert_monotone, report
 
 from repro.bench import (
     BLOCK_SIZE,
@@ -21,10 +21,13 @@ from repro.bench import (
     subsample_edges,
     webspam_graph,
 )
+from repro.bench.harness import Sweep
+from repro.bench.regression import compare_files, render
 
 TITLE = "Fig 6 — WEBSPAM-like: cost vs graph size (% of edges)"
 PERCENTAGES = (20, 40, 60, 80, 100)
 MEMORY_RATIO = 0.47  # the paper's default 400M vs the 847.4M threshold
+SMOKE_BASELINE = RESULTS_DIR / "fig6_smoke.baseline.json"
 
 
 def _run_sweep():
@@ -66,3 +69,79 @@ def test_fig6_webspam_size(benchmark):
     )
     assert_ext_wins_or_inf(sweep, "Ext-SCC-Op", "DFS-SCC")
     assert all(not r.ok for r in sweep.series("EM-SCC"))
+
+
+def _run_smallest():
+    """Only the 20% point, Ext variants only — the CI smoke workload."""
+    graph = webspam_graph()
+    edges = shuffled_edges(graph)
+    n = graph.num_nodes
+    memory = memory_for_ratio(n, MEMORY_RATIO)
+    sub = subsample_edges(edges, PERCENTAGES[0])
+    sweep = Sweep(title=f"{TITLE} [smoke: {PERCENTAGES[0]}%]", x_label="size%")
+    for name in ("Ext-SCC", "Ext-SCC-Op"):
+        sweep.runs.append(
+            run_algorithm(name, sub, n, memory, block_size=BLOCK_SIZE,
+                          x=PERCENTAGES[0])
+        )
+    return sweep
+
+
+def test_fig6_smallest_smoke(benchmark):
+    """The smallest Fig. 6 point, gated against the checked-in baseline:
+    >5% Ext-SCC I/O growth (or any status/SCC-count change) fails CI."""
+    sweep = benchmark.pedantic(_run_smallest, rounds=1, iterations=1)
+    report(sweep, "fig6_smoke.txt")
+
+    for run in sweep.runs:
+        assert run.ok
+        assert run.io_random == 0
+    assert (
+        sweep.result("Ext-SCC-Op", 20).io_total
+        <= sweep.result("Ext-SCC", 20).io_total
+    )
+
+    if SMOKE_BASELINE.exists():
+        comparison = compare_files(
+            str(SMOKE_BASELINE), str(RESULTS_DIR / "fig6_smoke.json"),
+            tolerance=0.05,
+        )
+        assert comparison.ok, render(comparison)
+        import json
+
+        baseline = json.loads(SMOKE_BASELINE.read_text())
+        expected_sccs = {
+            (r["algorithm"], r["x"]): r["num_sccs"] for r in baseline["runs"]
+        }
+        for run in sweep.runs:
+            assert run.num_sccs == expected_sccs[(run.algorithm, run.x)]
+
+
+def test_fig6_replacement_selection_lowers_merge_passes(benchmark, monkeypatch):
+    """On the largest workload, replacement-selection run formation performs
+    strictly fewer merge passes than classic fill-sort-write formation —
+    the run-length doubling (#runs ~ m/2M) translating into saved passes."""
+    import repro.io.sort as sort_mod
+
+    graph = webspam_graph()
+    edges = subsample_edges(shuffled_edges(graph), 100)
+    n = graph.num_nodes
+    memory = memory_for_ratio(n, MEMORY_RATIO)
+
+    def passes_with(strategy):
+        monkeypatch.setattr(sort_mod, "DEFAULT_RUN_FORMATION", strategy)
+        run = run_algorithm("Ext-SCC", edges, n, memory, block_size=BLOCK_SIZE,
+                            x=100)
+        assert run.ok
+        return run
+
+    classic = benchmark.pedantic(
+        lambda: passes_with("classic"), rounds=1, iterations=1
+    )
+    rs = passes_with("replacement-selection")
+    assert rs.num_sccs == classic.num_sccs
+    assert rs.merge_passes < classic.merge_passes, (
+        rs.merge_passes, classic.merge_passes
+    )
+    assert rs.runs_formed < classic.runs_formed
+    assert rs.io_total <= classic.io_total

@@ -14,7 +14,11 @@ get to "reproducing a theorem".
 
 The constants below mirror `repro.core`: e.g. one contraction iteration
 sorts the edge file twice for ``E_in``/``E_out``, once for ``E_d``, once
-for the cover, once for ``E_pre``, and scans everything it sorts.
+for the cover, once for ``E_pre``, and scans everything it sorts.  Sorts
+whose final merge streams into the next operator (the fused boundaries in
+``contraction.py`` / ``expansion.py``) are modelled by
+:meth:`CostModel.sort_streamed`, which charges no output write; run counts
+assume replacement-selection formation (``#runs ≈ m / 2M``).
 """
 
 from __future__ import annotations
@@ -55,23 +59,53 @@ class CostModel:
         """``scan(m)``: one sequential pass."""
         return self.blocks(records, record_size)
 
+    def expected_runs(self, records: int, record_size: int) -> int:
+        """Expected initial run count under replacement selection.
+
+        Runs average ``2M`` records on random input (Knuth §5.4.1), so
+        ``#runs ≈ ceil(m / 2M)`` — half the classic ``ceil(m / M)`` — and
+        anything that fits in memory is one run.
+        """
+        run_records = max(1, self.memory_bytes // record_size)
+        if records <= run_records:
+            return 1
+        return max(2, math.ceil(records / (2 * run_records)))
+
     def sort(self, records: int, record_size: int) -> int:
         """``sort(m)``: run formation writes + merge passes (reads+writes).
 
-        Matches :func:`repro.io.sort.external_sort_records`: runs of
-        ``M / record_size`` records, merge fan-in ``M/B - 1``, one final
-        merge producing the output file.
+        Matches :func:`repro.io.sort.external_sort_records` with
+        replacement-selection run formation: expected ``m / 2M`` runs,
+        merge fan-in ``M/B - 1``, one final merge producing the output
+        file — except the single-run case, where the run file is renamed
+        into the output and the final merge costs nothing.
         """
         if records <= 0:
             return 0
         nblocks = self.blocks(records, record_size)
-        run_records = max(1, self.memory_bytes // record_size)
-        runs = math.ceil(records / run_records)
+        runs = self.expected_runs(records, record_size)
+        if runs == 1:
+            # single-run shortcut: formation writes, then a free rename.
+            return nblocks
         fan_in = max(2, self.memory_bytes // self.block_size - 1)
-        # Merge levels until a single output run remains.
-        levels = 1 if runs <= 1 else math.ceil(math.log(runs, fan_in)) or 1
+        levels = math.ceil(math.log(runs, fan_in)) or 1
         # run formation writes + each level reads and writes every block.
         return nblocks + 2 * nblocks * levels
+
+    def sort_streamed(self, records: int, record_size: int) -> int:
+        """``sort(m)`` when the final merge streams into a consumer
+        (:func:`repro.io.sort.external_sort_stream`): the output is never
+        written, so a fused boundary costs one read of the run files in
+        place of a write + later re-read of a materialized result.
+        """
+        if records <= 0:
+            return 0
+        nblocks = self.blocks(records, record_size)
+        runs = self.expected_runs(records, record_size)
+        fan_in = max(2, self.memory_bytes // self.block_size - 1)
+        levels = 1 if runs <= 1 else (math.ceil(math.log(runs, fan_in)) or 1)
+        # formation writes + intermediate passes + the final streaming read.
+        return nblocks + 2 * nblocks * (levels - 1) + nblocks
 
     # -- pipeline phases -------------------------------------------------------
 
@@ -83,15 +117,15 @@ class CostModel:
         cost = 2 * self.sort(e, EDGE_RECORD_BYTES)        # E_in, E_out
         cost += 2 * self.scan(e, EDGE_RECORD_BYTES)       # degree co-scan
         cost += self.scan(v, 12 if product_operator else 8)  # V_d write
-        cost += 2 * self.scan(e, ed_width)                # E_d build + read
-        cost += self.sort(e, ed_width)                    # E_d resort by v
+        cost += self.scan(e, ed_width)                    # E_d build
+        cost += self.sort_streamed(e, ed_width)           # E_d resort (fused)
         cost += self.sort(e, NODE_RECORD_BYTES)           # cover sort+dedupe
         return cost
 
     def get_e(self, num_edges: int, next_nodes: int, next_edges: int) -> int:
         """Theorem 5.2 instantiated: Get-E's joins and the E_pre sort."""
         cost = 2 * self.scan(num_edges, EDGE_RECORD_BYTES)   # E_del co-scans
-        cost += self.sort(num_edges, EDGE_RECORD_BYTES)      # E_pre resort
+        cost += self.sort_streamed(num_edges, EDGE_RECORD_BYTES)  # E_pre (fused)
         cost += self.scan(next_nodes, NODE_RECORD_BYTES)     # cover scans
         cost += self.scan(next_edges, EDGE_RECORD_BYTES)     # E_{i+1} write
         return cost
@@ -109,14 +143,14 @@ class CostModel:
         """Theorem 6.1 instantiated: two augments + the label merge."""
         e, v = record.num_edges, record.num_nodes
         per_augment = (
-            self.sort(e, EDGE_RECORD_BYTES)          # group by destination
-            + self.sort(e, EDGE_RECORD_BYTES)        # re-sort by source
-            + self.scan(v, SCC_RECORD_BYTES)         # label merge join
-            + self.sort(e, AUGMENTED_EDGE_BYTES)     # (v, SCC, u) grouping
+            self.sort_streamed(e, EDGE_RECORD_BYTES)   # by destination (fused)
+            + self.sort_streamed(e, EDGE_RECORD_BYTES) # by source (fused)
+            + self.scan(v, SCC_RECORD_BYTES)           # label merge join
+            + self.sort(e, AUGMENTED_EDGE_BYTES)       # (v, SCC, u) grouping
         )
-        reverse_copy = 2 * self.scan(e, EDGE_RECORD_BYTES)
+        # The reverse-graph augment flips edges in-flight; no reversed copy.
         labels = 2 * self.scan(v, SCC_RECORD_BYTES)  # SCC_del + merged SCC_i
-        return 2 * per_augment + reverse_copy + labels
+        return 2 * per_augment + labels
 
     def semi_scc(self, num_edges: int, passes: int) -> int:
         """Semi-SCC: ``passes`` sequential scans of the edge file plus the

@@ -38,7 +38,7 @@ from repro.io.blocks import BlockDevice
 from repro.io.files import ExternalFile
 from repro.io.join import cogroup
 from repro.io.memory import MemoryBudget
-from repro.io.sort import external_sort_records
+from repro.io.sort import external_sort_records, external_sort_stream
 from repro.io.stats import IOSnapshot
 from repro.memory_scc.tarjan import tarjan_scc
 
@@ -77,14 +77,18 @@ def _rewrite_endpoint(
     memory: MemoryBudget,
     endpoint: int,
 ) -> ExternalFile:
-    """Map one endpoint of every edge through a sorted (old, new) file."""
-    sorted_edges = external_sort_records(
+    """Map one endpoint of every edge through a sorted (old, new) file.
+
+    The by-endpoint sort streams straight into the rewrite co-scan; no
+    sorted copy of the edge file is materialized.
+    """
+    sorted_edges = external_sort_stream(
         device, edges.scan(), EDGE_RECORD_BYTES, memory,
         key=(lambda e: (e[endpoint], e[1 - endpoint])),
     )
     out = ExternalFile.create(device, device.temp_name("emrw"), EDGE_RECORD_BYTES)
     for _, edge_group, map_group in cogroup(
-        sorted_edges.scan(), mapping.scan(), lambda e: e[endpoint], lambda m: m[0]
+        sorted_edges, mapping.scan(), lambda e: e[endpoint], lambda m: m[0]
     ):
         new_id = map_group[0][1] if map_group else None
         for edge in edge_group:
@@ -95,7 +99,6 @@ def _rewrite_endpoint(
             else:
                 out.append((edge[0], new_id))
     out.close()
-    sorted_edges.delete()
     return out
 
 
@@ -178,19 +181,19 @@ def em_scc(
 
         # Chunk maps may disagree when a node is contracted in two chunks;
         # resolving that needs transitive information the heuristic does not
-        # have, so like [13] we keep the first mapping per node.
-        mapping = external_sort_records(
+        # have, so like [13] we keep the first mapping per node.  The sort
+        # streams into the first-wins dedupe scan.
+        mapping = external_sort_stream(
             device, pairs.scan(), SCC_RECORD_BYTES, memory, unique=True
         )
-        pairs.delete()
         deduped = ExternalFile.create(device, device.temp_name("emmap1"), SCC_RECORD_BYTES)
         last_node = None
-        for node, rep in mapping.scan():
+        for node, rep in mapping:
             if node != last_node:
                 deduped.append((node, rep))
                 last_node = node
         deduped.close()
-        mapping.delete()
+        pairs.delete()
 
         # --- rewrite both edge endpoints through the mapping.
         rewritten = _rewrite_endpoint(device, current_edges, deduped, memory, endpoint=0)
@@ -211,21 +214,21 @@ def em_scc(
         owns_edges = True
         num_nodes -= sum(1 for _ in deduped.scan())
 
-        # --- compose the cumulative map with this iteration's contraction.
-        by_current = external_sort_records(
+        # --- compose the cumulative map with this iteration's contraction
+        # (the by-current sort streams into the composition co-scan).
+        by_current = external_sort_stream(
             device, cumulative.scan(), SCC_RECORD_BYTES, memory,
             key=lambda r: (r[1], r[0]),
         )
-        cumulative.delete()
-        composed = ExternalFile.create(device, device.temp_name("emmap"), SCC_RECORD_BYTES)
+        composed = ExternalFile.create(device, device.temp_name("emmap2"), SCC_RECORD_BYTES)
         for _, cum_group, map_group in cogroup(
-            by_current.scan(), deduped.scan(), lambda r: r[1], lambda m: m[0]
+            by_current, deduped.scan(), lambda r: r[1], lambda m: m[0]
         ):
             new_id = map_group[0][1] if map_group else None
             for orig, current in cum_group:
                 composed.append((orig, new_id if new_id is not None else current))
         composed.close()
-        by_current.delete()
+        cumulative.delete()
         deduped.delete()
         cumulative = composed
 

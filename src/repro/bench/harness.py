@@ -41,6 +41,9 @@ class RunResult:
     wall_seconds: float = 0.0
     num_sccs: Optional[int] = None
     iterations: Optional[int] = None
+    merge_passes: int = 0
+    runs_formed: int = 0
+    phases: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -148,6 +151,18 @@ def run_algorithm(
     result.io_total = delta.total
     result.io_random = delta.random
     result.io_sequential = delta.sequential
+    result.merge_passes = device.stats.merge_passes
+    result.runs_formed = device.stats.runs_formed
+    result.phases = {
+        label: {
+            "io_total": snap.total,
+            "io_sequential": snap.sequential,
+            "io_random": snap.random,
+            "merge_passes": device.stats.passes_by_phase.get(label, 0),
+            "runs_formed": device.stats.runs_by_phase.get(label, 0),
+        }
+        for label, snap in device.stats.by_phase.items()
+    }
     return result
 
 

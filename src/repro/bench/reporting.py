@@ -11,7 +11,45 @@ from typing import List, Optional
 from repro.bench.harness import RunResult, Sweep
 
 __all__ = ["format_sweep", "print_sweep", "shape_summary", "ascii_chart",
-           "sweep_to_json"]
+           "sweep_to_json", "format_phase_table"]
+
+
+def format_phase_table(run: RunResult) -> str:
+    """Per-phase breakdown of one run: I/Os, merge passes, runs formed.
+
+    Phase labels nest (``contraction`` contains ``contract-1``,
+    ``contract-2``, …; ``expansion`` contains ``expand-i``), so the
+    top-level rows sum the per-level rows below them.  The pass counts come
+    from :attr:`repro.io.stats.IOStats.passes_by_phase` — they are how the
+    run-formation strategies are compared level by level.
+    """
+    header = ["phase", "io_total", "seq", "rand", "merge_passes", "runs_formed"]
+    rows: List[List[str]] = [header]
+    for label in sorted(run.phases):
+        p = run.phases[label]
+        rows.append([
+            label,
+            f"{p['io_total']:,}",
+            f"{p['io_sequential']:,}",
+            f"{p['io_random']:,}",
+            str(p["merge_passes"]),
+            str(p["runs_formed"]),
+        ])
+    rows.append([
+        "(run total)",
+        f"{run.io_total:,}",
+        f"{run.io_sequential:,}",
+        f"{run.io_random:,}",
+        str(run.merge_passes),
+        str(run.runs_formed),
+    ])
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = [f"{run.algorithm} @ {run.x}  —  per-phase I/O and merge passes"]
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
 
 
 def format_sweep(sweep: Sweep, metric: str = "io") -> str:
@@ -112,6 +150,9 @@ def sweep_to_json(sweep: Sweep, indent: Optional[int] = 1) -> str:
                 "wall_seconds": run.wall_seconds,
                 "num_sccs": run.num_sccs,
                 "iterations": run.iterations,
+                "merge_passes": run.merge_passes,
+                "runs_formed": run.runs_formed,
+                "phases": run.phases,
             }
             for run in sweep.runs
         ],

@@ -55,6 +55,12 @@ class ExtSCCConfig:
             guarantees progress so this only guards against bugs.
         validate: run extra internal assertions (Lemma 6.2 uniqueness of
             the SCC intersection); useful in tests, off for benchmarks.
+        pool_readahead: blocks the shared buffer pool fetches per batch on
+            sequential scans (1 disables pool attachment entirely).  The
+            pool is counter-neutral: it batches requests without changing
+            any :class:`~repro.io.stats.IOStats` counter.
+        pool_coalesce_writes: blocks the file layer may buffer before a
+            back-to-back flush (1 disables coalescing).
     """
 
     trim_type1: bool = False
@@ -69,6 +75,8 @@ class ExtSCCConfig:
     semi_scc: str = "spanning-tree"
     max_iterations: int = 10_000
     validate: bool = False
+    pool_readahead: int = 8
+    pool_coalesce_writes: int = 4
 
     @classmethod
     def baseline(cls, **overrides) -> "ExtSCCConfig":

@@ -40,7 +40,7 @@ from repro.io.blocks import BlockDevice
 from repro.io.files import ExternalFile
 from repro.io.join import anti_join, cogroup, merge_join, semi_join
 from repro.io.memory import MemoryBudget
-from repro.io.sort import external_sort_records
+from repro.io.sort import external_sort_records, external_sort_stream
 
 __all__ = ["ContractionLevel", "contract", "get_v", "get_e", "build_degree_file"]
 
@@ -161,22 +161,29 @@ def _filter_to_survivors(
     vd: ExternalFile,
     memory: MemoryBudget,
 ) -> Tuple[EdgeFile, EdgeFile]:
-    """Drop edges touching trimmed nodes; return fresh (E_in, E_out)."""
+    """Drop edges touching trimmed nodes; return fresh (E_in, E_out).
+
+    Fused pipeline: the by-destination sort streams straight into the
+    destination semi-join, and the surviving records are *teed* — written
+    to the new ``E_in`` file while simultaneously feeding the by-source
+    sort's run formation — so neither the intermediate by-dst file nor a
+    re-read of ``E_in`` is ever materialized.
+    """
     survivors = lambda: (r[0] for r in vd.scan())  # noqa: E731 - tiny closure
     src_ok = semi_join(eout.scan(), survivors(), lambda e: e[0])
-    new_ein_file = external_sort_records(
-        device,
-        src_ok,
-        8,
-        memory,
-        key=lambda e: (e[1], e[0]),
+    by_dst = external_sort_stream(
+        device, src_ok, 8, memory, key=lambda e: (e[1], e[0])
     )
-    fully_ok = semi_join(new_ein_file.scan(), survivors(), lambda e: e[1])
-    filtered_ein = ExternalFile.from_records(
-        device, device.temp_name("tein"), fully_ok, 8
-    )
-    new_ein_file.delete()
-    new_eout = external_sort_records(device, filtered_ein.scan(), 8, memory)
+    fully_ok = semi_join(by_dst, survivors(), lambda e: e[1])
+    filtered_ein = ExternalFile.create(device, device.temp_name("tein"), 8)
+
+    def tee() -> Iterator[Record]:
+        for record in fully_ok:
+            filtered_ein.append(record)
+            yield record
+
+    new_eout = external_sort_records(device, tee(), 8, memory)
+    filtered_ein.close()
     return EdgeFile(filtered_ein), EdgeFile(new_eout)
 
 
@@ -210,14 +217,13 @@ def get_v(
             # (u, v, deg_u[, prod_u])
             yield (edge[0], edge[1]) + node_rec[1:]
 
-    ed1 = ExternalFile.from_records(
-        device, device.temp_name("ed1"), ed1_records(), 8 + 4 * info_width
+    # E_d step 2, fused: the build join feeds the by-v sort's run formation
+    # directly, and the sorted stream feeds the cover scan — neither E_d
+    # copy (pre- or post-sort) is materialized.
+    ed2_stream = external_sort_stream(
+        device, ed1_records(), 8 + 4 * info_width, memory,
+        key=lambda r: (r[1], r[0]),
     )
-    # E_d step 2: sort by the non-augmented endpoint v.
-    ed2 = external_sort_records(
-        device, ed1.scan(), ed1.record_size, memory, key=lambda r: (r[1], r[0])
-    )
-    ed1.delete()
 
     # E_d step 3 + cover scan fused: augment deg(v) and pick the larger
     # endpoint of every edge under the > operator.
@@ -228,7 +234,7 @@ def get_v(
 
     def cover_records() -> Iterator[Record]:
         for ed_rec, node_rec in merge_join(
-            ed2.scan(), vd.scan(), lambda r: r[1], lambda r: r[0]
+            ed2_stream, vd.scan(), lambda r: r[1], lambda r: r[0]
         ):
             u, v = ed_rec[0], ed_rec[1]
             if u == v:
@@ -259,7 +265,6 @@ def get_v(
         unique=True,
         out_name=device.temp_name("vnext"),
     )
-    ed2.delete()
     vd.delete()
     return NodeFile(cover)
 
@@ -313,20 +318,17 @@ def get_e(
                     continue
                 out.append((u, w))
 
-    # E_pre: edges with both endpoints in the cover.
-    pre1 = ExternalFile.from_records(
+    # E_pre: edges with both endpoints in the cover — a fused
+    # semi-join → sort → semi-join chain with no intermediate files.
+    pre_sorted = external_sort_stream(
         device,
-        device.temp_name("epre"),
         semi_join(eout.scan(), v_next.scan(), lambda e: e[0]),
         8,
+        memory,
+        key=lambda e: (e[1], e[0]),
     )
-    pre2 = external_sort_records(
-        device, pre1.scan(), 8, memory, key=lambda e: (e[1], e[0])
-    )
-    pre1.delete()
-    for edge in semi_join(pre2.scan(), v_next.scan(), lambda e: e[1]):
+    for edge in semi_join(pre_sorted, v_next.scan(), lambda e: e[1]):
         out.append(edge)
-    pre2.delete()
     out.close()
     return EdgeFile(out)
 
@@ -340,18 +342,17 @@ def _filter_neighbors(
     by_dst: bool,
 ) -> Iterator[Record]:
     """Keep deleted edges whose *neighbor* endpoint (``side``) is in the
-    cover, restoring the original grouping order afterwards."""
-    spill = ExternalFile.from_records(device, device.temp_name("edel"), edges, 8)
-    resorted = external_sort_records(
-        device, spill.scan(), 8, memory, key=lambda e: (e[side], e[1 - side])
+    cover, restoring the original grouping order afterwards.
+
+    A fully fused sort → semi-join → sort chain: the only blocks on disk
+    are the two sorts' run files; no spill, filter, or regroup copies.
+    """
+    by_neighbor = external_sort_stream(
+        device, edges, 8, memory, key=lambda e: (e[side], e[1 - side])
     )
-    spill.delete()
-    filtered = semi_join(resorted.scan(), v_next.scan(), lambda e: e[side])
+    filtered = semi_join(by_neighbor, v_next.scan(), lambda e: e[side])
     group_key = (lambda e: (e[1], e[0])) if by_dst else None
-    regrouped = external_sort_records(device, filtered, 8, memory, key=group_key)
-    resorted.delete()
-    yield from regrouped.scan()
-    regrouped.delete()
+    yield from external_sort_stream(device, filtered, 8, memory, key=group_key)
 
 
 def contract(

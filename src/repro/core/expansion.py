@@ -20,7 +20,7 @@ external sorts only.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Tuple, Union
 
 from repro.constants import AUGMENTED_EDGE_BYTES, SCC_RECORD_BYTES
 from repro.core.config import ExtSCCConfig
@@ -30,7 +30,7 @@ from repro.io.blocks import BlockDevice
 from repro.io.files import ExternalFile
 from repro.io.join import anti_join, cogroup, merge_join
 from repro.io.memory import MemoryBudget
-from repro.io.sort import external_sort_records, merge_runs
+from repro.io.sort import external_sort_records, external_sort_stream, merge_runs
 
 __all__ = ["expand_level", "augment"]
 
@@ -39,7 +39,7 @@ Record = Tuple[int, ...]
 
 def augment(
     device: BlockDevice,
-    edges: EdgeFile,
+    edges: Union[EdgeFile, Iterable[Record]],
     v_next: NodeFile,
     scc_next: ExternalFile,
     memory: MemoryBudget,
@@ -47,41 +47,45 @@ def augment(
     """The paper's ``augment(E)`` (Algorithm 5, lines 8–14).
 
     Produces records ``(u, v, SCC(u))`` for every edge ``(u, v)`` of
-    ``edges`` whose destination ``v`` is a *removed* node, sorted by
-    ``(v, SCC(u), u)`` so a single scan can read each removed node's
+    ``edges`` — an :class:`EdgeFile` or any edge-record stream (the caller
+    passes a flipping generator for the reverse-graph augment, saving the
+    reversed copy) — whose destination ``v`` is a *removed* node, sorted
+    by ``(v, SCC(u), u)`` so a single scan can read each removed node's
     neighbor-SCC list in sorted order.
+
+    The whole chain is one fused pipeline: the by-destination sort streams
+    into the anti-join, the by-source sort streams into the label merge
+    join, and only the final grouped file is materialized.
 
     Edges whose source has no label in ``scc_next`` (possible only for
     Type-1-trimmed neighbors, which are singleton SCCs that can never
     witness a shared SCC) are dropped by the inner merge join.
     """
-    # line 9: group edges by destination.
-    by_dst = external_sort_records(
-        device, edges.scan(), 8, memory, key=lambda e: (e[1], e[0])
+    source = edges.scan() if isinstance(edges, EdgeFile) else iter(edges)
+    # line 9: group edges by destination (streamed, not materialized).
+    by_dst = external_sort_stream(
+        device, source, 8, memory, key=lambda e: (e[1], e[0])
     )
     # line 10: keep edges into removed nodes (V_{i+1} anti-join).
-    into_removed = anti_join(by_dst.scan(), v_next.scan(), lambda e: e[1])
-    # line 11: re-sort by the source endpoint.
-    by_src = external_sort_records(device, into_removed, 8, memory)
-    by_dst.delete()
+    into_removed = anti_join(by_dst, v_next.scan(), lambda e: e[1])
+    # line 11: re-sort by the source endpoint (streamed).
+    by_src = external_sort_stream(device, into_removed, 8, memory)
 
     # line 12: attach SCC(u) via a merge join with the label file.
     def augmented() -> Iterator[Record]:
         for edge, label_rec in merge_join(
-            by_src.scan(), scc_next.scan(), lambda e: e[0], lambda r: r[0]
+            by_src, scc_next.scan(), lambda e: e[0], lambda r: r[0]
         ):
             yield (edge[0], edge[1], label_rec[1])
 
     # line 13: group by (v, SCC(u), u).
-    result = external_sort_records(
+    return external_sort_records(
         device,
         augmented(),
         AUGMENTED_EDGE_BYTES,
         memory,
         key=lambda r: (r[1], r[2], r[0]),
     )
-    by_src.delete()
-    return result
 
 
 def _scc_list(group: List[Record]) -> List[int]:
@@ -133,10 +137,10 @@ def expand_level(
     # E'_in: in-neighbor SCCs of removed nodes (over E_i).
     e_in = augment(device, level.edges, level.next_nodes, scc_next, memory)
     # E'_out: out-neighbor SCCs (over reversed E_i — in-neighbors of the
-    # reverse graph are out-neighbors of G_i).
-    reversed_edges = level.edges.reversed_copy()
-    e_out = augment(device, reversed_edges, level.next_nodes, scc_next, memory)
-    reversed_edges.delete()
+    # reverse graph are out-neighbors of G_i).  The flip happens in-flight
+    # on the way into augment's first sort; no reversed copy hits the disk.
+    flipped = ((v, u) for u, v in level.edges.scan())
+    e_out = augment(device, flipped, level.next_nodes, scc_next, memory)
 
     def removed_labels() -> Iterator[Record]:
         """Labels for removed nodes: 3-way co-scan with singleton default."""

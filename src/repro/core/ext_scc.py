@@ -34,6 +34,7 @@ from repro.exceptions import ReproError
 from repro.graph.edge_file import EdgeFile, NodeFile
 from repro.io.blocks import DEFAULT_BLOCK_SIZE, BlockDevice
 from repro.io.memory import MemoryBudget
+from repro.io.pool import SharedBufferPool
 from repro.io.stats import IOBudget, IOSnapshot, IOStats
 from repro.semi_external import SEMI_SCC_SOLVERS, run_semi_scc_to_file
 
@@ -147,6 +148,16 @@ class ExtSCC:
         config = self.config
         memory.validate_against_block(device.block_size)
         stats: IOStats = device.stats
+        if device.pool is None and config.pool_readahead > 1:
+            # Readahead + write coalescing are counter-neutral (every block
+            # is still charged once, with the caller's access pattern), so
+            # attaching the pool never changes the ledger — only the shape
+            # of the request stream a real disk would see.
+            SharedBufferPool(
+                device,
+                readahead=config.pool_readahead,
+                coalesce_writes=config.pool_coalesce_writes,
+            )
         start = time.perf_counter()
         run_start = stats.snapshot()
 
@@ -166,9 +177,10 @@ class ExtSCC:
                         "iterations"
                     )
                 before = stats.snapshot()
-                level = contract(
-                    device, current_edges, current_nodes, memory, config, level=i
-                )
+                with stats.phase(f"contract-{i}"):
+                    level = contract(
+                        device, current_edges, current_nodes, memory, config, level=i
+                    )
                 record = IterationRecord(
                     level=i,
                     num_nodes=level.num_nodes,
@@ -197,7 +209,8 @@ class ExtSCC:
         expansion_start = stats.snapshot()
         with stats.phase("expansion"):
             for level in reversed(levels):
-                scc_file = expand_level(device, level, scc_file, memory, config)
+                with stats.phase(f"expand-{level.level}"):
+                    scc_file = expand_level(device, level, scc_file, memory, config)
                 level.cleanup()
         expansion_io = stats.snapshot() - expansion_start
 

@@ -15,11 +15,12 @@ from repro.io.blocks import DEFAULT_BLOCK_SIZE, BlockDevice, DiskFile
 from repro.io.cache import BufferPool
 from repro.io.files import ExternalFile
 from repro.io.persistent import PersistentBlockDevice
+from repro.io.pool import SharedBufferPool
 from repro.io.priority_queue import ExternalPriorityQueue
 from repro.io.varfile import VarRecordFile, varint_size
 from repro.io.join import anti_join, cogroup, grouped, merge_join, semi_join
 from repro.io.memory import MemoryBudget
-from repro.io.sort import external_sort, external_sort_records
+from repro.io.sort import external_sort, external_sort_records, external_sort_stream
 from repro.io.stats import IOBudget, IOSnapshot, IOStats
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "DiskFile",
     "ExternalFile",
     "BufferPool",
+    "SharedBufferPool",
     "ExternalPriorityQueue",
     "VarRecordFile",
     "varint_size",
@@ -38,6 +40,7 @@ __all__ = [
     "IOBudget",
     "external_sort",
     "external_sort_records",
+    "external_sort_stream",
     "grouped",
     "cogroup",
     "merge_join",

@@ -78,6 +78,16 @@ class BlockDevice:
             self.stats.budget = budget
         self._files: Dict[str, DiskFile] = {}
         self._tmp_counter = 0
+        self.pool = None  # optional SharedBufferPool (see attach_pool)
+
+    def attach_pool(self, pool) -> None:
+        """Install a :class:`~repro.io.pool.SharedBufferPool` on the device.
+
+        Scans and random reads of every file are then routed through the
+        pool (readahead / optional caching); file deletions and in-place
+        overwrites invalidate it.  Passing ``None`` detaches the pool.
+        """
+        self.pool = pool
 
     # -- file namespace ----------------------------------------------------
 
@@ -104,6 +114,8 @@ class BlockDevice:
         """Remove a file (its blocks are freed; deleting is not an I/O)."""
         if name not in self._files:
             raise StorageError(f"no such file: {name!r}")
+        if self.pool is not None:
+            self.pool.invalidate_file(self._files[name])
         del self._files[name]
 
     def rename(self, old: str, new: str, overwrite: bool = True) -> None:
@@ -174,6 +186,8 @@ class BlockDevice:
         old_len = len(f.blocks[index])
         f.blocks[index] = tuple(records)
         f.num_records += len(records) - old_len
+        if self.pool is not None:
+            self.pool.invalidate_block(f, index)
         self.stats.record_write(sequential=sequential)
 
     # -- reporting ---------------------------------------------------------

@@ -5,6 +5,11 @@ table, the visited bitmaps, the buffered trees — all need the same thing:
 random block access through a small cache with dirty write-back, where
 every miss is a *random* read and every dirty eviction a *random* write.
 :class:`BufferPool` centralizes that policy.
+
+For the *device-wide*, read-mostly counterpart — sequential readahead,
+write coalescing, and an optional shared clean-block cache — see
+:class:`repro.io.pool.SharedBufferPool`; the two compose (a pooled device
+serves this class's misses through its cache when one is enabled).
 """
 
 from __future__ import annotations

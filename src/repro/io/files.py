@@ -108,14 +108,38 @@ class ExternalFile:
 
     # -- writing -----------------------------------------------------------
 
+    def _flush_threshold(self) -> int:
+        """Records buffered before flushing: one block, or — with a
+        coalescing pool attached — ``coalesce_writes`` blocks batched."""
+        pool = self.device.pool
+        coalesce = pool.coalesce_writes if pool is not None else 1
+        return self._file.block_capacity * coalesce
+
+    def _flush_full_blocks(self, final: bool = False) -> None:
+        """Write buffered records out as whole blocks, back to back.  Each
+        block is charged one sequential write, exactly as without
+        coalescing; only the submission batching changes."""
+        capacity = self._file.block_capacity
+        buffer = self._write_buffer
+        flushed = 0
+        pool = self.device.pool
+        if pool is not None and len(buffer) > capacity:
+            pool.coalesced_flushes += 1
+        while len(buffer) - flushed >= capacity:
+            self.device.append_block(self._file, buffer[flushed : flushed + capacity])
+            flushed += capacity
+        if final and len(buffer) > flushed:
+            self.device.append_block(self._file, buffer[flushed:])
+            flushed = len(buffer)
+        self._write_buffer = buffer[flushed:]
+
     def append(self, record: Record) -> None:
         """Append one record through the sequential write buffer."""
         if self._closed:
             raise StorageError(f"file {self.name!r} is closed for writing")
         self._write_buffer.append(record)
-        if len(self._write_buffer) >= self._file.block_capacity:
-            self.device.append_block(self._file, self._write_buffer)
-            self._write_buffer = []
+        if len(self._write_buffer) >= self._flush_threshold():
+            self._flush_full_blocks()
 
     def extend(self, records: Iterable[Record]) -> None:
         """Append many records through the sequential write buffer."""
@@ -125,18 +149,20 @@ class ExternalFile:
     def close(self) -> None:
         """Flush the partial tail block; the file becomes read-only."""
         if self._write_buffer:
-            self.device.append_block(self._file, self._write_buffer)
-            self._write_buffer = []
+            self._flush_full_blocks(final=True)
         self._closed = True
 
     # -- reading -----------------------------------------------------------
 
     def scan(self) -> Iterator[Record]:
-        """Stream all records front to back with sequential block reads."""
+        """Stream all records front to back with sequential block reads.
+
+        With a :class:`~repro.io.pool.SharedBufferPool` attached, blocks
+        arrive through its readahead path (same charges, batched fetches).
+        """
         if not self._closed:
             raise StorageError(f"close {self.name!r} before scanning it")
-        for index in range(self._file.num_blocks):
-            block = self.device.read_block(self._file, index, sequential=True)
+        for block in self.scan_blocks():
             yield from block
 
     def scan_reverse(self) -> Iterator[Record]:
@@ -152,11 +178,19 @@ class ExternalFile:
         """Stream whole blocks sequentially (for block-granular algorithms)."""
         if not self._closed:
             raise StorageError(f"close {self.name!r} before scanning it")
+        pool = self.device.pool
+        if pool is not None:
+            yield from pool.scan_blocks(self._file)
+            return
         for index in range(self._file.num_blocks):
             yield self.device.read_block(self._file, index, sequential=True)
 
     def read_block_random(self, index: int) -> Sequence[Record]:
-        """Read one block by index, charging a *random* read (a seek)."""
+        """Read one block by index, charging a *random* read (a seek) —
+        unless a caching pool serves it from memory for free."""
+        pool = self.device.pool
+        if pool is not None:
+            return pool.read_block(self._file, index, sequential=False)
         return self.device.read_block(self._file, index, sequential=False)
 
     def read_record_random(self, position: int) -> Record:

@@ -1,20 +1,37 @@
-"""Sorted-run helpers for the external merge sort.
+"""Sorted-run formation for the external merge sort.
 
 A *run* is a sorted :class:`~repro.io.files.ExternalFile` produced during run
-formation.  This module contains the two halves external sort is built from:
-forming initial runs from an unsorted scan under a memory budget, and lazily
-streaming a run back for merging.
+formation.  Two run-formation strategies live here:
+
+* :func:`form_runs` — the classic load-sort-write pass: fill memory, sort,
+  write, repeat.  Runs are exactly ``M / record_size`` records long, so an
+  input of ``m`` records yields ``ceil(m / M)`` runs.
+* :func:`form_runs_replacement_selection` — heap-based replacement
+  selection (Knuth TAOCP vol. 3, §5.4.1): records are pushed through a
+  min-heap of capacity ``M / record_size``; a record whose key is not less
+  than the last one written continues the *current* run, otherwise it is
+  earmarked for the next run.  On random input the expected run length is
+  ``2M``, halving the run count (``#runs ≈ m / 2M``) and therefore the
+  number of merge passes ``ceil(log_F(#runs))``; on already-sorted input a
+  single run emerges regardless of ``m``.
+
+Both strategies are *stable*: records with equal keys leave run formation
+in arrival order (the heap breaks ties on an arrival sequence number, and a
+later arrival is never assigned an earlier run), so the downstream k-way
+merge — which breaks ties by run order — reproduces exactly the order the
+classic strategy produces.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.io.blocks import BlockDevice
 from repro.io.files import ExternalFile
 from repro.io.memory import MemoryBudget
 
-__all__ = ["form_runs", "run_iterator"]
+__all__ = ["form_runs", "form_runs_replacement_selection", "run_iterator"]
 
 Record = Tuple[int, ...]
 KeyFn = Callable[[Record], object]
@@ -61,6 +78,72 @@ def _write_run(
     return ExternalFile.from_records(
         device, device.temp_name(prefix), buffer, record_size
     )
+
+
+def form_runs_replacement_selection(
+    device: BlockDevice,
+    records: Iterable[Record],
+    record_size: int,
+    memory: MemoryBudget,
+    key: Optional[KeyFn] = None,
+    prefix: str = "run",
+) -> List[ExternalFile]:
+    """Form sorted runs with replacement selection.
+
+    The heap holds at most ``memory.record_capacity(record_size)`` records
+    — the same footprint as the classic strategy's buffer — but the runs it
+    emits average twice that length on random input (``#runs ≈ m / 2M``).
+
+    Heap entries are ``(run_number, key, seq, record)``: ``run_number``
+    keeps next-run records from escaping early, and ``seq`` (the arrival
+    index) makes equal keys pop in arrival order, preserving the stability
+    contract of :func:`form_runs`.
+
+    Returns:
+        The list of run files, in run order (possibly empty).
+    """
+    capacity = max(1, memory.record_capacity(record_size))
+    key_fn: KeyFn = key if key is not None else (lambda r: r)
+    source = iter(records)
+    heap: List[Tuple[int, object, int, Record]] = []
+    seq = 0
+    for record in source:
+        heap.append((0, key_fn(record), seq, record))
+        seq += 1
+        if len(heap) >= capacity:
+            break
+    if not heap:
+        return []
+    heapq.heapify(heap)
+
+    runs: List[ExternalFile] = []
+    current_run = 0
+    out: Optional[ExternalFile] = None
+    exhausted = False
+    while heap:
+        run_number, run_key, _, record = heapq.heappop(heap)
+        if run_number != current_run or out is None:
+            if out is not None:
+                out.close()
+                runs.append(out)
+            current_run = run_number
+            out = ExternalFile.create(device, device.temp_name(prefix), record_size)
+        out.append(record)
+        if not exhausted:
+            nxt = next(source, None)
+            if nxt is None:
+                exhausted = True
+            else:
+                nxt_key = key_fn(nxt)
+                # An incoming record continues the current run only when it
+                # can still be emitted after the record just written.
+                target = run_number if not nxt_key < run_key else run_number + 1  # type: ignore[operator]
+                heapq.heappush(heap, (target, nxt_key, seq, nxt))
+                seq += 1
+    assert out is not None
+    out.close()
+    runs.append(out)
+    return runs
 
 
 def run_iterator(run: ExternalFile) -> Iterator[Record]:

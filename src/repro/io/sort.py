@@ -1,4 +1,4 @@
-"""External merge sort under a memory budget.
+"""External merge sort under a memory budget, with a streaming interface.
 
 This is the ``sort(m)`` primitive of the paper's I/O model: run formation
 reads and writes every block once; each merge pass reads and writes every
@@ -6,6 +6,26 @@ block once; the number of passes is ``ceil(log_F(#runs))`` where the fan-in
 ``F`` is bounded by the number of blocks that fit in memory minus one output
 buffer.  All accesses are sequential, matching
 ``sort(m) = Theta(m/B * log_{M/B}(m/B))``.
+
+Two constant-factor levers on top of the textbook algorithm:
+
+* Run formation uses **replacement selection** by default
+  (:func:`repro.io.runs.form_runs_replacement_selection`), so an input of
+  ``m`` records forms ``≈ m / 2M`` runs instead of ``m / M`` — fewer runs
+  means fewer merge passes and more sorts that finish as a single run.
+* :func:`external_sort_stream` exposes the *final merge as an iterator*
+  instead of materializing it, so a downstream operator (a merge join, a
+  semi-join filter, another sort's run formation) can consume sorted output
+  directly.  Every fused boundary eliminates one full write pass and one
+  full read pass over the stream — the pipelining the tentpole operators in
+  ``repro.core`` are built on.  :func:`external_sort_records` is the
+  materializing wrapper; when run formation yields a single run (input
+  ``≲ 2M``) it renames the run into place instead of copying it, saving
+  another read+write pass.
+
+Merge passes are reported to the device's :class:`~repro.io.stats.IOStats`
+(``stats.merge_passes`` / ``stats.runs_formed``) so benchmarks can verify
+the replacement-selection claim directly.
 """
 
 from __future__ import annotations
@@ -16,12 +36,25 @@ from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 from repro.io.blocks import BlockDevice
 from repro.io.files import ExternalFile
 from repro.io.memory import MemoryBudget
-from repro.io.runs import form_runs
+from repro.io.runs import form_runs, form_runs_replacement_selection
 
-__all__ = ["external_sort", "external_sort_records", "merge_runs", "sorted_unique_scan"]
+__all__ = [
+    "external_sort",
+    "external_sort_records",
+    "external_sort_stream",
+    "merge_runs",
+    "sorted_unique_scan",
+]
 
 Record = Tuple[int, ...]
 KeyFn = Callable[[Record], object]
+
+RUN_FORMATIONS = {
+    "replacement-selection": form_runs_replacement_selection,
+    "classic": form_runs,
+}
+
+DEFAULT_RUN_FORMATION = "replacement-selection"
 
 
 def external_sort(
@@ -61,6 +94,62 @@ def external_sort(
     return result
 
 
+def _form_and_reduce_runs(
+    device: BlockDevice,
+    records: Iterable[Record],
+    record_size: int,
+    memory: MemoryBudget,
+    key: Optional[KeyFn],
+    run_formation: Optional[str],
+) -> List[ExternalFile]:
+    """Run formation plus intermediate merge passes down to one merge's
+    worth of runs; shared by the streaming and materializing sorts."""
+    memory.validate_against_block(device.block_size)
+    form = RUN_FORMATIONS[run_formation or DEFAULT_RUN_FORMATION]
+    runs = form(device, records, record_size, memory, key=key)
+    device.stats.record_runs_formed(len(runs))
+    fan_in = max(2, memory.block_capacity(device.block_size) - 1)
+    while len(runs) > fan_in:
+        runs = _merge_pass(device, runs, record_size, fan_in, key)
+    return runs
+
+
+def external_sort_stream(
+    device: BlockDevice,
+    records: Iterable[Record],
+    record_size: int,
+    memory: MemoryBudget,
+    key: Optional[KeyFn] = None,
+    unique: bool = False,
+    run_formation: Optional[str] = None,
+) -> Iterator[Record]:
+    """Sort a record stream and *yield* the result instead of writing it.
+
+    The producer side of operator fusion: run formation and any
+    intermediate merge passes happen eagerly on first ``next()``, then the
+    final merge streams records straight to the consumer.  Compared to
+    ``external_sort_records`` + ``scan()``, the fused boundary saves one
+    sequential write pass and one sequential read pass over the data.
+
+    Run files are deleted when the stream is exhausted or closed, so
+    abandoning the iterator early does not leak simulated disk space.
+    """
+    runs = _form_and_reduce_runs(device, records, record_size, memory, key, run_formation)
+    if not runs:
+        return
+    try:
+        if len(runs) > 1:
+            device.stats.record_merge_pass()
+        merged = merge_runs((run.scan() for run in runs), key=key)
+        if unique:
+            merged = sorted_unique_scan(merged)
+        yield from merged
+    finally:
+        for run in runs:
+            if device.exists(run.name):
+                run.delete()
+
+
 def external_sort_records(
     device: BlockDevice,
     records: Iterable[Record],
@@ -69,16 +158,22 @@ def external_sort_records(
     key: Optional[KeyFn] = None,
     unique: bool = False,
     out_name: Optional[str] = None,
+    run_formation: Optional[str] = None,
 ) -> ExternalFile:
     """Sort a record stream into a new file (see :func:`external_sort`)."""
-    memory.validate_against_block(device.block_size)
-    runs = form_runs(device, records, record_size, memory, key=key)
+    runs = _form_and_reduce_runs(device, records, record_size, memory, key, run_formation)
     out_name = out_name if out_name is not None else device.temp_name("sorted")
     if not runs:
         return ExternalFile.from_records(device, out_name, [], record_size)
-    fan_in = max(2, memory.block_capacity(device.block_size) - 1)
-    while len(runs) > fan_in:
-        runs = _merge_pass(device, runs, record_size, fan_in, key)
+    if len(runs) == 1 and not unique:
+        # A single run already *is* the sorted output — rename it into
+        # place instead of copying (saves one read+write pass).
+        run = runs[0]
+        if device.exists(out_name):
+            device.delete(out_name)
+        run.rename(out_name)
+        return run
+    device.stats.record_merge_pass()
     merged = merge_runs((run.scan() for run in runs), key=key)
     if unique:
         merged = sorted_unique_scan(merged)
@@ -96,6 +191,7 @@ def _merge_pass(
     key: Optional[KeyFn],
 ) -> List[ExternalFile]:
     """Merge groups of ``fan_in`` runs into longer runs (one full pass)."""
+    device.stats.record_merge_pass()
     next_runs: List[ExternalFile] = []
     for start in range(0, len(runs), fan_in):
         group = runs[start : start + fan_in]

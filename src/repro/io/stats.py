@@ -89,8 +89,12 @@ class IOStats:
         self.seq_writes = 0
         self.rand_reads = 0
         self.rand_writes = 0
+        self.merge_passes = 0
+        self.runs_formed = 0
         self.budget = budget
         self.by_phase: Dict[str, IOSnapshot] = {}
+        self.passes_by_phase: Dict[str, int] = {}
+        self.runs_by_phase: Dict[str, int] = {}
         self._phase_stack: list[str] = []
 
     # -- recording (called by the device) ---------------------------------
@@ -112,6 +116,26 @@ class IOStats:
             self.rand_writes += blocks
         self._attribute(sequential, blocks, is_read=False)
         self._enforce_budget()
+
+    def record_merge_pass(self, passes: int = 1) -> None:
+        """Count ``passes`` full merge passes of the external sort.
+
+        A *pass* reads and (for intermediate passes) rewrites every block
+        of the data being sorted; the external sort reports one per merge
+        level, and none when run formation already produced a single run.
+        The counter is attributed to every active phase label, so per-phase
+        pass counts (``passes_by_phase``) let a benchmark compare run
+        formation strategies level by level.
+        """
+        self.merge_passes += passes
+        for label in self._phase_stack:
+            self.passes_by_phase[label] = self.passes_by_phase.get(label, 0) + passes
+
+    def record_runs_formed(self, runs: int) -> None:
+        """Count ``runs`` initial sorted runs written by run formation."""
+        self.runs_formed += runs
+        for label in self._phase_stack:
+            self.runs_by_phase[label] = self.runs_by_phase.get(label, 0) + runs
 
     def _attribute(self, sequential: bool, blocks: int, is_read: bool) -> None:
         for label in self._phase_stack:
@@ -168,7 +192,11 @@ class IOStats:
     def reset(self) -> None:
         """Zero every counter and drop all phase attributions."""
         self.seq_reads = self.seq_writes = self.rand_reads = self.rand_writes = 0
+        self.merge_passes = 0
+        self.runs_formed = 0
         self.by_phase.clear()
+        self.passes_by_phase.clear()
+        self.runs_by_phase.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -38,9 +38,17 @@ class TestCostModelPrimitives:
         assert self.model.sort(0, 8) == 0
 
     def test_sort_single_run(self):
-        # 40 records of 8B fit in one 512B run: formation + one merge level.
+        # 40 records of 8B fit in one 512B run: formation writes only —
+        # the single-run shortcut renames the run into the output file.
         blocks = self.model.blocks(40, 8)
-        assert self.model.sort(40, 8) == blocks + 2 * blocks
+        assert self.model.sort(40, 8) == blocks
+        # The streamed variant reads the run back into the consumer.
+        assert self.model.sort_streamed(40, 8) == 2 * blocks
+
+    def test_sort_replacement_selection_run_count(self):
+        # 200 records of 8B against 512B memory: classic formation would
+        # produce ceil(200/64) = 4 runs; replacement selection expects 2.
+        assert self.model.expected_runs(200, 8) == 2
 
     def test_sort_grows_with_less_memory(self):
         small = CostModel(block_size=64, memory_bytes=128)

@@ -119,6 +119,52 @@ class TestDriverBehaviour:
             out.contraction_io.total + out.semi_io.total + out.expansion_io.total
         )
 
+    def test_per_level_phase_labels(self):
+        g = cycle_graph(60)
+        device = BlockDevice(block_size=64)
+        memory = MemoryBudget(256)
+        edges, nodes = make_graph_files(device, g.edges, 60, memory)
+        out = ExtSCC(ExtSCCConfig.baseline()).run(device, edges, memory, nodes=nodes)
+        assert out.num_iterations >= 1
+        stats = device.stats
+        for i in range(1, out.num_iterations + 1):
+            assert f"contract-{i}" in stats.by_phase
+            assert f"expand-{i}" in stats.by_phase
+        # Nested labels: per-level I/O sums into the enclosing phase totals.
+        contract_sum = sum(
+            stats.by_phase[f"contract-{i}"].total
+            for i in range(1, out.num_iterations + 1)
+        )
+        assert contract_sum == stats.by_phase["contraction"].total
+        # Pass counts are attributed per level too.
+        assert stats.passes_by_phase["contraction"] == sum(
+            stats.passes_by_phase.get(f"contract-{i}", 0)
+            for i in range(1, out.num_iterations + 1)
+        )
+
+    def test_pool_attached_and_counter_neutral(self):
+        g = cycle_graph(60)
+
+        def run_with(config):
+            device = BlockDevice(block_size=64)
+            memory = MemoryBudget(256)
+            edges, nodes = make_graph_files(device, g.edges, 60, memory)
+            out = ExtSCC(config).run(device, edges, memory, nodes=nodes)
+            return device, out
+
+        pooled_device, pooled = run_with(ExtSCCConfig.baseline())
+        assert pooled_device.pool is not None
+        assert pooled_device.pool.cache_blocks == 0
+        plain_device, plain = run_with(
+            ExtSCCConfig.baseline(pool_readahead=1)  # disables attachment
+        )
+        assert plain_device.pool is None
+        assert pooled.result == plain.result
+        assert pooled_device.stats.seq_reads == plain_device.stats.seq_reads
+        assert pooled_device.stats.seq_writes == plain_device.stats.seq_writes
+        assert pooled_device.stats.rand_reads == plain_device.stats.rand_reads
+        assert pooled_device.stats.rand_writes == plain_device.stats.rand_writes
+
     def test_zero_random_io(self, config):
         edges = random_edges(50, 120, seed=2)
         out = compute_sccs(edges, num_nodes=50, memory_bytes=300,

@@ -35,6 +35,40 @@ class TestCaching:
         pool.get_block(1)  # was evicted -> miss
         assert pool.misses == 4
 
+    def test_eviction_order_tracks_every_touch(self, device):
+        """Exact hit/miss trace over an interleaved access sequence: the
+        victim is always the least-recently *touched* block, not the least
+        recently inserted one."""
+        pool = BufferPool(make_file(device), capacity_blocks=3)
+        trace = [0, 1, 2, 0, 3, 0, 2, 1, 3, 4, 2]
+        # Reference LRU simulated in plain lists, hit-for-hit.
+        cached, hits = [], 0
+        for index in trace:
+            if index in cached:
+                hits += 1
+                cached.remove(index)
+            elif len(cached) == 3:
+                cached.pop(0)
+            cached.append(index)
+        for index in trace:
+            pool.get_block(index)
+        assert pool.hits == hits
+        assert pool.misses == len(trace) - hits
+        assert device.stats.rand_reads == len(trace) - hits
+
+    def test_mark_dirty_refreshes_recency(self, device):
+        """Marking a block dirty also touches it: the *other* block becomes
+        the eviction victim, so the dirty one needs no early write-back."""
+        pool = BufferPool(make_file(device), capacity_blocks=2)
+        pool.get_block(0)[0] = (77, 77)
+        pool.get_block(1)
+        pool.mark_dirty(0)   # 0 becomes most-recent -> 1 is the victim
+        pool.get_block(2)    # evicts clean 1: no write-back
+        assert device.stats.rand_writes == 0
+        before = device.stats.snapshot()
+        assert pool.get_block(0)[0] == (77, 77)  # dirty block still cached
+        assert (device.stats.snapshot() - before).total == 0
+
     def test_capacity_must_be_positive(self, device):
         with pytest.raises(ValueError):
             BufferPool(make_file(device), capacity_blocks=0)

@@ -6,7 +6,12 @@ import pytest
 
 from repro.io.files import ExternalFile
 from repro.io.memory import MemoryBudget
-from repro.io.sort import external_sort, external_sort_records, sorted_unique_scan
+from repro.io.sort import (
+    external_sort,
+    external_sort_records,
+    external_sort_stream,
+    sorted_unique_scan,
+)
 
 
 def _file_of(device, records, record_size=8, name="in"):
@@ -93,6 +98,97 @@ class TestMultiPass:
         records = [(i * 13 % 997, i) for i in range(1500)]
         external_sort_records(device, iter(records), 8, memory)
         assert device.stats.random == 0
+
+
+class TestSortStream:
+    def test_same_records_same_order_as_materialized(self, device, memory):
+        rng = random.Random(2)
+        records = [(rng.randrange(30), i % 4) for i in range(600)]
+        key = lambda r: r[0]  # noqa: E731 - many equal keys exercise stability
+        out = external_sort_records(device, iter(records), 8, memory, key=key)
+        streamed = list(
+            external_sort_stream(device, iter(records), 8, memory, key=key)
+        )
+        assert streamed == list(out.scan())
+
+    def test_empty_input(self, device, memory):
+        assert list(external_sort_stream(device, iter([]), 8, memory)) == []
+
+    def test_unique(self, device, memory):
+        records = [(i % 10, 0) for i in range(100)]
+        streamed = list(
+            external_sort_stream(device, iter(records), 8, memory, unique=True)
+        )
+        assert streamed == [(i, 0) for i in range(10)]
+
+    def test_run_files_cleaned_up(self, device, memory):
+        records = [(i * 31 % 200, i) for i in range(300)]
+        before = set(device.list_files())
+        for _ in external_sort_stream(device, iter(records), 8, memory):
+            pass
+        assert set(device.list_files()) == before
+
+    def test_run_files_cleaned_up_on_early_close(self, device, memory):
+        records = [(i * 31 % 200, i) for i in range(300)]
+        before = set(device.list_files())
+        stream = external_sort_stream(device, iter(records), 8, memory)
+        next(stream)
+        stream.close()
+        assert set(device.list_files()) == before
+
+    def test_streaming_saves_a_write_and_read_pass(self, device, memory):
+        """The fusion payoff: consuming the final merge in-flight skips the
+        output write of the materializing sort and the re-read the consumer
+        would have needed."""
+        records = [(i * 37 % 997, i) for i in range(1500)]
+
+        before = device.stats.snapshot()
+        out = external_sort_records(device, iter(records), 8, memory)
+        consumed_materialized = list(out.scan())
+        materialized_cost = (device.stats.snapshot() - before).total
+        out.delete()
+
+        before = device.stats.snapshot()
+        consumed_streamed = list(
+            external_sort_stream(device, iter(records), 8, memory)
+        )
+        streamed_cost = (device.stats.snapshot() - before).total
+
+        assert consumed_streamed == consumed_materialized
+        nblocks = 1500 * 8 // device.block_size
+        # One full write pass + one full read pass saved.
+        assert streamed_cost <= materialized_cost - 2 * nblocks
+
+    def test_stream_never_random(self, device, memory):
+        records = [(i * 13 % 997, i) for i in range(1500)]
+        list(external_sort_stream(device, iter(records), 8, memory))
+        assert device.stats.random == 0
+
+
+class TestSingleRunShortcut:
+    def test_single_run_renames_instead_of_copying(self, device, memory):
+        """A one-run sort (input fits in memory) costs only the run write."""
+        records = [(i * 7 % 50, i) for i in range(50)]  # 400B <= M=512
+        before = device.stats.snapshot()
+        out = external_sort_records(device, iter(records), 8, memory, out_name="s")
+        delta = (device.stats.snapshot() - before).total
+        assert list(out.scan()) == sorted(records)
+        assert out.name == "s"
+        # 50 records * 8B / 64B blocks = 7 blocks written, nothing re-read.
+        assert delta == 7
+
+    def test_single_run_sort_counts_no_merge_pass(self, device, memory):
+        records = [(i, 0) for i in range(50)]
+        external_sort_records(device, iter(records), 8, memory)
+        assert device.stats.merge_passes == 0
+
+    def test_multi_run_sort_counts_merge_passes(self, device):
+        memory = MemoryBudget(128)  # fan-in 2: forces intermediate passes
+        rng = random.Random(4)
+        records = [(rng.randrange(10_000), 0) for _ in range(2000)]
+        external_sort_records(device, iter(records), 8, memory)
+        assert device.stats.merge_passes >= 2
+        assert device.stats.runs_formed >= 2
 
 
 class TestSortedUniqueScan:

@@ -120,3 +120,54 @@ class TestBudget:
         stats.record_write(sequential=False)
         with pytest.raises(IOBudgetExceeded):
             stats.record_write(sequential=True)
+
+
+class TestMergePassCounters:
+    def test_start_at_zero(self):
+        stats = IOStats()
+        assert stats.merge_passes == 0
+        assert stats.runs_formed == 0
+
+    def test_record_merge_pass(self):
+        stats = IOStats()
+        stats.record_merge_pass()
+        stats.record_merge_pass(2)
+        assert stats.merge_passes == 3
+
+    def test_record_runs_formed(self):
+        stats = IOStats()
+        stats.record_runs_formed(4)
+        stats.record_runs_formed(1)
+        assert stats.runs_formed == 5
+
+    def test_attributed_to_nested_phases(self):
+        stats = IOStats()
+        with stats.phase("contraction"):
+            with stats.phase("contract-1"):
+                stats.record_merge_pass()
+                stats.record_runs_formed(3)
+        assert stats.passes_by_phase == {"contraction": 1, "contract-1": 1}
+        assert stats.runs_by_phase == {"contraction": 3, "contract-1": 3}
+
+    def test_no_attribution_outside_phase(self):
+        stats = IOStats()
+        stats.record_merge_pass()
+        assert stats.merge_passes == 1
+        assert stats.passes_by_phase == {}
+
+    def test_reset_clears_pass_counters(self):
+        stats = IOStats()
+        with stats.phase("p"):
+            stats.record_merge_pass()
+            stats.record_runs_formed(2)
+        stats.reset()
+        assert stats.merge_passes == 0
+        assert stats.runs_formed == 0
+        assert stats.passes_by_phase == {}
+        assert stats.runs_by_phase == {}
+
+    def test_budget_not_charged_by_pass_counters(self):
+        stats = IOStats(budget=IOBudget(1))
+        stats.record_merge_pass(50)  # passes are bookkeeping, not I/Os
+        stats.record_read(sequential=True)
+        assert stats.total == 1

@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) for operator fusion.
+
+The fused pipeline — :func:`external_sort_stream` feeding a join directly —
+must be *observationally identical* to the unfused one that materializes
+the sorted file and re-scans it: same records, same order (stability
+included), while performing no more block I/Os.  Random record files,
+random memory budgets, and both join shapes (semi-join filter and merge
+join) drive the equivalence.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.edge_file import NodeFile
+from repro.io.blocks import BlockDevice
+from repro.io.files import ExternalFile
+from repro.io.join import merge_join, semi_join
+from repro.io.memory import MemoryBudget
+from repro.io.sort import external_sort_records, external_sort_stream
+
+SETTINGS = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+records_strategy = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(0, 6)),
+    min_size=0,
+    max_size=120,
+)
+
+keys_strategy = st.lists(st.integers(0, 20), min_size=0, max_size=15, unique=True)
+
+# MemoryBudget must be >= 2 blocks of 64B; small budgets force multi-run
+# sorts, large ones hit the single-run shortcut.
+memory_strategy = st.sampled_from([128, 192, 256, 512, 2048])
+
+
+def _unfused_sort_then_semi_join(device, records, keys, memory):
+    """Materialize the sorted file, then filter it — the pre-fusion shape."""
+    sorted_file = external_sort_records(
+        device, iter(records), 8, memory, key=lambda r: (r[0], r[1])
+    )
+    key_file = NodeFile.from_ids(device, "keys-a", keys, memory, presorted=True)
+    out = list(semi_join(sorted_file.scan(), key_file.scan(), lambda r: r[0]))
+    sorted_file.delete()
+    return out
+
+
+def _fused_sort_then_semi_join(device, records, keys, memory):
+    """Stream the final merge straight into the filter — the fused shape."""
+    stream = external_sort_stream(
+        device, iter(records), 8, memory, key=lambda r: (r[0], r[1])
+    )
+    key_file = NodeFile.from_ids(device, "keys-b", keys, memory, presorted=True)
+    return list(semi_join(stream, key_file.scan(), lambda r: r[0]))
+
+
+class TestFusedSemiJoinEquivalence:
+    @SETTINGS
+    @given(records_strategy, keys_strategy, memory_strategy)
+    def test_same_records_same_order_fewer_ios(self, records, keys, memory_bytes):
+        memory = MemoryBudget(memory_bytes)
+
+        unfused_device = BlockDevice(block_size=64)
+        unfused = _unfused_sort_then_semi_join(unfused_device, records, keys, memory)
+
+        fused_device = BlockDevice(block_size=64)
+        fused = _fused_sort_then_semi_join(fused_device, records, keys, memory)
+
+        assert fused == unfused
+        assert fused_device.stats.total <= unfused_device.stats.total
+        assert fused_device.stats.random == unfused_device.stats.random == 0
+
+    @SETTINGS
+    @given(records_strategy, keys_strategy, memory_strategy)
+    def test_fusion_leaves_no_temp_files(self, records, keys, memory_bytes):
+        device = BlockDevice(block_size=64)
+        memory = MemoryBudget(memory_bytes)
+        before = set(device.list_files())
+        _fused_sort_then_semi_join(device, records, keys, memory)
+        assert set(device.list_files()) - before == {"keys-b"}
+
+
+class TestFusedMergeJoinEquivalence:
+    @SETTINGS
+    @given(records_strategy, records_strategy, memory_strategy)
+    def test_sort_into_merge_join(self, left, right, memory_bytes):
+        """sort -> merge-join fused on the left input: identical pairs."""
+        memory = MemoryBudget(memory_bytes)
+        key = lambda r: r[0]  # noqa: E731
+
+        unfused_device = BlockDevice(block_size=64)
+        sorted_left = external_sort_records(
+            unfused_device, iter(left), 8, memory, key=lambda r: (r[0], r[1])
+        )
+        right_file = ExternalFile.from_records(
+            unfused_device, "right", sorted(right), 8
+        )
+        unfused = list(
+            merge_join(sorted_left.scan(), right_file.scan(), key, key)
+        )
+
+        fused_device = BlockDevice(block_size=64)
+        stream = external_sort_stream(
+            fused_device, iter(left), 8, memory, key=lambda r: (r[0], r[1])
+        )
+        right_file2 = ExternalFile.from_records(
+            fused_device, "right", sorted(right), 8
+        )
+        fused = list(merge_join(stream, right_file2.scan(), key, key))
+
+        assert fused == unfused
+        assert fused_device.stats.total <= unfused_device.stats.total
+
+    @SETTINGS
+    @given(records_strategy, memory_strategy)
+    def test_unique_stream_matches_materialized_unique(self, records, memory_bytes):
+        memory = MemoryBudget(memory_bytes)
+
+        a = BlockDevice(block_size=64)
+        out = external_sort_records(a, iter(records), 8, memory, unique=True)
+        materialized = list(out.scan())
+
+        b = BlockDevice(block_size=64)
+        streamed = list(
+            external_sort_stream(b, iter(records), 8, memory, unique=True)
+        )
+
+        assert streamed == materialized
+        assert b.stats.total <= a.stats.total

@@ -115,3 +115,43 @@ class TestJsonExport:
         inf_runs = [r for r in payload["runs"] if r["status"] == "INF"]
         assert len(inf_runs) == 1
         assert inf_runs[0]["num_sccs"] is None
+
+
+class TestPhaseTable:
+    def test_renders_per_phase_rows_and_total(self):
+        from repro.bench.reporting import format_phase_table
+
+        run = RunResult(
+            "Ext-SCC", 20, "OK", io_total=1500, io_random=0,
+            io_sequential=1500, num_sccs=3, merge_passes=4, runs_formed=9,
+            phases={
+                "contraction": {"io_total": 900, "io_sequential": 900,
+                                "io_random": 0, "merge_passes": 3,
+                                "runs_formed": 6},
+                "contract-1": {"io_total": 900, "io_sequential": 900,
+                               "io_random": 0, "merge_passes": 3,
+                               "runs_formed": 6},
+                "expansion": {"io_total": 600, "io_sequential": 600,
+                              "io_random": 0, "merge_passes": 1,
+                              "runs_formed": 3},
+            },
+        )
+        table = format_phase_table(run)
+        assert "contract-1" in table
+        assert "expansion" in table
+        assert "(run total)" in table
+        assert "1,500" in table
+        lines = table.splitlines()
+        assert len(lines) == 2 + 3 + 1 + 1  # title, header+rule, phases, total
+
+    def test_json_export_includes_pass_counters(self, sweep):
+        sweep.runs[0].merge_passes = 5
+        sweep.runs[0].runs_formed = 11
+        sweep.runs[0].phases = {"contraction": {
+            "io_total": 1, "io_sequential": 1, "io_random": 0,
+            "merge_passes": 5, "runs_formed": 11}}
+        payload = json.loads(sweep_to_json(sweep))
+        run = payload["runs"][0]
+        assert run["merge_passes"] == 5
+        assert run["runs_formed"] == 11
+        assert run["phases"]["contraction"]["merge_passes"] == 5
