@@ -28,7 +28,9 @@ VARIANTS = {
     "all(Op)": ExtSCCConfig.optimized(),
     # Extensions beyond the paper's Section VII:
     "Op+trim4": ExtSCCConfig.optimized(trim_rounds=4),
-    "Op+zip": ExtSCCConfig.optimized(compress_edge_lists=True),
+    # Compression is on by default; the ablation switches it *off* to show
+    # what the gap-varint intermediates buy on top of the paper's levers.
+    "Op-zip": ExtSCCConfig.optimized(codec="fixed"),
 }
 
 WORKLOADS = {
@@ -81,3 +83,6 @@ def test_ablation_optimizations(benchmark):
         # shrink the per-iteration graph).
         for variant in ("+type1", "+type2", "+dedupe", "+selfloop", "+product"):
             assert by_name[variant].iterations <= by_name["base"].iterations * 1.5
+        # Turning compression off must cost I/O, never change the iterations.
+        assert by_name["Op-zip"].io_total > by_name["all(Op)"].io_total
+        assert by_name["Op-zip"].iterations == by_name["all(Op)"].iterations

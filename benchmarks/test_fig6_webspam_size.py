@@ -23,11 +23,18 @@ from repro.bench import (
 )
 from repro.bench.harness import Sweep
 from repro.bench.regression import compare_files, render
+from repro.core import ExtSCCConfig
 
 TITLE = "Fig 6 — WEBSPAM-like: cost vs graph size (% of edges)"
 PERCENTAGES = (20, 40, 60, 80, 100)
 MEMORY_RATIO = 0.47  # the paper's default 400M vs the 847.4M threshold
 SMOKE_BASELINE = RESULTS_DIR / "fig6_smoke.baseline.json"
+SMOKE_FIXED_BASELINE = RESULTS_DIR / "fig6_smoke_fixed.baseline.json"
+
+VARIANTS = (
+    ("Ext-SCC", ExtSCCConfig.baseline),
+    ("Ext-SCC-Op", ExtSCCConfig.optimized),
+)
 
 
 def _run_sweep():
@@ -71,28 +78,30 @@ def test_fig6_webspam_size(benchmark):
     assert all(not r.ok for r in sweep.series("EM-SCC"))
 
 
-def _run_smallest():
-    """Only the 20% point, Ext variants only — the CI smoke workload."""
+def _run_smallest(codec=None):
+    """Only the 20% point, Ext variants only — the CI smoke workload.
+
+    ``codec`` overrides the pipeline codec (``None`` keeps the default,
+    gap-varint; ``"fixed"`` is the uncompressed ablation CI also gates).
+    """
     graph = webspam_graph()
     edges = shuffled_edges(graph)
     n = graph.num_nodes
     memory = memory_for_ratio(n, MEMORY_RATIO)
     sub = subsample_edges(edges, PERCENTAGES[0])
-    sweep = Sweep(title=f"{TITLE} [smoke: {PERCENTAGES[0]}%]", x_label="size%")
-    for name in ("Ext-SCC", "Ext-SCC-Op"):
+    suffix = f", codec={codec}" if codec else ""
+    sweep = Sweep(title=f"{TITLE} [smoke: {PERCENTAGES[0]}%{suffix}]",
+                  x_label="size%")
+    for name, make in VARIANTS:
+        config = make(codec=codec) if codec is not None else None
         sweep.runs.append(
             run_algorithm(name, sub, n, memory, block_size=BLOCK_SIZE,
-                          x=PERCENTAGES[0])
+                          x=PERCENTAGES[0], config=config)
         )
     return sweep
 
 
-def test_fig6_smallest_smoke(benchmark):
-    """The smallest Fig. 6 point, gated against the checked-in baseline:
-    >5% Ext-SCC I/O growth (or any status/SCC-count change) fails CI."""
-    sweep = benchmark.pedantic(_run_smallest, rounds=1, iterations=1)
-    report(sweep, "fig6_smoke.txt")
-
+def _check_smoke_baseline(sweep, baseline_path, candidate_name):
     for run in sweep.runs:
         assert run.ok
         assert run.io_random == 0
@@ -101,20 +110,107 @@ def test_fig6_smallest_smoke(benchmark):
         <= sweep.result("Ext-SCC", 20).io_total
     )
 
-    if SMOKE_BASELINE.exists():
+    if baseline_path.exists():
         comparison = compare_files(
-            str(SMOKE_BASELINE), str(RESULTS_DIR / "fig6_smoke.json"),
+            str(baseline_path), str(RESULTS_DIR / candidate_name),
             tolerance=0.05,
         )
         assert comparison.ok, render(comparison)
         import json
 
-        baseline = json.loads(SMOKE_BASELINE.read_text())
+        baseline = json.loads(baseline_path.read_text())
         expected_sccs = {
             (r["algorithm"], r["x"]): r["num_sccs"] for r in baseline["runs"]
         }
         for run in sweep.runs:
             assert run.num_sccs == expected_sccs[(run.algorithm, run.x)]
+
+
+def test_fig6_smallest_smoke(benchmark):
+    """The smallest Fig. 6 point, gated against the checked-in baseline:
+    >5% Ext-SCC I/O growth (or any status/SCC-count change) fails CI."""
+    sweep = benchmark.pedantic(_run_smallest, rounds=1, iterations=1)
+    report(sweep, "fig6_smoke.txt")
+    _check_smoke_baseline(sweep, SMOKE_BASELINE, "fig6_smoke.json")
+
+
+def test_fig6_smallest_smoke_fixed_codec(benchmark):
+    """The same smoke point under ``codec="fixed"`` — the uncompressed
+    ablation, gated against its own baseline so codec work cannot silently
+    regress the fixed-width pipeline either."""
+    sweep = benchmark.pedantic(
+        lambda: _run_smallest(codec="fixed"), rounds=1, iterations=1
+    )
+    report(sweep, "fig6_smoke_fixed.txt")
+    _check_smoke_baseline(sweep, SMOKE_FIXED_BASELINE, "fig6_smoke_fixed.json")
+
+    # The default (gap-varint) smoke baseline must beat this one: the
+    # compressed pipeline's reason to exist, stated as a gate.
+    if SMOKE_BASELINE.exists():
+        import json
+
+        compressed = json.loads(SMOKE_BASELINE.read_text())
+        comp_io = {
+            (r["algorithm"], r["x"]): r["io_total"] for r in compressed["runs"]
+        }
+        for run in sweep.runs:
+            assert comp_io[(run.algorithm, run.x)] < run.io_total
+
+
+def test_fig6_codec_delta(benchmark):
+    """The tentpole's acceptance gate: at every Fig 6 size point, the
+    gap-varint pipeline performs >=20% fewer block I/Os than the fixed
+    ablation while finding identical SCCs.  The measured deltas are
+    recorded next to the fusion deltas of the previous PR."""
+    graph = webspam_graph()
+    edges = shuffled_edges(graph)
+    n = graph.num_nodes
+    memory = memory_for_ratio(n, MEMORY_RATIO)
+    points = [(pct, subsample_edges(edges, pct)) for pct in PERCENTAGES]
+
+    def run_codec(codec):
+        sweep = Sweep(title=f"{TITLE} [codec={codec}]", x_label="size%")
+        for pct, sub in points:
+            for name, make in VARIANTS:
+                sweep.runs.append(
+                    run_algorithm(name, sub, n, memory,
+                                  block_size=BLOCK_SIZE, x=pct,
+                                  config=make(codec=codec))
+                )
+        return sweep
+
+    fixed = benchmark.pedantic(
+        lambda: run_codec("fixed"), rounds=1, iterations=1
+    )
+    comp = run_codec("gap-varint")
+
+    lines = [
+        "Codec delta: gap-varint vs fixed-width intermediates",
+        "baseline  = codec='fixed' (uncompressed ablation)",
+        "candidate = codec='gap-varint' (the default)",
+        "",
+        f"{'variant':>11} {'size%':>5} {'fixed':>10} {'gap-varint':>10} "
+        f"{'saved':>6} {'ratio':>6} {'B/rec':>6}",
+    ]
+    for pct, _ in points:
+        for name, _ in VARIANTS:
+            f = fixed.result(name, pct)
+            c = comp.result(name, pct)
+            assert f.ok and c.ok
+            assert c.num_sccs == f.num_sccs, (name, pct)
+            saved = 1 - c.io_total / f.io_total
+            lines.append(
+                f"{name:>11} {pct:>5} {f.io_total:>10,} {c.io_total:>10,} "
+                f"{saved:>6.1%} {c.compression_ratio:>6.2f} "
+                f"{c.bytes_per_record:>6.2f}"
+            )
+            # The acceptance bar: >=20% fewer I/Os at every size point.
+            assert saved >= 0.20, (name, pct, saved)
+    text = "\n".join(lines) + "\n"
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fig6_webspam_size.codec_delta.txt").write_text(text)
 
 
 def test_fig6_replacement_selection_lowers_merge_passes(benchmark, monkeypatch):

@@ -24,7 +24,7 @@ assume replacement-selection formation (``#runs ≈ m / 2M``).
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Mapping, Optional
 
 from repro.constants import (
     AUGMENTED_EDGE_BYTES,
@@ -43,17 +43,37 @@ class CostModel:
     Args:
         block_size: the device's ``B`` in bytes.
         memory_bytes: the budget ``M`` (drives sort fan-in and run count).
+        bytes_per_record: measured *stored* bytes per record, keyed by the
+            logical record width — what the compressed pipeline actually
+            paid per record of each stream class.  Calibrate it from a run's
+            ledger (``{w: stored / records for w, (records, stored) in
+            device.stats.bytes_by_width.items()}``); widths without an
+            entry fall back to their logical size (the fixed ablation).
+            Disk-resident quantities (:meth:`blocks`, scans, merge passes)
+            then use the stored width, while in-memory quantities (run
+            lengths, fan-in) keep the logical width — the heap holds
+            uncompressed tuples.
     """
 
-    def __init__(self, block_size: int, memory_bytes: int) -> None:
+    def __init__(
+        self,
+        block_size: int,
+        memory_bytes: int,
+        bytes_per_record: Optional[Mapping[int, float]] = None,
+    ) -> None:
         self.block_size = block_size
         self.memory_bytes = memory_bytes
+        self.bytes_per_record = dict(bytes_per_record) if bytes_per_record else {}
 
     # -- primitives ----------------------------------------------------------
 
+    def stored_width(self, record_size: int) -> float:
+        """Effective on-disk bytes per record of this logical width."""
+        return self.bytes_per_record.get(record_size, record_size)
+
     def blocks(self, records: int, record_size: int) -> int:
-        """Blocks occupied by ``records`` records."""
-        return math.ceil(max(0, records) * record_size / self.block_size)
+        """Blocks occupied by ``records`` records (at the stored width)."""
+        return math.ceil(max(0, records) * self.stored_width(record_size) / self.block_size)
 
     def scan(self, records: int, record_size: int) -> int:
         """``scan(m)``: one sequential pass."""

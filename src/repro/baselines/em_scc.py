@@ -35,7 +35,7 @@ from repro.exceptions import NonTermination
 from repro.graph.digraph import DiGraph
 from repro.graph.edge_file import EdgeFile, NodeFile
 from repro.io.blocks import BlockDevice
-from repro.io.files import ExternalFile
+from repro.io.codecs import RecordStore, create_record_file, record_file_from_records
 from repro.io.join import cogroup
 from repro.io.memory import MemoryBudget
 from repro.io.sort import external_sort_records, external_sort_stream
@@ -72,11 +72,11 @@ def _graph_fits(num_nodes: int, num_edges: int, memory: MemoryBudget) -> bool:
 
 def _rewrite_endpoint(
     device: BlockDevice,
-    edges: ExternalFile,
-    mapping: ExternalFile,
+    edges: RecordStore,
+    mapping: RecordStore,
     memory: MemoryBudget,
     endpoint: int,
-) -> ExternalFile:
+) -> RecordStore:
     """Map one endpoint of every edge through a sorted (old, new) file.
 
     The by-endpoint sort streams straight into the rewrite co-scan; no
@@ -84,9 +84,12 @@ def _rewrite_endpoint(
     """
     sorted_edges = external_sort_stream(
         device, edges.scan(), EDGE_RECORD_BYTES, memory,
-        key=(lambda e: (e[endpoint], e[1 - endpoint])),
+        key=(lambda e: (e[endpoint], e[1 - endpoint])), sort_field=endpoint,
     )
-    out = ExternalFile.create(device, device.temp_name("emrw"), EDGE_RECORD_BYTES)
+    # The rewritten endpoint breaks the scan order, so no gap field.
+    out = create_record_file(
+        device, device.temp_name("emrw"), EDGE_RECORD_BYTES, sort_field=None
+    )
     for _, edge_group, map_group in cogroup(
         sorted_edges, mapping.scan(), lambda e: e[endpoint], lambda m: m[0]
     ):
@@ -128,13 +131,14 @@ def em_scc(
 
     # Cumulative map (original -> current super-node), kept sorted by the
     # *current* id so it can be composed with each iteration's contraction.
-    cumulative = ExternalFile.from_records(
+    cumulative = record_file_from_records(
         device,
         device.temp_name("emmap"),
         ((v, v) for v in nodes.scan()),
         SCC_RECORD_BYTES,
+        sort_field=0,
     )
-    current_edges: ExternalFile = edges.file
+    current_edges: RecordStore = edges.file
     owns_edges = False
     num_nodes = nodes.num_nodes
     iterations = 0
@@ -145,7 +149,9 @@ def em_scc(
         if iterations > max_iterations:
             raise NonTermination(f"EM-SCC exceeded {max_iterations} iterations")
         # --- partition the edge file and contract chunk-local SCCs.
-        pairs = ExternalFile.create(device, device.temp_name("empairs"), SCC_RECORD_BYTES)
+        pairs = create_record_file(
+            device, device.temp_name("empairs"), SCC_RECORD_BYTES, sort_field=None
+        )
         contractions = 0
         chunk: List[Tuple[int, int]] = []
 
@@ -186,7 +192,9 @@ def em_scc(
         mapping = external_sort_stream(
             device, pairs.scan(), SCC_RECORD_BYTES, memory, unique=True
         )
-        deduped = ExternalFile.create(device, device.temp_name("emmap1"), SCC_RECORD_BYTES)
+        deduped = create_record_file(
+            device, device.temp_name("emmap1"), SCC_RECORD_BYTES, sort_field=0
+        )
         last_node = None
         for node, rep in mapping:
             if node != last_node:
@@ -218,9 +226,11 @@ def em_scc(
         # (the by-current sort streams into the composition co-scan).
         by_current = external_sort_stream(
             device, cumulative.scan(), SCC_RECORD_BYTES, memory,
-            key=lambda r: (r[1], r[0]),
+            key=lambda r: (r[1], r[0]), sort_field=1,
         )
-        composed = ExternalFile.create(device, device.temp_name("emmap2"), SCC_RECORD_BYTES)
+        composed = create_record_file(
+            device, device.temp_name("emmap2"), SCC_RECORD_BYTES, sort_field=None
+        )
         for _, cum_group, map_group in cogroup(
             by_current, deduped.scan(), lambda r: r[1], lambda m: m[0]
         ):
@@ -240,7 +250,7 @@ def em_scc(
 
     by_current = external_sort_records(
         device, cumulative.scan(), SCC_RECORD_BYTES, memory,
-        key=lambda r: (r[1], r[0]),
+        key=lambda r: (r[1], r[0]), sort_field=1,
     )
     cumulative.delete()
     labels: Dict[int, int] = {}

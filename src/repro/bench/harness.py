@@ -43,12 +43,30 @@ class RunResult:
     iterations: Optional[int] = None
     merge_passes: int = 0
     runs_formed: int = 0
+    records_written: int = 0
+    bytes_logical: int = 0
+    bytes_stored: int = 0
+    width_profile: Dict[int, float] = field(default_factory=dict)
     phases: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         """True when the run finished within budget."""
         return self.status == STATUS_OK
+
+    @property
+    def compression_ratio(self) -> float:
+        """Logical payload bytes over stored bytes (1.0 = uncompressed)."""
+        if self.bytes_stored == 0:
+            return 1.0
+        return self.bytes_logical / self.bytes_stored
+
+    @property
+    def bytes_per_record(self) -> float:
+        """Average stored bytes per payload record written."""
+        if self.records_written == 0:
+            return 0.0
+        return self.bytes_stored / self.records_written
 
     def cell(self, metric: str = "io") -> str:
         """Render one table cell the way the paper's plots label points."""
@@ -153,6 +171,15 @@ def run_algorithm(
     result.io_sequential = delta.sequential
     result.merge_passes = device.stats.merge_passes
     result.runs_formed = device.stats.runs_formed
+    result.records_written = device.stats.records_written
+    result.bytes_logical = device.stats.bytes_logical
+    result.bytes_stored = device.stats.bytes_stored
+    result.width_profile = {
+        width: stored / count
+        for width, (count, stored) in device.stats.bytes_by_width.items()
+        if count
+    }
+    empty_bytes = (0, 0, 0)
     result.phases = {
         label: {
             "io_total": snap.total,
@@ -160,8 +187,14 @@ def run_algorithm(
             "io_random": snap.random,
             "merge_passes": device.stats.passes_by_phase.get(label, 0),
             "runs_formed": device.stats.runs_by_phase.get(label, 0),
+            "records_written": records,
+            "bytes_logical": logical,
+            "bytes_stored": stored,
         }
         for label, snap in device.stats.by_phase.items()
+        for records, logical, stored in (
+            device.stats.bytes_by_phase.get(label, empty_bytes),
+        )
     }
     return result
 

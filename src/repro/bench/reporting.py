@@ -21,9 +21,19 @@ def format_phase_table(run: RunResult) -> str:
     ``contract-2``, …; ``expansion`` contains ``expand-i``), so the
     top-level rows sum the per-level rows below them.  The pass counts come
     from :attr:`repro.io.stats.IOStats.passes_by_phase` — they are how the
-    run-formation strategies are compared level by level.
+    run-formation strategies are compared level by level.  The last two
+    columns show what the codec bought per phase: logical over stored
+    payload bytes, and stored bytes per record written.
     """
-    header = ["phase", "io_total", "seq", "rand", "merge_passes", "runs_formed"]
+
+    def _ratio(logical: int, stored: int) -> str:
+        return f"{logical / stored:.2f}" if stored else "-"
+
+    def _per_record(stored: int, records: int) -> str:
+        return f"{stored / records:.2f}" if records else "-"
+
+    header = ["phase", "io_total", "seq", "rand", "merge_passes",
+              "runs_formed", "compression_ratio", "bytes_per_record"]
     rows: List[List[str]] = [header]
     for label in sorted(run.phases):
         p = run.phases[label]
@@ -34,6 +44,8 @@ def format_phase_table(run: RunResult) -> str:
             f"{p['io_random']:,}",
             str(p["merge_passes"]),
             str(p["runs_formed"]),
+            _ratio(p.get("bytes_logical", 0), p.get("bytes_stored", 0)),
+            _per_record(p.get("bytes_stored", 0), p.get("records_written", 0)),
         ])
     rows.append([
         "(run total)",
@@ -42,6 +54,8 @@ def format_phase_table(run: RunResult) -> str:
         f"{run.io_random:,}",
         str(run.merge_passes),
         str(run.runs_formed),
+        _ratio(run.bytes_logical, run.bytes_stored),
+        _per_record(run.bytes_stored, run.records_written),
     ])
     widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
     lines = [f"{run.algorithm} @ {run.x}  —  per-phase I/O and merge passes"]
@@ -134,7 +148,9 @@ def sweep_to_json(sweep: Sweep, indent: Optional[int] = 1) -> str:
     """Serialize a sweep for external plotting tools.
 
     The schema is one record per run: algorithm, sweep coordinate, status,
-    the three I/O counters, wall seconds, SCC count, iteration count.
+    the three I/O counters, wall seconds, SCC count, iteration count, and
+    the payload-byte ledger (logical vs stored bytes, compression ratio,
+    stored bytes per record, and the per-width profile).
     """
     payload = {
         "title": sweep.title,
@@ -152,6 +168,15 @@ def sweep_to_json(sweep: Sweep, indent: Optional[int] = 1) -> str:
                 "iterations": run.iterations,
                 "merge_passes": run.merge_passes,
                 "runs_formed": run.runs_formed,
+                "records_written": run.records_written,
+                "bytes_logical": run.bytes_logical,
+                "bytes_stored": run.bytes_stored,
+                "compression_ratio": run.compression_ratio,
+                "bytes_per_record": run.bytes_per_record,
+                "width_profile": {
+                    str(width): per_record
+                    for width, per_record in sorted(run.width_profile.items())
+                },
                 "phases": run.phases,
             }
             for run in sweep.runs

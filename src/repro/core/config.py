@@ -17,6 +17,7 @@ separately:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -37,10 +38,19 @@ class ExtSCCConfig:
             round costs two semi-join-plus-sort passes over the trimmed
             edge set).  Ignored unless ``trim_type1`` is set.
         type2_reduction: Type-2 node reduction via the bounded table.
-        compress_edge_lists: store the per-iteration ``E_in`` / ``E_out``
-            copies gap-encoded (WebGraph-style) so their repeated scans
-            touch ~3x fewer blocks (a storage-format extension beyond the
-            paper; does not change which nodes are removed).
+        codec: storage codec for every intermediate the pipeline writes —
+            sort runs, merge outputs, degree/cover files, per-level SCC
+            label files.  ``"gap-varint"`` (default) gap-encodes the sort
+            field and varint-encodes the rest; ``"varint"`` skips the gap
+            encoding; ``"fixed"`` is the uncompressed ablation,
+            byte-identical to the pre-codec pipeline.  A storage-format
+            extension beyond the paper; never changes which SCCs are found.
+        compress_edge_lists: deprecated — the old opt-in re-materialization
+            of ``E_in`` / ``E_out``.  Setting it now just forces
+            ``codec="gap-varint"`` (with a :class:`DeprecationWarning`),
+            which compresses those files *and* every other intermediate in
+            the streaming emit itself, without the extra write+read pass
+            the old flag paid.
         dedupe_parallel_edges: lazy parallel-edge removal.
         remove_self_loops: drop self-loops when building ``E_add``.
         product_operator: use Definition 7.1 instead of 5.1.
@@ -69,6 +79,7 @@ class ExtSCCConfig:
     dedupe_parallel_edges: bool = False
     remove_self_loops: bool = False
     product_operator: bool = False
+    codec: str = "gap-varint"
     compress_edge_lists: bool = False
     bytes_per_node: int = SEMI_EXTERNAL_BYTES_PER_NODE
     type2_table_bytes: Optional[int] = None
@@ -77,6 +88,17 @@ class ExtSCCConfig:
     validate: bool = False
     pool_readahead: int = 8
     pool_coalesce_writes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.compress_edge_lists:
+            warnings.warn(
+                "compress_edge_lists is deprecated; use codec='gap-varint' "
+                "(now the default) — the streaming emit compresses E_in/E_out "
+                "directly, without the old re-materialization pass",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(self, "codec", "gap-varint")
 
     @classmethod
     def baseline(cls, **overrides) -> "ExtSCCConfig":

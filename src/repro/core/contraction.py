@@ -37,7 +37,7 @@ from repro.core.operators import make_key_fn
 from repro.core.vertex_cover import BoundedCoverTable
 from repro.graph.edge_file import EdgeFile, NodeFile
 from repro.io.blocks import BlockDevice
-from repro.io.files import ExternalFile
+from repro.io.codecs import RecordStore, create_record_file, record_file_from_records
 from repro.io.join import anti_join, cogroup, merge_join, semi_join
 from repro.io.memory import MemoryBudget
 from repro.io.sort import external_sort_records, external_sort_stream
@@ -87,7 +87,7 @@ def build_degree_file(
     eout: EdgeFile,
     config: ExtSCCConfig,
     memory: Optional[MemoryBudget] = None,
-) -> ExternalFile:
+) -> RecordStore:
     """``V_d``: one record per node with its degree fields, sorted by id.
 
     Records are ``(v, deg)`` under Definition 5.1 and ``(v, deg,
@@ -134,11 +134,11 @@ def _degree_pass(
     ein: EdgeFile,
     eout: EdgeFile,
     config: ExtSCCConfig,
-) -> Tuple[ExternalFile, bool]:
+) -> Tuple[RecordStore, bool]:
     """One degree-computation co-scan; returns (V_d, any-node-trimmed)."""
     record_size = 12 if config.product_operator else 8
     trimmed = False
-    vd = ExternalFile.create(device, device.temp_name("vd"), record_size)
+    vd = create_record_file(device, device.temp_name("vd"), record_size, sort_field=0)
     for node, in_group, out_group in cogroup(
         ein.scan(), eout.scan(), lambda e: e[1], lambda e: e[0]
     ):
@@ -158,7 +158,7 @@ def _degree_pass(
 def _filter_to_survivors(
     device: BlockDevice,
     eout: EdgeFile,
-    vd: ExternalFile,
+    vd: RecordStore,
     memory: MemoryBudget,
 ) -> Tuple[EdgeFile, EdgeFile]:
     """Drop edges touching trimmed nodes; return fresh (E_in, E_out).
@@ -172,10 +172,10 @@ def _filter_to_survivors(
     survivors = lambda: (r[0] for r in vd.scan())  # noqa: E731 - tiny closure
     src_ok = semi_join(eout.scan(), survivors(), lambda e: e[0])
     by_dst = external_sort_stream(
-        device, src_ok, 8, memory, key=lambda e: (e[1], e[0])
+        device, src_ok, 8, memory, key=lambda e: (e[1], e[0]), sort_field=1
     )
     fully_ok = semi_join(by_dst, survivors(), lambda e: e[1])
-    filtered_ein = ExternalFile.create(device, device.temp_name("tein"), 8)
+    filtered_ein = create_record_file(device, device.temp_name("tein"), 8, sort_field=1)
 
     def tee() -> Iterator[Record]:
         for record in fully_ok:
@@ -222,7 +222,7 @@ def get_v(
     # copy (pre- or post-sort) is materialized.
     ed2_stream = external_sort_stream(
         device, ed1_records(), 8 + 4 * info_width, memory,
-        key=lambda r: (r[1], r[0]),
+        key=lambda r: (r[1], r[0]), sort_field=1,
     )
 
     # E_d step 3 + cover scan fused: augment deg(v) and pick the larger
@@ -283,7 +283,7 @@ def get_e(
     endpoints in the cover and ``E_add`` bypasses every removed node ``v``
     with ``nbr_in(v) × nbr_out(v)``.
     """
-    out = ExternalFile.create(device, device.temp_name("enext"), 8)
+    out = create_record_file(device, device.temp_name("enext"), 8, sort_field=None)
 
     # E_del (in): edges (u, v) with v removed, grouped by v (E_in order).
     def removed_in() -> Iterator[Record]:
@@ -326,6 +326,7 @@ def get_e(
         8,
         memory,
         key=lambda e: (e[1], e[0]),
+        sort_field=1,
     )
     for edge in semi_join(pre_sorted, v_next.scan(), lambda e: e[1]):
         out.append(edge)
@@ -348,11 +349,15 @@ def _filter_neighbors(
     are the two sorts' run files; no spill, filter, or regroup copies.
     """
     by_neighbor = external_sort_stream(
-        device, edges, 8, memory, key=lambda e: (e[side], e[1 - side])
+        device, edges, 8, memory, key=lambda e: (e[side], e[1 - side]),
+        sort_field=side,
     )
     filtered = semi_join(by_neighbor, v_next.scan(), lambda e: e[side])
     group_key = (lambda e: (e[1], e[0])) if by_dst else None
-    yield from external_sort_stream(device, filtered, 8, memory, key=group_key)
+    yield from external_sort_stream(
+        device, filtered, 8, memory, key=group_key,
+        sort_field=1 if by_dst else None,
+    )
 
 
 def contract(
@@ -373,26 +378,14 @@ def contract(
     unique = config.dedupe_parallel_edges
     eout = edges.sorted_by_src(memory, unique=unique)
     ein = edges.sorted_by_dst(memory, unique=unique)
-    if config.compress_edge_lists:
-        from repro.graph.compressed import CompressedEdgeFile
-
-        eout_compressed = CompressedEdgeFile.from_sorted_edges(
-            device, device.temp_name("ceout"), eout.scan()
-        )
-        ein_compressed = CompressedEdgeFile.from_sorted_edges(
-            device, device.temp_name("cein"),
-            ((v, u) for u, v in ein.scan()), flipped=True,
-        )
-        eout.delete()
-        ein.delete()
-        eout, ein = eout_compressed, ein_compressed  # type: ignore[assignment]
     v_next = get_v(device, edges, ein, eout, memory, config)
     e_next = get_e(device, ein, eout, v_next, memory, config)
-    removed_file = ExternalFile.from_records(
+    removed_file = record_file_from_records(
         device,
         device.temp_name("removed"),
         anti_join(((v,) for v in nodes.scan()), v_next.scan(), lambda r: r[0]),
         NODE_RECORD_BYTES,
+        sort_field=0,
     )
     ein.delete()
     eout.delete()

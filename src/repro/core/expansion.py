@@ -27,7 +27,7 @@ from repro.core.config import ExtSCCConfig
 from repro.core.contraction import ContractionLevel
 from repro.graph.edge_file import EdgeFile, NodeFile
 from repro.io.blocks import BlockDevice
-from repro.io.files import ExternalFile
+from repro.io.codecs import RecordStore, record_file_from_records
 from repro.io.join import anti_join, cogroup, merge_join
 from repro.io.memory import MemoryBudget
 from repro.io.sort import external_sort_records, external_sort_stream, merge_runs
@@ -41,9 +41,9 @@ def augment(
     device: BlockDevice,
     edges: Union[EdgeFile, Iterable[Record]],
     v_next: NodeFile,
-    scc_next: ExternalFile,
+    scc_next: RecordStore,
     memory: MemoryBudget,
-) -> ExternalFile:
+) -> RecordStore:
     """The paper's ``augment(E)`` (Algorithm 5, lines 8–14).
 
     Produces records ``(u, v, SCC(u))`` for every edge ``(u, v)`` of
@@ -64,7 +64,7 @@ def augment(
     source = edges.scan() if isinstance(edges, EdgeFile) else iter(edges)
     # line 9: group edges by destination (streamed, not materialized).
     by_dst = external_sort_stream(
-        device, source, 8, memory, key=lambda e: (e[1], e[0])
+        device, source, 8, memory, key=lambda e: (e[1], e[0]), sort_field=1
     )
     # line 10: keep edges into removed nodes (V_{i+1} anti-join).
     into_removed = anti_join(by_dst, v_next.scan(), lambda e: e[1])
@@ -85,6 +85,7 @@ def augment(
         AUGMENTED_EDGE_BYTES,
         memory,
         key=lambda r: (r[1], r[2], r[0]),
+        sort_field=1,
     )
 
 
@@ -117,10 +118,10 @@ def _intersect_sorted(a: List[int], b: List[int]) -> List[int]:
 def expand_level(
     device: BlockDevice,
     level: ContractionLevel,
-    scc_next: ExternalFile,
+    scc_next: RecordStore,
     memory: MemoryBudget,
     config: ExtSCCConfig,
-) -> ExternalFile:
+) -> RecordStore:
     """One expansion step: compute ``SCC_i`` from ``SCC_{i+1}``.
 
     Args:
@@ -162,8 +163,9 @@ def expand_level(
                 # No surviving in- or out-edges: singleton SCC.
                 yield (v, v)
 
-    scc_del = ExternalFile.from_records(
-        device, device.temp_name("sccdel"), removed_labels(), SCC_RECORD_BYTES
+    scc_del = record_file_from_records(
+        device, device.temp_name("sccdel"), removed_labels(), SCC_RECORD_BYTES,
+        sort_field=0,
     )
     e_in.delete()
     e_out.delete()
@@ -171,8 +173,8 @@ def expand_level(
     # SCC_i = SCC_{i+1} ∪ SCC_del, sorted by node id.  Both inputs are
     # already node-sorted, so one merge pass suffices (paper line 6 sorts).
     merged = merge_runs([scc_next.scan(), scc_del.scan()])
-    scc_i = ExternalFile.from_records(
-        device, device.temp_name("scc"), merged, SCC_RECORD_BYTES
+    scc_i = record_file_from_records(
+        device, device.temp_name("scc"), merged, SCC_RECORD_BYTES, sort_field=0
     )
     scc_del.delete()
     scc_next.delete()

@@ -33,6 +33,7 @@ from repro.core.result import SCCResult
 from repro.exceptions import ReproError
 from repro.graph.edge_file import EdgeFile, NodeFile
 from repro.io.blocks import DEFAULT_BLOCK_SIZE, BlockDevice
+from repro.io.codecs import CODECS
 from repro.io.memory import MemoryBudget
 from repro.io.pool import SharedBufferPool
 from repro.io.stats import IOBudget, IOSnapshot, IOStats
@@ -117,6 +118,11 @@ class ExtSCC:
                 f"unknown semi-external solver {self.config.semi_scc!r}; "
                 f"choose from {sorted(SEMI_SCC_SOLVERS)}"
             )
+        if self.config.codec not in CODECS:
+            raise ReproError(
+                f"unknown codec {self.config.codec!r}; "
+                f"choose from {sorted(CODECS)}"
+            )
 
     def nodes_fit(self, num_nodes: int, memory: MemoryBudget, block_size: int) -> bool:
         """The contraction stop condition: can Semi-SCC handle |V| nodes?"""
@@ -148,6 +154,9 @@ class ExtSCC:
         config = self.config
         memory.validate_against_block(device.block_size)
         stats: IOStats = device.stats
+        # One knob switches every intermediate the run writes: operators
+        # that don't take an explicit codec argument fall back to this.
+        device.default_codec = config.codec
         if device.pool is None and config.pool_readahead > 1:
             # Readahead + write coalescing are counter-neutral (every block
             # is still charged once, with the caller's access pattern), so

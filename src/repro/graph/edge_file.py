@@ -119,7 +119,7 @@ class EdgeFile:
         return EdgeFile(
             external_sort_records(
                 self.device, self.scan(), EDGE_RECORD_BYTES, memory,
-                key=None, unique=unique, out_name=out_name,
+                key=None, unique=unique, out_name=out_name, sort_field=0,
             )
         )
 
@@ -134,6 +134,7 @@ class EdgeFile:
             external_sort_records(
                 self.device, self.scan(), EDGE_RECORD_BYTES, memory,
                 key=lambda e: (e[1], e[0]), unique=unique, out_name=out_name,
+                sort_field=1,
             )
         )
 

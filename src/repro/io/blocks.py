@@ -79,6 +79,11 @@ class BlockDevice:
         self._files: Dict[str, DiskFile] = {}
         self._tmp_counter = 0
         self.pool = None  # optional SharedBufferPool (see attach_pool)
+        # Codec name applied when operators create intermediates without an
+        # explicit codec argument; None falls through to the module default
+        # in repro.io.codecs.  ExtSCC.run sets this from its config so one
+        # knob switches the whole pipeline.
+        self.default_codec: Optional[str] = None
 
     def attach_pool(self, pool) -> None:
         """Install a :class:`~repro.io.pool.SharedBufferPool` on the device.

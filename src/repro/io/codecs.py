@@ -1,0 +1,513 @@
+"""Pluggable record codecs for the external operators.
+
+Every intermediate the pipeline writes — sort runs, merge-pass outputs,
+degree/cover files, per-level SCC-label files — is a stream of small
+integer tuples, usually sorted by one of its fields.  The paper's cost
+(and every figure this repo reproduces) is counted in block I/Os, so
+shrinking the accounted bytes per record shrinks every term of the cost
+model directly: fewer bytes → fewer blocks per run → fewer blocks per
+merge pass.
+
+Three codecs are provided:
+
+* ``"fixed"`` — the identity codec: every record costs its declared
+  fixed width, exactly as :class:`~repro.io.files.ExternalFile` charges.
+  Selecting it reproduces the uncompressed pipeline (the ablation).
+* ``"varint"`` — each field as a zigzag LEB128 varint.  Order-agnostic;
+  used for intermediates written in no particular order (``E_add``,
+  EM-SCC rewrite files).
+* ``"gap-varint"`` — like ``"varint"``, but the *sort field* (the field
+  the stream is ordered by) is delta-encoded against the previous record
+  in the block.  Gap chains restart at block boundaries, so every block
+  is independently decodable — the WebGraph trick applied to arbitrary
+  record streams.  Zigzag deltas keep the codec correct on unsorted
+  input (it merely compresses worse), which the property tests exercise.
+
+Codecs implement both the *accounting* (:meth:`Codec.encoded_size`, what
+the simulated device charges) and the *real byte encoding*
+(:meth:`Codec.encode` / :meth:`Codec.decode`); the property tests pin
+``len(encode(...)) == encoded_size(...)`` and roundtrip identity, so the
+charged sizes are exactly what a real encoder would produce.
+
+:class:`CompressedRecordFile` packages a codec with a
+:class:`~repro.io.varfile.VarRecordFile` behind the same interface as
+:class:`~repro.io.files.ExternalFile`, so every operator can produce and
+consume either file kind; :func:`create_record_file` picks the kind from
+the codec in effect (explicit argument, else the device default, else
+:data:`DEFAULT_CODEC`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import StorageError
+from repro.io.blocks import BlockDevice
+from repro.io.files import ExternalFile
+from repro.io.varfile import VarRecordFile, varint_size
+
+__all__ = [
+    "Codec",
+    "FixedCodec",
+    "VarintCodec",
+    "GapVarintCodec",
+    "CODECS",
+    "DEFAULT_CODEC",
+    "resolve_codec",
+    "CompressedRecordFile",
+    "RecordStore",
+    "create_record_file",
+    "record_file_from_records",
+]
+
+Record = Tuple[int, ...]
+
+DEFAULT_CODEC = "gap-varint"
+"""Codec used when neither the caller nor the device names one."""
+
+
+# -- varint / zigzag primitives ---------------------------------------------
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed int to an unsigned one (0, -1, 1, -2, ... -> 0, 1, 2, 3)."""
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) if (value & 1) == 0 else -((value + 1) >> 1)
+
+
+def encode_varint(value: int) -> bytes:
+    """LEB128-encode a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"varints encode non-negative integers, got {value}")
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def decode_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Decode one LEB128 varint at ``pos``; returns ``(value, next_pos)``."""
+    value = 0
+    shift = 0
+    while True:
+        try:
+            byte = data[pos]
+        except IndexError:
+            raise ValueError("truncated varint") from None
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            return value, pos
+        shift += 7
+
+
+# -- codecs ------------------------------------------------------------------
+
+
+class Codec:
+    """Size accounting + byte encoding for one record stream.
+
+    Args:
+        record_size: the stream's *logical* fixed width in bytes (what the
+            uncompressed representation would charge per record); used for
+            compression-ratio reporting and cost-model calibration.
+    """
+
+    name = "abstract"
+
+    def __init__(self, record_size: int) -> None:
+        if record_size <= 0:
+            raise ValueError(f"record_size must be positive, got {record_size}")
+        self.record_size = record_size
+
+    def encoded_size(self, record: Record, prev: Optional[Record] = None) -> int:
+        """Accounted bytes for ``record``; ``prev`` is the previous record
+        in the same block (``None`` at a block start)."""
+        raise NotImplementedError
+
+    def encode(self, record: Record, prev: Optional[Record] = None) -> bytes:
+        """The real byte encoding whose length :meth:`encoded_size` accounts."""
+        raise NotImplementedError
+
+    def decode(
+        self, data: bytes, pos: int, num_fields: int, prev: Optional[Record] = None
+    ) -> Tuple[Record, int]:
+        """Decode one record at ``pos``; returns ``(record, next_pos)``."""
+        raise NotImplementedError
+
+    def decode_stream(self, data: bytes, num_fields: int) -> Iterator[Record]:
+        """Decode a whole encoded block back into records."""
+        pos = 0
+        prev: Optional[Record] = None
+        while pos < len(data):
+            record, pos = self.decode(data, pos, num_fields, prev)
+            prev = record
+            yield record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(record_size={self.record_size})"
+
+
+class FixedCodec(Codec):
+    """The identity codec: every record costs the logical fixed width.
+
+    Encoding packs each field as a fixed-width big-endian zigzag integer
+    (``record_size / num_fields`` bytes per field — the repo's record
+    layouts are all 4 bytes per field), so the roundtrip property holds
+    for it too as long as the values fit.
+    """
+
+    name = "fixed"
+
+    def encoded_size(self, record: Record, prev: Optional[Record] = None) -> int:
+        return self.record_size
+
+    def _field_width(self, num_fields: int) -> int:
+        width, rem = divmod(self.record_size, num_fields)
+        if rem or width <= 0:
+            raise StorageError(
+                f"{self.record_size}-byte records cannot hold {num_fields} "
+                "equal-width fields"
+            )
+        return width
+
+    def encode(self, record: Record, prev: Optional[Record] = None) -> bytes:
+        width = self._field_width(len(record))
+        out = bytearray()
+        for value in record:
+            unsigned = zigzag_encode(value)
+            if unsigned >= 1 << (8 * width):
+                raise StorageError(
+                    f"value {value} does not fit in a {width}-byte fixed field"
+                )
+            out += unsigned.to_bytes(width, "big")
+        return bytes(out)
+
+    def decode(
+        self, data: bytes, pos: int, num_fields: int, prev: Optional[Record] = None
+    ) -> Tuple[Record, int]:
+        width = self._field_width(num_fields)
+        fields = []
+        for _ in range(num_fields):
+            fields.append(zigzag_decode(int.from_bytes(data[pos : pos + width], "big")))
+            pos += width
+        return tuple(fields), pos
+
+
+class VarintCodec(Codec):
+    """Every field as a zigzag LEB128 varint; order-agnostic."""
+
+    name = "varint"
+
+    def encoded_size(self, record: Record, prev: Optional[Record] = None) -> int:
+        return sum(varint_size(zigzag_encode(value)) for value in record)
+
+    def encode(self, record: Record, prev: Optional[Record] = None) -> bytes:
+        return b"".join(encode_varint(zigzag_encode(value)) for value in record)
+
+    def decode(
+        self, data: bytes, pos: int, num_fields: int, prev: Optional[Record] = None
+    ) -> Tuple[Record, int]:
+        fields = []
+        for _ in range(num_fields):
+            unsigned, pos = decode_varint(data, pos)
+            fields.append(zigzag_decode(unsigned))
+        return tuple(fields), pos
+
+
+class GapVarintCodec(VarintCodec):
+    """Varint fields with the sort field delta-encoded within each block.
+
+    Args:
+        record_size: the stream's logical fixed width.
+        gap_field: index of the field the stream is sorted by (its deltas
+            are small and non-negative on sorted input).  Zigzag deltas
+            keep decoding correct even when the input is not sorted.
+    """
+
+    name = "gap-varint"
+
+    def __init__(self, record_size: int, gap_field: int = 0) -> None:
+        super().__init__(record_size)
+        if gap_field < 0:
+            raise ValueError(f"gap_field must be non-negative, got {gap_field}")
+        self.gap_field = gap_field
+
+    def _deltas(self, record: Record, prev: Optional[Record]) -> Iterator[int]:
+        for index, value in enumerate(record):
+            if prev is not None and index == self.gap_field:
+                yield value - prev[index]
+            else:
+                yield value
+
+    def encoded_size(self, record: Record, prev: Optional[Record] = None) -> int:
+        return sum(
+            varint_size(zigzag_encode(value)) for value in self._deltas(record, prev)
+        )
+
+    def encode(self, record: Record, prev: Optional[Record] = None) -> bytes:
+        return b"".join(
+            encode_varint(zigzag_encode(value)) for value in self._deltas(record, prev)
+        )
+
+    def decode(
+        self, data: bytes, pos: int, num_fields: int, prev: Optional[Record] = None
+    ) -> Tuple[Record, int]:
+        record, pos = super().decode(data, pos, num_fields, prev)
+        if prev is not None and self.gap_field < num_fields:
+            fields = list(record)
+            fields[self.gap_field] += prev[self.gap_field]
+            record = tuple(fields)
+        return record, pos
+
+
+CODECS = {
+    FixedCodec.name: FixedCodec,
+    VarintCodec.name: VarintCodec,
+    GapVarintCodec.name: GapVarintCodec,
+}
+"""Codec constructors by config name."""
+
+
+def resolve_codec(
+    codec: Union[None, str, Codec],
+    record_size: int,
+    sort_field: Optional[int] = 0,
+    device: Optional[BlockDevice] = None,
+) -> Codec:
+    """Resolve a codec argument to a concrete :class:`Codec` instance.
+
+    Args:
+        codec: an instance (returned as-is), a name from :data:`CODECS`,
+            or ``None`` — then the device's ``default_codec`` applies, and
+            :data:`DEFAULT_CODEC` after that.
+        record_size: the stream's logical fixed width.
+        sort_field: the field index the stream is sorted by, or ``None``
+            for unordered streams — ``"gap-varint"`` then degrades to
+            plain ``"varint"`` (gaps need an ordered field to be small).
+        device: consulted for its ``default_codec``.
+    """
+    if isinstance(codec, Codec):
+        return codec
+    name = codec
+    if name is None and device is not None:
+        name = device.default_codec
+    if name is None:
+        name = DEFAULT_CODEC
+    if name not in CODECS:
+        raise ValueError(
+            f"unknown codec {name!r}; choose from {sorted(CODECS)}"
+        )
+    if name == GapVarintCodec.name:
+        if sort_field is None:
+            return VarintCodec(record_size)
+        return GapVarintCodec(record_size, gap_field=sort_field)
+    return CODECS[name](record_size)
+
+
+# -- compressed record files -------------------------------------------------
+
+
+class CompressedRecordFile:
+    """A codec-compressed record file with the :class:`ExternalFile` surface.
+
+    Records are stored as Python tuples (payloads are *accounted*, not
+    serialized — see :mod:`repro.io.varfile`); each record is charged its
+    codec-encoded size, with gap chains restarting at block boundaries so
+    blocks stay independently decodable.
+
+    Args:
+        device: the simulated disk.
+        name: file name on the device.
+        record_size: the logical fixed width (for ratio reporting).
+        codec: the resolved :class:`Codec`.
+        overwrite: replace an existing file of the same name.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        name: str,
+        record_size: int,
+        codec: Codec,
+        overwrite: bool = False,
+    ) -> None:
+        self.device = device
+        self.codec = codec
+        self._record_size = record_size
+        self._var = VarRecordFile(device, name, overwrite=overwrite)
+        self._prev: Optional[Record] = None
+        self._closed = False
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        device: BlockDevice,
+        name: str,
+        record_size: int,
+        codec: Codec,
+        overwrite: bool = False,
+    ) -> "CompressedRecordFile":
+        """Create a new empty compressed file (mirrors ``ExternalFile.create``)."""
+        return cls(device, name, record_size, codec, overwrite=overwrite)
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The file's name on the device."""
+        return self._var.name
+
+    @property
+    def record_size(self) -> int:
+        """The *logical* record width (the fixed-width equivalent)."""
+        return self._record_size
+
+    @property
+    def num_records(self) -> int:
+        """Number of records written (including any still buffered)."""
+        return self._var.num_records
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks on disk (excludes the unflushed tail buffer)."""
+        return self._var.num_blocks
+
+    @property
+    def nbytes(self) -> int:
+        """Logical payload size (records * fixed-width equivalent)."""
+        return self.num_records * self._record_size
+
+    @property
+    def stored_bytes(self) -> int:
+        """Accounted bytes after compression."""
+        return self._var.payload_bytes
+
+    @property
+    def compression_ratio(self) -> float:
+        """``logical / stored`` (higher is better; 1.0 when empty)."""
+        return self.nbytes / self.stored_bytes if self.stored_bytes else 1.0
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: Record) -> None:
+        """Append one record through the codec-aware write buffer."""
+        if self._closed:
+            raise StorageError(f"file {self.name!r} is closed for writing")
+        nbytes = self.codec.encoded_size(record, self._prev)
+        if self._var.tail_bytes + nbytes > self.device.block_size:
+            # The tail block closes before this record lands, so it opens
+            # the next block and its gap chain restarts.  A block-start
+            # encoding is never smaller than a gap encoding, so the
+            # VarRecordFile flushes on exactly this append.
+            nbytes = self.codec.encoded_size(record, None)
+        self._var.append(record, nbytes)
+        self._prev = record
+
+    def extend(self, records: Iterable[Record]) -> None:
+        """Append many records through the codec-aware write buffer."""
+        for record in records:
+            self.append(record)
+
+    def close(self) -> None:
+        """Flush the tail block and report the stream's byte footprint to
+        the ledger; the file becomes read-only."""
+        if self._closed:
+            return
+        self._var.close()
+        self._closed = True
+        self.device.stats.record_payload_write(
+            self.num_records, self.nbytes, self.stored_bytes, self._record_size
+        )
+
+    # -- reading -----------------------------------------------------------
+
+    def scan(self) -> Iterator[Record]:
+        """Stream records front to back with sequential block reads."""
+        if not self._closed:
+            raise StorageError(f"close {self.name!r} before scanning it")
+        return self._var.scan()  # type: ignore[return-value]
+
+    def scan_blocks(self) -> Iterator[Sequence[Tuple[Record]]]:
+        """Stream whole blocks sequentially (symmetric with
+        :meth:`ExternalFile.scan_blocks`; entries are ``(record,)`` slots)."""
+        if not self._closed:
+            raise StorageError(f"close {self.name!r} before scanning it")
+        return self._var.scan_blocks()
+
+    def read_block_random(self, index: int) -> Sequence[Record]:
+        """Compressed intermediates are scan-only by design."""
+        raise StorageError(
+            f"compressed file {self.name!r} supports sequential scans only"
+        )
+
+    # -- management --------------------------------------------------------
+
+    def rename(self, new_name: str, overwrite: bool = True) -> None:
+        """Rename the file on the device (metadata only)."""
+        self._var.rename(new_name, overwrite=overwrite)
+
+    def delete(self) -> None:
+        """Remove the file from the device."""
+        self._var.delete()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompressedRecordFile({self.name!r}, codec={self.codec.name!r}, "
+            f"records={self.num_records}, blocks={self.num_blocks})"
+        )
+
+
+RecordStore = Union[ExternalFile, CompressedRecordFile]
+"""Either record-file kind; operators consume both through one interface."""
+
+
+def create_record_file(
+    device: BlockDevice,
+    name: str,
+    record_size: int,
+    codec: Union[None, str, Codec] = None,
+    sort_field: Optional[int] = 0,
+    overwrite: bool = False,
+) -> RecordStore:
+    """Create a record file of the kind the codec in effect calls for.
+
+    ``"fixed"`` yields a plain :class:`ExternalFile` (byte-identical to the
+    uncompressed pipeline); anything else yields a
+    :class:`CompressedRecordFile`.  ``sort_field`` names the field the
+    stream will be ordered by (``None`` for unordered streams).
+    """
+    resolved = resolve_codec(codec, record_size, sort_field, device=device)
+    if isinstance(resolved, FixedCodec):
+        return ExternalFile.create(device, name, record_size, overwrite=overwrite)
+    return CompressedRecordFile(device, name, record_size, resolved, overwrite=overwrite)
+
+
+def record_file_from_records(
+    device: BlockDevice,
+    name: str,
+    records: Iterable[Record],
+    record_size: int,
+    codec: Union[None, str, Codec] = None,
+    sort_field: Optional[int] = 0,
+    overwrite: bool = False,
+) -> RecordStore:
+    """Create, fill, and close a record file (mirrors
+    :meth:`ExternalFile.from_records` for either file kind)."""
+    out = create_record_file(
+        device, name, record_size, codec=codec, sort_field=sort_field, overwrite=overwrite
+    )
+    out.extend(records)
+    out.close()
+    return out

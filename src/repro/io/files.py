@@ -131,6 +131,12 @@ class ExternalFile:
         if final and len(buffer) > flushed:
             self.device.append_block(self._file, buffer[flushed:])
             flushed = len(buffer)
+        if flushed:
+            # Fixed-width storage: stored bytes equal the logical footprint.
+            nbytes = flushed * self.record_size
+            self.device.stats.record_payload_write(
+                flushed, nbytes, nbytes, self.record_size
+            )
         self._write_buffer = buffer[flushed:]
 
     def append(self, record: Record) -> None:

@@ -16,7 +16,11 @@ device directory can be reopened later.
 
 Record fields are ``record_size // 4`` integers per record — the invariant
 every record type in this package satisfies (ids, degrees, labels are all
-4-byte fields in the accounting model).
+4-byte fields in the accounting model).  Variable-record files
+(``record_size == 1``, the substrate of :mod:`repro.io.varfile`) hold
+arbitrary nested int-tuple payloads instead; their slots store a recursive
+tagged encoding in a fixed-size slot sized from the accounting invariant
+that a var block's payloads never exceed ``block_size`` accounted bytes.
 """
 
 from __future__ import annotations
@@ -41,12 +45,57 @@ _COUNT = struct.Struct("<I")
 _MANIFEST = "manifest.json"
 
 
-def _fields_per_record(record_size: int) -> int:
+def _fields_per_record(record_size: int) -> Optional[int]:
+    if record_size == 1:
+        return None  # a variable-record file: payloads are nested tuples
     if record_size % 4 != 0:
         raise StorageError(
             f"persistent files need 4-byte-aligned records, got {record_size}"
         )
     return record_size // 4
+
+
+# Tagged recursive encoding for variable-record payloads.
+_TAG_INT = b"\x00"
+_TAG_TUPLE = b"\x01"
+
+# Real bytes per slot for a var file, per accounted byte: every payload
+# field costs at least one accounted byte (varint accounting), so a block
+# holds at most ``block_size`` fields and at most ``block_size`` records;
+# tags + headers + int64 fields then fit in 16 real bytes per accounted one.
+_VAR_SLOT_FACTOR = 16
+
+
+def _encode_obj(obj: object, parts: List[bytes]) -> None:
+    if isinstance(obj, tuple):
+        parts.append(_TAG_TUPLE)
+        parts.append(_COUNT.pack(len(obj)))
+        for item in obj:
+            _encode_obj(item, parts)
+    elif isinstance(obj, int):
+        parts.append(_TAG_INT)
+        parts.append(_FIELD.pack(obj))
+    else:
+        raise StorageError(
+            f"persistent var files store nested int tuples, got {type(obj).__name__}"
+        )
+
+
+def _decode_obj(payload: bytes, offset: int) -> Tuple[object, int]:
+    tag = payload[offset : offset + 1]
+    offset += 1
+    if tag == _TAG_TUPLE:
+        (count,) = _COUNT.unpack_from(payload, offset)
+        offset += _COUNT.size
+        items = []
+        for _ in range(count):
+            item, offset = _decode_obj(payload, offset)
+            items.append(item)
+        return tuple(items), offset
+    if tag == _TAG_INT:
+        (value,) = _FIELD.unpack_from(payload, offset)
+        return value, offset + _FIELD.size
+    raise StorageError(f"corrupt var-record slot (tag {tag!r})")
 
 
 def _safe_filename(name: str) -> str:
@@ -62,8 +111,12 @@ class PersistentDiskFile(DiskFile):
         super().__init__(name, record_size, block_capacity)
         self.path = path
         self.fields = _fields_per_record(record_size)
-        # One slot = count header + capacity * fields * 8 bytes.
-        self.slot_bytes = _COUNT.size + block_capacity * self.fields * _FIELD.size
+        if self.fields is None:
+            # Variable-record slot: bounded by the accounting invariant.
+            self.slot_bytes = _COUNT.size + block_capacity * _VAR_SLOT_FACTOR
+        else:
+            # One slot = count header + capacity * fields * 8 bytes.
+            self.slot_bytes = _COUNT.size + block_capacity * self.fields * _FIELD.size
         self._num_blocks = 0
         self._block_counts: List[int] = []  # records per block (bookkeeping)
         self.blocks = _BlockProxy(self)  # satisfies len() for num_blocks
@@ -218,21 +271,35 @@ class PersistentBlockDevice(BlockDevice):
 
     def _encode(self, f: PersistentDiskFile, records: Sequence[Record]) -> bytes:
         parts = [_COUNT.pack(len(records))]
-        for record in records:
-            if len(record) != f.fields:
-                raise StorageError(
-                    f"record {record!r} has {len(record)} fields; file "
-                    f"{f.name!r} stores {f.fields}-field records"
-                )
-            for value in record:
-                parts.append(_FIELD.pack(value))
+        if f.fields is None:
+            for record in records:
+                _encode_obj(record, parts)
+        else:
+            for record in records:
+                if len(record) != f.fields:
+                    raise StorageError(
+                        f"record {record!r} has {len(record)} fields; file "
+                        f"{f.name!r} stores {f.fields}-field records"
+                    )
+                for value in record:
+                    parts.append(_FIELD.pack(value))
         payload = b"".join(parts)
+        if len(payload) > f.slot_bytes:
+            raise StorageError(
+                f"encoded block of {len(payload)} bytes overflows the "
+                f"{f.slot_bytes}-byte slot of {f.name!r}"
+            )
         return payload.ljust(f.slot_bytes, b"\0")
 
     def _decode(self, f: PersistentDiskFile, payload: bytes) -> List[Record]:
         (count,) = _COUNT.unpack_from(payload, 0)
         records: List[Record] = []
         offset = _COUNT.size
+        if f.fields is None:
+            for _ in range(count):
+                record, offset = _decode_obj(payload, offset)
+                records.append(record)  # type: ignore[arg-type]
+            return records
         for _ in range(count):
             fields = tuple(
                 _FIELD.unpack_from(payload, offset + i * _FIELD.size)[0]

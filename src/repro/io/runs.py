@@ -28,6 +28,7 @@ import heapq
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.io.blocks import BlockDevice
+from repro.io.codecs import Codec, FixedCodec, CompressedRecordFile, RecordStore
 from repro.io.files import ExternalFile
 from repro.io.memory import MemoryBudget
 
@@ -37,6 +38,24 @@ Record = Tuple[int, ...]
 KeyFn = Callable[[Record], object]
 
 
+def _create_run(
+    device: BlockDevice,
+    record_size: int,
+    codec: Optional[Codec],
+    prefix: str,
+) -> RecordStore:
+    """Open a fresh run file of the kind the codec calls for.
+
+    ``codec=None`` (direct calls outside the sort pipeline) and
+    :class:`FixedCodec` both produce a plain fixed-width
+    :class:`ExternalFile`, byte-identical to the uncompressed pipeline.
+    """
+    name = device.temp_name(prefix)
+    if codec is None or isinstance(codec, FixedCodec):
+        return ExternalFile.create(device, name, record_size)
+    return CompressedRecordFile(device, name, record_size, codec)
+
+
 def form_runs(
     device: BlockDevice,
     records: Iterable[Record],
@@ -44,7 +63,8 @@ def form_runs(
     memory: MemoryBudget,
     key: Optional[KeyFn] = None,
     prefix: str = "run",
-) -> List[ExternalFile]:
+    codec: Optional[Codec] = None,
+) -> List[RecordStore]:
     """Split ``records`` into memory-sized sorted runs written to disk.
 
     Each run holds at most ``memory.record_capacity(record_size)`` records,
@@ -55,15 +75,15 @@ def form_runs(
         The list of run files (possibly empty for empty input).
     """
     capacity = max(1, memory.record_capacity(record_size))
-    runs: List[ExternalFile] = []
+    runs: List[RecordStore] = []
     buffer: List[Record] = []
     for record in records:
         buffer.append(record)
         if len(buffer) >= capacity:
-            runs.append(_write_run(device, buffer, record_size, key, prefix))
+            runs.append(_write_run(device, buffer, record_size, key, prefix, codec))
             buffer = []
     if buffer:
-        runs.append(_write_run(device, buffer, record_size, key, prefix))
+        runs.append(_write_run(device, buffer, record_size, key, prefix, codec))
     return runs
 
 
@@ -73,11 +93,13 @@ def _write_run(
     record_size: int,
     key: Optional[KeyFn],
     prefix: str,
-) -> ExternalFile:
+    codec: Optional[Codec] = None,
+) -> RecordStore:
     buffer.sort(key=key)
-    return ExternalFile.from_records(
-        device, device.temp_name(prefix), buffer, record_size
-    )
+    out = _create_run(device, record_size, codec, prefix)
+    out.extend(buffer)
+    out.close()
+    return out
 
 
 def form_runs_replacement_selection(
@@ -87,7 +109,8 @@ def form_runs_replacement_selection(
     memory: MemoryBudget,
     key: Optional[KeyFn] = None,
     prefix: str = "run",
-) -> List[ExternalFile]:
+    codec: Optional[Codec] = None,
+) -> List[RecordStore]:
     """Form sorted runs with replacement selection.
 
     The heap holds at most ``memory.record_capacity(record_size)`` records
@@ -116,9 +139,9 @@ def form_runs_replacement_selection(
         return []
     heapq.heapify(heap)
 
-    runs: List[ExternalFile] = []
+    runs: List[RecordStore] = []
     current_run = 0
-    out: Optional[ExternalFile] = None
+    out: Optional[RecordStore] = None
     exhausted = False
     while heap:
         run_number, run_key, _, record = heapq.heappop(heap)
@@ -127,7 +150,7 @@ def form_runs_replacement_selection(
                 out.close()
                 runs.append(out)
             current_run = run_number
-            out = ExternalFile.create(device, device.temp_name(prefix), record_size)
+            out = _create_run(device, record_size, codec, prefix)
         out.append(record)
         if not exhausted:
             nxt = next(source, None)
@@ -146,6 +169,6 @@ def form_runs_replacement_selection(
     return runs
 
 
-def run_iterator(run: ExternalFile) -> Iterator[Record]:
+def run_iterator(run: RecordStore) -> Iterator[Record]:
     """Stream a run's records sequentially (one buffered block at a time)."""
     return run.scan()

@@ -31,9 +31,10 @@ the replacement-selection claim directly.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.io.blocks import BlockDevice
+from repro.io.codecs import Codec, RecordStore, record_file_from_records, resolve_codec
 from repro.io.files import ExternalFile
 from repro.io.memory import MemoryBudget
 from repro.io.runs import form_runs, form_runs_replacement_selection
@@ -58,23 +59,31 @@ DEFAULT_RUN_FORMATION = "replacement-selection"
 
 
 def external_sort(
-    infile: ExternalFile,
+    infile: RecordStore,
     memory: MemoryBudget,
     key: Optional[KeyFn] = None,
     unique: bool = False,
     out_name: Optional[str] = None,
     delete_input: bool = False,
-) -> ExternalFile:
-    """Sort an :class:`ExternalFile` into a new file.
+    codec: Union[None, str, Codec] = None,
+    sort_field: Optional[int] = None,
+) -> RecordStore:
+    """Sort a record file into a new file.
 
     Args:
-        infile: closed input file.
+        infile: closed input file (fixed-width or compressed).
         memory: memory budget governing run size and merge fan-in.
         key: sort key (default: the record tuple itself).
         unique: drop duplicate *records* (exact tuple equality) during the
             final merge — used for node files and lazy parallel-edge removal.
         out_name: name for the output file (a temp name when omitted).
         delete_input: delete ``infile`` once the sorted copy exists.
+        codec: storage codec for runs, merge outputs, and the result
+            (``None``: the device default, then the module default).
+        sort_field: index of the record field that is non-decreasing under
+            ``key`` — the gap-encoded field.  Defaults to 0 when ``key`` is
+            ``None`` (records sort by their own tuples); with a custom key
+            and no hint, gap encoding degrades to plain varints.
 
     Returns:
         A new sorted (optionally deduplicated) file on the same device.
@@ -88,6 +97,8 @@ def external_sort(
         key=key,
         unique=unique,
         out_name=out_name,
+        codec=codec,
+        sort_field=sort_field,
     )
     if delete_input:
         infile.delete()
@@ -101,17 +112,28 @@ def _form_and_reduce_runs(
     memory: MemoryBudget,
     key: Optional[KeyFn],
     run_formation: Optional[str],
-) -> List[ExternalFile]:
+    codec: Union[None, str, Codec] = None,
+    sort_field: Optional[int] = None,
+) -> Tuple[List[RecordStore], Codec]:
     """Run formation plus intermediate merge passes down to one merge's
-    worth of runs; shared by the streaming and materializing sorts."""
+    worth of runs; shared by the streaming and materializing sorts.
+
+    The codec is resolved here, once per sort: runs, intermediate merge
+    outputs, and (in the materializing wrapper) the final file all share
+    it.  With ``key=None`` records sort by their own tuples, so field 0 is
+    the non-decreasing gap field unless the caller says otherwise.
+    """
     memory.validate_against_block(device.block_size)
+    if sort_field is None and key is None:
+        sort_field = 0
+    resolved = resolve_codec(codec, record_size, sort_field, device=device)
     form = RUN_FORMATIONS[run_formation or DEFAULT_RUN_FORMATION]
-    runs = form(device, records, record_size, memory, key=key)
+    runs = form(device, records, record_size, memory, key=key, codec=resolved)
     device.stats.record_runs_formed(len(runs))
     fan_in = max(2, memory.block_capacity(device.block_size) - 1)
     while len(runs) > fan_in:
-        runs = _merge_pass(device, runs, record_size, fan_in, key)
-    return runs
+        runs = _merge_pass(device, runs, record_size, fan_in, key, resolved)
+    return runs, resolved
 
 
 def external_sort_stream(
@@ -122,6 +144,8 @@ def external_sort_stream(
     key: Optional[KeyFn] = None,
     unique: bool = False,
     run_formation: Optional[str] = None,
+    codec: Union[None, str, Codec] = None,
+    sort_field: Optional[int] = None,
 ) -> Iterator[Record]:
     """Sort a record stream and *yield* the result instead of writing it.
 
@@ -134,7 +158,9 @@ def external_sort_stream(
     Run files are deleted when the stream is exhausted or closed, so
     abandoning the iterator early does not leak simulated disk space.
     """
-    runs = _form_and_reduce_runs(device, records, record_size, memory, key, run_formation)
+    runs, _ = _form_and_reduce_runs(
+        device, records, record_size, memory, key, run_formation, codec, sort_field
+    )
     if not runs:
         return
     try:
@@ -159,12 +185,18 @@ def external_sort_records(
     unique: bool = False,
     out_name: Optional[str] = None,
     run_formation: Optional[str] = None,
-) -> ExternalFile:
+    codec: Union[None, str, Codec] = None,
+    sort_field: Optional[int] = None,
+) -> RecordStore:
     """Sort a record stream into a new file (see :func:`external_sort`)."""
-    runs = _form_and_reduce_runs(device, records, record_size, memory, key, run_formation)
+    runs, resolved = _form_and_reduce_runs(
+        device, records, record_size, memory, key, run_formation, codec, sort_field
+    )
     out_name = out_name if out_name is not None else device.temp_name("sorted")
     if not runs:
-        return ExternalFile.from_records(device, out_name, [], record_size)
+        return record_file_from_records(
+            device, out_name, [], record_size, codec=resolved
+        )
     if len(runs) == 1 and not unique:
         # A single run already *is* the sorted output — rename it into
         # place instead of copying (saves one read+write pass).
@@ -177,7 +209,9 @@ def external_sort_records(
     merged = merge_runs((run.scan() for run in runs), key=key)
     if unique:
         merged = sorted_unique_scan(merged)
-    result = ExternalFile.from_records(device, out_name, merged, record_size, overwrite=True)
+    result = record_file_from_records(
+        device, out_name, merged, record_size, codec=resolved, overwrite=True
+    )
     for run in runs:
         run.delete()
     return result
@@ -185,20 +219,21 @@ def external_sort_records(
 
 def _merge_pass(
     device: BlockDevice,
-    runs: List[ExternalFile],
+    runs: List[RecordStore],
     record_size: int,
     fan_in: int,
     key: Optional[KeyFn],
-) -> List[ExternalFile]:
+    codec: Codec,
+) -> List[RecordStore]:
     """Merge groups of ``fan_in`` runs into longer runs (one full pass)."""
     device.stats.record_merge_pass()
-    next_runs: List[ExternalFile] = []
+    next_runs: List[RecordStore] = []
     for start in range(0, len(runs), fan_in):
         group = runs[start : start + fan_in]
         merged = merge_runs((run.scan() for run in group), key=key)
         next_runs.append(
-            ExternalFile.from_records(
-                device, device.temp_name("merge"), merged, record_size
+            record_file_from_records(
+                device, device.temp_name("merge"), merged, record_size, codec=codec
             )
         )
         for run in group:

@@ -91,10 +91,18 @@ class IOStats:
         self.rand_writes = 0
         self.merge_passes = 0
         self.runs_formed = 0
+        self.records_written = 0
+        self.bytes_logical = 0
+        self.bytes_stored = 0
         self.budget = budget
         self.by_phase: Dict[str, IOSnapshot] = {}
         self.passes_by_phase: Dict[str, int] = {}
         self.runs_by_phase: Dict[str, int] = {}
+        # label -> [records, logical bytes, stored bytes]
+        self.bytes_by_phase: Dict[str, list[int]] = {}
+        # logical record width -> [records, stored bytes] (feeds the cost
+        # model's bytes-per-record calibration)
+        self.bytes_by_width: Dict[int, list[int]] = {}
         self._phase_stack: list[str] = []
 
     # -- recording (called by the device) ---------------------------------
@@ -136,6 +144,32 @@ class IOStats:
         self.runs_formed += runs
         for label in self._phase_stack:
             self.runs_by_phase[label] = self.runs_by_phase.get(label, 0) + runs
+
+    def record_payload_write(
+        self, records: int, logical: int, stored: int, record_size: int
+    ) -> None:
+        """Account the payload bytes of ``records`` written records.
+
+        ``logical`` is the fixed-width footprint (records × declared record
+        width); ``stored`` is what landed on disk after the stream's codec
+        — equal for fixed-width files, smaller for compressed ones.  The
+        ratio between the per-phase sums is the phase's compression ratio,
+        and the per-width sums calibrate the cost model's stored
+        bytes-per-record estimates.
+        """
+        if records <= 0:
+            return
+        self.records_written += records
+        self.bytes_logical += logical
+        self.bytes_stored += stored
+        for label in self._phase_stack:
+            entry = self.bytes_by_phase.setdefault(label, [0, 0, 0])
+            entry[0] += records
+            entry[1] += logical
+            entry[2] += stored
+        width_entry = self.bytes_by_width.setdefault(record_size, [0, 0])
+        width_entry[0] += records
+        width_entry[1] += stored
 
     def _attribute(self, sequential: bool, blocks: int, is_read: bool) -> None:
         for label in self._phase_stack:
@@ -194,9 +228,14 @@ class IOStats:
         self.seq_reads = self.seq_writes = self.rand_reads = self.rand_writes = 0
         self.merge_passes = 0
         self.runs_formed = 0
+        self.records_written = 0
+        self.bytes_logical = 0
+        self.bytes_stored = 0
         self.by_phase.clear()
         self.passes_by_phase.clear()
         self.runs_by_phase.clear()
+        self.bytes_by_phase.clear()
+        self.bytes_by_width.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,20 +1,22 @@
 """Variable-length-record files: the substrate for compressed storage.
 
 The fixed-width :class:`~repro.io.files.ExternalFile` charges every record
-the same accounted bytes.  Compressed formats (gap-encoded edge lists)
-produce records of varying width, so this module provides
-:class:`VarRecordFile`: records are byte strings, blocks are filled to the
-block size by *accounted* byte length, and the ledger charges exactly the
-blocks a real encoder would produce.
+the same accounted bytes.  Compressed formats (gap-encoded edge lists,
+varint record streams) produce records of varying width, so this module
+provides :class:`VarRecordFile`: records are byte strings, blocks are
+filled to the block size by *accounted* byte length, and the ledger charges
+exactly the blocks a real encoder would produce.
 
 Like the fixed-width file, payloads are held as Python objects and only
 their sizes are accounted — the compression *ratio* and the resulting
 block-I/O savings are real; the CPU cost of bit-twiddling is not simulated.
+(The codecs in :mod:`repro.io.codecs` do implement the real byte encoding,
+and their property tests pin the accounted sizes to the encoded lengths.)
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.exceptions import StorageError
 from repro.io.blocks import BlockDevice
@@ -38,17 +40,21 @@ class VarRecordFile:
 
     Records are arbitrary Python payloads tagged with their accounted byte
     size; blocks close when the next record would overflow ``block_size``.
+    A record whose accounted size alone exceeds the block size raises
+    :class:`~repro.exceptions.StorageError` — records are never silently
+    truncated or split across blocks.
 
     Args:
         device: the simulated disk.
         name: file name on the device.
+        overwrite: replace an existing file of the same name.
     """
 
-    def __init__(self, device: BlockDevice, name: str) -> None:
+    def __init__(self, device: BlockDevice, name: str, overwrite: bool = False) -> None:
         self.device = device
         # Payload slot width 1: we pack (payload,) tuples and track bytes
         # ourselves, so capacity checks are done here, not in the device.
-        self._file = device.create(name, record_size=1)
+        self._file = device.create(name, record_size=1, overwrite=overwrite)
         self._file.block_capacity = device.block_size  # up to B one-byte units
         self._buffer: List[Tuple[object]] = []
         self._buffer_bytes = 0
@@ -65,6 +71,16 @@ class VarRecordFile:
     def num_blocks(self) -> int:
         """Blocks written so far (excluding the open tail buffer)."""
         return self._file.num_blocks
+
+    @property
+    def tail_bytes(self) -> int:
+        """Accounted bytes sitting in the open (unflushed) tail block.
+
+        Codec-aware writers use this to detect block boundaries: a record
+        that does not fit in the tail starts a fresh block, so gap chains
+        must restart there.
+        """
+        return self._buffer_bytes
 
     def append(self, payload: object, nbytes: int) -> None:
         """Append one record whose accounted size is ``nbytes``."""
@@ -92,16 +108,36 @@ class VarRecordFile:
 
     def close(self) -> None:
         """Flush the tail block; the file becomes read-only."""
+        if self._closed:
+            return
         self._flush()
         self._closed = True
 
     def scan(self) -> Iterator[object]:
         """Stream payloads front to back with sequential block reads."""
+        for block in self.scan_blocks():
+            for (payload,) in block:
+                yield payload
+
+    def scan_blocks(self) -> Iterator[Sequence[Tuple[object]]]:
+        """Stream whole blocks sequentially — the block-granular iterator
+        symmetric with :meth:`repro.io.files.ExternalFile.scan_blocks`.
+
+        With a :class:`~repro.io.pool.SharedBufferPool` attached, blocks
+        arrive through its readahead path (same charges, batched fetches).
+        """
         if not self._closed:
             raise StorageError(f"close {self.name!r} before scanning it")
+        pool = self.device.pool
+        if pool is not None:
+            yield from pool.scan_blocks(self._file)
+            return
         for index in range(self._file.num_blocks):
-            for (payload,) in self.device.read_block(self._file, index, sequential=True):
-                yield payload
+            yield self.device.read_block(self._file, index, sequential=True)
+
+    def rename(self, new_name: str, overwrite: bool = True) -> None:
+        """Rename the file on the device (metadata only)."""
+        self.device.rename(self.name, new_name, overwrite=overwrite)
 
     def delete(self) -> None:
         """Remove the file from the device."""

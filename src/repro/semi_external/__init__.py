@@ -12,7 +12,7 @@ from typing import Callable, Dict, Iterable, Optional
 from repro.constants import SCC_RECORD_BYTES
 from repro.graph.edge_file import EdgeFile
 from repro.io.blocks import BlockDevice
-from repro.io.files import ExternalFile
+from repro.io.codecs import RecordStore, record_file_from_records
 from repro.io.memory import MemoryBudget
 from repro.semi_external.coloring import coloring_scc
 from repro.semi_external.forward_backward import forward_backward_scc
@@ -53,7 +53,7 @@ def run_semi_scc_to_file(
     node_ids: Iterable[int],
     memory: MemoryBudget,
     out_name: Optional[str] = None,
-) -> ExternalFile:
+) -> RecordStore:
     """Run a semi-external solver and persist ``(node, scc)`` records.
 
     The labels live in memory while the solver runs (the semi-external
@@ -64,4 +64,4 @@ def run_semi_scc_to_file(
     device: BlockDevice = edge_file.device
     name = out_name if out_name is not None else device.temp_name("scc")
     records = ((node, labels[node]) for node in sorted(labels))
-    return ExternalFile.from_records(device, name, records, SCC_RECORD_BYTES)
+    return record_file_from_records(device, name, records, SCC_RECORD_BYTES, sort_field=0)

@@ -61,20 +61,69 @@ class TestCostModelPrimitives:
 
         records = [(i * 37 % 997, i) for i in range(1500)]
         before = device.stats.snapshot()
-        external_sort_records(device, iter(records), 8, MemoryBudget(512))
+        external_sort_records(
+            device, iter(records), 8, MemoryBudget(512), codec="fixed"
+        )
         measured = (device.stats.snapshot() - before).total
         predicted = CostModel(64, 512).sort(1500, 8)
         assert predicted / 2 <= measured <= predicted * 2
+
+    def test_matches_measured_compressed_sort(self, device):
+        """With measured bytes/record, the model tracks the compressed sort."""
+        from repro.io.sort import external_sort_records
+
+        records = [(i * 37 % 997, i) for i in range(1500)]
+        before = device.stats.snapshot()
+        external_sort_records(
+            device, iter(records), 8, MemoryBudget(512), codec="gap-varint"
+        )
+        measured = (device.stats.snapshot() - before).total
+        calibration = {
+            width: stored / count
+            for width, (count, stored) in device.stats.bytes_by_width.items()
+        }
+        predicted = CostModel(64, 512, bytes_per_record=calibration).sort(1500, 8)
+        assert predicted / 2 <= measured <= predicted * 2
+        # The calibrated prediction must be well below the fixed-width one.
+        assert predicted < CostModel(64, 512).sort(1500, 8)
 
 
 class TestCostModelPipeline:
     def test_predicts_ext_scc_within_factor(self):
         """End-to-end: Theorems 5.1/5.2/6.1 instantiated vs. the ledger."""
+        from repro.core import ExtSCCConfig
+
         edges = random_edges(80, 200, seed=0)
         out = compute_sccs(edges, num_nodes=80, memory_bytes=300,
-                           block_size=64, optimized=False)
+                           block_size=64,
+                           config=ExtSCCConfig.baseline(codec="fixed"))
         assert out.num_iterations >= 1
         model = CostModel(block_size=64, memory_bytes=300)
+        predicted = model.ext_scc(out.iterations)
+        measured = out.io.total
+        assert predicted / 3 <= measured <= predicted * 3, (predicted, measured)
+
+    def test_predicts_compressed_ext_scc_with_calibration(self):
+        """The calibrated model tracks the gap-varint pipeline's ledger."""
+        from repro.core import ExtSCC, ExtSCCConfig
+        from repro.graph.edge_file import NodeFile
+
+        edges = random_edges(80, 200, seed=0)
+        device = BlockDevice(block_size=64)
+        memory = MemoryBudget(300)
+        edge_file = EdgeFile.from_edges(device, "E", edges)
+        node_file = NodeFile.from_ids(device, "V", range(80), memory,
+                                      presorted=True)
+        out = ExtSCC(ExtSCCConfig.baseline(codec="gap-varint")).run(
+            device, edge_file, memory, nodes=node_file
+        )
+        assert out.num_iterations >= 1
+        calibration = {
+            width: stored / count
+            for width, (count, stored) in device.stats.bytes_by_width.items()
+        }
+        model = CostModel(block_size=64, memory_bytes=300,
+                          bytes_per_record=calibration)
         predicted = model.ext_scc(out.iterations)
         measured = out.io.total
         assert predicted / 3 <= measured <= predicted * 3, (predicted, measured)

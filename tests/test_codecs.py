@@ -1,0 +1,249 @@
+"""Tests for the record codec layer: varint primitives, the three codecs,
+codec resolution, and CompressedRecordFile."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.io.blocks import BlockDevice
+from repro.io.codecs import (
+    CODECS,
+    DEFAULT_CODEC,
+    CompressedRecordFile,
+    FixedCodec,
+    GapVarintCodec,
+    VarintCodec,
+    create_record_file,
+    decode_varint,
+    encode_varint,
+    record_file_from_records,
+    resolve_codec,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.io.files import ExternalFile
+
+
+class TestZigzag:
+    def test_small_values(self):
+        assert [zigzag_encode(v) for v in (0, -1, 1, -2, 2)] == [0, 1, 2, 3, 4]
+
+    def test_roundtrip(self):
+        for value in (-1000, -17, 0, 5, 1 << 40):
+            assert zigzag_decode(zigzag_encode(value)) == value
+
+
+class TestVarint:
+    def test_roundtrip(self):
+        for value in (0, 1, 127, 128, 16384, 1 << 35):
+            data = encode_varint(value)
+            decoded, pos = decode_varint(data, 0)
+            assert decoded == value
+            assert pos == len(data)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            decode_varint(encode_varint(300)[:1], 0)
+
+
+class TestFixedCodec:
+    def test_size_is_constant(self):
+        codec = FixedCodec(8)
+        assert codec.encoded_size((1, 2)) == 8
+        assert codec.encoded_size((10**6, -5), prev=(1, 2)) == 8
+
+    def test_roundtrip(self):
+        codec = FixedCodec(8)
+        data = codec.encode((1234, -567))
+        assert len(data) == 8
+        record, pos = codec.decode(data, 0, 2)
+        assert record == (1234, -567)
+        assert pos == 8
+
+    def test_overflow_rejected(self):
+        with pytest.raises(StorageError):
+            FixedCodec(8).encode((1 << 40, 0))
+
+    def test_misfit_field_count_rejected(self):
+        with pytest.raises(StorageError):
+            FixedCodec(8).encode((1, 2, 3))
+
+
+class TestVarintCodec:
+    def test_size_matches_encoding(self):
+        codec = VarintCodec(8)
+        for record in [(0, 0), (127, -64), (10**6, 10**9)]:
+            assert codec.encoded_size(record) == len(codec.encode(record))
+
+    def test_small_records_beat_fixed_width(self):
+        assert VarintCodec(8).encoded_size((3, 7)) == 2
+
+    def test_roundtrip(self):
+        codec = VarintCodec(8)
+        record = (300, -4)
+        assert codec.decode(codec.encode(record), 0, 2)[0] == record
+
+
+class TestGapVarintCodec:
+    def test_gap_shrinks_sorted_streams(self):
+        codec = GapVarintCodec(8, gap_field=0)
+        full = codec.encoded_size((1000, 5), prev=None)
+        gapped = codec.encoded_size((1001, 5), prev=(1000, 5))
+        assert gapped < full
+
+    def test_roundtrip_with_prev(self):
+        codec = GapVarintCodec(8, gap_field=0)
+        prev = (1000, 3)
+        record = (1004, 9)
+        data = codec.encode(record, prev)
+        assert codec.decode(data, 0, 2, prev)[0] == record
+
+    def test_unsorted_input_still_roundtrips(self):
+        codec = GapVarintCodec(8, gap_field=0)
+        prev = (1000, 3)
+        record = (2, 9)  # negative delta: zigzag keeps it decodable
+        assert codec.decode(codec.encode(record, prev), 0, 2, prev)[0] == record
+
+    def test_gap_field_one(self):
+        codec = GapVarintCodec(8, gap_field=1)
+        prev = (7, 500)
+        record = (9, 503)
+        assert codec.encoded_size(record, prev) < codec.encoded_size(record, None)
+        assert codec.decode(codec.encode(record, prev), 0, 2, prev)[0] == record
+
+    def test_decode_stream(self):
+        codec = GapVarintCodec(8, gap_field=0)
+        records = [(10, 1), (12, 0), (12, 5), (40, 2)]
+        blob = bytearray()
+        prev = None
+        for record in records:
+            blob += codec.encode(record, prev)
+            prev = record
+        assert list(codec.decode_stream(bytes(blob), 2)) == records
+
+    def test_negative_gap_field_rejected(self):
+        with pytest.raises(ValueError):
+            GapVarintCodec(8, gap_field=-1)
+
+
+class TestResolveCodec:
+    def test_instance_passthrough(self):
+        codec = VarintCodec(8)
+        assert resolve_codec(codec, 8) is codec
+
+    def test_names(self):
+        assert isinstance(resolve_codec("fixed", 8), FixedCodec)
+        assert isinstance(resolve_codec("varint", 8), VarintCodec)
+        assert isinstance(resolve_codec("gap-varint", 8), GapVarintCodec)
+
+    def test_default_is_gap_varint(self):
+        assert DEFAULT_CODEC == "gap-varint"
+        assert isinstance(resolve_codec(None, 8), GapVarintCodec)
+
+    def test_device_default_wins_over_module_default(self):
+        device = BlockDevice(block_size=64)
+        device.default_codec = "fixed"
+        assert isinstance(resolve_codec(None, 8, device=device), FixedCodec)
+
+    def test_explicit_name_wins_over_device(self):
+        device = BlockDevice(block_size=64)
+        device.default_codec = "fixed"
+        assert isinstance(
+            resolve_codec("gap-varint", 8, device=device), GapVarintCodec
+        )
+
+    def test_sort_field_sets_gap_field(self):
+        codec = resolve_codec("gap-varint", 8, sort_field=1)
+        assert codec.gap_field == 1
+
+    def test_unordered_stream_degrades_to_varint(self):
+        codec = resolve_codec("gap-varint", 8, sort_field=None)
+        assert type(codec) is VarintCodec
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_codec("lz4", 8)
+
+    def test_registry_names(self):
+        assert set(CODECS) == {"fixed", "varint", "gap-varint"}
+
+
+class TestCompressedRecordFile:
+    def test_roundtrip_sorted_records(self, device):
+        records = [(i * 3, i % 5) for i in range(200)]
+        f = record_file_from_records(device, "c", records, 8, codec="gap-varint")
+        assert list(f.scan()) == records
+        assert f.num_records == 200
+
+    def test_compression_ratio_on_sorted_input(self, device):
+        records = [(i, 0) for i in range(500)]
+        f = record_file_from_records(device, "c", records, 8, codec="gap-varint")
+        assert f.compression_ratio > 2.0
+        assert f.stored_bytes < f.nbytes
+        assert f.num_blocks < 500 * 8 // device.block_size
+
+    def test_block_iterator(self, device):
+        records = [(i, i) for i in range(100)]
+        f = record_file_from_records(device, "c", records, 8, codec="gap-varint")
+        scanned = [slot[0] for block in f.scan_blocks() for slot in block]
+        assert scanned == records
+
+    def test_random_access_rejected(self, device):
+        f = record_file_from_records(device, "c", [(1, 2)], 8, codec="gap-varint")
+        with pytest.raises(StorageError):
+            f.read_block_random(0)
+
+    def test_scan_before_close_rejected(self, device):
+        f = CompressedRecordFile(device, "c", 8, GapVarintCodec(8))
+        f.append((1, 2))
+        with pytest.raises(StorageError):
+            f.scan()
+
+    def test_append_after_close_rejected(self, device):
+        f = record_file_from_records(device, "c", [], 8, codec="gap-varint")
+        with pytest.raises(StorageError):
+            f.append((1, 2))
+
+    def test_oversized_record_rejected(self, device):
+        f = CompressedRecordFile(device, "c", 8, VarintCodec(8))
+        with pytest.raises(StorageError):
+            # 20 ten-byte varints cannot fit one 64-byte block
+            f.append(tuple(1 << 62 for _ in range(20)))
+
+    def test_rename(self, device):
+        f = record_file_from_records(device, "c", [(1, 2)], 8, codec="gap-varint")
+        f.rename("renamed")
+        assert f.name == "renamed"
+        assert device.exists("renamed")
+        assert not device.exists("c")
+
+    def test_close_reports_payload_bytes(self, device):
+        records = [(i, 1) for i in range(300)]
+        f = record_file_from_records(device, "c", records, 8, codec="gap-varint")
+        assert device.stats.records_written >= 300
+        assert device.stats.bytes_logical >= f.nbytes
+        assert device.stats.bytes_stored >= f.stored_bytes
+        assert 8 in device.stats.bytes_by_width
+
+    def test_create_record_file_fixed_yields_external_file(self, device):
+        f = create_record_file(device, "f", 8, codec="fixed")
+        assert isinstance(f, ExternalFile)
+
+    def test_create_record_file_follows_device_default(self, device):
+        device.default_codec = "fixed"
+        assert isinstance(create_record_file(device, "f", 8), ExternalFile)
+        device.default_codec = "gap-varint"
+        assert isinstance(
+            create_record_file(device, "g", 8), CompressedRecordFile
+        )
+
+    def test_gap_chain_restarts_at_block_boundary(self, device):
+        # Large first field: full encodings are ~5 bytes, gaps 1 byte.
+        # Force many block crossings and check every record survives.
+        records = [(10**9 + i, 0) for i in range(400)]
+        f = record_file_from_records(device, "c", records, 8, codec="gap-varint")
+        assert f.num_blocks > 1
+        assert list(f.scan()) == records

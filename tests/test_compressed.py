@@ -135,16 +135,16 @@ class TestCompressedEdgeFile:
 
 
 class TestCompressedPipeline:
-    """The compress_edge_lists extension inside Ext-SCC."""
+    """The codec knob inside Ext-SCC (and the compress_edge_lists shim)."""
 
     @pytest.mark.parametrize("seed", range(6))
-    def test_same_sccs_as_plain(self, seed):
+    def test_same_sccs_as_fixed(self, seed):
         from tests.conftest import reference_sccs
 
         from repro.core import ExtSCCConfig, compute_sccs
 
         edges = random_edges(50, 130, seed, self_loops=True)
-        config = ExtSCCConfig.optimized(compress_edge_lists=True)
+        config = ExtSCCConfig.optimized(codec="gap-varint")
         out = compute_sccs(edges, num_nodes=50, memory_bytes=300,
                            block_size=64, config=config)
         assert out.result == reference_sccs(edges, 50)
@@ -155,16 +155,31 @@ class TestCompressedPipeline:
 
         g = large_scc_graph(num_nodes=800, seed=3)
         base = compute_sccs(g.edges, num_nodes=800, memory_bytes=3200,
-                            block_size=512, config=ExtSCCConfig.optimized())
+                            block_size=512,
+                            config=ExtSCCConfig.optimized(codec="fixed"))
         comp = compute_sccs(
             g.edges, num_nodes=800, memory_bytes=3200, block_size=512,
-            config=ExtSCCConfig.optimized(compress_edge_lists=True),
+            config=ExtSCCConfig.optimized(codec="gap-varint"),
         )
         assert comp.result == base.result
         assert comp.io.total < base.io.total
 
+    def test_deprecated_flag_forces_compression(self):
+        from repro.core import ExtSCCConfig
+
+        with pytest.warns(DeprecationWarning):
+            config = ExtSCCConfig(codec="fixed", compress_edge_lists=True)
+        assert config.codec == "gap-varint"
+
+    def test_unknown_codec_rejected(self):
+        from repro.core import ExtSCC, ExtSCCConfig
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            ExtSCC(ExtSCCConfig(codec="lz4"))
+
     def test_config_name_still_custom(self):
         from repro.core import ExtSCCConfig
 
-        config = ExtSCCConfig(compress_edge_lists=True)
+        config = ExtSCCConfig(codec="gap-varint")
         assert config.name == "Ext-SCC"  # not a Section VII lever

@@ -143,20 +143,21 @@ class TestSortStream:
         records = [(i * 37 % 997, i) for i in range(1500)]
 
         before = device.stats.snapshot()
-        out = external_sort_records(device, iter(records), 8, memory)
+        out = external_sort_records(device, iter(records), 8, memory, codec="fixed")
         consumed_materialized = list(out.scan())
         materialized_cost = (device.stats.snapshot() - before).total
         out.delete()
 
         before = device.stats.snapshot()
         consumed_streamed = list(
-            external_sort_stream(device, iter(records), 8, memory)
+            external_sort_stream(device, iter(records), 8, memory, codec="fixed")
         )
         streamed_cost = (device.stats.snapshot() - before).total
 
         assert consumed_streamed == consumed_materialized
         nblocks = 1500 * 8 // device.block_size
-        # One full write pass + one full read pass saved.
+        # One full write pass + one full read pass saved (fixed-width blocks
+        # keep the arithmetic exact; compression shrinks both sides alike).
         assert streamed_cost <= materialized_cost - 2 * nblocks
 
     def test_stream_never_random(self, device, memory):
@@ -170,12 +171,27 @@ class TestSingleRunShortcut:
         """A one-run sort (input fits in memory) costs only the run write."""
         records = [(i * 7 % 50, i) for i in range(50)]  # 400B <= M=512
         before = device.stats.snapshot()
-        out = external_sort_records(device, iter(records), 8, memory, out_name="s")
+        out = external_sort_records(
+            device, iter(records), 8, memory, out_name="s", codec="fixed"
+        )
         delta = (device.stats.snapshot() - before).total
         assert list(out.scan()) == sorted(records)
         assert out.name == "s"
         # 50 records * 8B / 64B blocks = 7 blocks written, nothing re-read.
         assert delta == 7
+
+    def test_single_run_rename_works_compressed(self, device, memory):
+        """The rename shortcut applies to compressed runs too."""
+        records = [(i * 7 % 50, i) for i in range(50)]
+        before = device.stats.snapshot()
+        out = external_sort_records(
+            device, iter(records), 8, memory, out_name="c", codec="gap-varint"
+        )
+        delta = (device.stats.snapshot() - before)
+        assert list(out.scan()) == sorted(records)
+        assert out.name == "c"
+        assert delta.seq_reads == 0  # renamed into place, never re-read
+        assert delta.total < 7  # compressed run: fewer blocks than fixed
 
     def test_single_run_sort_counts_no_merge_pass(self, device, memory):
         records = [(i, 0) for i in range(50)]

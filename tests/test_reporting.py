@@ -155,3 +155,74 @@ class TestPhaseTable:
         assert run["merge_passes"] == 5
         assert run["runs_formed"] == 11
         assert run["phases"]["contraction"]["merge_passes"] == 5
+
+
+class TestCompressionColumns:
+    def make_run(self):
+        return RunResult(
+            "Ext-SCC", 20, "OK", io_total=1500, io_sequential=1500,
+            num_sccs=3, records_written=1000, bytes_logical=8000,
+            bytes_stored=3200, width_profile={8: 3.2},
+            phases={
+                "contraction": {"io_total": 900, "io_sequential": 900,
+                                "io_random": 0, "merge_passes": 3,
+                                "runs_formed": 6, "records_written": 1000,
+                                "bytes_logical": 8000, "bytes_stored": 3200},
+            },
+        )
+
+    def test_ratio_properties(self):
+        run = self.make_run()
+        assert run.compression_ratio == pytest.approx(2.5)
+        assert run.bytes_per_record == pytest.approx(3.2)
+
+    def test_empty_run_defaults(self):
+        run = RunResult("Ext-SCC", 0, "OK")
+        assert run.compression_ratio == 1.0
+        assert run.bytes_per_record == 0.0
+
+    def test_phase_table_columns(self):
+        from repro.bench.reporting import format_phase_table
+
+        table = format_phase_table(self.make_run())
+        assert "compression_ratio" in table
+        assert "bytes_per_record" in table
+        assert "2.50" in table
+        assert "3.20" in table
+
+    def test_phase_table_tolerates_missing_byte_fields(self):
+        from repro.bench.reporting import format_phase_table
+
+        run = self.make_run()
+        run.phases["expansion"] = {"io_total": 1, "io_sequential": 1,
+                                   "io_random": 0, "merge_passes": 0,
+                                   "runs_formed": 0}
+        table = format_phase_table(run)
+        assert "expansion" in table  # renders "-" instead of crashing
+
+    def test_json_export_includes_byte_ledger(self):
+        s = Sweep(title="Fig X", x_label="M")
+        s.runs = [self.make_run()]
+        payload = json.loads(sweep_to_json(s))
+        run = payload["runs"][0]
+        assert run["bytes_logical"] == 8000
+        assert run["bytes_stored"] == 3200
+        assert run["compression_ratio"] == pytest.approx(2.5)
+        assert run["bytes_per_record"] == pytest.approx(3.2)
+        assert run["width_profile"] == {"8": pytest.approx(3.2)}
+        assert run["phases"]["contraction"]["bytes_stored"] == 3200
+
+    def test_real_run_populates_ledger(self):
+        from tests.conftest import random_edges
+
+        from repro.bench.harness import run_algorithm
+
+        edges = random_edges(60, 150, seed=7)
+        run = run_algorithm("Ext-SCC", edges, 60, memory_bytes=400,
+                            block_size=64, x=60)
+        assert run.ok
+        assert run.records_written > 0
+        assert run.bytes_stored > 0
+        # gap-varint is the default: stored bytes beat logical bytes
+        assert run.compression_ratio > 1.0
+        assert any(p.get("records_written") for p in run.phases.values())
