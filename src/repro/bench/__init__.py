@@ -14,6 +14,12 @@ from repro.bench.reporting import (
     shape_summary,
     sweep_to_json,
 )
+from repro.bench.recovery import (
+    RecoveryReport,
+    RecoveryTrial,
+    measure_recovery,
+    render_recovery_report,
+)
 from repro.bench.regression import SweepComparison, compare_files, compare_sweeps
 from repro.bench.workloads import (
     BENCH_NODES,
@@ -45,6 +51,10 @@ __all__ = [
     "compare_sweeps",
     "compare_files",
     "SweepComparison",
+    "RecoveryReport",
+    "RecoveryTrial",
+    "measure_recovery",
+    "render_recovery_report",
     "BLOCK_SIZE",
     "MEMORY_RATIOS",
     "WEBSPAM_MEMORY_RATIOS",

@@ -50,8 +50,53 @@ def _load_edges(path: str, binary: bool) -> List:
     return list(reader(path))
 
 
+def _run_checkpointed(args: argparse.Namespace, config, on_iteration):
+    """Run ``scc`` against a persistent device directory with journaling.
+
+    A fresh run wipes the directory and loads the input; ``--resume``
+    reuses the stored input and continues from the journal.
+    """
+    from repro.core.ext_scc import ExtSCC
+    from repro.graph.edge_file import EdgeFile, NodeFile
+    from repro.io.files import ExternalFile
+    from repro.io.memory import MemoryBudget
+    from repro.io.persistent import PersistentBlockDevice
+    from repro.recovery import CheckpointManager
+
+    device = PersistentBlockDevice(
+        args.checkpoint_dir, block_size=parse_size(args.block_size)
+    )
+    memory = MemoryBudget(parse_size(args.memory))
+    manager = CheckpointManager(device)
+    if args.resume and device.exists("input-edges"):
+        edge_file = EdgeFile(ExternalFile.open(device, "input-edges"))
+        node_file = (
+            NodeFile(ExternalFile.open(device, "input-nodes"))
+            if device.exists("input-nodes") else None
+        )
+    else:
+        # Fresh start: clear any previous run's files and journal.
+        for name in device.list_files():
+            device.delete(name)
+        manager.reset()
+        edges = _load_edges(args.input, args.binary)
+        edge_file = EdgeFile.from_edges(device, "input-edges", edges)
+        node_file = None
+        if args.nodes:
+            node_file = NodeFile.from_ids(
+                device, "input-nodes", range(args.nodes), memory, presorted=True
+            )
+    try:
+        return device, ExtSCC(config).run(
+            device, edge_file, memory, nodes=node_file,
+            on_iteration=on_iteration, checkpoint=manager,
+        )
+    except BaseException:
+        device.sync()  # keep the journal durable for a later --resume
+        raise
+
+
 def _cmd_scc(args: argparse.Namespace) -> int:
-    edges = _load_edges(args.input, args.binary)
     num_nodes = args.nodes if args.nodes else None
     config = (
         ExtSCCConfig.optimized() if args.algorithm == "ext-scc-op"
@@ -67,17 +112,33 @@ def _cmd_scc(args: argparse.Namespace) -> int:
         )
 
     started = time.perf_counter()
-    out = compute_sccs(
-        edges,
-        num_nodes=num_nodes,
-        memory_bytes=parse_size(args.memory),
-        block_size=parse_size(args.block_size),
-        config=config,
-        on_iteration=progress if args.verbose else None,
-    )
+    if args.checkpoint_dir:
+        device, out = _run_checkpointed(
+            args, config, progress if args.verbose else None
+        )
+        device.close()
+        if out.resumed:
+            print(
+                f"resumed from checkpoint in {args.checkpoint_dir} "
+                f"(recovery: {out.recovery_io.total} block I/Os)",
+                file=sys.stderr,
+            )
+        edge_count = out.iterations[0].num_edges if out.iterations else None
+    else:
+        edges = _load_edges(args.input, args.binary)
+        edge_count = len(edges)
+        out = compute_sccs(
+            edges,
+            num_nodes=num_nodes,
+            memory_bytes=parse_size(args.memory),
+            block_size=parse_size(args.block_size),
+            config=config,
+            on_iteration=progress if args.verbose else None,
+        )
     elapsed = time.perf_counter() - started
     result = out.result
-    print(f"nodes: {result.num_nodes}  edges: {len(edges)}", file=sys.stderr)
+    edge_note = "?" if edge_count is None else edge_count
+    print(f"nodes: {result.num_nodes}  edges: {edge_note}", file=sys.stderr)
     print(
         f"sccs: {result.num_sccs}  largest: {result.largest_size}  "
         f"non-trivial: {result.num_nontrivial}",
@@ -225,6 +286,13 @@ def build_parser() -> argparse.ArgumentParser:
     scc.add_argument("--binary", action="store_true", help="input is packed <II")
     scc.add_argument("--verbose", "-v", action="store_true",
                      help="print per-iteration contraction progress")
+    scc.add_argument("--checkpoint-dir",
+                     help="journal phase boundaries in this directory "
+                          "(a persistent device) so a crashed run can be "
+                          "resumed")
+    scc.add_argument("--resume", action="store_true",
+                     help="continue a crashed run from the journal in "
+                          "--checkpoint-dir instead of starting over")
     scc.set_defaults(func=_cmd_scc)
 
     gen = sub.add_parser("generate", help="generate a Table I / webspam dataset")

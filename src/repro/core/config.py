@@ -18,7 +18,7 @@ separately:
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Optional
 
 from repro.constants import SEMI_EXTERNAL_BYTES_PER_NODE
@@ -116,6 +116,16 @@ class ExtSCCConfig:
             product_operator=True,
         )
         return replace(base, **overrides) if overrides else base
+
+    def fingerprint(self) -> dict:
+        """A JSON-able snapshot of every knob, for checkpoint compatibility.
+
+        A resume under a different configuration (or memory budget) would
+        rebuild different contraction levels than the journal describes, so
+        :class:`~repro.recovery.checkpoint.CheckpointManager` stores this
+        dict in the journal header and refuses to resume on mismatch.
+        """
+        return asdict(self)
 
     @property
     def name(self) -> str:

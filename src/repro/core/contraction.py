@@ -80,6 +80,16 @@ class ContractionLevel:
         self.removed.delete()
         self.next_edges.delete()
 
+    def stores(self) -> dict:
+        """The level's files by role, as raw record stores — what the
+        checkpoint journal describes and resume reopens."""
+        return {
+            "edges": self.edges.file,
+            "next_nodes": self.next_nodes.file,
+            "removed": self.removed.file,
+            "next_edges": self.next_edges.file,
+        }
+
 
 def build_degree_file(
     device: BlockDevice,

@@ -121,6 +121,7 @@ def expand_level(
     scc_next: RecordStore,
     memory: MemoryBudget,
     config: ExtSCCConfig,
+    delete_input: bool = True,
 ) -> RecordStore:
     """One expansion step: compute ``SCC_i`` from ``SCC_{i+1}``.
 
@@ -131,6 +132,10 @@ def expand_level(
         memory: the budget ``M``.
         config: pipeline configuration (``validate`` enables the Lemma 6.2
             uniqueness assertion).
+        delete_input: delete ``scc_next`` once merged (the default).  A
+            checkpointing caller passes ``False`` and deletes it only
+            *after* the step's journal commit, so a crash mid-expansion
+            still finds the previous level's labels intact.
 
     Returns:
         ``(node, scc)`` records for all of ``V_i``, sorted by node id.
@@ -177,5 +182,6 @@ def expand_level(
         device, device.temp_name("scc"), merged, SCC_RECORD_BYTES, sort_field=0
     )
     scc_del.delete()
-    scc_next.delete()
+    if delete_input:
+        scc_next.delete()
     return scc_i

@@ -23,21 +23,24 @@ happens and the semi-external solver runs directly — the sharp cost drop at
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
 
 from repro.core.config import ExtSCCConfig
 from repro.core.contraction import ContractionLevel, contract
 from repro.core.expansion import expand_level
 from repro.core.result import SCCResult
-from repro.exceptions import ReproError
+from repro.exceptions import IOBudgetExceeded, ReproError, SimulatedCrash
 from repro.graph.edge_file import EdgeFile, NodeFile
 from repro.io.blocks import DEFAULT_BLOCK_SIZE, BlockDevice
 from repro.io.codecs import CODECS
 from repro.io.memory import MemoryBudget
 from repro.io.pool import SharedBufferPool
-from repro.io.stats import IOBudget, IOSnapshot, IOStats
+from repro.io.stats import RECOVERY_PHASE, IOBudget, IOSnapshot, IOStats
 from repro.semi_external import SEMI_SCC_SOLVERS, run_semi_scc_to_file
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (recovery imports us)
+    from repro.recovery.checkpoint import CheckpointManager, ResumeState
 
 __all__ = ["ExtSCC", "ExtSCCOutput", "IterationRecord", "compute_sccs"]
 
@@ -85,6 +88,9 @@ class ExtSCCOutput:
         contraction_io / semi_io / expansion_io: per-phase I/O.
         wall_seconds: wall-clock time of the run.
         config: the configuration used.
+        recovery_io: journal-validation I/O of a checkpointed run (zero
+            unless a crashed run was resumed).
+        resumed: this run continued a crashed one from its checkpoint.
     """
 
     result: SCCResult
@@ -95,6 +101,8 @@ class ExtSCCOutput:
     expansion_io: IOSnapshot
     wall_seconds: float
     config: ExtSCCConfig
+    recovery_io: IOSnapshot = field(default_factory=IOSnapshot)
+    resumed: bool = False
 
     @property
     def num_iterations(self) -> int:
@@ -135,6 +143,7 @@ class ExtSCC:
         memory: MemoryBudget,
         nodes: Optional[NodeFile] = None,
         on_iteration: Optional[Callable[[IterationRecord], None]] = None,
+        checkpoint: Optional["CheckpointManager"] = None,
     ) -> ExtSCCOutput:
         """Compute all SCCs of the graph stored in ``edges``.
 
@@ -147,6 +156,13 @@ class ExtSCC:
             on_iteration: optional progress callback invoked after every
                 contraction iteration with its :class:`IterationRecord`
                 (long external runs report progress this way).
+            checkpoint: optional
+                :class:`~repro.recovery.checkpoint.CheckpointManager` on
+                ``device``.  Phase boundaries are then journaled so a
+                crashed run resumes from the last durable level instead of
+                restarting; journal-validation reads of a resume are
+                charged to the ``recovery`` phase.  Checkpointing an
+                uninterrupted run costs zero simulated I/O.
 
         Returns:
             An :class:`ExtSCCOutput` with the labeling and statistics.
@@ -168,63 +184,140 @@ class ExtSCC:
                 coalesce_writes=config.pool_coalesce_writes,
             )
         start = time.perf_counter()
+        preexisting = set(device.list_files())
         run_start = stats.snapshot()
 
-        if nodes is None:
-            nodes = edges.node_file(memory)
+        state: Optional["ResumeState"] = None
+        recovery_io = IOSnapshot()
+        if checkpoint is not None:
+            recovery_start = stats.snapshot()
+            with stats.phase(RECOVERY_PHASE):
+                state = checkpoint.recover(edges, memory, config)
+            recovery_io = stats.snapshot() - recovery_start
+            if not state.resumed:
+                checkpoint.begin(edges, nodes, memory, config)
+        try:
+            return self._pipeline(
+                device, edges, memory, nodes, on_iteration, checkpoint,
+                state, stats, run_start, recovery_io, start,
+            )
+        except (IOBudgetExceeded, SimulatedCrash):
+            if checkpoint is None:
+                # Abort hygiene: without a journal to make them reachable,
+                # half-built intermediates are garbage — drop everything
+                # this run created.  Deletes are free, so the ledger still
+                # shows exactly where the abort happened.
+                for name in device.list_files():
+                    if name not in preexisting:
+                        device.delete(name)
+            raise
 
-        levels: List[ContractionLevel] = []
-        iterations: List[IterationRecord] = []
-        current_edges, current_nodes = edges, nodes
+    def _pipeline(
+        self,
+        device: BlockDevice,
+        edges: EdgeFile,
+        memory: MemoryBudget,
+        nodes: Optional[NodeFile],
+        on_iteration: Optional[Callable[[IterationRecord], None]],
+        checkpoint: Optional["CheckpointManager"],
+        state: Optional["ResumeState"],
+        stats: IOStats,
+        run_start: IOSnapshot,
+        recovery_io: IOSnapshot,
+        start: float,
+    ) -> ExtSCCOutput:
+        """The contract / semi / expand pipeline, parameterized by an
+        optional :class:`ResumeState` that skips the already-durable part."""
+        config = self.config
+        resumed = state is not None and state.resumed
+
+        if state is not None and state.nodes is not None:
+            nodes = state.nodes
+        elif nodes is None:
+            nodes = edges.node_file(memory)
+            if checkpoint is not None:
+                checkpoint.commit_nodes(nodes)
+
+        levels: List[ContractionLevel] = list(state.levels) if resumed else []
+        iterations: List[IterationRecord] = list(state.iterations) if resumed else []
+        if resumed and state.frontier_edges is not None:
+            current_edges: EdgeFile = state.frontier_edges
+            current_nodes: NodeFile = state.frontier_nodes
+        else:
+            current_edges, current_nodes = edges, nodes
+        semi_done = resumed and state.semi_done
+
         contraction_start = stats.snapshot()
-        with stats.phase("contraction"):
-            i = 1
-            while not self.nodes_fit(current_nodes.num_nodes, memory, device.block_size):
-                if i > config.max_iterations:
-                    raise ReproError(
-                        f"contraction did not converge in {config.max_iterations} "
-                        "iterations"
+        if not semi_done:
+            with stats.phase("contraction"):
+                i = len(iterations) + 1
+                while not self.nodes_fit(
+                    current_nodes.num_nodes, memory, device.block_size
+                ):
+                    if i > config.max_iterations:
+                        raise ReproError(
+                            f"contraction did not converge in "
+                            f"{config.max_iterations} iterations"
+                        )
+                    before = stats.snapshot()
+                    with stats.phase(f"contract-{i}"):
+                        level = contract(
+                            device, current_edges, current_nodes, memory, config,
+                            level=i,
+                        )
+                    record = IterationRecord(
+                        level=i,
+                        num_nodes=level.num_nodes,
+                        num_edges=level.num_edges,
+                        next_num_nodes=level.next_nodes.num_nodes,
+                        next_num_edges=level.next_edges.num_edges,
+                        io=stats.snapshot() - before,
                     )
-                before = stats.snapshot()
-                with stats.phase(f"contract-{i}"):
-                    level = contract(
-                        device, current_edges, current_nodes, memory, config, level=i
-                    )
-                record = IterationRecord(
-                    level=i,
-                    num_nodes=level.num_nodes,
-                    num_edges=level.num_edges,
-                    next_num_nodes=level.next_nodes.num_nodes,
-                    next_num_edges=level.next_edges.num_edges,
-                    io=stats.snapshot() - before,
-                )
-                iterations.append(record)
-                if on_iteration is not None:
-                    on_iteration(record)
-                levels.append(level)
-                current_edges = level.next_edges
-                current_nodes = level.next_nodes
-                i += 1
+                    iterations.append(record)
+                    if checkpoint is not None:
+                        checkpoint.commit_contract(level, record)
+                    if on_iteration is not None:
+                        on_iteration(record)
+                    levels.append(level)
+                    current_edges = level.next_edges
+                    current_nodes = level.next_nodes
+                    i += 1
         contraction_io = stats.snapshot() - contraction_start
 
         semi_start = stats.snapshot()
-        with stats.phase("semi-scc"):
-            solver = SEMI_SCC_SOLVERS[config.semi_scc]
-            scc_file = run_semi_scc_to_file(
-                solver, current_edges, current_nodes.scan(), memory
-            )
+        if semi_done:
+            scc_file = state.scc_store
+        else:
+            with stats.phase("semi-scc"):
+                solver = SEMI_SCC_SOLVERS[config.semi_scc]
+                scc_file = run_semi_scc_to_file(
+                    solver, current_edges, current_nodes.scan(), memory
+                )
+            if checkpoint is not None:
+                checkpoint.commit_semi(scc_file)
         semi_io = stats.snapshot() - semi_start
 
         expansion_start = stats.snapshot()
         with stats.phase("expansion"):
             for level in reversed(levels):
+                scc_prev = scc_file
                 with stats.phase(f"expand-{level.level}"):
-                    scc_file = expand_level(device, level, scc_file, memory, config)
+                    # Commit-then-delete: under checkpointing the previous
+                    # labels survive until the expand entry is durable.
+                    scc_file = expand_level(
+                        device, level, scc_prev, memory, config,
+                        delete_input=checkpoint is None,
+                    )
+                if checkpoint is not None:
+                    checkpoint.commit_expand(level, scc_file)
+                    scc_prev.delete()
                 level.cleanup()
         expansion_io = stats.snapshot() - expansion_start
 
         result = SCCResult.from_pairs(scc_file.scan())  # final output scan
         scc_file.delete()
+        if checkpoint is not None:
+            checkpoint.finish()  # syncs a manifest that no longer lists scc_file
         return ExtSCCOutput(
             result=result,
             iterations=iterations,
@@ -234,6 +327,8 @@ class ExtSCC:
             expansion_io=expansion_io,
             wall_seconds=time.perf_counter() - start,
             config=config,
+            recovery_io=recovery_io,
+            resumed=resumed,
         )
 
 

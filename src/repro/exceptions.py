@@ -53,3 +53,42 @@ class InsufficientMemory(ReproError):
 class StorageError(ReproError):
     """Raised on misuse of the simulated block device (missing file, write
     after close, record wider than a block, ...)."""
+
+
+class SimulatedCrash(ReproError):
+    """Raised by a :class:`~repro.recovery.fault.FaultInjector` at its
+    scheduled block-I/O ordinal or phase.
+
+    A simulated power loss: the interrupted operation is *not* charged to
+    the I/O ledger (the machine died before it completed), and with
+    ``torn=True`` the interrupted write leaves a detectable half-written
+    block behind.
+    """
+
+    def __init__(self, ordinal: int, phase: "str | None" = None) -> None:
+        where = f" in phase {phase!r}" if phase else ""
+        super().__init__(f"simulated crash at block I/O #{ordinal}{where}")
+        self.ordinal = ordinal
+        self.phase = phase
+
+
+class CorruptBlockError(StorageError):
+    """A block's content does not match its checksum (e.g. a torn write).
+
+    Carries the file name and block index so recovery code can report —
+    and discard — exactly the damaged region.
+    """
+
+    def __init__(self, name: str, index: int) -> None:
+        super().__init__(f"block {index} of {name!r} fails its checksum")
+        self.name = name
+        self.index = index
+
+
+class CheckpointError(ReproError):
+    """The checkpoint journal cannot be used for the requested resume.
+
+    Raised when the journal's recorded run parameters (block size, memory
+    budget, config fingerprint, input file) disagree with the caller's, or
+    when not even the journal header's files survive validation.
+    """

@@ -16,9 +16,10 @@ and independent of interleaving between files.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.exceptions import StorageError
+from repro.exceptions import CorruptBlockError, StorageError
 from repro.io.stats import IOBudget, IOStats
 
 __all__ = ["BlockDevice", "DiskFile", "DEFAULT_BLOCK_SIZE"]
@@ -46,6 +47,10 @@ class DiskFile:
         self.block_capacity = block_capacity
         self.blocks: List[Sequence[Record]] = []
         self.num_records = 0
+        # CRC32 of each block's *intended* content, maintained on every
+        # write; a torn write stores the checksum of what should have
+        # landed, so verify_block can detect the damage.
+        self.block_checksums: List[int] = []
 
     @property
     def num_blocks(self) -> int:
@@ -79,11 +84,17 @@ class BlockDevice:
         self._files: Dict[str, DiskFile] = {}
         self._tmp_counter = 0
         self.pool = None  # optional SharedBufferPool (see attach_pool)
+        self.injector = None  # optional FaultInjector (see attach_injector)
         # Codec name applied when operators create intermediates without an
         # explicit codec argument; None falls through to the module default
         # in repro.io.codecs.  ExtSCC.run sets this from its config so one
         # knob switches the whole pipeline.
         self.default_codec: Optional[str] = None
+        # The checkpoint journal (list of JSON-able entries) lives on the
+        # device so it shares the data's fate: in RAM here, inside the
+        # manifest on PersistentBlockDevice.  CheckpointManager owns the
+        # format; the device only stores it.
+        self.checkpoint_journal: List[dict] = []
 
     def attach_pool(self, pool) -> None:
         """Install a :class:`~repro.io.pool.SharedBufferPool` on the device.
@@ -93,6 +104,16 @@ class BlockDevice:
         overwrites invalidate it.  Passing ``None`` detaches the pool.
         """
         self.pool = pool
+
+    def attach_injector(self, injector) -> None:
+        """Install a :class:`~repro.recovery.fault.FaultInjector`.
+
+        Every subsequent block read/write first passes through the
+        injector, which may raise
+        :class:`~repro.exceptions.SimulatedCrash` (optionally leaving a
+        torn block first).  Passing ``None`` detaches it.
+        """
+        self.injector = injector
 
     # -- file namespace ----------------------------------------------------
 
@@ -151,6 +172,12 @@ class BlockDevice:
         if self._files.get(f.name) is not f:
             raise StorageError(f"file {f.name!r} is not open on this device")
 
+    @staticmethod
+    def _block_checksum(records: Sequence[Record]) -> int:
+        """CRC32 of a block's record content (the in-memory backend has no
+        byte serialization to hash, so the canonical repr stands in)."""
+        return zlib.crc32(repr(tuple(records)).encode())
+
     def append_block(self, f: DiskFile, records: Sequence[Record]) -> None:
         """Append one block of records to ``f`` (a sequential write)."""
         self._assert_live(f)
@@ -158,8 +185,11 @@ class BlockDevice:
             raise StorageError(
                 f"{len(records)} records exceed block capacity {f.block_capacity}"
             )
+        if self.injector is not None:
+            self.injector.on_io(self, f, is_write=True, records=records)
         f.blocks.append(tuple(records))
         f.num_records += len(records)
+        f.block_checksums.append(self._block_checksum(records))
         self.stats.record_write(sequential=True)
 
     def read_block(self, f: DiskFile, index: int, sequential: bool) -> Sequence[Record]:
@@ -171,6 +201,8 @@ class BlockDevice:
             raise StorageError(
                 f"block {index} out of range for {f.name!r} ({f.num_blocks} blocks)"
             ) from None
+        if self.injector is not None:
+            self.injector.on_io(self, f, is_write=False)
         self.stats.record_read(sequential=sequential)
         return block
 
@@ -188,12 +220,62 @@ class BlockDevice:
             )
         if not 0 <= index < len(f.blocks):
             raise StorageError(f"block {index} out of range for {f.name!r}")
+        if self.injector is not None:
+            self.injector.on_io(self, f, is_write=True, records=records, index=index)
         old_len = len(f.blocks[index])
         f.blocks[index] = tuple(records)
         f.num_records += len(records) - old_len
+        f.block_checksums[index] = self._block_checksum(records)
         if self.pool is not None:
             self.pool.invalidate_block(f, index)
         self.stats.record_write(sequential=sequential)
+
+    # -- crash surface -----------------------------------------------------
+
+    def _torn_write(self, f: DiskFile, records: Sequence[Record],
+                    index: Optional[int] = None) -> None:
+        """Leave a half-written block behind, as a mid-write power loss
+        would: only the first half of the records land, while the recorded
+        checksum is that of the *intended* content — so the block fails
+        :meth:`verify_block`.  No I/O is charged (the machine died)."""
+        torn = tuple(records)[: len(records) // 2]
+        checksum = self._block_checksum(records)
+        if index is None:
+            f.blocks.append(torn)
+            f.num_records += len(torn)
+            f.block_checksums.append(checksum)
+        else:
+            f.num_records += len(torn) - len(f.blocks[index])
+            f.blocks[index] = torn
+            f.block_checksums[index] = checksum
+            if self.pool is not None:
+                self.pool.invalidate_block(f, index)
+
+    def verify_block(self, f: DiskFile, index: int) -> Sequence[Record]:
+        """Read block ``index`` and check it against its stored checksum.
+
+        Charges one sequential read (recovery validation is a scan);
+        raises :class:`~repro.exceptions.CorruptBlockError` on mismatch.
+        """
+        self._assert_live(f)
+        if not 0 <= index < len(f.blocks):
+            raise StorageError(f"block {index} out of range for {f.name!r}")
+        block = f.blocks[index]
+        self.stats.record_read(sequential=True)
+        if self._block_checksum(block) != f.block_checksums[index]:
+            raise CorruptBlockError(f.name, index)
+        return block
+
+    def file_checksum(self, f: DiskFile) -> Optional[int]:
+        """Combined CRC32 over the file's per-block checksums, or ``None``
+        when the per-block list is incomplete (a reopened legacy file) —
+        callers then fall back to metadata-only validation."""
+        if len(f.block_checksums) != f.num_blocks:
+            return None
+        crc = 0
+        for checksum in f.block_checksums:
+            crc = zlib.crc32(checksum.to_bytes(4, "big"), crc)
+        return crc
 
     # -- reporting ---------------------------------------------------------
 

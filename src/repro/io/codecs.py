@@ -359,6 +359,27 @@ class CompressedRecordFile:
         """Create a new empty compressed file (mirrors ``ExternalFile.create``)."""
         return cls(device, name, record_size, codec, overwrite=overwrite)
 
+    @classmethod
+    def open(
+        cls,
+        device: BlockDevice,
+        name: str,
+        record_size: int,
+        codec: Codec,
+    ) -> "CompressedRecordFile":
+        """Reattach to an existing compressed file, read-only (mirrors
+        ``ExternalFile.open``; checkpoint resume reopens intermediates this
+        way).  ``record_size`` and ``codec`` must match what the file was
+        written with — the journal records both."""
+        cf = cls.__new__(cls)
+        cf.device = device
+        cf.codec = codec
+        cf._record_size = record_size
+        cf._var = VarRecordFile.open(device, name)
+        cf._prev = None
+        cf._closed = True
+        return cf
+
     # -- metadata ----------------------------------------------------------
 
     @property

@@ -28,10 +28,11 @@ from __future__ import annotations
 import json
 import os
 import struct
+import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import StorageError
+from repro.exceptions import CorruptBlockError, StorageError
 from repro.io.blocks import BlockDevice, DEFAULT_BLOCK_SIZE, DiskFile
 from repro.io.stats import IOBudget, IOStats
 
@@ -42,6 +43,7 @@ PathLike = Union[str, Path]
 
 _FIELD = struct.Struct("<q")
 _COUNT = struct.Struct("<I")
+_CRC = struct.Struct("<I")
 _MANIFEST = "manifest.json"
 
 
@@ -60,10 +62,12 @@ _TAG_INT = b"\x00"
 _TAG_TUPLE = b"\x01"
 
 # Real bytes per slot for a var file, per accounted byte: every payload
-# field costs at least one accounted byte (varint accounting), so a block
-# holds at most ``block_size`` fields and at most ``block_size`` records;
-# tags + headers + int64 fields then fit in 16 real bytes per accounted one.
-_VAR_SLOT_FACTOR = 16
+# costs at least one accounted byte (varint accounting), so a block holds
+# at most ``block_size`` payloads and ``block_size`` integer fields.  The
+# costliest shapes are a single-field record ``((v,),)`` — 19 real bytes
+# (two tuple headers of 5 + one 9-byte int) on as little as 1 accounted
+# byte — and an empty adjacency payload ``((src, ()),)`` at 24.
+_VAR_SLOT_FACTOR = 24
 
 
 def _encode_obj(obj: object, parts: List[bytes]) -> None:
@@ -117,6 +121,9 @@ class PersistentDiskFile(DiskFile):
         else:
             # One slot = count header + capacity * fields * 8 bytes.
             self.slot_bytes = _COUNT.size + block_capacity * self.fields * _FIELD.size
+        # Every slot is prefixed by a CRC32 of its (padded) payload so torn
+        # writes are detectable on read — the crash-consistency contract.
+        self.slot_bytes += _CRC.size
         self._num_blocks = 0
         self._block_counts: List[int] = []  # records per block (bookkeeping)
         self.blocks = _BlockProxy(self)  # satisfies len() for num_blocks
@@ -166,7 +173,12 @@ class PersistentBlockDevice(BlockDevice):
     # -- manifest -----------------------------------------------------------
 
     def _load_manifest(self, path: Path) -> None:
-        manifest = json.loads(path.read_text())
+        try:
+            manifest = json.loads(path.read_text())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise StorageError(
+                f"corrupt or truncated manifest at {path}: {exc}"
+            ) from None
         if manifest["block_size"] != self.block_size:
             raise StorageError(
                 f"device at {self.directory} was created with block size "
@@ -182,12 +194,22 @@ class PersistentBlockDevice(BlockDevice):
             f._num_blocks = meta["num_blocks"]
             f.num_records = meta["num_records"]
             f._block_counts = list(meta["block_counts"])
+            # Older manifests carry no checksum list; file_checksum then
+            # returns None and validation degrades to metadata-only.
+            f.block_checksums = list(meta.get("block_checksums", ()))
             self._files[name] = f
+        self.checkpoint_journal = list(manifest.get("checkpoint", ()))
 
     def sync(self) -> None:
-        """Write the manifest so the directory can be reopened later."""
+        """Write the manifest so the directory can be reopened later.
+
+        The write is atomic (temp file + ``os.replace``): a crash mid-sync
+        leaves the previous manifest intact instead of a truncated JSON
+        that would brick the whole device.
+        """
         manifest = {
             "block_size": self.block_size,
+            "checkpoint": self.checkpoint_journal,
             "files": {
                 name: {
                     "path": f.path.name,  # type: ignore[attr-defined]
@@ -195,11 +217,15 @@ class PersistentBlockDevice(BlockDevice):
                     "num_blocks": f.num_blocks,
                     "num_records": f.num_records,
                     "block_counts": list(f._block_counts),  # type: ignore[attr-defined]
+                    "block_checksums": list(f.block_checksums),
                 }
                 for name, f in self._files.items()
             },
         }
-        (self.directory / _MANIFEST).write_text(json.dumps(manifest, indent=1))
+        target = self.directory / _MANIFEST
+        tmp = self.directory / (_MANIFEST + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=1))
+        os.replace(tmp, target)
 
     def close(self) -> None:
         """Flush the manifest and close every file handle."""
@@ -284,12 +310,20 @@ class PersistentBlockDevice(BlockDevice):
                 for value in record:
                     parts.append(_FIELD.pack(value))
         payload = b"".join(parts)
-        if len(payload) > f.slot_bytes:
+        room = f.slot_bytes - _CRC.size
+        if len(payload) > room:
             raise StorageError(
                 f"encoded block of {len(payload)} bytes overflows the "
-                f"{f.slot_bytes}-byte slot of {f.name!r}"
+                f"{room}-byte slot of {f.name!r}"
             )
-        return payload.ljust(f.slot_bytes, b"\0")
+        return payload.ljust(room, b"\0")
+
+    @staticmethod
+    def _seal(payload: bytes) -> Tuple[bytes, int]:
+        """Prefix a padded slot payload with its CRC32; returns the full
+        slot bytes and the checksum value (also kept in the manifest)."""
+        checksum = zlib.crc32(payload)
+        return _CRC.pack(checksum) + payload, checksum
 
     def _decode(self, f: PersistentDiskFile, payload: bytes) -> List[Record]:
         (count,) = _COUNT.unpack_from(payload, 0)
@@ -316,14 +350,28 @@ class PersistentBlockDevice(BlockDevice):
             raise StorageError(
                 f"{len(records)} records exceed block capacity {f.block_capacity}"
             )
+        if self.injector is not None:
+            self.injector.on_io(self, f, is_write=True, records=records)
+        slot, checksum = self._seal(self._encode(f, records))
         handle = self._handle(f)
         handle.seek(f._num_blocks * f.slot_bytes)
-        handle.write(self._encode(f, records))
+        handle.write(slot)
         handle.flush()
         f._num_blocks += 1
         f._block_counts.append(len(records))
+        f.block_checksums.append(checksum)
         f.num_records += len(records)
         self.stats.record_write(sequential=True)
+
+    def _read_slot(self, f: PersistentDiskFile, index: int) -> bytes:
+        """Read and checksum-verify one slot; returns the payload bytes."""
+        handle = self._handle(f)
+        handle.seek(index * f.slot_bytes)
+        slot = handle.read(f.slot_bytes)
+        payload = slot[_CRC.size:]
+        if len(slot) < f.slot_bytes or _CRC.unpack_from(slot)[0] != zlib.crc32(payload):
+            raise CorruptBlockError(f.name, index)
+        return payload
 
     def read_block(self, f: DiskFile, index: int, sequential: bool) -> Sequence[Record]:
         assert isinstance(f, PersistentDiskFile)
@@ -332,9 +380,9 @@ class PersistentBlockDevice(BlockDevice):
             raise StorageError(
                 f"block {index} out of range for {f.name!r} ({f._num_blocks} blocks)"
             )
-        handle = self._handle(f)
-        handle.seek(index * f.slot_bytes)
-        payload = handle.read(f.slot_bytes)
+        if self.injector is not None:
+            self.injector.on_io(self, f, is_write=False)
+        payload = self._read_slot(f, index)
         self.stats.record_read(sequential=sequential)
         return self._decode(f, payload)
 
@@ -348,10 +396,61 @@ class PersistentBlockDevice(BlockDevice):
             )
         if not 0 <= index < f._num_blocks:
             raise StorageError(f"block {index} out of range for {f.name!r}")
+        if self.injector is not None:
+            self.injector.on_io(self, f, is_write=True, records=records, index=index)
+        slot, checksum = self._seal(self._encode(f, records))
         handle = self._handle(f)
         handle.seek(index * f.slot_bytes)
-        handle.write(self._encode(f, records))
+        handle.write(slot)
         handle.flush()
         f.num_records += len(records) - f._block_counts[index]
         f._block_counts[index] = len(records)
+        f.block_checksums[index] = checksum
         self.stats.record_write(sequential=sequential)
+
+    # -- crash surface -----------------------------------------------------
+
+    def _torn_write(self, f: DiskFile, records: Sequence[Record],
+                    index: Optional[int] = None) -> None:
+        """Leave half of an encoded slot on disk without updating any
+        metadata — what a power loss mid-``write`` leaves behind.  A torn
+        overwrite corrupts a live block (its CRC no longer matches); a torn
+        append lands beyond the manifest's block count, so it is simply
+        invisible after reopen.  No I/O is charged."""
+        assert isinstance(f, PersistentDiskFile)
+        slot, _ = self._seal(self._encode(f, records))
+        position = (f._num_blocks if index is None else index) * f.slot_bytes
+        handle = self._handle(f)
+        handle.seek(position)
+        handle.write(slot[: len(slot) // 2])
+        handle.flush()
+        if index is not None and self.pool is not None:
+            self.pool.invalidate_block(f, index)
+
+    def verify_block(self, f: DiskFile, index: int) -> Sequence[Record]:
+        """Read block ``index`` and check its stored CRC (one sequential
+        read); raises :class:`CorruptBlockError` on a torn/damaged slot."""
+        assert isinstance(f, PersistentDiskFile)
+        self._assert_live(f)
+        if not 0 <= index < f._num_blocks:
+            raise StorageError(f"block {index} out of range for {f.name!r}")
+        payload = self._read_slot(f, index)
+        self.stats.record_read(sequential=True)
+        expected = f.block_checksums[index] if index < len(f.block_checksums) else None
+        if expected is not None and zlib.crc32(payload) != expected:
+            raise CorruptBlockError(f.name, index)
+        return self._decode(f, payload)
+
+    def remove_orphan_blocks(self) -> int:
+        """Unlink ``.blk`` files not referenced by any live file — the
+        debris of writes that never reached a manifest sync before a
+        crash.  Returns the number of files removed."""
+        referenced = {
+            f.path.name for f in self._files.values()  # type: ignore[attr-defined]
+        }
+        removed = 0
+        for path in self.directory.glob("*.blk"):
+            if path.name not in referenced:
+                path.unlink()
+                removed += 1
+        return removed

@@ -17,7 +17,12 @@ from typing import Dict, Iterator, Optional
 
 from repro.exceptions import IOBudgetExceeded
 
-__all__ = ["IOBudget", "IOStats", "IOSnapshot"]
+__all__ = ["IOBudget", "IOStats", "IOSnapshot", "RECOVERY_PHASE"]
+
+RECOVERY_PHASE = "recovery"
+"""Phase label for checkpoint-resume work: journal validation reads on
+restart are charged here, so recovery overhead is separable from the
+algorithm's own ledger (the MTTR report subtracts it)."""
 
 
 @dataclass
@@ -208,6 +213,10 @@ class IOStats:
     def snapshot(self) -> IOSnapshot:
         """Freeze the current counters (use ``later - earlier`` for deltas)."""
         return IOSnapshot(self.seq_reads, self.seq_writes, self.rand_reads, self.rand_writes)
+
+    def phase_total(self, label: str) -> int:
+        """Total block I/Os attributed to ``label`` (0 if it never ran)."""
+        return self.by_phase.get(label, IOSnapshot()).total
 
     @contextlib.contextmanager
     def phase(self, label: str) -> Iterator[None]:

@@ -62,6 +62,25 @@ class VarRecordFile:
         self.num_records = 0
         self.payload_bytes = 0
 
+    @classmethod
+    def open(cls, device: BlockDevice, name: str) -> "VarRecordFile":
+        """Reattach to an existing var-record file, read-only.
+
+        ``payload_bytes`` is 0 on a reopened file (the accounted sizes were
+        charged when the file was written and are not recorded per record);
+        only scanning and metadata are supported.
+        """
+        vf = cls.__new__(cls)
+        vf.device = device
+        vf._file = device.open(name)
+        vf._file.block_capacity = device.block_size
+        vf._buffer = []
+        vf._buffer_bytes = 0
+        vf._closed = True
+        vf.num_records = vf._file.num_records
+        vf.payload_bytes = 0
+        return vf
+
     @property
     def name(self) -> str:
         """The file's name on the device."""

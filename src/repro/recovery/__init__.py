@@ -1,0 +1,23 @@
+"""Crash-consistency subsystem: deterministic fault injection plus
+checkpoint/resume for the Ext-SCC pipeline.
+
+See :mod:`repro.recovery.fault` for the crash model and
+:mod:`repro.recovery.checkpoint` for the journal format and recovery
+procedure.
+"""
+
+from repro.recovery.checkpoint import (
+    CheckpointManager,
+    ResumeState,
+    describe_store,
+    reopen_store,
+)
+from repro.recovery.fault import FaultInjector
+
+__all__ = [
+    "CheckpointManager",
+    "FaultInjector",
+    "ResumeState",
+    "describe_store",
+    "reopen_store",
+]

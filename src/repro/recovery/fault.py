@@ -1,0 +1,93 @@
+"""Deterministic fault injection for the simulated block devices.
+
+:class:`FaultInjector` attaches to a :class:`~repro.io.blocks.BlockDevice`
+(or :class:`~repro.io.persistent.PersistentBlockDevice`) the same way the
+:class:`~repro.io.pool.SharedBufferPool` does, and raises
+:class:`~repro.exceptions.SimulatedCrash` at an exactly reproducible point:
+either the N-th block I/O after attachment (``crash_at_io``), or the first
+block I/O attributed to a given phase label (``crash_in_phase``).  With
+``torn=True`` an interrupted *write* additionally leaves a half-written
+block behind — the checksum layer then surfaces it as a
+:class:`~repro.exceptions.CorruptBlockError` on read, which is how torn
+writes are detected in real storage systems.
+
+The injector fires *before* the operation is charged to the ledger: the
+simulated machine lost power mid-operation, so the I/O never completed.
+Injectors are one-shot — after firing they go inert, so a resumed run on
+the same device does not crash again unless re-armed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.exceptions import SimulatedCrash
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """A scheduled, reproducible crash on a simulated device.
+
+    Args:
+        crash_at_io: fire on the N-th block I/O after :meth:`attach`
+            (1-based; reads and writes both count).
+        crash_in_phase: fire on the first block I/O whose
+            :class:`~repro.io.stats.IOStats` phase stack contains this
+            label (e.g. ``"contract-2"``, ``"semi-scc"``, ``"expand-1"``).
+        torn: when the interrupted operation is a write, leave half of it
+            on the device before raising (a torn block).
+
+    Exactly one of ``crash_at_io`` / ``crash_in_phase`` must be given.
+    """
+
+    def __init__(
+        self,
+        crash_at_io: Optional[int] = None,
+        crash_in_phase: Optional[str] = None,
+        torn: bool = False,
+    ) -> None:
+        if (crash_at_io is None) == (crash_in_phase is None):
+            raise ValueError("give exactly one of crash_at_io / crash_in_phase")
+        if crash_at_io is not None and crash_at_io < 1:
+            raise ValueError(f"crash_at_io is 1-based, got {crash_at_io}")
+        self.crash_at_io = crash_at_io
+        self.crash_in_phase = crash_in_phase
+        self.torn = torn
+        self.ordinal = 0  # I/Os observed since attach
+        self.fired = False
+
+    def attach(self, device) -> "FaultInjector":
+        """Install on ``device`` (counting starts here); returns self."""
+        device.attach_injector(self)
+        return self
+
+    def _should_fire(self, device) -> bool:
+        if self.crash_at_io is not None:
+            return self.ordinal == self.crash_at_io
+        return self.crash_in_phase in device.stats._phase_stack
+
+    def on_io(
+        self,
+        device,
+        f,
+        is_write: bool,
+        records: Optional[Sequence] = None,
+        index: Optional[int] = None,
+    ) -> None:
+        """Device hook: called before every block operation completes.
+
+        Raises :class:`SimulatedCrash` at the scheduled point; on a torn
+        write the half-written block is left behind first (uncharged — the
+        machine died mid-write).
+        """
+        if self.fired:
+            return
+        self.ordinal += 1
+        if not self._should_fire(device):
+            return
+        self.fired = True
+        if self.torn and is_write and records is not None:
+            device._torn_write(f, records, index=index)
+        stack = device.stats._phase_stack
+        raise SimulatedCrash(self.ordinal, phase=stack[-1] if stack else None)

@@ -1,0 +1,307 @@
+"""Crash-consistency: checkpoint/resume under deterministic fault injection.
+
+The keystone property is the *crash matrix*: a crash is scheduled inside
+every phase of the pipeline (each contraction iteration, the semi-external
+solve, each expansion step, the final scan); after the crash the run is
+resumed from the journal and must
+
+* produce byte-identical SCC labels to the uninterrupted run, and
+* never re-pay more I/O than the uninterrupted run still had ahead of it
+  at the start of the interrupted phase (recovery validation reads are
+  accounted separately under the ``recovery`` phase).
+
+A second invariant is that checkpointing is free when nothing crashes:
+the I/O ledger of a checkpointed uninterrupted run is identical to the
+ledger without checkpointing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, seed, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ExtSCCConfig
+from repro.core.ext_scc import ExtSCC
+from repro.exceptions import (
+    CheckpointError,
+    CorruptBlockError,
+    SimulatedCrash,
+    StorageError,
+)
+from repro.graph.edge_file import EdgeFile, NodeFile
+from repro.io.blocks import BlockDevice
+from repro.io.files import ExternalFile
+from repro.io.memory import MemoryBudget
+from repro.io.persistent import PersistentBlockDevice
+from repro.io.stats import RECOVERY_PHASE
+from repro.recovery import CheckpointManager, FaultInjector
+
+from .conftest import random_edges, reference_sccs
+
+NUM_NODES = 100
+EDGES = random_edges(NUM_NODES, 400, seed=20240731)
+REFERENCE = reference_sccs(EDGES, NUM_NODES)
+# pool_readahead=1 keeps request batching out of the picture so crash
+# ordinals land exactly where scheduled.
+CONFIG = ExtSCCConfig.baseline(pool_readahead=1)
+
+
+def _load(device: BlockDevice) -> Tuple[EdgeFile, NodeFile, MemoryBudget]:
+    memory = MemoryBudget(512)
+    edge_file = EdgeFile.from_edges(device, "input-edges", EDGES)
+    node_file = NodeFile.from_ids(
+        device, "input-nodes", range(NUM_NODES), memory, presorted=True
+    )
+    return edge_file, node_file, memory
+
+
+def _reopen_inputs(device: BlockDevice) -> Tuple[EdgeFile, NodeFile]:
+    return (
+        EdgeFile(ExternalFile.open(device, "input-edges")),
+        NodeFile(ExternalFile.open(device, "input-nodes")),
+    )
+
+
+def _uninterrupted():
+    device = BlockDevice(block_size=64)
+    edge_file, node_file, memory = _load(device)
+    out = ExtSCC(CONFIG).run(device, edge_file, memory, nodes=node_file)
+    return device, out
+
+
+def _phase_schedule(device, out) -> List[Tuple[str, int, int]]:
+    """``(phase label, start ordinal, size)`` for every pipeline phase of an
+    uninterrupted run, in execution order.  Ordinals are I/O counts from the
+    start of the run; the inputs were loaded on the same device, so a crash
+    injector attached right before the run sees the same numbering."""
+    schedule: List[Tuple[str, int, int]] = []
+    cursor = 0
+    for record in out.iterations:
+        schedule.append((f"contract-{record.level}", cursor, record.io.total))
+        cursor += record.io.total
+    schedule.append(("semi-scc", cursor, out.semi_io.total))
+    cursor += out.semi_io.total
+    for record in reversed(out.iterations):
+        label = f"expand-{record.level}"
+        size = device.stats.phase_total(label)
+        schedule.append((label, cursor, size))
+        cursor += size
+    schedule.append(("final-scan", cursor, out.io.total - cursor))
+    return schedule
+
+
+def test_graph_contracts_at_least_twice():
+    """The crash matrix only means something if the pipeline has depth."""
+    _, out = _uninterrupted()
+    assert out.num_iterations >= 2
+    assert out.result == REFERENCE
+
+
+def test_checkpointing_uninterrupted_is_io_free():
+    """Zero-cost-when-on: identical ledger with and without a journal."""
+    _, plain = _uninterrupted()
+
+    device = BlockDevice(block_size=64)
+    edge_file, node_file, memory = _load(device)
+    manager = CheckpointManager(device)
+    out = ExtSCC(CONFIG).run(
+        device, edge_file, memory, nodes=node_file, checkpoint=manager
+    )
+    assert out.result == plain.result
+    assert out.io == plain.io
+    assert out.recovery_io.total == 0
+    assert not out.resumed
+    assert device.checkpoint_journal == []  # finish() cleared it
+    assert device.stats.phase_total(RECOVERY_PHASE) == 0
+
+
+def _crash_then_resume(ordinal: int, torn: bool = False):
+    """Crash a checkpointed run at ``ordinal``, resume on the same device.
+
+    Returns ``(crash, resume_output, device)``.
+    """
+    device = BlockDevice(block_size=64)
+    edge_file, node_file, memory = _load(device)
+    manager = CheckpointManager(device)
+    FaultInjector(crash_at_io=ordinal, torn=torn).attach(device)
+    with pytest.raises(SimulatedCrash) as excinfo:
+        ExtSCC(CONFIG).run(
+            device, edge_file, memory, nodes=node_file, checkpoint=manager
+        )
+    device.attach_injector(None)
+    edge_file, node_file = _reopen_inputs(device)
+    out = ExtSCC(CONFIG).run(
+        device, edge_file, memory, nodes=node_file,
+        checkpoint=CheckpointManager(device),
+    )
+    return excinfo.value, out, device
+
+
+def test_crash_matrix():
+    """The keystone: sweep a crash point through every phase."""
+    base_device, baseline = _uninterrupted()
+    total = baseline.io.total
+    schedule = _phase_schedule(base_device, baseline)
+
+    assert schedule[-1][0] == "final-scan" and schedule[-1][2] > 0
+    assert len(schedule) >= 6  # >=2 contract + semi + >=2 expand + scan
+
+    for label, start, size in schedule:
+        assert size > 0, f"phase {label} did no I/O — schedule is broken"
+        ordinal = start + size // 2 + 1  # strictly inside the phase
+        crash, out, _ = _crash_then_resume(ordinal)
+        assert crash.ordinal == ordinal
+        # The schedule's phase arithmetic matches the ledger's attribution
+        # (the final scan runs outside any labelled phase).
+        expected_phase = None if label == "final-scan" else label
+        assert crash.phase == expected_phase
+        # Identical labels after crash + resume.
+        assert out.resumed
+        assert out.result == baseline.result, f"crash in {label} changed labels"
+        # Never re-pay more than the uninterrupted run still had ahead of
+        # it at the start of the crashed phase.
+        repaid = out.io.total - out.recovery_io.total
+        assert repaid <= total - start, (
+            f"crash in {label}: repaid {repaid} > remaining {total - start}"
+        )
+
+
+def test_crash_matrix_with_torn_writes():
+    """Torn half-written blocks are detected and discarded on resume."""
+    _, baseline = _uninterrupted()
+    # Crash on write-heavy early ordinals with torn blocks left behind.
+    for ordinal in (25, 150, 600):
+        crash, out, device = _crash_then_resume(ordinal, torn=True)
+        assert out.resumed
+        assert out.result == baseline.result
+        # The resumed run left no half-written garbage behind.
+        assert sorted(device.list_files()) == ["input-edges", "input-nodes"]
+
+
+@seed(20240731)
+@settings(max_examples=12, deadline=None, derandomize=True)
+@given(st.integers(min_value=1, max_value=2000))
+def test_crash_anywhere_resumes_to_identical_labels(ordinal: int):
+    """Property: a crash at *any* I/O ordinal resumes to the same labels."""
+    try:
+        _, out, _ = _crash_then_resume(ordinal)
+    except SimulatedCrash:  # pragma: no cover - cannot happen (one-shot)
+        raise
+    assert out.resumed
+    assert out.result == REFERENCE
+
+
+def test_torn_block_fails_its_checksum(device):
+    """A torn append is caught by verify_block as CorruptBlockError."""
+    f = device.create("victim", record_size=8)
+    device.append_block(f, [(1, 2), (3, 4)])
+    device._torn_write(f, [(5, 6), (7, 8)])
+    device.verify_block(f, 0)  # intact block passes
+    with pytest.raises(CorruptBlockError):
+        device.verify_block(f, 1)
+
+
+def test_journal_survives_reopen_and_resume(tmp_path):
+    """Persistent round trip: crash, abandon the process, reopen, resume."""
+    directory = tmp_path / "ckpt"
+    device = PersistentBlockDevice(directory, block_size=64)
+    edge_file, node_file, memory = _load(device)
+    manager = CheckpointManager(device)
+    FaultInjector(crash_at_io=500, torn=True).attach(device)
+    with pytest.raises(SimulatedCrash):
+        ExtSCC(CONFIG).run(
+            device, edge_file, memory, nodes=node_file, checkpoint=manager
+        )
+    device.sync()  # what a crash handler would do; journal is in the manifest
+
+    # A "new process": reopen the directory, resume from the journal.
+    device2 = PersistentBlockDevice(directory, block_size=64)
+    assert device2.checkpoint_journal, "journal did not survive the manifest"
+    memory2 = MemoryBudget(512)
+    edge_file2, node_file2 = _reopen_inputs(device2)
+    out = ExtSCC(CONFIG).run(
+        device2, edge_file2, memory2, nodes=node_file2,
+        checkpoint=CheckpointManager(device2),
+    )
+    device2.close()
+    assert out.resumed
+    assert out.result == REFERENCE
+    assert out.recovery_io.total > 0
+    # Orphaned .blk debris of the crashed run was garbage-collected.
+    assert sorted(device2.list_files()) == ["input-edges", "input-nodes"]
+    blk_files = {p.name for p in directory.glob("*.blk")}
+    assert len(blk_files) == 2
+
+
+def test_truncated_manifest_raises_clear_storage_error(tmp_path):
+    """Satellite (a): a half-written manifest must not brick silently."""
+    directory = tmp_path / "dev"
+    device = PersistentBlockDevice(directory, block_size=64)
+    f = device.create("data", record_size=8)
+    device.append_block(f, [(1, 2)])
+    device.close()
+    manifest = directory / "manifest.json"
+    text = manifest.read_text()
+    manifest.write_text(text[: len(text) // 2])  # simulate a torn sync
+    with pytest.raises(StorageError, match="corrupt or truncated manifest"):
+        PersistentBlockDevice(directory, block_size=64)
+
+
+def test_manifest_sync_is_atomic(tmp_path):
+    """sync() goes through a temp file + rename; no .tmp debris remains
+    and the manifest parses even though it was rewritten in place."""
+    directory = tmp_path / "dev"
+    device = PersistentBlockDevice(directory, block_size=64)
+    f = device.create("data", record_size=8)
+    device.append_block(f, [(1, 2)])
+    device.sync()
+    device.sync()
+    assert not (directory / "manifest.json.tmp").exists()
+    json.loads((directory / "manifest.json").read_text())
+    device.close()
+
+
+def test_resume_refuses_mismatched_parameters():
+    """A journal written under one configuration cannot be resumed under
+    another — the contraction levels would not line up."""
+    device = BlockDevice(block_size=64)
+    edge_file, node_file, memory = _load(device)
+    manager = CheckpointManager(device)
+    FaultInjector(crash_at_io=400).attach(device)
+    with pytest.raises(SimulatedCrash):
+        ExtSCC(CONFIG).run(
+            device, edge_file, memory, nodes=node_file, checkpoint=manager
+        )
+    device.attach_injector(None)
+    edge_file, node_file = _reopen_inputs(device)
+
+    with pytest.raises(CheckpointError, match="memory"):
+        ExtSCC(CONFIG).run(
+            device, edge_file, MemoryBudget(1024), nodes=node_file,
+            checkpoint=CheckpointManager(device),
+        )
+    other = ExtSCCConfig.optimized(pool_readahead=1)
+    with pytest.raises(CheckpointError, match="configuration"):
+        ExtSCC(other).run(
+            device, edge_file, memory, nodes=node_file,
+            checkpoint=CheckpointManager(device),
+        )
+    # With the right parameters the journal is still usable.
+    out = ExtSCC(CONFIG).run(
+        device, edge_file, memory, nodes=node_file,
+        checkpoint=CheckpointManager(device),
+    )
+    assert out.resumed and out.result == REFERENCE
+
+
+def test_recovery_ios_live_in_their_own_phase():
+    """Journal-validation reads are attributed to the 'recovery' phase."""
+    _, out, device = _crash_then_resume(700)
+    assert out.recovery_io.total > 0
+    assert device.stats.phase_total(RECOVERY_PHASE) == out.recovery_io.total
+    # Recovery performs sequential validation scans only.
+    assert out.recovery_io.random == 0

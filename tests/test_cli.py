@@ -89,6 +89,57 @@ class TestScc:
         assert "error:" in capsys.readouterr().err
 
 
+class TestSccCheckpoint:
+    @pytest.fixture
+    def edge_path(self, tmp_path):
+        path = tmp_path / "cycle.txt"
+        write_edge_text(path, cycle_graph(50).edges)
+        return path
+
+    def test_checkpointed_run_writes_labels(self, tmp_path, edge_path, capsys):
+        labels_path = tmp_path / "labels.txt"
+        ckpt = tmp_path / "ckpt"
+        code = main(["scc", str(edge_path), "-o", str(labels_path),
+                     "-m", "300", "-b", "64", "--checkpoint-dir", str(ckpt)])
+        assert code == 0
+        lines = labels_path.read_text().splitlines()
+        assert len(lines) == 50
+        assert {int(l.split()[1]) for l in lines} == {0}
+        assert (ckpt / "manifest.json").exists()
+        assert "sccs: 1" in capsys.readouterr().err
+
+    def test_crash_then_resume(self, tmp_path, edge_path, capsys, monkeypatch):
+        """A killed checkpointed run is picked back up by --resume."""
+        import repro.io.persistent as persistent
+        from repro.recovery import FaultInjector
+
+        real = persistent.PersistentBlockDevice
+
+        class Crashing(real):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                FaultInjector(crash_at_io=100).attach(self)
+
+        monkeypatch.setattr(persistent, "PersistentBlockDevice", Crashing)
+        labels_path = tmp_path / "labels.txt"
+        ckpt = tmp_path / "ckpt"
+        argv = ["scc", str(edge_path), "-o", str(labels_path),
+                "-m", "300", "-b", "64", "--checkpoint-dir", str(ckpt)]
+        code = main(argv)
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+        assert not labels_path.exists()
+
+        monkeypatch.setattr(persistent, "PersistentBlockDevice", real)
+        code = main(argv + ["--resume"])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "resumed from checkpoint" in err
+        lines = labels_path.read_text().splitlines()
+        assert len(lines) == 50
+        assert {int(l.split()[1]) for l in lines} == {0}
+
+
 class TestBench:
     @pytest.fixture
     def edge_path(self, tmp_path):

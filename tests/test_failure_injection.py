@@ -5,13 +5,25 @@ import pytest
 from tests.conftest import random_edges, reference_sccs
 
 from repro.core import ExtSCC, ExtSCCConfig, compute_sccs
-from repro.exceptions import IOBudgetExceeded, StorageError
+from repro.exceptions import IOBudgetExceeded, SimulatedCrash, StorageError
 from repro.graph.edge_file import EdgeFile, NodeFile
 from repro.graph.generators import cycle_graph
 from repro.io.blocks import BlockDevice
 from repro.io.files import ExternalFile
 from repro.io.memory import MemoryBudget
 from repro.io.stats import IOBudget
+from repro.recovery import FaultInjector
+
+
+def _cycle_workload(num_nodes: int, budget=None):
+    """A cycle graph loaded onto a fresh 64-byte-block device."""
+    device = BlockDevice(block_size=64, budget=budget)
+    memory = MemoryBudget(300)
+    g = cycle_graph(num_nodes)
+    edge_file = EdgeFile.from_edges(device, "E", g.edges)
+    node_file = NodeFile.from_ids(device, "V", range(num_nodes), memory,
+                                  presorted=True)
+    return device, edge_file, node_file, memory
 
 
 class TestBudgetTrips:
@@ -39,6 +51,52 @@ class TestBudgetTrips:
             ExtSCC().run(device, edge_file, memory, nodes=node_file)
         assert device.stats.by_phase["contraction"].total > 0
 
+    def test_budget_in_semi_external_phase(self):
+        """A cap landing inside the semi-external solve is attributed there:
+        contraction shows its full cost, semi-scc a partial one."""
+        clean_device, edge_file, node_file, memory = _cycle_workload(100)
+        clean = ExtSCC().run(clean_device, edge_file, memory, nodes=node_file)
+        clean_contract = clean_device.stats.by_phase["contraction"].total
+        clean_semi = clean_device.stats.by_phase["semi-scc"].total
+        assert clean_semi > 2  # the cap below lands strictly inside
+
+        # The cap counts from device creation, so offset by the input
+        # loading I/O that happens before the run starts.
+        loading = clean_device.stats.total - clean.io.total
+        cap = loading + clean.contraction_io.total + clean.semi_io.total // 2
+        device, edge_file, node_file, memory = _cycle_workload(
+            100, budget=IOBudget(cap)
+        )
+        with pytest.raises(IOBudgetExceeded):
+            ExtSCC().run(device, edge_file, memory, nodes=node_file)
+        assert device.stats.by_phase["contraction"].total == clean_contract
+        semi_spent = device.stats.by_phase["semi-scc"].total
+        assert 0 < semi_spent < clean_semi
+        assert "expansion" not in device.stats.by_phase
+
+    def test_budget_in_expansion_phase(self):
+        """A cap landing inside expansion leaves contraction and semi-scc
+        fully accounted and charges the overrun to the expansion ledger."""
+        clean_device, edge_file, node_file, memory = _cycle_workload(100)
+        clean = ExtSCC().run(clean_device, edge_file, memory, nodes=node_file)
+        clean_expand = clean_device.stats.by_phase["expansion"].total
+        assert clean_expand > 2
+
+        loading = clean_device.stats.total - clean.io.total
+        cap = (loading + clean.contraction_io.total + clean.semi_io.total
+               + clean.expansion_io.total // 2)
+        device, edge_file, node_file, memory = _cycle_workload(
+            100, budget=IOBudget(cap)
+        )
+        with pytest.raises(IOBudgetExceeded):
+            ExtSCC().run(device, edge_file, memory, nodes=node_file)
+        assert (device.stats.by_phase["contraction"].total
+                == clean_device.stats.by_phase["contraction"].total)
+        assert (device.stats.by_phase["semi-scc"].total
+                == clean_device.stats.by_phase["semi-scc"].total)
+        expansion_spent = device.stats.by_phase["expansion"].total
+        assert 0 < expansion_spent < clean_expand
+
     def test_rerun_after_budget_increase_succeeds(self):
         g = cycle_graph(60)
         with pytest.raises(IOBudgetExceeded):
@@ -47,6 +105,38 @@ class TestBudgetTrips:
         out = compute_sccs(g.edges, num_nodes=60, memory_bytes=300,
                            block_size=64, io_budget=10_000_000)
         assert out.result.num_sccs == 1
+
+
+class TestAbortHygiene:
+    """Aborted runs must not leak half-built intermediates (satellite of
+    the crash-consistency work: without a journal there is nothing to make
+    them reachable, so they are deleted on the way out)."""
+
+    def test_budget_abort_leaves_only_the_inputs(self):
+        device, edge_file, node_file, memory = _cycle_workload(
+            100, budget=IOBudget(500)
+        )
+        with pytest.raises(IOBudgetExceeded):
+            ExtSCC().run(device, edge_file, memory, nodes=node_file)
+        assert device.list_files() == ["E", "V"]
+        # Cleanup is free: the ledger still shows the abort point.
+        assert device.stats.total == 501
+
+    def test_simulated_crash_without_checkpoint_leaves_only_the_inputs(self):
+        device, edge_file, node_file, memory = _cycle_workload(100)
+        FaultInjector(crash_at_io=400).attach(device)
+        with pytest.raises(SimulatedCrash):
+            ExtSCC().run(device, edge_file, memory, nodes=node_file)
+        assert device.list_files() == ["E", "V"]
+
+    def test_abort_preserves_caller_files_other_than_inputs(self):
+        device, edge_file, node_file, memory = _cycle_workload(
+            100, budget=IOBudget(500)
+        )
+        ExternalFile.from_records(device, "bystander", [(9, 9)], 8)
+        with pytest.raises(IOBudgetExceeded):
+            ExtSCC().run(device, edge_file, memory, nodes=node_file)
+        assert device.list_files() == ["E", "V", "bystander"]
 
 
 class TestMisuse:
