@@ -1,0 +1,149 @@
+"""Fig. 6 smoke workload swept over worker counts — the parallelism gate.
+
+The sharded/striped runtime must not change *what* the pipeline does, only
+*where* each block I/O lands: every worker count K produces byte-identical
+SCC labels and an identical total I/O ledger, while the critical path
+(makespan — the busiest channel's share, phase by phase) shrinks roughly
+as 1/K.  This benchmark runs the CI smoke workload (the 20% WEBSPAM point)
+at K in {1, 2, 4, 8} and gates:
+
+* K=1 reproduces the checked-in ``fig6_smoke.baseline.json`` ledger
+  **exactly** (not within tolerance — parallelism must cost nothing when
+  off);
+* labels and total/sequential/random counters identical across all K;
+* K=4 makespan <= 0.5x the K=1 makespan (the acceptance bar);
+* the calibrated :class:`~repro.analysis.CostModel` predicts each K's
+  makespan within 20%.
+
+Results go to ``benchmarks/results/scaling_workers.txt``.
+"""
+
+import json
+from dataclasses import replace
+
+from conftest import RESULTS_DIR
+
+from repro.analysis import CostModel
+from repro.bench import (
+    BLOCK_SIZE,
+    format_scaling_table,
+    memory_for_ratio,
+    shuffled_edges,
+    subsample_edges,
+    webspam_graph,
+)
+from repro.bench.harness import RunResult
+from repro.core import ExtSCC, ExtSCCConfig
+from repro.graph.edge_file import EdgeFile, NodeFile
+from repro.io import MemoryBudget, StripedDevice
+
+WORKER_COUNTS = (1, 2, 4, 8)
+MEMORY_RATIO = 0.47  # same point as the Fig 6 smoke gate
+SMOKE_BASELINE = RESULTS_DIR / "fig6_smoke.baseline.json"
+
+
+def _workload():
+    graph = webspam_graph()
+    edges = subsample_edges(shuffled_edges(graph), 20)
+    return edges, graph.num_nodes, memory_for_ratio(graph.num_nodes, MEMORY_RATIO)
+
+
+def _run_k(edges, num_nodes, memory_bytes, workers):
+    """One Ext-SCC-Op run on a K-channel striped device; returns the
+    output, the calibrated cost model, and a table row."""
+    device = StripedDevice(block_size=BLOCK_SIZE, channels=workers)
+    memory = MemoryBudget(memory_bytes)
+    edge_file = EdgeFile.from_edges(device, "E", edges)
+    node_file = NodeFile.from_ids(
+        device, "V", range(num_nodes), memory, presorted=True
+    )
+    config = replace(ExtSCCConfig.optimized(), workers=workers)
+    out = ExtSCC(config).run(device, edge_file, memory, nodes=node_file)
+    calibration = {
+        width: stored / count
+        for width, (count, stored) in device.stats.bytes_by_width.items()
+        if count
+    }
+    model = CostModel(BLOCK_SIZE, memory_bytes, bytes_per_record=calibration)
+    row = RunResult(
+        algorithm="Ext-SCC-Op", x=workers, status="OK",
+        io_total=out.io.total, io_sequential=out.io.sequential,
+        io_random=out.io.random, wall_seconds=out.wall_seconds,
+        num_sccs=out.result.num_sccs, iterations=out.num_iterations,
+        workers=workers, makespan=out.makespan, channel_io=out.channel_io,
+    )
+    return out, model, row
+
+
+def _run_all():
+    edges, num_nodes, memory_bytes = _workload()
+    return [_run_k(edges, num_nodes, memory_bytes, k) for k in WORKER_COUNTS]
+
+
+def test_scaling_workers(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    by_k = {row.workers: (out, model, row) for out, model, row in results}
+    base_out, base_model, base_row = by_k[1]
+
+    # -- K=1 reproduces the pre-parallelism ledger exactly -------------------
+    if SMOKE_BASELINE.exists():
+        baseline = json.loads(SMOKE_BASELINE.read_text())
+        expected = next(
+            r for r in baseline["runs"]
+            if r["algorithm"] == "Ext-SCC-Op" and r["x"] == 20
+        )
+        assert base_row.io_total == expected["io_total"]
+        assert base_row.io_sequential == expected["io_sequential"]
+        assert base_row.io_random == expected["io_random"]
+        assert base_row.num_sccs == expected["num_sccs"]
+    # One channel means no striping: the critical path is the whole run.
+    assert base_row.makespan == base_row.io_total
+
+    # -- ledger identity and label identity across every K -------------------
+    for k in WORKER_COUNTS[1:]:
+        out, _, row = by_k[k]
+        assert out.result.labels == base_out.result.labels, f"K={k}"
+        assert row.io_total == base_row.io_total, f"K={k}"
+        assert row.io_sequential == base_row.io_sequential, f"K={k}"
+        assert row.io_random == base_row.io_random, f"K={k}"
+        assert row.iterations == base_row.iterations, f"K={k}"
+        # Channels partition the total: rollup must be exact.
+        assert sum(row.channel_io) == row.io_total, f"K={k}"
+        # More channels never lengthens the critical path.
+        assert row.makespan <= base_row.makespan, f"K={k}"
+
+    # -- the acceptance bar: K=4 at least halves the critical path -----------
+    assert by_k[4][2].makespan <= 0.5 * base_row.makespan, (
+        by_k[4][2].makespan, base_row.makespan
+    )
+
+    # -- calibrated model predicts each makespan within 20% ------------------
+    config = ExtSCCConfig.optimized()
+    model_lines = [
+        "",
+        "Cost-model makespan prediction (calibrated per run)",
+        f"{'workers':>7} {'predicted':>10} {'measured':>10} {'error':>6}",
+    ]
+    for k in WORKER_COUNTS:
+        out, model, row = by_k[k]
+        predicted = model.ext_scc_makespan(
+            out.iterations, k, product_operator=config.product_operator
+        )
+        error = abs(row.makespan - predicted) / row.makespan
+        model_lines.append(
+            f"{k:>7} {predicted:>10,} {row.makespan:>10,} {error:>6.1%}"
+        )
+        if k > 1:
+            assert error <= 0.20, (k, predicted, row.makespan)
+
+    rows = [row for _, _, row in results]
+    text = (
+        format_scaling_table(
+            rows, title="Fig 6 smoke (WEBSPAM 20%) — worker scaling"
+        )
+        + "\n" + "\n".join(model_lines) + "\n"
+    )
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "scaling_workers.txt").write_text(text)

@@ -9,6 +9,7 @@ from repro.bench.harness import (
 )
 from repro.bench.reporting import (
     ascii_chart,
+    format_scaling_table,
     format_sweep,
     print_sweep,
     shape_summary,
@@ -42,6 +43,7 @@ __all__ = [
     "run_algorithm",
     "run_sweep",
     "format_sweep",
+    "format_scaling_table",
     "ascii_chart",
     "print_sweep",
     "shape_summary",

@@ -6,7 +6,7 @@ with INF/NONTERM statuses handled the way the paper's 24-hour cutoff is.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import dfs_scc, em_scc
@@ -15,6 +15,7 @@ from repro.exceptions import InsufficientMemory, IOBudgetExceeded, NonTerminatio
 from repro.graph.edge_file import EdgeFile, NodeFile
 from repro.io.blocks import BlockDevice
 from repro.io.memory import MemoryBudget
+from repro.io.parallel import MakespanMeter, StripedDevice
 from repro.io.stats import IOBudget
 from repro.semi_external import spanning_tree_scc
 
@@ -48,11 +49,22 @@ class RunResult:
     bytes_stored: int = 0
     width_profile: Dict[int, float] = field(default_factory=dict)
     phases: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    workers: int = 1
+    makespan: int = 0
+    channel_io: List[int] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         """True when the run finished within budget."""
         return self.status == STATUS_OK
+
+    @property
+    def parallel_speedup(self) -> float:
+        """``io_total / makespan`` — critical-path speedup of the striped
+        run (1.0 when unstriped, serial, or failed)."""
+        if not self.ok or not self.makespan:
+            return 1.0
+        return self.io_total / self.makespan
 
     @property
     def compression_ratio(self) -> float:
@@ -78,6 +90,8 @@ class RunResult:
             return f"{self.wall_seconds:.2f}s"
         if metric == "random":
             return f"{self.io_random:,}"
+        if metric == "makespan":
+            return f"{self.makespan:,}"
         raise ValueError(f"unknown metric {metric!r}")
 
 
@@ -126,6 +140,8 @@ def run_algorithm(
     io_budget: Optional[int] = None,
     x: object = None,
     config: Optional[ExtSCCConfig] = None,
+    workers: int = 1,
+    executor: str = "serial",
 ) -> RunResult:
     """Run one algorithm on a fresh simulated disk.
 
@@ -138,12 +154,31 @@ def run_algorithm(
         block_size: the block size ``B``.
         io_budget: block-I/O cap; exceeding it reports ``INF``.
         x: the sweep coordinate to record.
+        workers: shard/channel width ``K``.  ``K > 1`` runs on a
+            :class:`~repro.io.parallel.StripedDevice` with ``K`` channels
+            and threads ``workers`` into the Ext-SCC config, so the run
+            reports a makespan alongside the (unchanged) total ledger.
+        executor: worker-pool backend for Ext-SCC runs (``"serial"``
+            keeps the benchmark deterministic; makespan is a property of
+            the striping, not of the backend).
 
     Returns:
         A populated :class:`RunResult`.
     """
-    runner = _run_ext(config) if config is not None else ALGORITHMS[name]
-    device = BlockDevice(block_size=block_size)
+    if config is not None:
+        runner = _run_ext(replace(config, workers=workers, executor=executor))
+    elif name in ("Ext-SCC", "Ext-SCC-Op") and (workers > 1 or executor != "serial"):
+        base = (
+            ExtSCCConfig.optimized() if name == "Ext-SCC-Op"
+            else ExtSCCConfig.baseline()
+        )
+        runner = _run_ext(replace(base, workers=workers, executor=executor))
+    else:
+        runner = ALGORITHMS[name]
+    if workers > 1:
+        device: BlockDevice = StripedDevice(block_size=block_size, channels=workers)
+    else:
+        device = BlockDevice(block_size=block_size)
     memory = MemoryBudget(memory_bytes)
     edge_file = EdgeFile.from_edges(device, "bench-edges", edges)
     node_file = NodeFile.from_ids(
@@ -153,9 +188,10 @@ def run_algorithm(
         # The cutoff applies to the algorithm's work, not to loading the
         # input (the paper's 24h clock starts with the algorithm).
         device.stats.budget = IOBudget(device.stats.total + io_budget)
-    result = RunResult(algorithm=name, x=x, status=STATUS_OK)
+    result = RunResult(algorithm=name, x=x, status=STATUS_OK, workers=workers)
     start = time.perf_counter()
     baseline = device.stats.snapshot()
+    meter = MakespanMeter(device)  # same window as the io_total delta
     try:
         result.num_sccs, result.iterations = runner(device, edge_file, node_file, memory)
     except IOBudgetExceeded:
@@ -165,6 +201,8 @@ def run_algorithm(
     except InsufficientMemory:
         result.status = STATUS_NOMEM
     result.wall_seconds = time.perf_counter() - start
+    result.makespan = meter.makespan()
+    result.channel_io = meter.channel_snapshot()
     delta = device.stats.snapshot() - baseline
     result.io_total = delta.total
     result.io_random = delta.random
@@ -244,6 +282,8 @@ def run_sweep(
     algorithms: Sequence[str],
     block_size: int = 1024,
     io_budget: Optional[int] = None,
+    workers: int = 1,
+    executor: str = "serial",
 ) -> Sweep:
     """Run every algorithm at every sweep point.
 
@@ -254,6 +294,8 @@ def run_sweep(
         algorithms: keys into :data:`ALGORITHMS`.
         block_size: the block size ``B``.
         io_budget: per-run I/O cap (the INF cutoff).
+        workers: shard/channel width ``K`` for every run.
+        executor: worker-pool backend for Ext-SCC runs.
     """
     sweep = Sweep(title=title, x_label=x_label)
     for x, edges, num_nodes, memory_bytes in points:
@@ -262,6 +304,7 @@ def run_sweep(
                 run_algorithm(
                     name, edges, num_nodes, memory_bytes,
                     block_size=block_size, io_budget=io_budget, x=x,
+                    workers=workers, executor=executor,
                 )
             )
     return sweep

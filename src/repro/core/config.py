@@ -71,6 +71,16 @@ class ExtSCCConfig:
             any :class:`~repro.io.stats.IOStats` counter.
         pool_coalesce_writes: blocks the file layer may buffer before a
             back-to-back flush (1 disables coalescing).
+        workers: shard width ``K`` for the partitionable operators (merge
+            passes, the degree co-scan, the expansion augments, the
+            parallel semi-external solver) and the channel count of a
+            :class:`~repro.io.parallel.StripedDevice` in the benchmark
+            harness.  ``K=1`` is the exact serial pipeline; any ``K``
+            produces identical SCC labels and identical *total* ledgers —
+            parallelism only redistributes I/O across channels.
+        executor: worker-pool backend, ``"serial"`` (default — shards run
+            in submission order, keeping crash ordinals and traces
+            deterministic) or ``"threads"`` (real overlap).
     """
 
     trim_type1: bool = False
@@ -88,6 +98,8 @@ class ExtSCCConfig:
     validate: bool = False
     pool_readahead: int = 8
     pool_coalesce_writes: int = 4
+    workers: int = 1
+    executor: str = "serial"
 
     def __post_init__(self) -> None:
         if self.compress_edge_lists:
@@ -124,8 +136,16 @@ class ExtSCCConfig:
         rebuild different contraction levels than the journal describes, so
         :class:`~repro.recovery.checkpoint.CheckpointManager` stores this
         dict in the journal header and refuses to resume on mismatch.
+
+        ``workers`` and ``executor`` are *execution* knobs, not algorithm
+        knobs: every K produces the same levels, labels, and total ledger,
+        so a journal written at K=1 may be resumed at K=4 (and vice versa)
+        — they are excluded from the fingerprint.
         """
-        return asdict(self)
+        fp = asdict(self)
+        fp.pop("workers", None)
+        fp.pop("executor", None)
+        return fp
 
     @property
     def name(self) -> str:

@@ -40,6 +40,7 @@ from repro.io.blocks import BlockDevice
 from repro.io.codecs import RecordStore, create_record_file, record_file_from_records
 from repro.io.join import anti_join, cogroup, merge_join, semi_join
 from repro.io.memory import MemoryBudget
+from repro.io.parallel import shard_ranges
 from repro.io.sort import external_sort_records, external_sort_stream
 
 __all__ = ["ContractionLevel", "contract", "get_v", "get_e", "build_degree_file"]
@@ -145,15 +146,27 @@ def _degree_pass(
     eout: EdgeFile,
     config: ExtSCCConfig,
 ) -> Tuple[RecordStore, bool]:
-    """One degree-computation co-scan; returns (V_d, any-node-trimmed)."""
+    """One degree-computation co-scan; returns (V_d, any-node-trimmed).
+
+    With a worker pool attached, the two scans are *sharded*: each worker
+    counts degrees over a contiguous block range of one sorted edge file,
+    and the per-shard ``(node, count)`` partials — chained in block order
+    with boundary groups summed — reproduce exactly the counts the single
+    co-scan computes.  Every block is still read once, sequentially, so
+    the ledger is identical to the serial pass at any shard width.
+    """
+    pool = device.worker_pool
+    if pool is not None and pool.workers > 1:
+        in_counts = _sharded_degree_counts(pool, ein, key_index=1)
+        out_counts = _sharded_degree_counts(pool, eout, key_index=0)
+    else:
+        in_counts = _count_groups(ein.scan(), key_index=1)
+        out_counts = _count_groups(eout.scan(), key_index=0)
+
     record_size = 12 if config.product_operator else 8
     trimmed = False
     vd = create_record_file(device, device.temp_name("vd"), record_size, sort_field=0)
-    for node, in_group, out_group in cogroup(
-        ein.scan(), eout.scan(), lambda e: e[1], lambda e: e[0]
-    ):
-        deg_in = len(in_group)
-        deg_out = len(out_group)
+    for node, deg_in, deg_out in _merge_degree_counts(in_counts, out_counts):
         if config.trim_type1 and (deg_in == 0 or deg_out == 0):
             trimmed = True
             continue
@@ -163,6 +176,72 @@ def _degree_pass(
             vd.append((node, deg_in + deg_out))
     vd.close()
     return vd, trimmed
+
+
+def _count_groups(records, key_index: int) -> Iterator[Tuple[int, int]]:
+    """``(node, count)`` pairs of a stream sorted on field ``key_index``."""
+    prev: Optional[int] = None
+    count = 0
+    for record in records:
+        node = record[key_index]
+        if node != prev:
+            if prev is not None:
+                yield prev, count
+            prev, count = node, 1
+        else:
+            count += 1
+    if prev is not None:
+        yield prev, count
+
+
+def _sharded_degree_counts(pool, edges: EdgeFile, key_index: int) -> Iterator[Tuple[int, int]]:
+    """Per-shard degree partials over block ranges, merged back in order.
+
+    A group spanning a shard boundary appears as the last partial of one
+    shard and the first of the next; chaining shards in block order and
+    summing adjacent equal nodes re-fuses it, so the merged stream equals
+    the whole-file :func:`_count_groups` for any shard count.
+    """
+    store = edges.file
+
+    def count_range(block_range: Tuple[int, int]) -> list:
+        start, stop = block_range
+        return list(_count_groups(store.scan_range(start, stop), key_index))
+
+    partials = pool.map(count_range, shard_ranges(store.num_blocks, pool.workers))
+    prev: Optional[int] = None
+    count = 0
+    for part in partials:
+        for node, c in part:
+            if node == prev:
+                count += c
+            else:
+                if prev is not None:
+                    yield prev, count
+                prev, count = node, c
+    if prev is not None:
+        yield prev, count
+
+
+def _merge_degree_counts(
+    in_counts: Iterator[Tuple[int, int]], out_counts: Iterator[Tuple[int, int]]
+) -> Iterator[Tuple[int, int, int]]:
+    """Full-outer merge of two sorted ``(node, count)`` streams into
+    ``(node, deg_in, deg_out)`` — the count-level equivalent of the
+    original edge-level cogroup."""
+    a = next(in_counts, None)
+    b = next(out_counts, None)
+    while a is not None or b is not None:
+        if b is None or (a is not None and a[0] < b[0]):
+            yield a[0], a[1], 0
+            a = next(in_counts, None)
+        elif a is None or b[0] < a[0]:
+            yield b[0], 0, b[1]
+            b = next(out_counts, None)
+        else:
+            yield a[0], a[1], b[1]
+            a = next(in_counts, None)
+            b = next(out_counts, None)
 
 
 def _filter_to_survivors(
@@ -386,8 +465,20 @@ def contract(
     expansion phase will need.
     """
     unique = config.dedupe_parallel_edges
-    eout = edges.sorted_by_src(memory, unique=unique)
-    ein = edges.sorted_by_dst(memory, unique=unique)
+    pool = device.worker_pool
+    if pool is not None and pool.workers > 1:
+        # The two sorts read the same input and write disjoint outputs, so
+        # they are one barrier of two independent tasks.  The serial
+        # backend runs them in exactly the original order (eout, ein).
+        eout, ein = pool.run(
+            [
+                lambda: edges.sorted_by_src(memory, unique=unique),
+                lambda: edges.sorted_by_dst(memory, unique=unique),
+            ]
+        )
+    else:
+        eout = edges.sorted_by_src(memory, unique=unique)
+        ein = edges.sorted_by_dst(memory, unique=unique)
     v_next = get_v(device, edges, ein, eout, memory, config)
     e_next = get_e(device, ein, eout, v_next, memory, config)
     removed_file = record_file_from_records(

@@ -141,12 +141,25 @@ def expand_level(
         ``(node, scc)`` records for all of ``V_i``, sorted by node id.
     """
     # E'_in: in-neighbor SCCs of removed nodes (over E_i).
-    e_in = augment(device, level.edges, level.next_nodes, scc_next, memory)
+    def augment_in() -> RecordStore:
+        return augment(device, level.edges, level.next_nodes, scc_next, memory)
+
     # E'_out: out-neighbor SCCs (over reversed E_i — in-neighbors of the
     # reverse graph are out-neighbors of G_i).  The flip happens in-flight
     # on the way into augment's first sort; no reversed copy hits the disk.
-    flipped = ((v, u) for u, v in level.edges.scan())
-    e_out = augment(device, flipped, level.next_nodes, scc_next, memory)
+    def augment_out() -> RecordStore:
+        flipped = ((v, u) for u, v in level.edges.scan())
+        return augment(device, flipped, level.next_nodes, scc_next, memory)
+
+    # The two augments read the same inputs and write disjoint outputs —
+    # one barrier of two independent tasks when a worker pool is attached
+    # (the serial backend preserves the original e_in-then-e_out order).
+    pool = device.worker_pool
+    if pool is not None and pool.workers > 1:
+        e_in, e_out = pool.run([augment_in, augment_out])
+    else:
+        e_in = augment_in()
+        e_out = augment_out()
 
     def removed_labels() -> Iterator[Record]:
         """Labels for removed nodes: 3-way co-scan with singleton default."""

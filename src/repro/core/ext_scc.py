@@ -35,6 +35,7 @@ from repro.graph.edge_file import EdgeFile, NodeFile
 from repro.io.blocks import DEFAULT_BLOCK_SIZE, BlockDevice
 from repro.io.codecs import CODECS
 from repro.io.memory import MemoryBudget
+from repro.io.parallel import EXECUTOR_BACKENDS, MakespanMeter, WorkerPool
 from repro.io.pool import SharedBufferPool
 from repro.io.stats import RECOVERY_PHASE, IOBudget, IOSnapshot, IOStats
 from repro.semi_external import SEMI_SCC_SOLVERS, run_semi_scc_to_file
@@ -91,6 +92,12 @@ class ExtSCCOutput:
         recovery_io: journal-validation I/O of a checkpointed run (zero
             unless a crashed run was resumed).
         resumed: this run continued a crashed one from its checkpoint.
+        makespan: critical-path block I/Os — per top-level phase, the
+            busiest channel's share, summed (see
+            :class:`~repro.io.parallel.MakespanMeter`).  Equals
+            ``io.total`` on an unstriped device or with one channel.
+        channel_io: per-channel I/O totals of a striped run (a single
+            entry equal to ``io.total`` when unstriped).
     """
 
     result: SCCResult
@@ -103,11 +110,19 @@ class ExtSCCOutput:
     config: ExtSCCConfig
     recovery_io: IOSnapshot = field(default_factory=IOSnapshot)
     resumed: bool = False
+    makespan: int = 0
+    channel_io: List[int] = field(default_factory=list)
 
     @property
     def num_iterations(self) -> int:
         """Number of contraction iterations performed."""
         return len(self.iterations)
+
+    @property
+    def parallel_speedup(self) -> float:
+        """``total I/O / makespan`` — how much of the work the channels
+        overlapped (1.0 when serial or unstriped)."""
+        return self.io.total / self.makespan if self.makespan else 1.0
 
 
 class ExtSCC:
@@ -130,6 +145,15 @@ class ExtSCC:
             raise ReproError(
                 f"unknown codec {self.config.codec!r}; "
                 f"choose from {sorted(CODECS)}"
+            )
+        if self.config.workers < 1:
+            raise ReproError(
+                f"workers must be at least 1, got {self.config.workers}"
+            )
+        if self.config.executor not in EXECUTOR_BACKENDS:
+            raise ReproError(
+                f"unknown executor {self.config.executor!r}; "
+                f"choose from {sorted(EXECUTOR_BACKENDS)}"
             )
 
     def nodes_fit(self, num_nodes: int, memory: MemoryBudget, block_size: int) -> bool:
@@ -183,6 +207,14 @@ class ExtSCC:
                 readahead=config.pool_readahead,
                 coalesce_writes=config.pool_coalesce_writes,
             )
+        if device.worker_pool is None and config.workers > 1:
+            # The shard width of every partitionable operator downstream.
+            # Task-level only: shard contents and charges are identical to
+            # the serial pipeline, so any K reproduces the K=1 ledger.
+            device.attach_workers(
+                WorkerPool(workers=config.workers, backend=config.executor)
+            )
+        meter = MakespanMeter(device)
         start = time.perf_counter()
         preexisting = set(device.list_files())
         run_start = stats.snapshot()
@@ -199,7 +231,7 @@ class ExtSCC:
         try:
             return self._pipeline(
                 device, edges, memory, nodes, on_iteration, checkpoint,
-                state, stats, run_start, recovery_io, start,
+                state, stats, run_start, recovery_io, start, meter,
             )
         except (IOBudgetExceeded, SimulatedCrash):
             if checkpoint is None:
@@ -225,6 +257,7 @@ class ExtSCC:
         run_start: IOSnapshot,
         recovery_io: IOSnapshot,
         start: float,
+        meter: MakespanMeter,
     ) -> ExtSCCOutput:
         """The contract / semi / expand pipeline, parameterized by an
         optional :class:`ResumeState` that skips the already-durable part."""
@@ -329,6 +362,8 @@ class ExtSCC:
             config=config,
             recovery_io=recovery_io,
             resumed=resumed,
+            makespan=meter.makespan(),
+            channel_io=meter.channel_snapshot(),
         )
 
 
@@ -363,7 +398,14 @@ def compute_sccs(
         An :class:`ExtSCCOutput`.
     """
     budget = IOBudget(io_budget) if io_budget is not None else None
-    device = BlockDevice(block_size=block_size, budget=budget)
+    if config is not None and config.workers > 1:
+        from repro.io.parallel import StripedDevice
+
+        device: BlockDevice = StripedDevice(
+            block_size=block_size, budget=budget, channels=config.workers
+        )
+    else:
+        device = BlockDevice(block_size=block_size, budget=budget)
     memory = MemoryBudget(memory_bytes)
     edge_file = EdgeFile.from_edges(device, "input-edges", edges)
     node_file: Optional[NodeFile] = None

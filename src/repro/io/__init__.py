@@ -14,6 +14,7 @@ Public surface:
 from repro.io.blocks import DEFAULT_BLOCK_SIZE, BlockDevice, DiskFile
 from repro.io.cache import BufferPool
 from repro.io.files import ExternalFile
+from repro.io.parallel import MakespanMeter, StripedDevice, WorkerPool, shard_ranges
 from repro.io.persistent import PersistentBlockDevice
 from repro.io.pool import SharedBufferPool
 from repro.io.priority_queue import ExternalPriorityQueue
@@ -31,6 +32,10 @@ __all__ = [
     "ExternalFile",
     "BufferPool",
     "SharedBufferPool",
+    "StripedDevice",
+    "WorkerPool",
+    "MakespanMeter",
+    "shard_ranges",
     "ExternalPriorityQueue",
     "VarRecordFile",
     "varint_size",

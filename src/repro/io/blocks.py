@@ -16,6 +16,8 @@ and independent of interleaving between files.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -37,11 +39,17 @@ class DiskFile:
     Not created directly — use :meth:`BlockDevice.create`.
     """
 
+    # Monotonic ids: unlike ``id()``, a uid is never reused after a file is
+    # garbage collected, so it is a safe cache/striping key (the buffer
+    # pool and the striped device both key on it).
+    _uids = itertools.count()
+
     def __init__(self, name: str, record_size: int, block_capacity: int) -> None:
         if block_capacity < 1:
             raise StorageError(
                 f"record of {record_size} bytes does not fit in one block"
             )
+        self.uid = next(DiskFile._uids)
         self.name = name
         self.record_size = record_size
         self.block_capacity = block_capacity
@@ -83,8 +91,10 @@ class BlockDevice:
             self.stats.budget = budget
         self._files: Dict[str, DiskFile] = {}
         self._tmp_counter = 0
+        self._tmp_lock = threading.Lock()
         self.pool = None  # optional SharedBufferPool (see attach_pool)
         self.injector = None  # optional FaultInjector (see attach_injector)
+        self.worker_pool = None  # optional WorkerPool (see attach_workers)
         # Codec name applied when operators create intermediates without an
         # explicit codec argument; None falls through to the module default
         # in repro.io.codecs.  ExtSCC.run sets this from its config so one
@@ -114,6 +124,16 @@ class BlockDevice:
         torn block first).  Passing ``None`` detaches it.
         """
         self.injector = injector
+
+    def attach_workers(self, worker_pool) -> None:
+        """Install a :class:`~repro.io.parallel.WorkerPool` on the device.
+
+        Partitionable operators (the external sort's merge passes, the
+        degree co-scan, the two expansion augments) then run their shards
+        through it.  Like ``default_codec``, this rides on the device so
+        operator signatures stay unchanged.  Passing ``None`` detaches it.
+        """
+        self.worker_pool = worker_pool
 
     # -- file namespace ----------------------------------------------------
 
@@ -147,25 +167,44 @@ class BlockDevice:
     def rename(self, old: str, new: str, overwrite: bool = True) -> None:
         """Rename a file in place (metadata only, no I/O)."""
         f = self.open(old)
-        if new in self._files and not overwrite:
-            raise StorageError(f"file {new!r} already exists")
+        if new in self._files:
+            if not overwrite:
+                raise StorageError(f"file {new!r} already exists")
+            # The clobbered target's blocks may still sit in the buffer
+            # pool; drop them, or a later lookup that collides on the dead
+            # file's identity would be served stale content.
+            if self.pool is not None and self._files[new] is not f:
+                self.pool.invalidate_file(self._files[new])
         del self._files[old]
         f.name = new
         self._files[new] = f
 
     def temp_name(self, prefix: str = "tmp") -> str:
         """Return a fresh unused file name for intermediates."""
-        while True:
-            self._tmp_counter += 1
-            name = f"{prefix}.{self._tmp_counter}"
-            if name not in self._files:
-                return name
+        with self._tmp_lock:
+            while True:
+                self._tmp_counter += 1
+                name = f"{prefix}.{self._tmp_counter}"
+                if name not in self._files:
+                    return name
 
     def list_files(self) -> List[str]:
         """Names of all files on the device."""
         return sorted(self._files)
 
     # -- block I/O ---------------------------------------------------------
+
+    def _charge_read(self, f: DiskFile, index: int, sequential: bool) -> None:
+        """Charge one block read of ``f[index]`` to the ledger(s).
+
+        The single routing point for read accounting: a striped device
+        overrides it to additionally charge the owning channel's ledger.
+        """
+        self.stats.record_read(sequential=sequential)
+
+    def _charge_write(self, f: DiskFile, index: int, sequential: bool) -> None:
+        """Charge one block write of ``f[index]`` (see :meth:`_charge_read`)."""
+        self.stats.record_write(sequential=sequential)
 
     def _assert_live(self, f: DiskFile) -> None:
         """Reject I/O on files that were deleted from the namespace."""
@@ -190,7 +229,7 @@ class BlockDevice:
         f.blocks.append(tuple(records))
         f.num_records += len(records)
         f.block_checksums.append(self._block_checksum(records))
-        self.stats.record_write(sequential=True)
+        self._charge_write(f, len(f.blocks) - 1, sequential=True)
 
     def read_block(self, f: DiskFile, index: int, sequential: bool) -> Sequence[Record]:
         """Read block ``index`` of ``f``, charging one read of the given pattern."""
@@ -203,7 +242,7 @@ class BlockDevice:
             ) from None
         if self.injector is not None:
             self.injector.on_io(self, f, is_write=False)
-        self.stats.record_read(sequential=sequential)
+        self._charge_read(f, index, sequential=sequential)
         return block
 
     def overwrite_block(self, f: DiskFile, index: int, records: Sequence[Record], sequential: bool = False) -> None:
@@ -228,7 +267,7 @@ class BlockDevice:
         f.block_checksums[index] = self._block_checksum(records)
         if self.pool is not None:
             self.pool.invalidate_block(f, index)
-        self.stats.record_write(sequential=sequential)
+        self._charge_write(f, index, sequential=sequential)
 
     # -- crash surface -----------------------------------------------------
 
@@ -261,7 +300,7 @@ class BlockDevice:
         if not 0 <= index < len(f.blocks):
             raise StorageError(f"block {index} out of range for {f.name!r}")
         block = f.blocks[index]
-        self.stats.record_read(sequential=True)
+        self._charge_read(f, index, sequential=True)
         if self._block_checksum(block) != f.block_checksums[index]:
             raise CorruptBlockError(f.name, index)
         return block

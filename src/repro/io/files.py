@@ -9,7 +9,7 @@ writes); :meth:`scan` streams records back with sequential reads;
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import StorageError
 from repro.io.blocks import BlockDevice, DiskFile
@@ -182,14 +182,31 @@ class ExternalFile:
 
     def scan_blocks(self) -> Iterator[Sequence[Record]]:
         """Stream whole blocks sequentially (for block-granular algorithms)."""
+        return self.scan_block_range(0, None)
+
+    def scan_block_range(
+        self, start: int, stop: Optional[int] = None
+    ) -> Iterator[Sequence[Record]]:
+        """Stream blocks ``start .. stop`` sequentially (``None``: to EOF).
+
+        The shard primitive of the parallel operators: disjoint ranges of
+        one file can be scanned concurrently, and scanning a partition of
+        ranges in order charges exactly what one whole-file scan charges.
+        """
         if not self._closed:
             raise StorageError(f"close {self.name!r} before scanning it")
+        end = self._file.num_blocks if stop is None else min(stop, self._file.num_blocks)
         pool = self.device.pool
         if pool is not None:
-            yield from pool.scan_blocks(self._file)
+            yield from pool.scan_blocks(self._file, start, end)
             return
-        for index in range(self._file.num_blocks):
+        for index in range(start, end):
             yield self.device.read_block(self._file, index, sequential=True)
+
+    def scan_range(self, start: int, stop: Optional[int] = None) -> Iterator[Record]:
+        """Stream the records of blocks ``start .. stop`` sequentially."""
+        for block in self.scan_block_range(start, stop):
+            yield from block
 
     def read_block_random(self, index: int) -> Sequence[Record]:
         """Read one block by index, charging a *random* read (a seek) —

@@ -1,0 +1,310 @@
+"""Sharded multi-channel parallelism: striped devices, worker pools, and
+the makespan metric.
+
+The paper's model charges every block I/O to one global ledger, which
+measures *work*.  A disk array (or SSD with independent channels) overlaps
+transfers, so the wall-clock-relevant quantity is the *critical path*: the
+busiest channel's share of each phase.  This module adds that second axis
+without disturbing the first:
+
+* :class:`StripedDevice` — a :class:`~repro.io.blocks.BlockDevice` that
+  stripes every file's blocks across ``channels`` independent channels
+  (RAID-0 style, ``(file.uid + block_index) % K``) and keeps one
+  :class:`~repro.io.stats.IOStats` ledger per channel *in addition to* the
+  unchanged global ledger.  Every charge goes to both, so totals, phase
+  attribution, budgets, and crash ordinals are identical to the plain
+  device — striping only *partitions* the ledger.
+
+* :class:`MakespanMeter` — derives the critical-path I/O count from the
+  per-channel ledgers: for each top-level phase, the busiest channel's
+  delta; summed over phases (plus the busiest channel's unattributed
+  residual).  With one channel the makespan equals the total exactly, so
+  ``K=1`` reproduces today's numbers.
+
+* :class:`WorkerPool` — a tiny executor abstraction (``serial`` or
+  ``threads``) that partitionable operators use to run shards.  The
+  *serial* backend executes thunks in submission order on the calling
+  thread, so ledgers and fault-injection ordinals stay bit-for-bit
+  deterministic; the *threads* backend overlaps shards and relies on the
+  ledger's internal lock (totals are order-independent sums).  Operators
+  are factored so the records and charges they produce are identical
+  under either backend — parallelism here is task-level, never
+  record-level, which is what keeps the K=1 invariant exact.
+
+Makespan is a property of the striping geometry, not of the executor:
+the same run measured on a ``StripedDevice`` reports the same makespan
+whether its shards ran on threads or serially.  The scaling benchmark
+exploits this — it runs the deterministic serial backend and reports the
+modeled critical path.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.exceptions import StorageError
+from repro.io.blocks import BlockDevice, DiskFile
+from repro.io.stats import IOBudget, IOSnapshot, IOStats
+
+__all__ = [
+    "WorkerPool",
+    "StripedDevice",
+    "MakespanMeter",
+    "EXECUTOR_BACKENDS",
+    "shard_ranges",
+]
+
+T = TypeVar("T")
+
+EXECUTOR_BACKENDS = ("serial", "threads")
+"""Recognized :class:`WorkerPool` backends.  ``serial`` is the default
+everywhere: it keeps crash ordinals and hypothesis traces deterministic.
+``threads`` is opt-in for callers that want real overlap."""
+
+
+class WorkerPool:
+    """A fixed-width pool of workers behind a two-backend facade.
+
+    Args:
+        workers: shard width ``K``; partitionable operators split their
+            input into up to ``K`` shards.
+        backend: ``"serial"`` (run thunks in order on the calling thread)
+            or ``"threads"`` (a :class:`ThreadPoolExecutor` of ``K``
+            threads).
+
+    Both backends present the same barrier semantics: :meth:`run` returns
+    results in submission order and re-raises the first exception.
+    """
+
+    def __init__(self, workers: int = 1, backend: str = "serial") -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        if backend not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"unknown executor backend {backend!r}; choose from {EXECUTOR_BACKENDS}"
+            )
+        self.workers = workers
+        self.backend = backend
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        # Nested submissions (a parallel sort inside a parallel operator)
+        # run inline on the worker thread: with all K threads occupied by
+        # outer tasks, queued inner tasks would never start and the outer
+        # barrier would deadlock waiting on them.
+        self._in_task = threading.local()
+
+    def _threads(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(max_workers=self.workers)
+            return self._executor
+
+    def _inline(self) -> bool:
+        return (
+            self.backend == "serial"
+            or self.workers == 1
+            or getattr(self._in_task, "active", False)
+        )
+
+    def _wrap(self, thunk: Callable[[], T]) -> Callable[[], T]:
+        def call() -> T:
+            self._in_task.active = True
+            try:
+                return thunk()
+            finally:
+                self._in_task.active = False
+
+        return call
+
+    def run(self, thunks: Sequence[Callable[[], T]]) -> List[T]:
+        """Execute all ``thunks``; barrier; results in submission order."""
+        thunks = list(thunks)
+        if self._inline() or len(thunks) <= 1:
+            return [thunk() for thunk in thunks]
+        futures = [self._threads().submit(self._wrap(thunk)) for thunk in thunks]
+        return [future.result() for future in futures]
+
+    def map(self, fn: Callable[[T], object], items: Iterable[T]) -> List[object]:
+        """``run`` over one function applied to each item."""
+        return self.run([(lambda item=item: fn(item)) for item in items])
+
+    def run_windowed(
+        self, thunks: Iterable[Callable[[], T]], window: Optional[int] = None
+    ) -> Iterator[T]:
+        """Execute a (possibly long) stream of thunks with at most
+        ``window`` in flight, yielding results in submission order.
+
+        Classic run formation uses this to overlap writing run *i* with
+        buffering run *i+1* without holding every run in memory.
+        """
+        limit = max(1, window if window is not None else self.workers)
+        if self._inline():
+            for thunk in thunks:
+                yield thunk()
+            return
+        pending: List = []
+        executor = self._threads()
+        for thunk in thunks:
+            pending.append(executor.submit(self._wrap(thunk)))
+            while len(pending) >= limit:
+                yield pending.pop(0).result()
+        while pending:
+            yield pending.pop(0).result()
+
+    def close(self) -> None:
+        """Shut the thread backend down (no-op for serial)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkerPool(workers={self.workers}, backend={self.backend!r})"
+
+
+def shard_ranges(num_blocks: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``[0, num_blocks)`` into up to ``shards`` contiguous
+    ``(start, stop)`` ranges of near-equal size (empty list when the file
+    has no blocks).  Scanning the ranges in order charges exactly what one
+    whole-file scan charges, which is what makes block-range sharding safe
+    for the ledger at any shard count."""
+    if shards < 1:
+        raise ValueError(f"shards must be at least 1, got {shards}")
+    if num_blocks <= 0:
+        return []
+    shards = min(shards, num_blocks)
+    base, extra = divmod(num_blocks, shards)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+class StripedDevice(BlockDevice):
+    """A block device striped over ``channels`` independent I/O channels.
+
+    Block ``i`` of a file lives on channel ``(file.uid + i) % K`` — the
+    uid offset rotates the starting channel per file so small files do not
+    all hammer channel 0.  Each channel owns an :class:`IOStats` ledger
+    that shares the main ledger's phase stack (so per-channel numbers are
+    attributed to the same phase labels); every block charge lands on both
+    the main ledger and the owning channel, making the channel ledgers an
+    exact partition of the main one.
+
+    Budgets and fault injection stay on the main ledger/device path, so a
+    striped run aborts and crashes at exactly the same block ordinal as an
+    unstriped one.
+    """
+
+    def __init__(
+        self,
+        block_size: int = 4096,
+        stats: Optional[IOStats] = None,
+        budget: Optional[IOBudget] = None,
+        channels: int = 1,
+    ) -> None:
+        super().__init__(block_size=block_size, stats=stats, budget=budget)
+        if channels < 1:
+            raise StorageError(f"need at least one channel, got {channels}")
+        self.channels: List[IOStats] = []
+        for _ in range(channels):
+            channel = IOStats()
+            # Same list object: attribution on the channel follows the
+            # phases the orchestrator pushes on the main ledger.
+            channel._phase_stack = self.stats._phase_stack
+            self.channels.append(channel)
+
+    @property
+    def num_channels(self) -> int:
+        """Number of independent channels (the striping width ``K``)."""
+        return len(self.channels)
+
+    def _channel(self, f: DiskFile, index: int) -> IOStats:
+        return self.channels[(f.uid + index) % len(self.channels)]
+
+    def _charge_read(self, f: DiskFile, index: int, sequential: bool) -> None:
+        super()._charge_read(f, index, sequential)
+        self._channel(f, index).record_read(sequential=sequential)
+
+    def _charge_write(self, f: DiskFile, index: int, sequential: bool) -> None:
+        super()._charge_write(f, index, sequential)
+        self._channel(f, index).record_write(sequential=sequential)
+
+    def channel_totals(self) -> List[int]:
+        """Total block I/Os per channel (sums to the main ledger's total)."""
+        return [channel.total for channel in self.channels]
+
+
+class MakespanMeter:
+    """Measures critical-path block I/Os over a window of device activity.
+
+    Start the meter, run the workload, then read :meth:`makespan`:
+
+    * per *top-level phase* (labels pushed while the phase stack was
+      empty — contraction, semi-scc, expansion, recovery, ...), the
+      busiest channel's I/O delta is the phase's critical path, because
+      phases are sequential barriers while channels overlap within one;
+    * I/O outside any phase (input loading, the final result scan) is a
+      per-channel residual; its busiest channel is one more critical path
+      segment.
+
+    ``makespan = sum(max-per-channel phase delta) + max residual``.  On an
+    unstriped device (or one channel) every maximum is the only channel's
+    delta and the makespan equals the total I/O delta exactly — the K=1
+    identity the scaling tests pin.
+    """
+
+    def __init__(self, device: BlockDevice) -> None:
+        self.device = device
+        self.stats = device.stats
+        self._channels: Sequence[IOStats] = getattr(device, "channels", None) or [
+            device.stats
+        ]
+        self._start_totals = [channel.total for channel in self._channels]
+        self._start_by_phase: List[Dict[str, int]] = [
+            {label: snap.total for label, snap in channel.by_phase.items()}
+            for channel in self._channels
+        ]
+
+    def _phase_delta(self, channel_index: int, label: str) -> int:
+        channel = self._channels[channel_index]
+        start = self._start_by_phase[channel_index].get(label, 0)
+        return channel.by_phase.get(label, IOSnapshot()).total - start
+
+    def makespan(self) -> int:
+        """Critical-path block I/Os since the meter was created."""
+        labels = list(self.stats.top_level_phases)
+        total = 0
+        residuals = []
+        for ci in range(len(self._channels)):
+            channel_total = self._channels[ci].total - self._start_totals[ci]
+            attributed = sum(self._phase_delta(ci, label) for label in labels)
+            residuals.append(channel_total - attributed)
+        for label in labels:
+            total += max(
+                self._phase_delta(ci, label) for ci in range(len(self._channels))
+            )
+        if residuals:
+            total += max(0, max(residuals))
+        return total
+
+    def phase_makespans(self) -> Dict[str, int]:
+        """Per-top-level-phase critical path (for reporting)."""
+        return {
+            label: max(
+                self._phase_delta(ci, label) for ci in range(len(self._channels))
+            )
+            for label in self.stats.top_level_phases
+        }
+
+    def channel_snapshot(self) -> List[int]:
+        """Per-channel I/O deltas since the meter started."""
+        return [
+            channel.total - start
+            for channel, start in zip(self._channels, self._start_totals)
+        ]

@@ -361,7 +361,7 @@ class PersistentBlockDevice(BlockDevice):
         f._block_counts.append(len(records))
         f.block_checksums.append(checksum)
         f.num_records += len(records)
-        self.stats.record_write(sequential=True)
+        self._charge_write(f, f._num_blocks - 1, sequential=True)
 
     def _read_slot(self, f: PersistentDiskFile, index: int) -> bytes:
         """Read and checksum-verify one slot; returns the payload bytes."""
@@ -383,7 +383,7 @@ class PersistentBlockDevice(BlockDevice):
         if self.injector is not None:
             self.injector.on_io(self, f, is_write=False)
         payload = self._read_slot(f, index)
-        self.stats.record_read(sequential=sequential)
+        self._charge_read(f, index, sequential=sequential)
         return self._decode(f, payload)
 
     def overwrite_block(self, f: DiskFile, index: int, records: Sequence[Record],
@@ -406,7 +406,7 @@ class PersistentBlockDevice(BlockDevice):
         f.num_records += len(records) - f._block_counts[index]
         f._block_counts[index] = len(records)
         f.block_checksums[index] = checksum
-        self.stats.record_write(sequential=sequential)
+        self._charge_write(f, index, sequential=sequential)
 
     # -- crash surface -----------------------------------------------------
 
@@ -435,7 +435,7 @@ class PersistentBlockDevice(BlockDevice):
         if not 0 <= index < f._num_blocks:
             raise StorageError(f"block {index} out of range for {f.name!r}")
         payload = self._read_slot(f, index)
-        self.stats.record_read(sequential=True)
+        self._charge_read(f, index, sequential=True)
         expected = f.block_checksums[index] if index < len(f.block_checksums) else None
         if expected is not None and zlib.crc32(payload) != expected:
             raise CorruptBlockError(f.name, index)

@@ -21,9 +21,19 @@ gives every :class:`~repro.io.files.ExternalFile` on the device:
   last-recently-used cache over clean blocks.  A hit is served from memory
   and charged *nothing*; a miss is charged with the access pattern the
   caller declared.  Because cached blocks are read-only copies and every
-  mutation path (:meth:`BlockDevice.overwrite_block`, ``delete``)
-  invalidates them, honesty is preserved: the ledger never counts an I/O
-  that did not happen and never misclassifies one that did.
+  mutation path (:meth:`BlockDevice.overwrite_block`, ``delete``,
+  ``rename`` over an existing target) invalidates them, honesty is
+  preserved: the ledger never counts an I/O that did not happen and never
+  misclassifies one that did.
+
+Cache entries are keyed by :attr:`DiskFile.uid` — a monotonic id that is
+never reused.  The previous ``id(file)`` keys could collide when a deleted
+file's object was garbage collected and a new :class:`DiskFile` landed at
+the same address (most easily provoked through ``rename(overwrite=True)``,
+which silently dropped the clobbered target without invalidation), serving
+the dead file's blocks as the new file's content.  A lock guards the shared
+structures so several worker shards may scan — including two block ranges
+of the *same* file — concurrently.
 
 The Ext-SCC pipeline attaches a readahead/coalescing pool (cache off) so
 its ledger keeps reproducing the paper's sequential/random split exactly;
@@ -32,8 +42,9 @@ the cache mode is for workloads that genuinely re-read hot blocks.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Iterator, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.io.blocks import BlockDevice, DiskFile
@@ -76,6 +87,7 @@ class SharedBufferPool:
         self.coalesce_writes = coalesce_writes
         self.cache_blocks = cache_blocks
         self._cache: "OrderedDict[Tuple[int, int], Sequence[Record]]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.readahead_batches = 0
@@ -88,31 +100,43 @@ class SharedBufferPool:
         """One block through the cache (if enabled); misses hit the device
         and are charged with the caller's declared access pattern."""
         if self.cache_blocks:
-            key = (id(f), index)
-            block = self._cache.get(key)
-            if block is not None:
-                self.hits += 1
-                self._cache.move_to_end(key)
-                return block
-            self.misses += 1
+            key = (f.uid, index)
+            with self._lock:
+                block = self._cache.get(key)
+                if block is not None:
+                    self.hits += 1
+                    self._cache.move_to_end(key)
+                    return block
+                self.misses += 1
         block = self.device.read_block(f, index, sequential=sequential)
         if self.cache_blocks:
-            self._cache[(id(f), index)] = block
-            while len(self._cache) > self.cache_blocks:
-                self._cache.popitem(last=False)
+            with self._lock:
+                self._cache[(f.uid, index)] = block
+                while len(self._cache) > self.cache_blocks:
+                    self._cache.popitem(last=False)
         return block
 
-    def scan_blocks(self, f: "DiskFile") -> Iterator[Sequence[Record]]:
+    def scan_blocks(
+        self, f: "DiskFile", start: int = 0, stop: Optional[int] = None
+    ) -> Iterator[Sequence[Record]]:
         """Sequential scan with readahead: blocks are fetched (and charged,
-        sequentially, once each) in ``readahead``-deep batches."""
-        index = 0
-        while index < f.num_blocks:
-            batch_end = min(f.num_blocks, index + self.readahead)
+        sequentially, once each) in ``readahead``-deep batches.
+
+        ``start``/``stop`` bound the scan to a block range, so worker
+        shards can stream disjoint ranges of the same file concurrently —
+        each range is its own readahead stream and the charges are exactly
+        those of scanning the range without a pool.
+        """
+        index = start
+        end = f.num_blocks if stop is None else min(stop, f.num_blocks)
+        while index < end:
+            batch_end = min(end, index + self.readahead)
             batch = [
                 self.read_block(f, j, sequential=True)
                 for j in range(index, batch_end)
             ]
-            self.readahead_batches += 1
+            with self._lock:
+                self.readahead_batches += 1
             for block in batch:
                 yield block
             index = batch_end
@@ -120,16 +144,19 @@ class SharedBufferPool:
     # -- invalidation (called by the device) -------------------------------
 
     def invalidate_file(self, f: "DiskFile") -> None:
-        """Drop every cached block of ``f`` (file deleted or truncated)."""
-        if not self._cache:
-            return
-        fid = id(f)
-        for key in [k for k in self._cache if k[0] == fid]:
-            del self._cache[key]
+        """Drop every cached block of ``f`` (deleted, truncated, or
+        clobbered by a rename)."""
+        with self._lock:
+            if not self._cache:
+                return
+            uid = f.uid
+            for key in [k for k in self._cache if k[0] == uid]:
+                del self._cache[key]
 
     def invalidate_block(self, f: "DiskFile", index: int) -> None:
         """Drop one cached block of ``f`` (overwritten in place)."""
-        self._cache.pop((id(f), index), None)
+        with self._lock:
+            self._cache.pop((f.uid, index), None)
 
     # -- reporting ---------------------------------------------------------
 

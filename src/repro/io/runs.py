@@ -71,20 +71,38 @@ def form_runs(
     sorted in memory and written with sequential writes — the classic run
     formation pass of external merge sort.
 
+    With a :class:`~repro.io.parallel.WorkerPool` attached to the device,
+    writing run *i* overlaps buffering run *i+1* (a window of at most
+    ``workers`` runs is in flight).  Run *contents* are untouched — the
+    buffers are cut at the same record boundaries and sorted by the same
+    key — so the run files, and therefore the whole sort's ledger, are
+    identical to the serial pass.
+
     Returns:
         The list of run files (possibly empty for empty input).
     """
     capacity = max(1, memory.record_capacity(record_size))
-    runs: List[RecordStore] = []
-    buffer: List[Record] = []
-    for record in records:
-        buffer.append(record)
-        if len(buffer) >= capacity:
-            runs.append(_write_run(device, buffer, record_size, key, prefix, codec))
-            buffer = []
-    if buffer:
-        runs.append(_write_run(device, buffer, record_size, key, prefix, codec))
-    return runs
+
+    def buffers() -> Iterator[List[Record]]:
+        buffer: List[Record] = []
+        for record in records:
+            buffer.append(record)
+            if len(buffer) >= capacity:
+                yield buffer
+                buffer = []
+        if buffer:
+            yield buffer
+
+    pool = device.worker_pool
+    if pool is not None and pool.workers > 1:
+        thunks = (
+            (lambda buf=buf: _write_run(device, buf, record_size, key, prefix, codec))
+            for buf in buffers()
+        )
+        return list(pool.run_windowed(thunks, window=pool.workers))
+    return [
+        _write_run(device, buf, record_size, key, prefix, codec) for buf in buffers()
+    ]
 
 
 def _write_run(

@@ -225,20 +225,30 @@ def _merge_pass(
     key: Optional[KeyFn],
     codec: Codec,
 ) -> List[RecordStore]:
-    """Merge groups of ``fan_in`` runs into longer runs (one full pass)."""
+    """Merge groups of ``fan_in`` runs into longer runs (one full pass).
+
+    The groups are independent (disjoint inputs, separate outputs), so
+    when the device has a :class:`~repro.io.parallel.WorkerPool` attached
+    they run as one barrier of parallel tasks.  Each group's reads and
+    writes are identical either way — the pool only changes overlap, so
+    the ledger totals match the serial pass exactly.
+    """
     device.stats.record_merge_pass()
-    next_runs: List[RecordStore] = []
-    for start in range(0, len(runs), fan_in):
-        group = runs[start : start + fan_in]
+
+    def merge_group(group: List[RecordStore]) -> RecordStore:
         merged = merge_runs((run.scan() for run in group), key=key)
-        next_runs.append(
-            record_file_from_records(
-                device, device.temp_name("merge"), merged, record_size, codec=codec
-            )
+        out = record_file_from_records(
+            device, device.temp_name("merge"), merged, record_size, codec=codec
         )
         for run in group:
             run.delete()
-    return next_runs
+        return out
+
+    groups = [runs[start : start + fan_in] for start in range(0, len(runs), fan_in)]
+    pool = device.worker_pool
+    if pool is not None and len(groups) > 1:
+        return list(pool.map(merge_group, groups))
+    return [merge_group(group) for group in groups]
 
 
 def merge_runs(

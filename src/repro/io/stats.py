@@ -12,8 +12,9 @@ sequential/random, optionally broken down by a user-pushed *phase* label
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.exceptions import IOBudgetExceeded
 
@@ -109,25 +110,37 @@ class IOStats:
         # model's bytes-per-record calibration)
         self.bytes_by_width: Dict[int, list[int]] = {}
         self._phase_stack: list[str] = []
+        # Labels entered while the stack was empty, in first-entry order —
+        # the run's outermost phases, which partition its attributed I/O
+        # (the makespan meter in repro.io.parallel sums channel maxima over
+        # exactly these, so nested labels are never double counted).
+        self.top_level_phases: List[str] = []
+        # Worker threads of a parallel executor record into the same ledger
+        # concurrently; the counter updates and by-phase read-modify-writes
+        # must be atomic.  The budget check stays outside the lock so an
+        # IOBudgetExceeded never propagates with the lock held.
+        self._lock = threading.Lock()
 
     # -- recording (called by the device) ---------------------------------
 
     def record_read(self, sequential: bool, blocks: int = 1) -> None:
         """Count ``blocks`` block reads with the given access pattern."""
-        if sequential:
-            self.seq_reads += blocks
-        else:
-            self.rand_reads += blocks
-        self._attribute(sequential, blocks, is_read=True)
+        with self._lock:
+            if sequential:
+                self.seq_reads += blocks
+            else:
+                self.rand_reads += blocks
+            self._attribute(sequential, blocks, is_read=True)
         self._enforce_budget()
 
     def record_write(self, sequential: bool, blocks: int = 1) -> None:
         """Count ``blocks`` block writes with the given access pattern."""
-        if sequential:
-            self.seq_writes += blocks
-        else:
-            self.rand_writes += blocks
-        self._attribute(sequential, blocks, is_read=False)
+        with self._lock:
+            if sequential:
+                self.seq_writes += blocks
+            else:
+                self.rand_writes += blocks
+            self._attribute(sequential, blocks, is_read=False)
         self._enforce_budget()
 
     def record_merge_pass(self, passes: int = 1) -> None:
@@ -140,15 +153,17 @@ class IOStats:
         pass counts (``passes_by_phase``) let a benchmark compare run
         formation strategies level by level.
         """
-        self.merge_passes += passes
-        for label in self._phase_stack:
-            self.passes_by_phase[label] = self.passes_by_phase.get(label, 0) + passes
+        with self._lock:
+            self.merge_passes += passes
+            for label in self._phase_stack:
+                self.passes_by_phase[label] = self.passes_by_phase.get(label, 0) + passes
 
     def record_runs_formed(self, runs: int) -> None:
         """Count ``runs`` initial sorted runs written by run formation."""
-        self.runs_formed += runs
-        for label in self._phase_stack:
-            self.runs_by_phase[label] = self.runs_by_phase.get(label, 0) + runs
+        with self._lock:
+            self.runs_formed += runs
+            for label in self._phase_stack:
+                self.runs_by_phase[label] = self.runs_by_phase.get(label, 0) + runs
 
     def record_payload_write(
         self, records: int, logical: int, stored: int, record_size: int
@@ -164,17 +179,18 @@ class IOStats:
         """
         if records <= 0:
             return
-        self.records_written += records
-        self.bytes_logical += logical
-        self.bytes_stored += stored
-        for label in self._phase_stack:
-            entry = self.bytes_by_phase.setdefault(label, [0, 0, 0])
-            entry[0] += records
-            entry[1] += logical
-            entry[2] += stored
-        width_entry = self.bytes_by_width.setdefault(record_size, [0, 0])
-        width_entry[0] += records
-        width_entry[1] += stored
+        with self._lock:
+            self.records_written += records
+            self.bytes_logical += logical
+            self.bytes_stored += stored
+            for label in self._phase_stack:
+                entry = self.bytes_by_phase.setdefault(label, [0, 0, 0])
+                entry[0] += records
+                entry[1] += logical
+                entry[2] += stored
+            width_entry = self.bytes_by_width.setdefault(record_size, [0, 0])
+            width_entry[0] += records
+            width_entry[1] += stored
 
     def _attribute(self, sequential: bool, blocks: int, is_read: bool) -> None:
         for label in self._phase_stack:
@@ -212,7 +228,8 @@ class IOStats:
 
     def snapshot(self) -> IOSnapshot:
         """Freeze the current counters (use ``later - earlier`` for deltas)."""
-        return IOSnapshot(self.seq_reads, self.seq_writes, self.rand_reads, self.rand_writes)
+        with self._lock:
+            return IOSnapshot(self.seq_reads, self.seq_writes, self.rand_reads, self.rand_writes)
 
     def phase_total(self, label: str) -> int:
         """Total block I/Os attributed to ``label`` (0 if it never ran)."""
@@ -225,7 +242,13 @@ class IOStats:
         Phases nest: inner-phase I/O is attributed to every label on the
         stack, so a ``"contraction"`` phase containing a ``"sort"`` phase
         charges both.
+
+        Only the orchestrating thread pushes phases; worker tasks of a
+        parallel executor run entirely *inside* a phase, so the stack is
+        never mutated while another thread attributes against it.
         """
+        if not self._phase_stack and label not in self.top_level_phases:
+            self.top_level_phases.append(label)
         self._phase_stack.append(label)
         try:
             yield
@@ -245,6 +268,7 @@ class IOStats:
         self.runs_by_phase.clear()
         self.bytes_by_phase.clear()
         self.bytes_by_width.clear()
+        self.top_level_phases.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -16,6 +16,7 @@ from repro.io.codecs import RecordStore, record_file_from_records
 from repro.io.memory import MemoryBudget
 from repro.semi_external.coloring import coloring_scc
 from repro.semi_external.forward_backward import forward_backward_scc
+from repro.semi_external.parallel_fw_bw import parallel_fw_bw_scc
 from repro.semi_external.semi_kosaraju import semi_kosaraju_scc
 from repro.semi_external.spanning_tree import SpanningTreeStats, spanning_tree_scc
 from repro.semi_external.union_find import UnionFind
@@ -23,6 +24,7 @@ from repro.semi_external.union_find import UnionFind
 __all__ = [
     "spanning_tree_scc",
     "forward_backward_scc",
+    "parallel_fw_bw_scc",
     "coloring_scc",
     "semi_kosaraju_scc",
     "SpanningTreeStats",
@@ -38,6 +40,7 @@ SemiSCCSolver = Callable[..., Dict[int, int]]
 SEMI_SCC_SOLVERS: Dict[str, SemiSCCSolver] = {
     "spanning-tree": spanning_tree_scc,
     "forward-backward": forward_backward_scc,
+    "parallel-fw-bw": parallel_fw_bw_scc,
     "coloring": coloring_scc,
 }
 """Scan-only semi-external solvers by name; ``"spanning-tree"`` is the
