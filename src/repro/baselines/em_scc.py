@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.constants import EDGE_RECORD_BYTES, NODE_RECORD_BYTES, SCC_RECORD_BYTES
 from repro.core.result import SCCResult
@@ -41,8 +41,20 @@ from repro.io.memory import MemoryBudget
 from repro.io.sort import external_sort_records, external_sort_stream
 from repro.io.stats import IOSnapshot
 from repro.memory_scc.tarjan import tarjan_scc
+from repro.plan import (
+    Dedupe,
+    ExtPlan,
+    Materialize,
+    MergeJoin,
+    MergePasses,
+    PlanExecutor,
+    Rewrite,
+    Scan,
+    SortRuns,
+    TraceLedger,
+)
 
-__all__ = ["em_scc", "EMSCCOutput"]
+__all__ = ["em_scc", "EMSCCOutput", "build_em_iteration_plan"]
 
 _GRAPH_BYTES_PER_EDGE = EDGE_RECORD_BYTES
 _WORKING_FACTOR = 4
@@ -105,50 +117,40 @@ def _rewrite_endpoint(
     return out
 
 
-def em_scc(
+def build_em_iteration_plan(
     device: BlockDevice,
-    edges: EdgeFile,
-    nodes: NodeFile,
+    current_edges: RecordStore,
+    cumulative: RecordStore,
     memory: MemoryBudget,
-    max_iterations: int = 1000,
-) -> EMSCCOutput:
-    """Run EM-SCC; raises :class:`NonTermination` on a no-progress pass.
+    iteration: int,
+    num_nodes: int,
+    chunk_size: int,
+    owns_edges: bool,
+) -> ExtPlan:
+    """Declare one EM-SCC compression pass as a plan.
 
-    Args:
-        device: the simulated disk.
-        edges: the edge file.
-        nodes: the node file (sorted unique ids).
-        memory: the budget ``M``.
-        max_iterations: hard cap (the non-termination detector normally
-            fires long before).
-
-    Returns:
-        An :class:`EMSCCOutput` when the heuristic converges.
+    Six stages, same operation order as the pre-plan loop body.  The
+    edge-file-sized operators carry cost specs (the two endpoint-rewrite
+    sorts and the map sort are streamed, so they are declared ``fused``);
+    the pair- and map-sized operators are data-dependent and stay
+    unpriced.  The final stage returns
+    ``(cleaned_edges, composed_map, contractions, nodes_removed)``.
     """
-    start_time = time.perf_counter()
-    run_start = device.stats.snapshot()
-    chunk_edges = max(16, memory.nbytes // (_GRAPH_BYTES_PER_EDGE * _WORKING_FACTOR))
+    e = current_edges.num_records
+    n_map = cumulative.num_records
+    t = iteration
+    plan = ExtPlan(f"em-scc-{t}", phase=f"em-scc/iter-{t}")
 
-    # Cumulative map (original -> current super-node), kept sorted by the
-    # *current* id so it can be composed with each iteration's contraction.
-    cumulative = record_file_from_records(
-        device,
-        device.temp_name("emmap"),
-        ((v, v) for v in nodes.scan()),
-        SCC_RECORD_BYTES,
-        sort_field=0,
-    )
-    current_edges: RecordStore = edges.file
-    owns_edges = False
-    num_nodes = nodes.num_nodes
-    iterations = 0
-    total_contractions = 0
+    # -- stage 1: partition the edge file, contract chunk-local SCCs -------
+    part_ops = [
+        plan.add(Scan(f"E_{t}", records=e, record_size=EDGE_RECORD_BYTES,
+                      cost=("scan", e, EDGE_RECORD_BYTES))),
+        plan.add(Rewrite("chunk tarjan", inputs=(f"E_{t}",))),
+        plan.add(Materialize("contraction pairs", inputs=("chunk tarjan",),
+                             record_size=SCC_RECORD_BYTES)),
+    ]
 
-    while not _graph_fits(num_nodes, current_edges.num_records, memory):
-        iterations += 1
-        if iterations > max_iterations:
-            raise NonTermination(f"EM-SCC exceeded {max_iterations} iterations")
-        # --- partition the edge file and contract chunk-local SCCs.
+    def run_partition(ctx: dict):
         pairs = create_record_file(
             device, device.temp_name("empairs"), SCC_RECORD_BYTES, sort_field=None
         )
@@ -169,26 +171,41 @@ def em_scc(
             if edge[0] == edge[1]:
                 continue
             chunk.append(edge)
-            if len(chunk) >= chunk_edges:
+            if len(chunk) >= chunk_size:
                 contractions += contract_chunk(chunk)
                 chunk = []
         if chunk:
             contractions += contract_chunk(chunk)
         pairs.close()
-
         if contractions == 0:
             pairs.delete()
             raise NonTermination(
-                f"EM-SCC made no progress in iteration {iterations} "
+                f"EM-SCC made no progress in iteration {t} "
                 f"({num_nodes} nodes, {current_edges.num_records} edges still "
                 "exceed memory): the paper's Case-1/Case-2"
             )
-        total_contractions += contractions
+        return pairs, contractions
 
+    plan.stage("partition-contract", part_ops, run_partition)
+
+    # -- stage 2: first-wins dedupe of the chunk maps ----------------------
+    dedupe_ops = [
+        plan.add(SortRuns("pairs runs", inputs=("contraction pairs",),
+                          record_size=SCC_RECORD_BYTES, fused=True)),
+        plan.add(MergePasses("pairs merge", inputs=("pairs runs",),
+                             record_size=SCC_RECORD_BYTES, fused=True)),
+        plan.add(Dedupe("first-wins map", inputs=("pairs merge",),
+                        record_size=SCC_RECORD_BYTES)),
+        plan.add(Materialize(f"M_{t}", inputs=("first-wins map",),
+                             record_size=SCC_RECORD_BYTES)),
+    ]
+
+    def run_dedupe(ctx: dict) -> RecordStore:
+        pairs, _ = ctx["partition-contract"]
         # Chunk maps may disagree when a node is contracted in two chunks;
-        # resolving that needs transitive information the heuristic does not
-        # have, so like [13] we keep the first mapping per node.  The sort
-        # streams into the first-wins dedupe scan.
+        # resolving that needs transitive information the heuristic does
+        # not have, so like [13] we keep the first mapping per node.  The
+        # sort streams into the first-wins dedupe scan.
         mapping = external_sort_stream(
             device, pairs.scan(), SCC_RECORD_BYTES, memory, unique=True
         )
@@ -202,14 +219,71 @@ def em_scc(
                 last_node = node
         deduped.close()
         pairs.delete()
+        return deduped
 
-        # --- rewrite both edge endpoints through the mapping.
-        rewritten = _rewrite_endpoint(device, current_edges, deduped, memory, endpoint=0)
-        if owns_edges:
-            current_edges.delete()
-        rewritten2 = _rewrite_endpoint(device, rewritten, deduped, memory, endpoint=1)
-        rewritten.delete()
-        # Drop self-loops and parallel duplicates created by contraction.
+    plan.stage("dedupe-map", dedupe_ops, run_dedupe)
+
+    # -- stages 3+4: rewrite both endpoints through the mapping ------------
+    def rewrite_stage(endpoint: int) -> None:
+        side = "src" if endpoint == 0 else "dst"
+        prev = f"E_{t}" if endpoint == 0 else f"E_{t} src-rewritten"
+        ops = [
+            plan.add(SortRuns(f"by-{side} runs", inputs=(prev,), records=e,
+                              record_size=EDGE_RECORD_BYTES,
+                              cost=("sort-runs", e, EDGE_RECORD_BYTES),
+                              group=f"rw-{side}", fused=True)),
+            plan.add(MergePasses(f"by-{side} merge", inputs=(f"by-{side} runs",),
+                                 records=e, record_size=EDGE_RECORD_BYTES,
+                                 cost=("merge-passes", e, EDGE_RECORD_BYTES),
+                                 group=f"rw-{side}", fused=True)),
+            plan.add(MergeJoin(f"map {side}", inputs=(f"by-{side} merge", f"M_{t}"),
+                               records=e, record_size=EDGE_RECORD_BYTES)),
+            plan.add(Materialize(f"E_{t} {side}-rewritten", inputs=(f"map {side}",),
+                                 records=e, record_size=EDGE_RECORD_BYTES,
+                                 cost=("write", e, EDGE_RECORD_BYTES))),
+        ]
+
+        def run_rewrite(ctx: dict) -> RecordStore:
+            deduped = ctx["dedupe-map"]
+            if endpoint == 0:
+                rewritten = _rewrite_endpoint(
+                    device, current_edges, deduped, memory, endpoint=0
+                )
+                if owns_edges:
+                    current_edges.delete()
+            else:
+                prev_store = ctx["rewrite-src"]
+                rewritten = _rewrite_endpoint(
+                    device, prev_store, deduped, memory, endpoint=1
+                )
+                prev_store.delete()
+            return rewritten
+
+        plan.stage(f"rewrite-{side}", ops, run_rewrite)
+
+    rewrite_stage(0)
+    rewrite_stage(1)
+
+    # -- stage 5: drop self-loops + duplicates from the contraction --------
+    clean_ops = [
+        plan.add(Dedupe("drop loops+dups", inputs=(f"E_{t} dst-rewritten",),
+                        records=e, record_size=EDGE_RECORD_BYTES)),
+        plan.add(SortRuns("clean runs", inputs=("drop loops+dups",), records=e,
+                          record_size=EDGE_RECORD_BYTES,
+                          cost=("sort-runs", e, EDGE_RECORD_BYTES),
+                          group="clean")),
+        plan.add(MergePasses("clean merge", inputs=("clean runs",), records=e,
+                             record_size=EDGE_RECORD_BYTES,
+                             cost=("merge-passes", e, EDGE_RECORD_BYTES),
+                             group="clean")),
+        plan.add(Materialize(f"E_{t + 1}", inputs=("clean merge",), records=e,
+                             record_size=EDGE_RECORD_BYTES,
+                             cost=("sort-final", e, EDGE_RECORD_BYTES),
+                             group="clean")),
+    ]
+
+    def run_clean(ctx: dict) -> RecordStore:
+        rewritten2 = ctx["rewrite-dst"]
         cleaned = external_sort_records(
             device,
             ((u, v) for u, v in rewritten2.scan() if u != v),
@@ -218,12 +292,35 @@ def em_scc(
             unique=True,
         )
         rewritten2.delete()
-        current_edges = cleaned
-        owns_edges = True
-        num_nodes -= sum(1 for _ in deduped.scan())
+        return cleaned
 
-        # --- compose the cumulative map with this iteration's contraction
-        # (the by-current sort streams into the composition co-scan).
+    plan.stage("clean-edges", clean_ops, run_clean)
+
+    # -- stage 6: compose the cumulative map with this contraction ---------
+    compose_ops = [
+        plan.add(Scan("map", records=n_map, record_size=SCC_RECORD_BYTES)),
+        plan.add(SortRuns("map by-current runs", inputs=("map",),
+                          records=n_map, record_size=SCC_RECORD_BYTES,
+                          cost=("sort-runs", n_map, SCC_RECORD_BYTES),
+                          group="compose", fused=True)),
+        plan.add(MergePasses("map by-current merge",
+                             inputs=("map by-current runs",), records=n_map,
+                             record_size=SCC_RECORD_BYTES,
+                             cost=("merge-passes", n_map, SCC_RECORD_BYTES),
+                             group="compose", fused=True)),
+        plan.add(MergeJoin("compose", inputs=("map by-current merge", f"M_{t}"),
+                           records=n_map, record_size=SCC_RECORD_BYTES)),
+        plan.add(Materialize(f"map_{t}", inputs=("compose",), records=n_map,
+                             record_size=SCC_RECORD_BYTES,
+                             cost=("write", n_map, SCC_RECORD_BYTES))),
+    ]
+
+    def run_compose(ctx: dict):
+        _, contractions = ctx["partition-contract"]
+        deduped = ctx["dedupe-map"]
+        cleaned = ctx["clean-edges"]
+        nodes_removed = sum(1 for _ in deduped.scan())
+        # The by-current sort streams into the composition co-scan.
         by_current = external_sort_stream(
             device, cumulative.scan(), SCC_RECORD_BYTES, memory,
             key=lambda r: (r[1], r[0]), sort_field=1,
@@ -240,6 +337,76 @@ def em_scc(
         composed.close()
         cumulative.delete()
         deduped.delete()
+        return cleaned, composed, contractions, nodes_removed
+
+    plan.stage("compose-map", compose_ops, run_compose)
+    return plan
+
+
+def em_scc(
+    device: BlockDevice,
+    edges: EdgeFile,
+    nodes: NodeFile,
+    memory: MemoryBudget,
+    max_iterations: int = 1000,
+    trace: Optional[TraceLedger] = None,
+) -> EMSCCOutput:
+    """Run EM-SCC; raises :class:`NonTermination` on a no-progress pass.
+
+    Args:
+        device: the simulated disk.
+        edges: the edge file.
+        nodes: the node file (sorted unique ids).
+        memory: the budget ``M``.
+        max_iterations: hard cap (the non-termination detector normally
+            fires long before).
+        trace: optional ledger collecting one span per executed plan stage
+            (predicted vs. measured I/Os), as for Ext-SCC.
+
+    Returns:
+        An :class:`EMSCCOutput` when the heuristic converges.
+    """
+    # Local import: the planner module imports core.ext_scc, which has no
+    # path back here, but keeping the import lazy mirrors the other plan
+    # builders and keeps baselines importable without analysis.
+    from repro.analysis.cost_model import CostModel
+    from repro.analysis.planner import predict_plan
+
+    start_time = time.perf_counter()
+    run_start = device.stats.snapshot()
+    chunk_size = max(16, memory.nbytes // (_GRAPH_BYTES_PER_EDGE * _WORKING_FACTOR))
+    model = CostModel(device.block_size, memory.nbytes)
+    executor = PlanExecutor(device, trace=trace)
+
+    # Cumulative map (original -> current super-node), kept sorted by the
+    # *current* id so it can be composed with each iteration's contraction.
+    cumulative = record_file_from_records(
+        device,
+        device.temp_name("emmap"),
+        ((v, v) for v in nodes.scan()),
+        SCC_RECORD_BYTES,
+        sort_field=0,
+    )
+    current_edges: RecordStore = edges.file
+    owns_edges = False
+    num_nodes = nodes.num_nodes
+    iterations = 0
+    total_contractions = 0
+
+    while not _graph_fits(num_nodes, current_edges.num_records, memory):
+        iterations += 1
+        if iterations > max_iterations:
+            raise NonTermination(f"EM-SCC exceeded {max_iterations} iterations")
+        plan = build_em_iteration_plan(
+            device, current_edges, cumulative, memory, iterations,
+            num_nodes, chunk_size, owns_edges,
+        )
+        predict_plan(plan, model)
+        cleaned, composed, contractions, nodes_removed = executor.execute(plan)
+        total_contractions += contractions
+        current_edges = cleaned
+        owns_edges = True
+        num_nodes -= nodes_removed
         cumulative = composed
 
     # --- the remainder fits: finish in memory.

@@ -11,6 +11,7 @@ from repro.bench.reporting import (
     ascii_chart,
     format_scaling_table,
     format_sweep,
+    format_trace,
     print_sweep,
     shape_summary,
     sweep_to_json,
@@ -44,6 +45,7 @@ __all__ = [
     "run_sweep",
     "format_sweep",
     "format_scaling_table",
+    "format_trace",
     "ascii_chart",
     "print_sweep",
     "shape_summary",

@@ -17,6 +17,7 @@ from repro.io.blocks import BlockDevice
 from repro.io.memory import MemoryBudget
 from repro.io.parallel import MakespanMeter, StripedDevice
 from repro.io.stats import IOBudget
+from repro.plan import TraceLedger
 from repro.semi_external import spanning_tree_scc
 
 __all__ = ["RunResult", "Sweep", "run_algorithm", "run_sweep", "ALGORITHMS"]
@@ -52,6 +53,9 @@ class RunResult:
     workers: int = 1
     makespan: int = 0
     channel_io: List[int] = field(default_factory=list)
+    trace: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    trace_predicted: int = 0
+    trace_measured: int = 0
 
     @property
     def ok(self) -> bool:
@@ -97,28 +101,29 @@ class RunResult:
 
 def _run_ext(config: ExtSCCConfig):
     def runner(device: BlockDevice, edges: EdgeFile, nodes: NodeFile,
-               memory: MemoryBudget) -> Tuple[int, Optional[int]]:
+               memory: MemoryBudget) -> Tuple[int, Optional[int], Optional[TraceLedger]]:
         output = ExtSCC(config).run(device, edges, memory, nodes=nodes)
-        return output.result.num_sccs, output.num_iterations
+        return output.result.num_sccs, output.num_iterations, output.trace
     return runner
 
 
 def _run_dfs(device: BlockDevice, edges: EdgeFile, nodes: NodeFile,
-             memory: MemoryBudget) -> Tuple[int, Optional[int]]:
+             memory: MemoryBudget) -> Tuple[int, Optional[int], Optional[TraceLedger]]:
     output = dfs_scc(device, edges, nodes, memory)
-    return output.result.num_sccs, None
+    return output.result.num_sccs, None, None
 
 
 def _run_em(device: BlockDevice, edges: EdgeFile, nodes: NodeFile,
-            memory: MemoryBudget) -> Tuple[int, Optional[int]]:
-    output = em_scc(device, edges, nodes, memory)
-    return output.result.num_sccs, output.iterations
+            memory: MemoryBudget) -> Tuple[int, Optional[int], Optional[TraceLedger]]:
+    trace = TraceLedger()
+    output = em_scc(device, edges, nodes, memory, trace=trace)
+    return output.result.num_sccs, output.iterations, trace
 
 
 def _run_semi(device: BlockDevice, edges: EdgeFile, nodes: NodeFile,
-              memory: MemoryBudget) -> Tuple[int, Optional[int]]:
+              memory: MemoryBudget) -> Tuple[int, Optional[int], Optional[TraceLedger]]:
     labels = spanning_tree_scc(edges, nodes.scan(), memory=memory)
-    return len(set(labels.values())), None
+    return len(set(labels.values())), None, None
 
 
 ALGORITHMS: Dict[str, Callable] = {
@@ -192,8 +197,11 @@ def run_algorithm(
     start = time.perf_counter()
     baseline = device.stats.snapshot()
     meter = MakespanMeter(device)  # same window as the io_total delta
+    trace: Optional[TraceLedger] = None
     try:
-        result.num_sccs, result.iterations = runner(device, edge_file, node_file, memory)
+        result.num_sccs, result.iterations, trace = runner(
+            device, edge_file, node_file, memory
+        )
     except IOBudgetExceeded:
         result.status = STATUS_INF
     except NonTermination:
@@ -234,6 +242,10 @@ def run_algorithm(
             device.stats.bytes_by_phase.get(label, empty_bytes),
         )
     }
+    if trace is not None and trace.spans:
+        result.trace = trace.by_phase()
+        result.trace_predicted = trace.total_predicted
+        result.trace_measured = trace.total_measured
     return result
 
 

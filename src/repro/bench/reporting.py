@@ -11,7 +11,8 @@ from typing import List, Optional
 from repro.bench.harness import RunResult, Sweep
 
 __all__ = ["format_sweep", "print_sweep", "shape_summary", "ascii_chart",
-           "sweep_to_json", "format_phase_table", "format_scaling_table"]
+           "sweep_to_json", "format_phase_table", "format_scaling_table",
+           "format_trace"]
 
 
 def format_phase_table(run: RunResult) -> str:
@@ -59,6 +60,50 @@ def format_phase_table(run: RunResult) -> str:
     ])
     widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
     lines = [f"{run.algorithm} @ {run.x}  —  per-phase I/O and merge passes"]
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_trace(run: RunResult) -> str:
+    """Predicted vs. measured blocks per top-level phase, from the plan
+    executor's trace ledger (empty string when the run carried no trace,
+    e.g. DFS-SCC or a failed run).
+
+    The delta column is how far the planner's cost model strayed from the
+    measured pipeline; the calibration benchmark gates it, this table just
+    reports it alongside the paper-style rows.
+    """
+    if not run.trace:
+        return ""
+    header = ["phase", "predicted", "measured", "delta", "makespan"]
+    rows: List[List[str]] = [header]
+
+    def _delta(predicted: int, measured: int) -> str:
+        if not predicted:
+            return "-"
+        return f"{100 * (measured - predicted) / predicted:+.1f}%"
+
+    for label in sorted(run.trace):
+        bucket = run.trace[label]
+        rows.append([
+            label,
+            f"{bucket['predicted']:,}",
+            f"{bucket['measured']:,}",
+            _delta(bucket["predicted"], bucket["measured"]),
+            f"{bucket['makespan']:,}",
+        ])
+    rows.append([
+        "(total)",
+        f"{run.trace_predicted:,}",
+        f"{run.trace_measured:,}",
+        _delta(run.trace_predicted, run.trace_measured),
+        "-",
+    ])
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = [f"{run.algorithm} @ {run.x}  —  plan trace (predicted vs measured blocks)"]
     for index, row in enumerate(rows):
         lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
         if index == 0:
@@ -217,6 +262,9 @@ def sweep_to_json(sweep: Sweep, indent: Optional[int] = 1) -> str:
                     for width, per_record in sorted(run.width_profile.items())
                 },
                 "phases": run.phases,
+                "trace": run.trace,
+                "trace_predicted": run.trace_predicted,
+                "trace_measured": run.trace_measured,
             }
             for run in sweep.runs
         ],

@@ -45,6 +45,20 @@ def parse_size(text: str) -> int:
     return int(text)
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for ``--workers``: rejects 0 and negatives up front
+    (``--workers 0`` used to be silently accepted and run serial)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (shard width K >= 1), got {value}"
+        )
+    return value
+
+
 def _load_edges(path: str, binary: bool) -> List:
     reader = read_edge_binary if binary else read_edge_text
     return list(reader(path))
@@ -96,6 +110,52 @@ def _run_checkpointed(args: argparse.Namespace, config, on_iteration):
         raise
 
 
+def _explain_scc(args: argparse.Namespace, config) -> int:
+    """``scc --explain``: print the optimized operator DAG of the first
+    phase the run would execute (contract-1, or the semi-external hand-off
+    when the input already fits) plus the analytic full-run schedule,
+    without running anything."""
+    from repro.analysis import plan_ext_scc
+    from repro.analysis.cost_model import CostModel
+    from repro.analysis.planner import optimize_plan
+    from repro.core.contraction import build_contract_plan
+    from repro.core.ext_scc import ExtSCC
+    from repro.graph.edge_file import EdgeFile, NodeFile
+    from repro.io.blocks import BlockDevice
+    from repro.io.memory import MemoryBudget
+    from repro.semi_external import build_semi_plan
+
+    block_size = parse_size(args.block_size)
+    memory_bytes = parse_size(args.memory)
+    device = BlockDevice(block_size=block_size)
+    memory = MemoryBudget(memory_bytes)
+    edges = _load_edges(args.input, args.binary)
+    edge_file = EdgeFile.from_edges(device, "input-edges", edges)
+    if args.nodes:
+        node_file = NodeFile.from_ids(
+            device, "input-nodes", range(args.nodes), memory, presorted=True
+        )
+    else:
+        node_file = edge_file.node_file(memory)
+    solver = ExtSCC(config)
+    model = CostModel(block_size, memory_bytes)
+    if solver.nodes_fit(node_file.num_nodes, memory, block_size):
+        plan = build_semi_plan(
+            device, edge_file, node_file, memory, config.semi_scc
+        )
+    else:
+        plan = build_contract_plan(
+            device, edge_file, node_file, memory, config, level=1
+        )
+    optimize_plan(plan, model, config)
+    print(plan.render())
+    print()
+    print(plan_ext_scc(
+        node_file.num_nodes, edge_file.num_edges, memory_bytes, block_size
+    ).render())
+    return 0
+
+
 def _cmd_scc(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -106,6 +166,8 @@ def _cmd_scc(args: argparse.Namespace) -> int:
     )
     if args.workers > 1 or args.executor != "serial":
         config = replace(config, workers=args.workers, executor=args.executor)
+    if args.explain:
+        return _explain_scc(args, config)
 
     def progress(record) -> None:
         print(
@@ -160,6 +222,16 @@ def _cmd_scc(args: argparse.Namespace) -> int:
             f"speedup: {out.parallel_speedup:.2f}x",
             file=sys.stderr,
         )
+    if args.trace_json:
+        with open(args.trace_json, "w", encoding="ascii") as f:
+            f.write(out.trace.to_json())
+        print(
+            f"trace ({len(out.trace.spans)} spans) written to "
+            f"{args.trace_json}",
+            file=sys.stderr,
+        )
+    if args.verbose and out.trace.spans:
+        print(out.trace.render(), file=sys.stderr)
     if args.output:
         with open(args.output, "w", encoding="ascii") as f:
             for node in sorted(result.labels):
@@ -304,10 +376,18 @@ def build_parser() -> argparse.ArgumentParser:
     scc.add_argument("--binary", action="store_true", help="input is packed <II")
     scc.add_argument("--verbose", "-v", action="store_true",
                      help="print per-iteration contraction progress")
-    scc.add_argument("--workers", type=int, default=1,
+    scc.add_argument("--workers", type=_positive_int, default=1,
                      help="shard/channel width K: stripe the simulated disk "
                           "over K channels and shard sorts/scans K ways "
                           "(same total I/O, reported makespan shrinks)")
+    scc.add_argument("--explain", action="store_true",
+                     help="print the optimized operator plan (per-operator "
+                          "predicted I/Os) and the analytic schedule, then "
+                          "exit without running")
+    scc.add_argument("--trace-json", metavar="PATH",
+                     help="after the run, dump the per-operator execution "
+                          "trace (predicted vs. measured I/Os per plan "
+                          "stage) as JSON to PATH")
     scc.add_argument("--executor", choices=["serial", "threads"],
                      default="serial",
                      help="worker-pool backend (serial is deterministic "
@@ -342,7 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--block-size", "-b", default="4K")
     bench.add_argument("--io-budget", type=int, default=None,
                        help="block-I/O cap; exceeded -> INF (exit 1)")
-    bench.add_argument("--workers", type=int, default=1,
+    bench.add_argument("--workers", type=_positive_int, default=1,
                        help="shard/channel width K for Ext-SCC runs")
     bench.add_argument("--executor", choices=["serial", "threads"],
                        default="serial",

@@ -17,7 +17,6 @@ separately:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import asdict, dataclass, replace
 from typing import Optional
 
@@ -45,12 +44,6 @@ class ExtSCCConfig:
             encoding; ``"fixed"`` is the uncompressed ablation,
             byte-identical to the pre-codec pipeline.  A storage-format
             extension beyond the paper; never changes which SCCs are found.
-        compress_edge_lists: deprecated — the old opt-in re-materialization
-            of ``E_in`` / ``E_out``.  Setting it now just forces
-            ``codec="gap-varint"`` (with a :class:`DeprecationWarning`),
-            which compresses those files *and* every other intermediate in
-            the streaming emit itself, without the extra write+read pass
-            the old flag paid.
         dedupe_parallel_edges: lazy parallel-edge removal.
         remove_self_loops: drop self-loops when building ``E_add``.
         product_operator: use Definition 7.1 instead of 5.1.
@@ -90,7 +83,6 @@ class ExtSCCConfig:
     remove_self_loops: bool = False
     product_operator: bool = False
     codec: str = "gap-varint"
-    compress_edge_lists: bool = False
     bytes_per_node: int = SEMI_EXTERNAL_BYTES_PER_NODE
     type2_table_bytes: Optional[int] = None
     semi_scc: str = "spanning-tree"
@@ -100,17 +92,6 @@ class ExtSCCConfig:
     pool_coalesce_writes: int = 4
     workers: int = 1
     executor: str = "serial"
-
-    def __post_init__(self) -> None:
-        if self.compress_edge_lists:
-            warnings.warn(
-                "compress_edge_lists is deprecated; use codec='gap-varint' "
-                "(now the default) — the streaming emit compresses E_in/E_out "
-                "directly, without the old re-materialization pass",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            object.__setattr__(self, "codec", "gap-varint")
 
     @classmethod
     def baseline(cls, **overrides) -> "ExtSCCConfig":

@@ -42,8 +42,32 @@ from repro.io.join import anti_join, cogroup, merge_join, semi_join
 from repro.io.memory import MemoryBudget
 from repro.io.parallel import shard_ranges
 from repro.io.sort import external_sort_records, external_sort_stream
+from repro.plan import (
+    Dedupe,
+    ExtPlan,
+    Materialize,
+    MergeJoin,
+    MergePasses,
+    PlanExecutor,
+    Rewrite,
+    Scan,
+    SortRuns,
+)
 
-__all__ = ["ContractionLevel", "contract", "get_v", "get_e", "build_degree_file"]
+__all__ = [
+    "ContractionLevel",
+    "contract",
+    "build_contract_plan",
+    "get_v",
+    "get_e",
+    "build_degree_file",
+]
+
+# Default next-level size coefficients for the two Get-E operators whose
+# inputs do not exist until the iteration runs (measured medians of the
+# contraction traces; ``analysis.planner.plan_ext_scc`` uses the same).
+NODE_RETENTION_EST = 0.72
+EDGE_GROWTH_EST = 1.25
 
 Record = Tuple[int, ...]
 
@@ -449,6 +473,218 @@ def _filter_neighbors(
     )
 
 
+def build_contract_plan(
+    device: BlockDevice,
+    edges: EdgeFile,
+    nodes: NodeFile,
+    memory: MemoryBudget,
+    config: ExtSCCConfig,
+    level: int,
+) -> ExtPlan:
+    """Declare one contraction iteration ``G_i -> G_{i+1}`` as a plan.
+
+    The operator DAG mirrors the cost model's Get-V / Get-E terms one to
+    one (so an optimized plan's prediction sums to exactly
+    :meth:`CostModel.contraction_iteration`); the four executable stages
+    keep every PR 1 fused chain — and the PR 4 pooled sort barrier —
+    intact, so executing the plan is byte-identical to the pre-plan
+    pipeline.  The two operators over not-yet-built ``G_{i+1}`` files use
+    the planner's retention/growth estimates; the executing caller
+    overwrites their ``records`` with the measured sizes once the stage
+    has run (predictions never influence execution).
+    """
+    i, n = level, level + 1
+    e, v = edges.num_edges, nodes.num_nodes
+    next_v = max(1, int(v * NODE_RETENTION_EST))
+    next_e = max(0, int(e * EDGE_GROWTH_EST))
+    vd_width = 12 if config.product_operator else 8
+    ed_width = 8 + (8 if config.product_operator else 4)
+    plan = ExtPlan(f"contract-{i}", phase=f"contraction/contract-{i}")
+
+    # -- stage 1: sort E_i into E_out / E_in (one pooled barrier) ----------
+    src = plan.add(Scan(f"E_{i}", records=e, record_size=8))
+    eout_ops = [
+        plan.add(SortRuns("E_out runs", inputs=(f"E_{i}",), records=e,
+                          record_size=8, cost=("sort-runs", e, 8), group="eout")),
+        plan.add(MergePasses("E_out merge", inputs=("E_out runs",), records=e,
+                             record_size=8, cost=("merge-passes", e, 8),
+                             group="eout")),
+        plan.add(Materialize("E_out", inputs=("E_out merge",), records=e,
+                             record_size=8, cost=("sort-final", e, 8),
+                             group="eout")),
+    ]
+    ein_ops = [
+        plan.add(SortRuns("E_in runs", inputs=(f"E_{i}",), records=e,
+                          record_size=8, cost=("sort-runs", e, 8), group="ein")),
+        plan.add(MergePasses("E_in merge", inputs=("E_in runs",), records=e,
+                             record_size=8, cost=("merge-passes", e, 8),
+                             group="ein")),
+        plan.add(Materialize("E_in", inputs=("E_in merge",), records=e,
+                             record_size=8, cost=("sort-final", e, 8),
+                             group="ein")),
+    ]
+
+    def run_sort_edges(ctx: dict):
+        unique = config.dedupe_parallel_edges
+        pool = device.worker_pool
+        if pool is not None and pool.workers > 1:
+            # The two sorts read the same input and write disjoint
+            # outputs, so they are one barrier of two independent tasks.
+            # The serial backend runs them in exactly the original order
+            # (eout, ein).
+            eout, ein = pool.run(
+                [
+                    lambda: edges.sorted_by_src(memory, unique=unique),
+                    lambda: edges.sorted_by_dst(memory, unique=unique),
+                ]
+            )
+        else:
+            eout = edges.sorted_by_src(memory, unique=unique)
+            ein = edges.sorted_by_dst(memory, unique=unique)
+        return eout, ein
+
+    plan.stage("sort-edges", [src] + eout_ops + ein_ops, run_sort_edges,
+               barrier=True)
+
+    # -- stage 2: Get-V (Algorithm 3) --------------------------------------
+    getv_ops = [
+        plan.add(Scan("E_in degree scan", inputs=("E_in",), records=e,
+                      record_size=8, cost=("scan", e, 8))),
+        plan.add(Scan("E_out degree scan", inputs=("E_out",), records=e,
+                      record_size=8, cost=("scan", e, 8))),
+        plan.add(Rewrite("degree merge",
+                         inputs=("E_in degree scan", "E_out degree scan"),
+                         records=v, record_size=vd_width)),
+    ]
+    if config.trim_type1:
+        getv_ops.append(plan.add(Rewrite("type-1 trim",
+                                         inputs=("degree merge",))))
+    getv_ops += [
+        plan.add(Materialize("V_d", inputs=("degree merge",), records=v,
+                             record_size=vd_width,
+                             cost=("write", v, vd_width))),
+        plan.add(MergeJoin("E_d: attach deg(u)", inputs=("E_out", "V_d"),
+                           records=e, record_size=ed_width,
+                           cost=("scan", e, ed_width))),
+        plan.add(SortRuns("E_d runs", inputs=("E_d: attach deg(u)",),
+                          records=e, record_size=ed_width,
+                          cost=("sort-runs", e, ed_width), group="ed")),
+        plan.add(MergePasses("E_d merge", inputs=("E_d runs",), records=e,
+                             record_size=ed_width,
+                             cost=("merge-passes", e, ed_width), group="ed")),
+        plan.add(Materialize("E_d by dst", inputs=("E_d merge",), records=e,
+                             record_size=ed_width,
+                             cost=("sort-final", e, ed_width), group="ed",
+                             fusable=True)),
+        plan.add(MergeJoin("cover pick (>)", inputs=("E_d by dst", "V_d"),
+                           records=e, record_size=4)),
+    ]
+    if config.type2_reduction:
+        getv_ops.append(plan.add(Rewrite("type-2 table",
+                                         inputs=("cover pick (>)",))))
+    getv_ops += [
+        plan.add(SortRuns("cover runs", inputs=("cover pick (>)",), records=e,
+                          record_size=4, cost=("sort-runs", e, 4),
+                          group="cover")),
+        plan.add(MergePasses("cover merge", inputs=("cover runs",), records=e,
+                             record_size=4, cost=("merge-passes", e, 4),
+                             group="cover")),
+        plan.add(Dedupe("cover dedupe", inputs=("cover merge",),
+                        records=next_v, record_size=4)),
+        plan.add(Materialize(f"V_{n}", inputs=("cover dedupe",),
+                             records=next_v, record_size=4,
+                             cost=("sort-final", e, 4), group="cover")),
+    ]
+
+    def run_get_v(ctx: dict):
+        eout, ein = ctx["sort-edges"]
+        return get_v(device, edges, ein, eout, memory, config)
+
+    plan.stage("get-v", getv_ops, run_get_v)
+
+    # -- stage 3: Get-E (Algorithm 4) --------------------------------------
+    gete_ops = [
+        plan.add(Scan("E_in removed-dst scan", inputs=("E_in", f"V_{n}"),
+                      records=e, record_size=8, cost=("scan", e, 8))),
+        plan.add(Scan("E_out removed-src scan", inputs=("E_out", f"V_{n}"),
+                      records=e, record_size=8, cost=("scan", e, 8))),
+    ]
+    if config.trim_type1:
+        gete_ops.append(plan.add(Rewrite(
+            "neighbor filter",
+            inputs=("E_in removed-dst scan", "E_out removed-src scan"),
+        )))
+    gete_ops += [
+        plan.add(MergeJoin(
+            "E_add bypass (in × out)",
+            inputs=("E_in removed-dst scan", "E_out removed-src scan"),
+        )),
+        plan.add(MergeJoin("E_pre semi-join (src)", inputs=("E_out", f"V_{n}"),
+                           records=e, record_size=8)),
+        plan.add(SortRuns("E_pre runs", inputs=("E_pre semi-join (src)",),
+                          records=e, record_size=8, cost=("sort-runs", e, 8),
+                          group="epre")),
+        plan.add(MergePasses("E_pre merge", inputs=("E_pre runs",), records=e,
+                             record_size=8, cost=("merge-passes", e, 8),
+                             group="epre")),
+        plan.add(Materialize("E_pre by dst", inputs=("E_pre merge",),
+                             records=e, record_size=8,
+                             cost=("sort-final", e, 8), group="epre",
+                             fusable=True)),
+        plan.add(MergeJoin("E_pre semi-join (dst)",
+                           inputs=("E_pre by dst", f"V_{n}"), records=e,
+                           record_size=8)),
+        plan.add(Scan(f"V_{n} scans", inputs=(f"V_{n}",), records=next_v,
+                      record_size=4, cost=("scan", next_v, 4))),
+        plan.add(Materialize(
+            f"E_{n}",
+            inputs=("E_add bypass (in × out)", "E_pre semi-join (dst)"),
+            records=next_e, record_size=8, cost=("write", next_e, 8),
+        )),
+    ]
+
+    def run_get_e(ctx: dict):
+        eout, ein = ctx["sort-edges"]
+        return get_e(device, ein, eout, ctx["get-v"], memory, config)
+
+    plan.stage("get-e", gete_ops, run_get_e)
+
+    # -- stage 4: removed set + the level bundle ---------------------------
+    removed_ops = [
+        plan.add(MergeJoin("removed anti-join", inputs=(f"V_{i}", f"V_{n}"),
+                           records=v, record_size=4)),
+        plan.add(Materialize(f"removed_{i}", inputs=("removed anti-join",),
+                             records=v, record_size=4,
+                             checkpoint="contract")),
+    ]
+
+    def run_level(ctx: dict) -> ContractionLevel:
+        eout, ein = ctx["sort-edges"]
+        v_next: NodeFile = ctx["get-v"]
+        removed_file = record_file_from_records(
+            device,
+            device.temp_name("removed"),
+            anti_join(((v_,) for v_ in nodes.scan()), v_next.scan(),
+                      lambda r: r[0]),
+            NODE_RECORD_BYTES,
+            sort_field=0,
+        )
+        ein.delete()
+        eout.delete()
+        return ContractionLevel(
+            level=level,
+            edges=edges,
+            next_nodes=v_next,
+            removed=NodeFile(removed_file),
+            next_edges=ctx["get-e"],
+            num_nodes=nodes.num_nodes,
+            num_edges=edges.num_edges,
+        )
+
+    plan.stage("removed-set", removed_ops, run_level)
+    return plan
+
+
 def contract(
     device: BlockDevice,
     edges: EdgeFile,
@@ -463,39 +699,19 @@ def contract(
     (as the paper does), derives the removed set by an anti-join of the two
     sorted node files, and returns the :class:`ContractionLevel` bundle the
     expansion phase will need.
+
+    Convenience wrapper: builds the iteration's plan, runs the planner's
+    rewrites, and executes it.  :class:`~repro.core.ext_scc.ExtSCC` calls
+    the builder directly so it can attach tracing and checkpoint hooks.
     """
-    unique = config.dedupe_parallel_edges
-    pool = device.worker_pool
-    if pool is not None and pool.workers > 1:
-        # The two sorts read the same input and write disjoint outputs, so
-        # they are one barrier of two independent tasks.  The serial
-        # backend runs them in exactly the original order (eout, ein).
-        eout, ein = pool.run(
-            [
-                lambda: edges.sorted_by_src(memory, unique=unique),
-                lambda: edges.sorted_by_dst(memory, unique=unique),
-            ]
-        )
-    else:
-        eout = edges.sorted_by_src(memory, unique=unique)
-        ein = edges.sorted_by_dst(memory, unique=unique)
-    v_next = get_v(device, edges, ein, eout, memory, config)
-    e_next = get_e(device, ein, eout, v_next, memory, config)
-    removed_file = record_file_from_records(
-        device,
-        device.temp_name("removed"),
-        anti_join(((v,) for v in nodes.scan()), v_next.scan(), lambda r: r[0]),
-        NODE_RECORD_BYTES,
-        sort_field=0,
-    )
-    ein.delete()
-    eout.delete()
-    return ContractionLevel(
-        level=level,
-        edges=edges,
-        next_nodes=v_next,
-        removed=NodeFile(removed_file),
-        next_edges=e_next,
-        num_nodes=nodes.num_nodes,
-        num_edges=edges.num_edges,
-    )
+    from repro.analysis.planner import optimize_plan  # cycle via cost_model
+
+    plan = build_contract_plan(device, edges, nodes, memory, config, level)
+    optimize_plan(plan, _cost_model(device, memory), config)
+    return PlanExecutor(device).execute(plan)
+
+
+def _cost_model(device: BlockDevice, memory: MemoryBudget):
+    from repro.analysis.cost_model import CostModel  # cycle via ext_scc
+
+    return CostModel(device.block_size, memory.nbytes)

@@ -31,8 +31,17 @@ from repro.io.codecs import RecordStore, record_file_from_records
 from repro.io.join import anti_join, cogroup, merge_join
 from repro.io.memory import MemoryBudget
 from repro.io.sort import external_sort_records, external_sort_stream, merge_runs
+from repro.plan import (
+    ExtPlan,
+    Materialize,
+    MergeJoin,
+    MergePasses,
+    PlanExecutor,
+    Rewrite,
+    SortRuns,
+)
 
-__all__ = ["expand_level", "augment"]
+__all__ = ["expand_level", "build_expand_plan", "augment"]
 
 Record = Tuple[int, ...]
 
@@ -115,6 +124,181 @@ def _intersect_sorted(a: List[int], b: List[int]) -> List[int]:
     return out
 
 
+def _augment_ops(plan: ExtPlan, d: str, e: int, v: int) -> list:
+    """Declare one augment pipeline's operators (``d`` is ``in``/``out``).
+
+    Mirrors the cost model's per-augment terms exactly: two streamed
+    edge sorts, the ``scan(v, SCC)`` label join, and the materialized
+    ``(v, SCC, u)`` grouping sort.
+    """
+    p = f"E'_{d}"
+    return [
+        plan.add(SortRuns(f"{p} by-dst runs", inputs=("E_i",), records=e,
+                          record_size=8, cost=("sort-runs", e, 8),
+                          group=f"{d}-bydst")),
+        plan.add(MergePasses(f"{p} by-dst merge", inputs=(f"{p} by-dst runs",),
+                             records=e, record_size=8,
+                             cost=("merge-passes", e, 8), group=f"{d}-bydst")),
+        plan.add(Materialize(f"{p} by dst", inputs=(f"{p} by-dst merge",),
+                             records=e, record_size=8,
+                             cost=("sort-final", e, 8), group=f"{d}-bydst",
+                             fusable=True)),
+        plan.add(MergeJoin(f"{p} removed filter",
+                           inputs=(f"{p} by dst", "V_next"), records=e,
+                           record_size=8)),
+        plan.add(SortRuns(f"{p} by-src runs", inputs=(f"{p} removed filter",),
+                          records=e, record_size=8, cost=("sort-runs", e, 8),
+                          group=f"{d}-bysrc")),
+        plan.add(MergePasses(f"{p} by-src merge", inputs=(f"{p} by-src runs",),
+                             records=e, record_size=8,
+                             cost=("merge-passes", e, 8), group=f"{d}-bysrc")),
+        plan.add(Materialize(f"{p} by src", inputs=(f"{p} by-src merge",),
+                             records=e, record_size=8,
+                             cost=("sort-final", e, 8), group=f"{d}-bysrc",
+                             fusable=True)),
+        plan.add(MergeJoin(f"{p} attach SCC(u)",
+                           inputs=(f"{p} by src", "SCC_next"), records=v,
+                           record_size=SCC_RECORD_BYTES,
+                           cost=("scan", v, SCC_RECORD_BYTES))),
+        plan.add(SortRuns(f"{p} grouped runs", inputs=(f"{p} attach SCC(u)",),
+                          records=e, record_size=AUGMENTED_EDGE_BYTES,
+                          cost=("sort-runs", e, AUGMENTED_EDGE_BYTES),
+                          group=f"{d}-grouped")),
+        plan.add(MergePasses(f"{p} grouped merge",
+                             inputs=(f"{p} grouped runs",), records=e,
+                             record_size=AUGMENTED_EDGE_BYTES,
+                             cost=("merge-passes", e, AUGMENTED_EDGE_BYTES),
+                             group=f"{d}-grouped")),
+        plan.add(Materialize(p, inputs=(f"{p} grouped merge",), records=e,
+                             record_size=AUGMENTED_EDGE_BYTES,
+                             cost=("sort-final", e, AUGMENTED_EDGE_BYTES),
+                             group=f"{d}-grouped")),
+    ]
+
+
+def build_expand_plan(
+    device: BlockDevice,
+    level: ContractionLevel,
+    scc_next: RecordStore,
+    memory: MemoryBudget,
+    config: ExtSCCConfig,
+    delete_input: bool = True,
+) -> ExtPlan:
+    """Declare one expansion step ``SCC_{i+1} -> SCC_i`` as a plan.
+
+    Three stages: the two augment pipelines (one pooled barrier, like the
+    pre-plan code), the removed-label co-scan, and the label merge whose
+    ``Materialize`` declares the ``expand`` checkpoint role.  The operator
+    DAG mirrors :meth:`CostModel.expansion_iteration` term for term.
+    """
+    e, v = level.num_edges, level.num_nodes
+    i = level.level
+    plan = ExtPlan(f"expand-{i}", phase=f"expansion/expand-{i}")
+    srcs = [
+        plan.add(Rewrite("E_i", records=e, record_size=8)),
+        plan.add(Rewrite("V_next", records=level.next_nodes.num_nodes,
+                         record_size=4)),
+        plan.add(Rewrite("SCC_next", records=level.next_nodes.num_nodes,
+                         record_size=SCC_RECORD_BYTES)),
+    ]
+    augment_ops = _augment_ops(plan, "in", e, v) + _augment_ops(plan, "out", e, v)
+
+    # E'_in: in-neighbor SCCs of removed nodes (over E_i).
+    def augment_in() -> RecordStore:
+        return augment(device, level.edges, level.next_nodes, scc_next, memory)
+
+    # E'_out: out-neighbor SCCs (over reversed E_i — in-neighbors of the
+    # reverse graph are out-neighbors of G_i).  The flip happens in-flight
+    # on the way into augment's first sort; no reversed copy hits the disk.
+    def augment_out() -> RecordStore:
+        flipped = ((v_, u) for u, v_ in level.edges.scan())
+        return augment(device, flipped, level.next_nodes, scc_next, memory)
+
+    def run_augments(ctx: dict):
+        # The two augments read the same inputs and write disjoint
+        # outputs — one barrier of two independent tasks when a worker
+        # pool is attached (the serial backend preserves the original
+        # e_in-then-e_out order).
+        pool = device.worker_pool
+        if pool is not None and pool.workers > 1:
+            return pool.run([augment_in, augment_out])
+        return augment_in(), augment_out()
+
+    plan.stage("augment", srcs + augment_ops, run_augments, barrier=True)
+
+    label_ops = [
+        plan.add(MergeJoin("removed 3-way co-scan",
+                           inputs=("E'_in", "E'_out", "removed"),
+                           records=v, record_size=SCC_RECORD_BYTES)),
+        plan.add(Materialize("SCC_del", inputs=("removed 3-way co-scan",),
+                             records=v, record_size=SCC_RECORD_BYTES,
+                             cost=("write", v, SCC_RECORD_BYTES))),
+    ]
+
+    def run_labels(ctx: dict) -> RecordStore:
+        e_in, e_out = ctx["augment"]
+
+        def removed_labels() -> Iterator[Record]:
+            """Labels for removed nodes: 3-way co-scan, singleton default."""
+            groups = cogroup(
+                e_in.scan(), e_out.scan(), lambda r: r[1], lambda r: r[1]
+            )
+            current = next(groups, None)
+            for node in level.removed.scan():
+                while current is not None and current[0] < node:  # type: ignore[operator]
+                    current = next(groups, None)
+                if current is not None and current[0] == node:
+                    common = _intersect_sorted(
+                        _scc_list(current[1]), _scc_list(current[2])
+                    )
+                    if config.validate and len(common) > 1:
+                        raise AssertionError(
+                            f"Lemma 6.2 violated: node {node} sees "
+                            f"{len(common)} shared SCCs"
+                        )
+                    yield (node, common[0]) if common else (node, node)
+                else:
+                    # No surviving in- or out-edges: singleton SCC.
+                    yield (node, node)
+
+        scc_del = record_file_from_records(
+            device, device.temp_name("sccdel"), removed_labels(),
+            SCC_RECORD_BYTES, sort_field=0,
+        )
+        e_in.delete()
+        e_out.delete()
+        return scc_del
+
+    plan.stage("label-removed", label_ops, run_labels)
+
+    merge_ops = [
+        plan.add(Rewrite("label union", inputs=("SCC_next", "SCC_del"),
+                         records=v, record_size=SCC_RECORD_BYTES)),
+        plan.add(Materialize(f"SCC_{i}", inputs=("label union",), records=v,
+                             record_size=SCC_RECORD_BYTES,
+                             cost=("write", v, SCC_RECORD_BYTES),
+                             checkpoint="expand")),
+    ]
+
+    def run_merge(ctx: dict) -> RecordStore:
+        scc_del = ctx["label-removed"]
+        # SCC_i = SCC_{i+1} ∪ SCC_del, sorted by node id.  Both inputs are
+        # already node-sorted, so one merge pass suffices (paper line 6
+        # sorts).
+        merged = merge_runs([scc_next.scan(), scc_del.scan()])
+        scc_i = record_file_from_records(
+            device, device.temp_name("scc"), merged, SCC_RECORD_BYTES,
+            sort_field=0,
+        )
+        scc_del.delete()
+        if delete_input:
+            scc_next.delete()
+        return scc_i
+
+    plan.stage("merge-labels", merge_ops, run_merge)
+    return plan
+
+
 def expand_level(
     device: BlockDevice,
     level: ContractionLevel,
@@ -139,62 +323,15 @@ def expand_level(
 
     Returns:
         ``(node, scc)`` records for all of ``V_i``, sorted by node id.
+
+    Convenience wrapper over :func:`build_expand_plan` + the planner +
+    the executor, mirroring :func:`~repro.core.contraction.contract`.
     """
-    # E'_in: in-neighbor SCCs of removed nodes (over E_i).
-    def augment_in() -> RecordStore:
-        return augment(device, level.edges, level.next_nodes, scc_next, memory)
+    from repro.analysis.planner import optimize_plan  # cycle via cost_model
+    from repro.core.contraction import _cost_model
 
-    # E'_out: out-neighbor SCCs (over reversed E_i — in-neighbors of the
-    # reverse graph are out-neighbors of G_i).  The flip happens in-flight
-    # on the way into augment's first sort; no reversed copy hits the disk.
-    def augment_out() -> RecordStore:
-        flipped = ((v, u) for u, v in level.edges.scan())
-        return augment(device, flipped, level.next_nodes, scc_next, memory)
-
-    # The two augments read the same inputs and write disjoint outputs —
-    # one barrier of two independent tasks when a worker pool is attached
-    # (the serial backend preserves the original e_in-then-e_out order).
-    pool = device.worker_pool
-    if pool is not None and pool.workers > 1:
-        e_in, e_out = pool.run([augment_in, augment_out])
-    else:
-        e_in = augment_in()
-        e_out = augment_out()
-
-    def removed_labels() -> Iterator[Record]:
-        """Labels for removed nodes: 3-way co-scan with singleton default."""
-        groups = cogroup(e_in.scan(), e_out.scan(), lambda r: r[1], lambda r: r[1])
-        current = next(groups, None)
-        for v in level.removed.scan():
-            while current is not None and current[0] < v:  # type: ignore[operator]
-                current = next(groups, None)
-            if current is not None and current[0] == v:
-                common = _intersect_sorted(
-                    _scc_list(current[1]), _scc_list(current[2])
-                )
-                if config.validate and len(common) > 1:
-                    raise AssertionError(
-                        f"Lemma 6.2 violated: node {v} sees {len(common)} shared SCCs"
-                    )
-                yield (v, common[0]) if common else (v, v)
-            else:
-                # No surviving in- or out-edges: singleton SCC.
-                yield (v, v)
-
-    scc_del = record_file_from_records(
-        device, device.temp_name("sccdel"), removed_labels(), SCC_RECORD_BYTES,
-        sort_field=0,
+    plan = build_expand_plan(
+        device, level, scc_next, memory, config, delete_input=delete_input
     )
-    e_in.delete()
-    e_out.delete()
-
-    # SCC_i = SCC_{i+1} ∪ SCC_del, sorted by node id.  Both inputs are
-    # already node-sorted, so one merge pass suffices (paper line 6 sorts).
-    merged = merge_runs([scc_next.scan(), scc_del.scan()])
-    scc_i = record_file_from_records(
-        device, device.temp_name("scc"), merged, SCC_RECORD_BYTES, sort_field=0
-    )
-    scc_del.delete()
-    if delete_input:
-        scc_next.delete()
-    return scc_i
+    optimize_plan(plan, _cost_model(device, memory), config)
+    return PlanExecutor(device).execute(plan)

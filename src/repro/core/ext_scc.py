@@ -27,8 +27,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
 
 from repro.core.config import ExtSCCConfig
-from repro.core.contraction import ContractionLevel, contract
-from repro.core.expansion import expand_level
+from repro.core.contraction import ContractionLevel, build_contract_plan
+from repro.core.expansion import build_expand_plan
 from repro.core.result import SCCResult
 from repro.exceptions import IOBudgetExceeded, ReproError, SimulatedCrash
 from repro.graph.edge_file import EdgeFile, NodeFile
@@ -38,7 +38,8 @@ from repro.io.memory import MemoryBudget
 from repro.io.parallel import EXECUTOR_BACKENDS, MakespanMeter, WorkerPool
 from repro.io.pool import SharedBufferPool
 from repro.io.stats import RECOVERY_PHASE, IOBudget, IOSnapshot, IOStats
-from repro.semi_external import SEMI_SCC_SOLVERS, run_semi_scc_to_file
+from repro.plan import ExtPlan, PlanExecutor, TraceLedger
+from repro.semi_external import SEMI_SCC_SOLVERS, build_semi_plan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (recovery imports us)
     from repro.recovery.checkpoint import CheckpointManager, ResumeState
@@ -98,6 +99,11 @@ class ExtSCCOutput:
             ``io.total`` on an unstriped device or with one channel.
         channel_io: per-channel I/O totals of a striped run (a single
             entry equal to ``io.total`` when unstriped).
+        trace: per-operator execution spans (one per executed plan stage,
+            predicted vs. measured I/Os) — what ``--trace-json`` dumps.
+        plans: the optimized plans the run executed, in execution order,
+            with next-level size estimates trued up to the measured sizes
+            (so a calibrated model can re-price them post-run).
     """
 
     result: SCCResult
@@ -112,6 +118,8 @@ class ExtSCCOutput:
     resumed: bool = False
     makespan: int = 0
     channel_io: List[int] = field(default_factory=list)
+    trace: TraceLedger = field(default_factory=TraceLedger)
+    plans: List[ExtPlan] = field(default_factory=list)
 
     @property
     def num_iterations(self) -> int:
@@ -260,9 +268,27 @@ class ExtSCC:
         meter: MakespanMeter,
     ) -> ExtSCCOutput:
         """The contract / semi / expand pipeline, parameterized by an
-        optional :class:`ResumeState` that skips the already-durable part."""
+        optional :class:`ResumeState` that skips the already-durable part.
+
+        Every phase is built as an :class:`~repro.plan.ExtPlan`, rewritten
+        by the planner, and run through one :class:`PlanExecutor` that
+        feeds the run's trace ledger and fires the checkpoint commits
+        declared on ``Materialize`` nodes.  The stage thunks are the same
+        fused pipelines as before, so the ledger and labels are identical
+        to the pre-plan code path.
+        """
+        # Function-level imports: analysis.cost_model imports this module
+        # (for IterationRecord), so the planner cannot be imported at the
+        # top without a cycle.
+        from repro.analysis.cost_model import CostModel
+        from repro.analysis.planner import optimize_plan
+
         config = self.config
         resumed = state is not None and state.resumed
+        model = CostModel(device.block_size, memory.nbytes)
+        trace = TraceLedger()
+        plans: List[ExtPlan] = []
+        executor = PlanExecutor(device, trace=trace)
 
         if state is not None and state.nodes is not None:
             nodes = state.nodes
@@ -293,22 +319,39 @@ class ExtSCC:
                             f"{config.max_iterations} iterations"
                         )
                     before = stats.snapshot()
+                    made: dict = {}
+
+                    def record_for(lvl: ContractionLevel) -> IterationRecord:
+                        # Built at most once per iteration: the journal's
+                        # commit hook (fired at the plan's Materialize,
+                        # after all of the iteration's I/O) and the
+                        # iterations list share the same record.
+                        if "record" not in made:
+                            made["record"] = IterationRecord(
+                                level=lvl.level,
+                                num_nodes=lvl.num_nodes,
+                                num_edges=lvl.num_edges,
+                                next_num_nodes=lvl.next_nodes.num_nodes,
+                                next_num_edges=lvl.next_edges.num_edges,
+                                io=stats.snapshot() - before,
+                            )
+                        return made["record"]
+
                     with stats.phase(f"contract-{i}"):
-                        level = contract(
-                            device, current_edges, current_nodes, memory, config,
-                            level=i,
+                        plan = build_contract_plan(
+                            device, current_edges, current_nodes, memory,
+                            config, level=i,
                         )
-                    record = IterationRecord(
-                        level=i,
-                        num_nodes=level.num_nodes,
-                        num_edges=level.num_edges,
-                        next_num_nodes=level.next_nodes.num_nodes,
-                        next_num_edges=level.next_edges.num_edges,
-                        io=stats.snapshot() - before,
-                    )
+                        optimize_plan(plan, model, config)
+                        hooks = (
+                            checkpoint.plan_hooks(record_factory=record_for)
+                            if checkpoint is not None else None
+                        )
+                        level = executor.execute(plan, commit_hooks=hooks)
+                    _true_up_contract_plan(plan, level)
+                    plans.append(plan)
+                    record = record_for(level)
                     iterations.append(record)
-                    if checkpoint is not None:
-                        checkpoint.commit_contract(level, record)
                     if on_iteration is not None:
                         on_iteration(record)
                     levels.append(level)
@@ -322,12 +365,16 @@ class ExtSCC:
             scc_file = state.scc_store
         else:
             with stats.phase("semi-scc"):
-                solver = SEMI_SCC_SOLVERS[config.semi_scc]
-                scc_file = run_semi_scc_to_file(
-                    solver, current_edges, current_nodes.scan(), memory
+                plan = build_semi_plan(
+                    device, current_edges, current_nodes, memory,
+                    config.semi_scc,
                 )
-            if checkpoint is not None:
-                checkpoint.commit_semi(scc_file)
+                optimize_plan(plan, model, config)
+                hooks = (
+                    checkpoint.plan_hooks() if checkpoint is not None else None
+                )
+                scc_file = executor.execute(plan, commit_hooks=hooks)
+            plans.append(plan)
         semi_io = stats.snapshot() - semi_start
 
         expansion_start = stats.snapshot()
@@ -336,13 +383,22 @@ class ExtSCC:
                 scc_prev = scc_file
                 with stats.phase(f"expand-{level.level}"):
                     # Commit-then-delete: under checkpointing the previous
-                    # labels survive until the expand entry is durable.
-                    scc_file = expand_level(
+                    # labels survive until the expand entry is durable —
+                    # the plan's final Materialize declares the ``expand``
+                    # role, so the executor commits it before this loop
+                    # deletes the previous labels.
+                    plan = build_expand_plan(
                         device, level, scc_prev, memory, config,
                         delete_input=checkpoint is None,
                     )
+                    optimize_plan(plan, model, config)
+                    hooks = (
+                        checkpoint.plan_hooks(level=level)
+                        if checkpoint is not None else None
+                    )
+                    scc_file = executor.execute(plan, commit_hooks=hooks)
+                plans.append(plan)
                 if checkpoint is not None:
-                    checkpoint.commit_expand(level, scc_file)
                     scc_prev.delete()
                 level.cleanup()
         expansion_io = stats.snapshot() - expansion_start
@@ -364,7 +420,32 @@ class ExtSCC:
             resumed=resumed,
             makespan=meter.makespan(),
             channel_io=meter.channel_snapshot(),
+            trace=trace,
+            plans=plans,
         )
+
+
+def _true_up_contract_plan(plan: ExtPlan, level: ContractionLevel) -> None:
+    """Replace a contract plan's next-level size *estimates* with the sizes
+    the iteration actually produced.
+
+    :func:`~repro.core.contraction.build_contract_plan` prices the two
+    Get-E operators over not-yet-built ``G_{i+1}`` files with the
+    planner's retention/growth coefficients (predictions never influence
+    execution).  Trueing them up afterwards lets a calibrated model
+    re-price the stored plan post-run — the trace-envelope benchmark
+    depends on this.
+    """
+    n = level.level + 1
+    next_v = level.next_nodes.num_nodes
+    next_e = level.next_edges.num_edges
+    for op in plan.ops:
+        if op.label == f"V_{n} scans":
+            op.records, op.cost = next_v, ("scan", next_v, 4)
+        elif op.label == f"E_{n}":
+            op.records, op.cost = next_e, ("write", next_e, 8)
+        elif op.label in (f"V_{n}", "cover dedupe"):
+            op.records = next_v
 
 
 def compute_sccs(

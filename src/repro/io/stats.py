@@ -235,6 +235,12 @@ class IOStats:
         """Total block I/Os attributed to ``label`` (0 if it never ran)."""
         return self.by_phase.get(label, IOSnapshot()).total
 
+    @property
+    def current_phase(self) -> str:
+        """The active phase stack as a ``/``-joined path (``""`` outside
+        any phase) — what an executed plan stage's span is labelled with."""
+        return "/".join(self._phase_stack)
+
     @contextlib.contextmanager
     def phase(self, label: str) -> Iterator[None]:
         """Attribute all I/O inside the ``with`` block to ``label``.

@@ -1,0 +1,127 @@
+"""Per-operator execution tracing: spans and the trace ledger.
+
+Every stage a :class:`~repro.plan.PlanExecutor` runs emits one
+:class:`Span` — which operators ran, the phase they were charged to, the
+planner's predicted blocks, and the measured I/O delta (blocks, payload
+bytes, busiest-channel makespan contribution, wall time).  The ledger is
+surfaced by ``repro scc --trace-json`` and by bench reporting, and the
+calibration benchmark checks each span's prediction against its
+measurement.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Span", "TraceLedger"]
+
+
+@dataclass
+class Span:
+    """One executed plan stage's measurements.
+
+    Attributes:
+        plan: name of the owning plan (``"contract-1"``).
+        stage: stage label within the plan (``"get-v"``).
+        phase: innermost I/O-ledger phase the blocks were charged to.
+        operators: ``"kind:label"`` of every DAG operator the stage
+            covers (fused chains execute as one stage, so a span usually
+            spans several operators).
+        predicted_ios: planner prediction summed over those operators
+            (``None`` when the plan was executed without optimization).
+        reads / writes: measured blocks.
+        random_ios: measured non-sequential accesses (zero by design).
+        records: records appended to files during the stage.
+        bytes_stored: stored payload bytes written during the stage.
+        makespan: busiest-channel share of the stage's blocks on a
+            striped device (equals ``reads + writes`` when unstriped).
+        wall_seconds: host wall-clock time of the stage.
+    """
+
+    plan: str
+    stage: str
+    phase: str
+    operators: Tuple[str, ...]
+    predicted_ios: Optional[int]
+    reads: int
+    writes: int
+    random_ios: int
+    records: int
+    bytes_stored: int
+    makespan: int
+    wall_seconds: float
+
+    @property
+    def measured_ios(self) -> int:
+        """Total measured blocks of the stage."""
+        return self.reads + self.writes
+
+
+class TraceLedger:
+    """An append-only list of executed spans with aggregate views."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+
+    def record(self, span: Span) -> None:
+        self.spans.append(span)
+
+    @property
+    def total_measured(self) -> int:
+        """Measured blocks across every span."""
+        return sum(s.measured_ios for s in self.spans)
+
+    @property
+    def total_predicted(self) -> int:
+        """Predicted blocks across every span with a prediction."""
+        return sum(s.predicted_ios or 0 for s in self.spans)
+
+    def by_phase(self) -> Dict[str, Dict[str, int]]:
+        """``{phase: {predicted, measured, makespan}}`` over the run's
+        top-level phases (the prefix before the first ``/``)."""
+        out: Dict[str, Dict[str, int]] = {}
+        for span in self.spans:
+            top = span.phase.split("/", 1)[0] if span.phase else ""
+            bucket = out.setdefault(
+                top, {"predicted": 0, "measured": 0, "makespan": 0}
+            )
+            bucket["predicted"] += span.predicted_ios or 0
+            bucket["measured"] += span.measured_ios
+            bucket["makespan"] += span.makespan
+        return out
+
+    def render(self) -> str:
+        """A printable per-span table (predicted vs. measured blocks)."""
+        lines = [
+            f"{'plan':<14} {'stage':<18} {'pred.':>8} {'meas.':>8} "
+            f"{'Δ%':>7} {'makespan':>9} {'bytes':>12}"
+        ]
+        for s in self.spans:
+            if s.predicted_ios is None:
+                delta = "-"
+            elif s.predicted_ios == 0:
+                delta = "0.0" if s.measured_ios == 0 else "inf"
+            else:
+                delta = f"{100 * (s.measured_ios - s.predicted_ios) / s.predicted_ios:+.1f}"
+            pred = "-" if s.predicted_ios is None else f"{s.predicted_ios:,}"
+            lines.append(
+                f"{s.plan:<14} {s.stage:<18} {pred:>8} {s.measured_ios:>8,} "
+                f"{delta:>7} {s.makespan:>9,} {s.bytes_stored:>12,}"
+            )
+        lines.append(
+            f"{'TOTAL':<14} {'':<18} {self.total_predicted:>8,} "
+            f"{self.total_measured:>8,}"
+        )
+        return "\n".join(lines)
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        """The full ledger as JSON (spans plus per-phase aggregates)."""
+        payload = {
+            "spans": [asdict(s) for s in self.spans],
+            "by_phase": self.by_phase(),
+            "total_predicted": self.total_predicted,
+            "total_measured": self.total_measured,
+        }
+        return json.dumps(payload, indent=indent)

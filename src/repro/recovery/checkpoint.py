@@ -215,6 +215,37 @@ class CheckpointManager:
         """The run completed; nothing is left to resume."""
         self.reset()
 
+    def plan_hooks(
+        self,
+        record_factory=None,
+        level: Optional[ContractionLevel] = None,
+    ) -> Dict[str, "object"]:
+        """Commit callbacks keyed by the checkpoint *role* a plan's
+        ``Materialize`` operators declare, for
+        :meth:`~repro.plan.PlanExecutor.execute`.
+
+        Each callback receives the executing stage's result:
+
+        * ``"contract"`` — the :class:`ContractionLevel`; ``record_factory``
+          (required for this role) maps it to the :class:`IterationRecord`
+          the journal entry embeds.
+        * ``"semi"`` — the label :class:`RecordStore`.
+        * ``"expand"`` — the new label store; ``level`` (required for this
+          role) names the expanded level.
+
+        Commits still do zero simulated I/O, so firing them from inside
+        the executor leaves the ledger identical to the pre-plan
+        phase-boundary call sites.
+        """
+        hooks: Dict[str, object] = {"semi": self.commit_semi}
+        if record_factory is not None:
+            hooks["contract"] = lambda lvl: self.commit_contract(
+                lvl, record_factory(lvl)
+            )
+        if level is not None:
+            hooks["expand"] = lambda store: self.commit_expand(level, store)
+        return hooks
+
     # -- recovery -----------------------------------------------------------
 
     @staticmethod

@@ -14,6 +14,7 @@ from repro.graph.edge_file import EdgeFile
 from repro.io.blocks import BlockDevice
 from repro.io.codecs import RecordStore, record_file_from_records
 from repro.io.memory import MemoryBudget
+from repro.plan import ExtPlan, Materialize, Rewrite, Scan
 from repro.semi_external.coloring import coloring_scc
 from repro.semi_external.forward_backward import forward_backward_scc
 from repro.semi_external.parallel_fw_bw import parallel_fw_bw_scc
@@ -32,7 +33,14 @@ __all__ = [
     "SEMI_SCC_SOLVERS",
     "SemiSCCSolver",
     "run_semi_scc_to_file",
+    "build_semi_plan",
+    "SEMI_SCC_PRICED_PASSES",
 ]
+
+SEMI_SCC_PRICED_PASSES = 3
+"""Edge scans the cost model prices a semi-external solver at (matches
+``CostModel.semi_scc``'s default caller; actual solver passes are
+data-dependent)."""
 
 SemiSCCSolver = Callable[..., Dict[int, int]]
 """A semi-external solver: ``(edge_file, node_ids, memory=...) -> labels``."""
@@ -68,3 +76,42 @@ def run_semi_scc_to_file(
     name = out_name if out_name is not None else device.temp_name("scc")
     records = ((node, labels[node]) for node in sorted(labels))
     return record_file_from_records(device, name, records, SCC_RECORD_BYTES, sort_field=0)
+
+
+def build_semi_plan(
+    device: BlockDevice,
+    edges: EdgeFile,
+    nodes,
+    memory: MemoryBudget,
+    solver_name: str,
+) -> "ExtPlan":
+    """Declare the semi-external hand-off as a one-stage plan.
+
+    The operator DAG prices the solver at the cost model's
+    :data:`SEMI_SCC_PRICED_PASSES` sequential edge scans (the in-memory
+    label computation and write-back are free in the model); the final
+    ``Materialize`` declares the ``semi`` checkpoint role.
+    """
+    e = edges.num_edges
+    v = nodes.num_nodes
+    plan = ExtPlan("semi-scc", phase="semi-scc")
+    ops = [
+        plan.add(Scan(f"E_l pass {k}", inputs=("E_l pass " + str(k - 1),)
+                      if k > 1 else (), records=e, record_size=8,
+                      cost=("scan", e, 8)))
+        for k in range(1, SEMI_SCC_PRICED_PASSES + 1)
+    ]
+    ops.append(plan.add(Rewrite(f"{solver_name} labels",
+                                inputs=(f"E_l pass {SEMI_SCC_PRICED_PASSES}",),
+                                records=v, record_size=SCC_RECORD_BYTES)))
+    ops.append(plan.add(Materialize("SCC_l",
+                                    inputs=(f"{solver_name} labels",),
+                                    records=v, record_size=SCC_RECORD_BYTES,
+                                    checkpoint="semi")))
+
+    def run_semi(ctx: dict) -> RecordStore:
+        solver = SEMI_SCC_SOLVERS[solver_name]
+        return run_semi_scc_to_file(solver, edges, nodes.scan(), memory)
+
+    plan.stage("semi-scc", ops, run_semi)
+    return plan

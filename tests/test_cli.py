@@ -237,3 +237,78 @@ class TestVerboseScc:
         code = main(["scc", str(path), "-m", "300", "-b", "64", "-v"])
         assert code == 0
         assert "iteration 1:" in capsys.readouterr().err
+
+
+class TestWorkerValidation:
+    """``--workers 0`` used to be silently accepted (and ran serial);
+    it must now be an argparse error, like any other malformed value."""
+
+    @pytest.fixture
+    def edge_path(self, tmp_path):
+        path = tmp_path / "cycle.txt"
+        write_edge_text(path, cycle_graph(20).edges)
+        return path
+
+    @pytest.mark.parametrize("value", ["0", "-2", "two"])
+    @pytest.mark.parametrize("command", ["scc", "bench"])
+    def test_bad_workers_rejected(self, edge_path, capsys, command, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, str(edge_path), "--workers", value])
+        assert excinfo.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["scc", "bench"])
+    def test_unknown_executor_rejected(self, edge_path, capsys, command):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, str(edge_path), "--executor", "fibers"])
+        assert excinfo.value.code == 2
+        assert "--executor" in capsys.readouterr().err
+
+    def test_workers_one_is_fine(self, edge_path, capsys):
+        assert main(["scc", str(edge_path), "-m", "16K",
+                     "--workers", "1"]) == 0
+
+
+class TestExplainAndTrace:
+    @pytest.fixture
+    def edge_path(self, tmp_path):
+        path = tmp_path / "cycle.txt"
+        write_edge_text(path, cycle_graph(60).edges)
+        return path
+
+    def test_explain_prints_operator_dag(self, edge_path, capsys):
+        code = main(["scc", str(edge_path), "-m", "300", "-b", "64",
+                     "--explain"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan contract-1" in out
+        assert "pred.I/Os" in out
+        assert "rewrites:" in out
+        assert "Ext-SCC plan:" in out  # the analytic schedule follows
+
+    def test_explain_semi_when_input_fits(self, edge_path, capsys):
+        code = main(["scc", str(edge_path), "-m", "16K", "--explain"])
+        assert code == 0
+        assert "plan semi-scc" in capsys.readouterr().out
+
+    def test_explain_runs_nothing(self, tmp_path, edge_path, capsys):
+        labels = tmp_path / "labels.txt"
+        code = main(["scc", str(edge_path), "-m", "300", "-b", "64",
+                     "--explain", "-o", str(labels)])
+        assert code == 0
+        assert not labels.exists()
+        assert "sccs:" not in capsys.readouterr().err
+
+    def test_trace_json_written(self, tmp_path, edge_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main(["scc", str(edge_path), "-m", "300", "-b", "64",
+                     "--trace-json", str(trace_path)])
+        assert code == 0
+        payload = json.loads(trace_path.read_text())
+        assert payload["spans"]
+        assert payload["total_measured"] > 0
+        stages = {(s["plan"], s["stage"]) for s in payload["spans"]}
+        assert ("semi-scc", "semi-scc") in stages
+        assert "trace (" in capsys.readouterr().err

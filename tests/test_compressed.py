@@ -135,7 +135,7 @@ class TestCompressedEdgeFile:
 
 
 class TestCompressedPipeline:
-    """The codec knob inside Ext-SCC (and the compress_edge_lists shim)."""
+    """The codec knob inside Ext-SCC."""
 
     @pytest.mark.parametrize("seed", range(6))
     def test_same_sccs_as_fixed(self, seed):
@@ -164,12 +164,13 @@ class TestCompressedPipeline:
         assert comp.result == base.result
         assert comp.io.total < base.io.total
 
-    def test_deprecated_flag_forces_compression(self):
+    def test_removed_shim_rejected(self):
+        """The PR 2 ``compress_edge_lists`` shim is gone; passing it is a
+        hard error, not a silent no-op."""
         from repro.core import ExtSCCConfig
 
-        with pytest.warns(DeprecationWarning):
-            config = ExtSCCConfig(codec="fixed", compress_edge_lists=True)
-        assert config.codec == "gap-varint"
+        with pytest.raises(TypeError):
+            ExtSCCConfig(codec="fixed", compress_edge_lists=True)
 
     def test_unknown_codec_rejected(self):
         from repro.core import ExtSCC, ExtSCCConfig

@@ -94,3 +94,56 @@ class TestMembershipJoins:
         assert sorted(kept + dropped) == records
         assert all(r[0] in keys for r in kept)
         assert all(r[0] not in keys for r in dropped)
+
+
+class TestEdgeCases:
+    """Degenerate stream shapes: empty sides, lone groups, and the
+    duplicate-heavy joins Theorem 5.3 bounds by sqrt(2|E|)."""
+
+    def test_merge_join_empty_sides(self):
+        assert list(merge_join([], [(1,)], key0, key0)) == []
+        assert list(merge_join([(1,)], [], key0, key0)) == []
+        assert list(merge_join([], [], key0, key0)) == []
+
+    def test_semi_anti_join_empty_records(self):
+        assert list(semi_join([], [1, 2], key0)) == []
+        assert list(anti_join([], [1, 2], key0)) == []
+
+    def test_duplicate_heavy_merge_join_is_cross_product(self):
+        """A single hot key on both sides yields the full cross product
+        (one group per side held in memory, as in the degree co-scan)."""
+        left = [(7, i) for i in range(40)]
+        right = [(7, j) for j in range(25)]
+        pairs = list(merge_join(left, right, key0, key0))
+        assert len(pairs) == 40 * 25
+        assert pairs[0] == ((7, 0), (7, 0))
+        assert pairs[-1] == ((7, 39), (7, 24))
+
+    def test_duplicate_heavy_cogroup(self):
+        left = [(1, i) for i in range(30)] + [(2, 0)]
+        right = [(2, j) for j in range(30)]
+        out = list(cogroup(left, right, key0, key0))
+        assert [(k, len(l), len(r)) for k, l, r in out] == [
+            (1, 30, 0), (2, 1, 30),
+        ]
+
+    def test_membership_joins_with_duplicate_keys(self):
+        """A sorted key stream with repeats filters like a set."""
+        records = [(1, 0), (2, 0), (3, 0)]
+        keys = [2, 2, 2]
+        assert list(semi_join(records, keys, key0)) == [(2, 0)]
+        assert list(anti_join(records, keys, key0)) == [(1, 0), (3, 0)]
+
+    def test_grouped_single_record(self):
+        assert list(grouped([(9, "x")], key0)) == [(9, [(9, "x")])]
+
+    def test_merge_join_duplicates_interleaved_with_misses(self):
+        left = [(1, "a"), (2, "b"), (2, "c"), (4, "d")]
+        right = [(0, "w"), (2, "x"), (2, "y"), (5, "z")]
+        pairs = list(merge_join(left, right, key0, key0))
+        assert pairs == [
+            ((2, "b"), (2, "x")),
+            ((2, "b"), (2, "y")),
+            ((2, "c"), (2, "x")),
+            ((2, "c"), (2, "y")),
+        ]

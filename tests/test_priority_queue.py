@@ -119,3 +119,73 @@ class TestSpilling:
         while len(pq):
             pq.pop_min()
         assert (device.stats.snapshot() - before).random == 0
+
+
+class TestEdgeCases:
+    """Degenerate shapes the planner's merge operators must survive:
+    empty queues, exactly-one-run merges, and duplicate-heavy streams."""
+
+    def test_empty_queue_state(self, device):
+        pq = make_pq(device)
+        assert len(pq) == 0
+        assert pq.num_runs == 0
+        assert pq.pop_key(3) == []
+
+    def test_drained_queue_raises_again(self, device):
+        pq = make_pq(device, memory_bytes=64)
+        for i in range(100):
+            pq.push(i)
+        while len(pq):
+            pq.pop_min()
+        with pytest.raises(IndexError):
+            pq.pop_min()
+        assert pq.pop_key(0) == []
+
+    def test_single_run_merge(self, device):
+        """Exactly one spill: the drain is a merge of one run against an
+        empty heap — the L=1 case of the merge fan-in."""
+        pq = make_pq(device, memory_bytes=64)
+        capacity = pq._heap_capacity
+        keys = [(i * 13) % capacity for i in range(capacity)]
+        for key in keys:
+            pq.push(key)
+        assert pq.num_runs == 1
+        assert len(pq._heap) == 0
+        assert [pq.pop_min()[0] for _ in range(len(keys))] == sorted(keys)
+
+    def test_single_run_then_fresh_pushes(self, device):
+        """New pushes after a lone spill merge correctly with its run."""
+        pq = make_pq(device, memory_bytes=64)
+        capacity = pq._heap_capacity
+        for i in range(capacity):
+            pq.push(i * 2)  # evens into the run
+        assert pq.num_runs == 1
+        for i in range(5):
+            pq.push(i * 2 + 1)  # odds stay in the heap
+        popped = [pq.pop_min()[0] for _ in range(len(pq))]
+        assert popped == sorted(popped)
+        assert set(popped[:11]) == set(range(11))
+
+    def test_duplicate_heavy_across_runs(self, device):
+        """One key dominating several spilled runs drains completely."""
+        pq = make_pq(device, memory_bytes=64)
+        for i in range(400):
+            pq.push(7, i)
+        pq.push(3, 0)
+        pq.push(9, 0)
+        assert pq.num_runs > 1
+        assert pq.pop_min() == (3, 0)
+        assert pq.pop_key(7) == list(range(400))
+        assert pq.pop_min() == (9, 0)
+        assert len(pq) == 0
+
+    def test_drop_resets_to_empty(self, device):
+        pq = ExternalPriorityQueue(device, MemoryBudget(64), name="z")
+        for i in range(200):
+            pq.push(i)
+        pq.drop()
+        assert len(pq) == 0
+        with pytest.raises(IndexError):
+            pq.peek_min()
+        pq.push(1, 1)  # usable again after drop
+        assert pq.pop_min() == (1, 1)
