@@ -17,6 +17,8 @@ scans; only O(M) lives in memory (the EPQ's in-memory heap).
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from typing import Iterator, Sequence, Tuple
 
 from repro.constants import SCC_RECORD_BYTES
@@ -54,18 +56,18 @@ def _edges_in_time(
 
     def src_mapped() -> Iterator[Record]:
         for edge, mapping in merge_join(
-            by_src.scan(), time_map.scan(), lambda e: e[0], lambda m: m[0]
+            by_src.scan(), time_map.scan(), itemgetter(0), itemgetter(0)
         ):
             yield (mapping[1], edge[1])  # (t_u, v)
 
     half = external_sort_records(
-        device, src_mapped(), SCC_RECORD_BYTES, memory, key=lambda r: (r[1], r[0])
+        device, src_mapped(), SCC_RECORD_BYTES, memory, key=itemgetter(1, 0)
     )
     by_src.delete()
 
     def both_mapped() -> Iterator[Record]:
         for record, mapping in merge_join(
-            half.scan(), time_map.scan(), lambda r: r[1], lambda m: m[0]
+            half.scan(), time_map.scan(), itemgetter(1), itemgetter(0)
         ):
             t_u, t_v = record[0], mapping[1]
             if t_u >= t_v:
@@ -115,7 +117,7 @@ def dag_levels(
             yield (time,)
 
     for time, _node_group, edge_group in cogroup(
-        time_stream(), timed_edges.scan(), lambda r: r[0], lambda e: e[0]
+        time_stream(), timed_edges.scan(), itemgetter(0), itemgetter(0)
     ):
         incoming = queue.pop_key(time)
         level = max(incoming, default=0)

@@ -14,6 +14,8 @@ the function doubles as an external acyclicity check.
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from typing import Iterator
 
 from repro.constants import NODE_RECORD_BYTES, SCC_RECORD_BYTES
@@ -22,7 +24,7 @@ from repro.io.blocks import BlockDevice
 from repro.io.files import ExternalFile
 from repro.io.join import anti_join, semi_join
 from repro.io.memory import MemoryBudget
-from repro.io.sort import external_sort_records
+from repro.io.sort import KEY_DST_SRC, external_sort_records
 
 __all__ = ["external_topological_sort", "CycleDetected"]
 
@@ -54,7 +56,7 @@ def external_topological_sort(
         CycleDetected: when a round removes no node while edges remain.
     """
     current_edges: ExternalFile = external_sort_records(
-        device, edges.scan(), 8, memory, key=lambda e: (e[1], e[0])
+        device, edges.scan(), 8, memory, key=KEY_DST_SRC
     )  # sorted by destination
     current_nodes: ExternalFile = ExternalFile.from_records(
         device, device.temp_name("topon"), ((v,) for v in nodes.scan()),
@@ -74,7 +76,7 @@ def external_topological_sort(
         ready = ExternalFile.from_records(
             device,
             device.temp_name("topor"),
-            anti_join(current_nodes.scan(), destinations(), lambda r: r[0]),
+            anti_join(current_nodes.scan(), destinations(), itemgetter(0)),
             NODE_RECORD_BYTES,
         )
         if ready.num_records == 0:
@@ -92,16 +94,16 @@ def external_topological_sort(
             device,
             device.temp_name("topon"),
             anti_join(current_nodes.scan(), (v for (v,) in ready.scan()),
-                      lambda r: r[0]),
+                      itemgetter(0)),
             NODE_RECORD_BYTES,
         )
         by_src = external_sort_records(device, current_edges.scan(), 8, memory)
         current_edges.delete()
         surviving = semi_join(
-            by_src.scan(), (v for (v,) in remaining_nodes.scan()), lambda e: e[0]
+            by_src.scan(), (v for (v,) in remaining_nodes.scan()), itemgetter(0)
         )
         next_edges = external_sort_records(
-            device, surviving, 8, memory, key=lambda e: (e[1], e[0])
+            device, surviving, 8, memory, key=KEY_DST_SRC
         )
         by_src.delete()
         ready.delete()

@@ -25,6 +25,8 @@ are rewritten wholesale rather than amortized.  The profile the paper plots
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Set, Tuple
@@ -68,7 +70,7 @@ class _Adjacency:
         name: str,
         reverse: bool,
     ) -> None:
-        key = (lambda e: (e[1], e[0])) if reverse else None
+        key = (itemgetter(1, 0)) if reverse else None
         sorted_edges = external_sort_records(
             device, edges.scan(), 8, memory, key=key
         )
@@ -84,7 +86,7 @@ class _Adjacency:
         position = 0
         node_stream: Iterator[Tuple[int, ...]] = ((v,) for v in nodes.scan())
         for node, node_group, edge_group in cogroup(
-            node_stream, sorted_edges.scan(), lambda r: r[0], source
+            node_stream, sorted_edges.scan(), itemgetter(0), source
         ):
             if not node_group:
                 continue  # edge endpoint outside the node file: ignore

@@ -25,6 +25,8 @@ is maintained externally and composed with sorts and merge joins.
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -38,7 +40,7 @@ from repro.io.blocks import BlockDevice
 from repro.io.codecs import RecordStore, create_record_file, record_file_from_records
 from repro.io.join import cogroup
 from repro.io.memory import MemoryBudget
-from repro.io.sort import external_sort_records, external_sort_stream
+from repro.io.sort import KEY_DST_SRC, KEY_SRC_DST, external_sort_records, external_sort_stream
 from repro.io.stats import IOSnapshot
 from repro.memory_scc.tarjan import tarjan_scc
 from repro.plan import (
@@ -96,14 +98,14 @@ def _rewrite_endpoint(
     """
     sorted_edges = external_sort_stream(
         device, edges.scan(), EDGE_RECORD_BYTES, memory,
-        key=(lambda e: (e[endpoint], e[1 - endpoint])), sort_field=endpoint,
+        key=(KEY_SRC_DST if endpoint == 0 else KEY_DST_SRC), sort_field=endpoint,
     )
     # The rewritten endpoint breaks the scan order, so no gap field.
     out = create_record_file(
         device, device.temp_name("emrw"), EDGE_RECORD_BYTES, sort_field=None
     )
     for _, edge_group, map_group in cogroup(
-        sorted_edges, mapping.scan(), lambda e: e[endpoint], lambda m: m[0]
+        sorted_edges, mapping.scan(), itemgetter(endpoint), itemgetter(0)
     ):
         new_id = map_group[0][1] if map_group else None
         for edge in edge_group:
@@ -323,13 +325,13 @@ def build_em_iteration_plan(
         # The by-current sort streams into the composition co-scan.
         by_current = external_sort_stream(
             device, cumulative.scan(), SCC_RECORD_BYTES, memory,
-            key=lambda r: (r[1], r[0]), sort_field=1,
+            key=KEY_DST_SRC, sort_field=1,
         )
         composed = create_record_file(
             device, device.temp_name("emmap2"), SCC_RECORD_BYTES, sort_field=None
         )
         for _, cum_group, map_group in cogroup(
-            by_current, deduped.scan(), lambda r: r[1], lambda m: m[0]
+            by_current, deduped.scan(), itemgetter(1), itemgetter(0)
         ):
             new_id = map_group[0][1] if map_group else None
             for orig, current in cum_group:
@@ -417,7 +419,7 @@ def em_scc(
 
     by_current = external_sort_records(
         device, cumulative.scan(), SCC_RECORD_BYTES, memory,
-        key=lambda r: (r[1], r[0]), sort_field=1,
+        key=KEY_DST_SRC, sort_field=1,
     )
     cumulative.delete()
     labels: Dict[int, int] = {}

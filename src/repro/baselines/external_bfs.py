@@ -15,6 +15,8 @@ batch like this) is so much harder, per the paper's Section III.
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.constants import NODE_RECORD_BYTES, SCC_RECORD_BYTES
@@ -66,7 +68,7 @@ def external_bfs_levels(
         # Neighbors of the frontier: one merge join against the adjacency.
         def neighbor_stream() -> Iterator[Tuple[int]]:
             for _frontier_rec, edge in merge_join(
-                frontier.scan(), adjacency.scan(), lambda r: r[0], lambda e: e[0]
+                frontier.scan(), adjacency.scan(), itemgetter(0), itemgetter(0)
             ):
                 yield (edge[1],)
 
@@ -74,7 +76,7 @@ def external_bfs_levels(
             device, neighbor_stream(), NODE_RECORD_BYTES, memory, unique=True
         )
         fresh = anti_join(
-            candidates.scan(), (v for (v,) in visited.scan()), lambda r: r[0]
+            candidates.scan(), (v for (v,) in visited.scan()), itemgetter(0)
         )
         next_frontier = ExternalFile.from_records(
             device, device.temp_name("bfsfr"), fresh, NODE_RECORD_BYTES

@@ -49,7 +49,8 @@ class RunResult:
     bytes_logical: int = 0
     bytes_stored: int = 0
     width_profile: Dict[int, float] = field(default_factory=dict)
-    phases: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    # per-phase counters, plus the float "wall_seconds" measurement
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
     workers: int = 1
     makespan: int = 0
     channel_io: List[int] = field(default_factory=list)
@@ -236,6 +237,9 @@ def run_algorithm(
             "records_written": records,
             "bytes_logical": logical,
             "bytes_stored": stored,
+            # Host wall-clock (float seconds) — reported alongside the
+            # simulated counters but never compared by regression gates.
+            "wall_seconds": device.stats.seconds_by_phase.get(label, 0.0),
         }
         for label, snap in device.stats.by_phase.items()
         for records, logical, stored in (

@@ -22,9 +22,10 @@ def format_phase_table(run: RunResult) -> str:
     ``contract-2``, …; ``expansion`` contains ``expand-i``), so the
     top-level rows sum the per-level rows below them.  The pass counts come
     from :attr:`repro.io.stats.IOStats.passes_by_phase` — they are how the
-    run-formation strategies are compared level by level.  The last two
-    columns show what the codec bought per phase: logical over stored
-    payload bytes, and stored bytes per record written.
+    run-formation strategies are compared level by level.  The last three
+    columns show what the codec bought per phase (logical over stored
+    payload bytes, stored bytes per record) and the host wall-clock seconds
+    the phase took — the one measured (non-simulated) column.
     """
 
     def _ratio(logical: int, stored: int) -> str:
@@ -34,7 +35,8 @@ def format_phase_table(run: RunResult) -> str:
         return f"{stored / records:.2f}" if records else "-"
 
     header = ["phase", "io_total", "seq", "rand", "merge_passes",
-              "runs_formed", "compression_ratio", "bytes_per_record"]
+              "runs_formed", "compression_ratio", "bytes_per_record",
+              "wall_s"]
     rows: List[List[str]] = [header]
     for label in sorted(run.phases):
         p = run.phases[label]
@@ -47,6 +49,7 @@ def format_phase_table(run: RunResult) -> str:
             str(p["runs_formed"]),
             _ratio(p.get("bytes_logical", 0), p.get("bytes_stored", 0)),
             _per_record(p.get("bytes_stored", 0), p.get("records_written", 0)),
+            f"{p.get('wall_seconds', 0.0):.3f}",
         ])
     rows.append([
         "(run total)",
@@ -57,6 +60,7 @@ def format_phase_table(run: RunResult) -> str:
         str(run.runs_formed),
         _ratio(run.bytes_logical, run.bytes_stored),
         _per_record(run.bytes_stored, run.records_written),
+        f"{run.wall_seconds:.3f}",
     ])
     widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
     lines = [f"{run.algorithm} @ {run.x}  —  per-phase I/O and merge passes"]
@@ -78,7 +82,7 @@ def format_trace(run: RunResult) -> str:
     """
     if not run.trace:
         return ""
-    header = ["phase", "predicted", "measured", "delta", "makespan"]
+    header = ["phase", "predicted", "measured", "delta", "makespan", "wall_s"]
     rows: List[List[str]] = [header]
 
     def _delta(predicted: int, measured: int) -> str:
@@ -94,6 +98,7 @@ def format_trace(run: RunResult) -> str:
             f"{bucket['measured']:,}",
             _delta(bucket["predicted"], bucket["measured"]),
             f"{bucket['makespan']:,}",
+            f"{bucket.get('wall_seconds', 0.0):.3f}",
         ])
     rows.append([
         "(total)",
@@ -101,6 +106,7 @@ def format_trace(run: RunResult) -> str:
         f"{run.trace_measured:,}",
         _delta(run.trace_predicted, run.trace_measured),
         "-",
+        f"{run.wall_seconds:.3f}",
     ])
     widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
     lines = [f"{run.algorithm} @ {run.x}  —  plan trace (predicted vs measured blocks)"]
@@ -201,7 +207,8 @@ def format_scaling_table(runs: List[RunResult], title: str = "Worker scaling") -
     — parallelism redistributes I/O, it never adds or removes any.
     """
     base = next((r for r in runs if r.workers == 1), runs[0] if runs else None)
-    header = ["workers", "io_total", "makespan", "speedup", "efficiency"]
+    header = ["workers", "io_total", "makespan", "speedup", "efficiency",
+              "wall_s"]
     rows: List[List[str]] = [header]
     for run in runs:
         if run.ok and run.makespan and base is not None and base.makespan:
@@ -212,9 +219,10 @@ def format_scaling_table(runs: List[RunResult], title: str = "Worker scaling") -
                 f"{run.makespan:,}",
                 f"{speedup:.2f}x",
                 f"{speedup / run.workers:.2f}",
+                f"{run.wall_seconds:.3f}",
             ])
         else:
-            rows.append([str(run.workers), run.status, "-", "-", "-"])
+            rows.append([str(run.workers), run.status, "-", "-", "-", "-"])
     widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
     lines = [title]
     for index, row in enumerate(rows):

@@ -26,8 +26,22 @@ from repro.core import ExtSCCConfig, compute_sccs
 from repro.exceptions import ReproError
 from repro.graph.datasets import build_dataset
 from repro.graph.io_formats import read_edge_binary, read_edge_text, write_edge_binary, write_edge_text
+from repro.io.parallel import EXECUTOR_BACKENDS, processes_available
 
 __all__ = ["main", "parse_size"]
+
+
+def _check_executor(executor: str) -> Optional[str]:
+    """Platform validation for ``--executor``: the ``processes`` backend
+    needs a working fork/spawn + semaphore implementation.  Returns an
+    error message, or ``None`` when the choice can run here."""
+    if executor == "processes" and not processes_available():
+        return (
+            "--executor processes is unavailable on this platform "
+            "(no usable fork/spawn start method or no working "
+            "multiprocessing semaphores); use --executor threads or serial"
+        )
+    return None
 
 _SUFFIXES = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
 
@@ -164,6 +178,10 @@ def _cmd_scc(args: argparse.Namespace) -> int:
         ExtSCCConfig.optimized() if args.algorithm == "ext-scc-op"
         else ExtSCCConfig.baseline()
     )
+    error = _check_executor(args.executor)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.workers > 1 or args.executor != "serial":
         config = replace(config, workers=args.workers, executor=args.executor)
     if args.explain:
@@ -216,6 +234,15 @@ def _cmd_scc(args: argparse.Namespace) -> int:
         f"{elapsed:.2f}s",
         file=sys.stderr,
     )
+    if args.verbose and out.phase_seconds:
+        breakdown = "  ".join(
+            f"{label}: {seconds:.2f}s"
+            for label, seconds in out.phase_seconds.items()
+        )
+        print(
+            f"wall by phase: {breakdown}  (run total {out.wall_seconds:.2f}s)",
+            file=sys.stderr,
+        )
     if args.workers > 1:
         print(
             f"workers: {args.workers}  makespan: {out.makespan} block I/Os  "
@@ -259,6 +286,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    error = _check_executor(args.executor)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     edges = _load_edges(args.input, args.binary)
     num_nodes = args.nodes or (1 + max(max(u, v) for u, v in edges))
     result = run_algorithm(
@@ -276,6 +307,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"(random {result.io_random})  wall: {result.wall_seconds:.2f}s  "
         f"sccs: {result.num_sccs}"
     )
+    top_phases = [
+        label
+        for label in ("recovery", "contraction", "semi-scc", "expansion")
+        if label in result.phases
+    ]
+    if top_phases:
+        breakdown = "  ".join(
+            f"{label}: {result.phases[label].get('wall_seconds', 0.0):.2f}s"
+            for label in top_phases
+        )
+        print(f"wall by phase: {breakdown}")
     if args.workers > 1:
         print(
             f"workers: {result.workers}  makespan: {result.makespan} "
@@ -388,10 +430,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="after the run, dump the per-operator execution "
                           "trace (predicted vs. measured I/Os per plan "
                           "stage) as JSON to PATH")
-    scc.add_argument("--executor", choices=["serial", "threads"],
+    scc.add_argument("--executor", choices=list(EXECUTOR_BACKENDS),
                      default="serial",
                      help="worker-pool backend (serial is deterministic "
-                          "and default; threads uses real threads)")
+                          "and default; threads uses real threads; "
+                          "processes adds worker processes for pure-CPU "
+                          "kernels — rejected when the platform cannot "
+                          "fork/spawn)")
     scc.add_argument("--checkpoint-dir",
                      help="journal phase boundaries in this directory "
                           "(a persistent device) so a crashed run can be "
@@ -424,9 +469,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="block-I/O cap; exceeded -> INF (exit 1)")
     bench.add_argument("--workers", type=_positive_int, default=1,
                        help="shard/channel width K for Ext-SCC runs")
-    bench.add_argument("--executor", choices=["serial", "threads"],
+    bench.add_argument("--executor", choices=list(EXECUTOR_BACKENDS),
                        default="serial",
-                       help="worker-pool backend for Ext-SCC runs")
+                       help="worker-pool backend for Ext-SCC runs "
+                            "(processes is rejected when the platform "
+                            "cannot fork/spawn)")
     bench.add_argument("--binary", action="store_true")
     bench.set_defaults(func=_cmd_bench)
 

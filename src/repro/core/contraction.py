@@ -28,8 +28,10 @@ device; the I/O ledger shows zero random accesses.
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.constants import NODE_RECORD_BYTES
 from repro.core.config import ExtSCCConfig
@@ -41,7 +43,7 @@ from repro.io.codecs import RecordStore, create_record_file, record_file_from_re
 from repro.io.join import anti_join, cogroup, merge_join, semi_join
 from repro.io.memory import MemoryBudget
 from repro.io.parallel import shard_ranges
-from repro.io.sort import external_sort_records, external_sort_stream
+from repro.io.sort import KEY_DST_SRC, KEY_SRC_DST, external_sort_records, external_sort_stream
 from repro.plan import (
     Dedupe,
     ExtPlan,
@@ -283,17 +285,27 @@ def _filter_to_survivors(
     re-read of ``E_in`` is ever materialized.
     """
     survivors = lambda: (r[0] for r in vd.scan())  # noqa: E731 - tiny closure
-    src_ok = semi_join(eout.scan(), survivors(), lambda e: e[0])
+    src_ok = semi_join(eout.scan(), survivors(), itemgetter(0))
     by_dst = external_sort_stream(
-        device, src_ok, 8, memory, key=lambda e: (e[1], e[0]), sort_field=1
+        device, src_ok, 8, memory, key=KEY_DST_SRC, sort_field=1
     )
-    fully_ok = semi_join(by_dst, survivors(), lambda e: e[1])
+    fully_ok = semi_join(by_dst, survivors(), itemgetter(1))
     filtered_ein = create_record_file(device, device.temp_name("tein"), 8, sort_field=1)
 
     def tee() -> Iterator[Record]:
+        # Chunked so the E_in copy goes through the batch extend path; the
+        # records, their order, and every block cut are those of per-record
+        # appends — only the pricing granularity changes.
+        chunk: List[Record] = []
         for record in fully_ok:
-            filtered_ein.append(record)
-            yield record
+            chunk.append(record)
+            if len(chunk) >= 1024:
+                filtered_ein.extend(chunk)
+                yield from chunk
+                chunk = []
+        if chunk:
+            filtered_ein.extend(chunk)
+            yield from chunk
 
     new_eout = external_sort_records(device, tee(), 8, memory)
     filtered_ein.close()
@@ -325,7 +337,7 @@ def get_v(
     # E_d step 1: augment deg(u) on every edge (E_out join V_d on u).
     def ed1_records() -> Iterator[Record]:
         for edge, node_rec in merge_join(
-            eout.scan(), vd.scan(), lambda e: e[0], lambda r: r[0]
+            eout.scan(), vd.scan(), itemgetter(0), itemgetter(0)
         ):
             # (u, v, deg_u[, prod_u])
             yield (edge[0], edge[1]) + node_rec[1:]
@@ -335,7 +347,7 @@ def get_v(
     # copy (pre- or post-sort) is materialized.
     ed2_stream = external_sort_stream(
         device, ed1_records(), 8 + 4 * info_width, memory,
-        key=lambda r: (r[1], r[0]), sort_field=1,
+        key=KEY_DST_SRC, sort_field=1,
     )
 
     # E_d step 3 + cover scan fused: augment deg(v) and pick the larger
@@ -347,7 +359,7 @@ def get_v(
 
     def cover_records() -> Iterator[Record]:
         for ed_rec, node_rec in merge_join(
-            ed2_stream, vd.scan(), lambda r: r[1], lambda r: r[0]
+            ed2_stream, vd.scan(), itemgetter(1), itemgetter(0)
         ):
             u, v = ed_rec[0], ed_rec[1]
             if u == v:
@@ -400,11 +412,11 @@ def get_e(
 
     # E_del (in): edges (u, v) with v removed, grouped by v (E_in order).
     def removed_in() -> Iterator[Record]:
-        return anti_join(ein.scan(), v_next.scan(), lambda e: e[1])
+        return anti_join(ein.scan(), v_next.scan(), itemgetter(1))
 
     # E_del (out): edges (v, w) with v removed, grouped by v (E_out order).
     def removed_out() -> Iterator[Record]:
-        return anti_join(eout.scan(), v_next.scan(), lambda e: e[0])
+        return anti_join(eout.scan(), v_next.scan(), itemgetter(0))
 
     in_stream: Iterator[Record] = removed_in()
     out_stream: Iterator[Record] = removed_out()
@@ -419,7 +431,7 @@ def get_e(
 
     # E_add: for each removed v, bypass edges nbr_in(v) x nbr_out(v).
     for v, in_group, out_group in cogroup(
-        in_stream, out_stream, lambda e: e[1], lambda e: e[0]
+        in_stream, out_stream, itemgetter(1), itemgetter(0)
     ):
         for u, _v in in_group:
             if u == v:
@@ -435,13 +447,13 @@ def get_e(
     # semi-join → sort → semi-join chain with no intermediate files.
     pre_sorted = external_sort_stream(
         device,
-        semi_join(eout.scan(), v_next.scan(), lambda e: e[0]),
+        semi_join(eout.scan(), v_next.scan(), itemgetter(0)),
         8,
         memory,
-        key=lambda e: (e[1], e[0]),
+        key=KEY_DST_SRC,
         sort_field=1,
     )
-    for edge in semi_join(pre_sorted, v_next.scan(), lambda e: e[1]):
+    for edge in semi_join(pre_sorted, v_next.scan(), itemgetter(1)):
         out.append(edge)
     out.close()
     return EdgeFile(out)
@@ -462,11 +474,11 @@ def _filter_neighbors(
     are the two sorts' run files; no spill, filter, or regroup copies.
     """
     by_neighbor = external_sort_stream(
-        device, edges, 8, memory, key=lambda e: (e[side], e[1 - side]),
+        device, edges, 8, memory, key=(KEY_SRC_DST if side == 0 else KEY_DST_SRC),
         sort_field=side,
     )
-    filtered = semi_join(by_neighbor, v_next.scan(), lambda e: e[side])
-    group_key = (lambda e: (e[1], e[0])) if by_dst else None
+    filtered = semi_join(by_neighbor, v_next.scan(), itemgetter(side))
+    group_key = KEY_DST_SRC if by_dst else None
     yield from external_sort_stream(
         device, filtered, 8, memory, key=group_key,
         sort_field=1 if by_dst else None,
@@ -665,7 +677,7 @@ def build_contract_plan(
             device,
             device.temp_name("removed"),
             anti_join(((v_,) for v_ in nodes.scan()), v_next.scan(),
-                      lambda r: r[0]),
+                      itemgetter(0)),
             NODE_RECORD_BYTES,
             sort_field=0,
         )

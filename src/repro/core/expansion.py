@@ -20,6 +20,8 @@ external sorts only.
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from typing import Iterable, Iterator, List, Tuple, Union
 
 from repro.constants import AUGMENTED_EDGE_BYTES, SCC_RECORD_BYTES
@@ -30,7 +32,7 @@ from repro.io.blocks import BlockDevice
 from repro.io.codecs import RecordStore, record_file_from_records
 from repro.io.join import anti_join, cogroup, merge_join
 from repro.io.memory import MemoryBudget
-from repro.io.sort import external_sort_records, external_sort_stream, merge_runs
+from repro.io.sort import KEY_DST_AUX_SRC, KEY_DST_SRC, external_sort_records, external_sort_stream, merge_runs
 from repro.plan import (
     ExtPlan,
     Materialize,
@@ -73,17 +75,17 @@ def augment(
     source = edges.scan() if isinstance(edges, EdgeFile) else iter(edges)
     # line 9: group edges by destination (streamed, not materialized).
     by_dst = external_sort_stream(
-        device, source, 8, memory, key=lambda e: (e[1], e[0]), sort_field=1
+        device, source, 8, memory, key=KEY_DST_SRC, sort_field=1
     )
     # line 10: keep edges into removed nodes (V_{i+1} anti-join).
-    into_removed = anti_join(by_dst, v_next.scan(), lambda e: e[1])
+    into_removed = anti_join(by_dst, v_next.scan(), itemgetter(1))
     # line 11: re-sort by the source endpoint (streamed).
     by_src = external_sort_stream(device, into_removed, 8, memory)
 
     # line 12: attach SCC(u) via a merge join with the label file.
     def augmented() -> Iterator[Record]:
         for edge, label_rec in merge_join(
-            by_src, scc_next.scan(), lambda e: e[0], lambda r: r[0]
+            by_src, scc_next.scan(), itemgetter(0), itemgetter(0)
         ):
             yield (edge[0], edge[1], label_rec[1])
 
@@ -93,7 +95,7 @@ def augment(
         augmented(),
         AUGMENTED_EDGE_BYTES,
         memory,
-        key=lambda r: (r[1], r[2], r[0]),
+        key=KEY_DST_AUX_SRC,
         sort_field=1,
     )
 
@@ -241,7 +243,7 @@ def build_expand_plan(
         def removed_labels() -> Iterator[Record]:
             """Labels for removed nodes: 3-way co-scan, singleton default."""
             groups = cogroup(
-                e_in.scan(), e_out.scan(), lambda r: r[1], lambda r: r[1]
+                e_in.scan(), e_out.scan(), itemgetter(1), itemgetter(1)
             )
             current = next(groups, None)
             for node in level.removed.scan():

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import ExtSCCConfig
 from repro.core.contraction import ContractionLevel, build_contract_plan
@@ -89,6 +89,9 @@ class ExtSCCOutput:
         io: total block I/O of the run.
         contraction_io / semi_io / expansion_io: per-phase I/O.
         wall_seconds: wall-clock time of the run.
+        phase_seconds: wall-clock seconds per top-level phase label
+            (``contraction`` / ``semi-scc`` / ``expansion`` / ``recovery``)
+            — a host measurement, never part of the deterministic ledger.
         config: the configuration used.
         recovery_io: journal-validation I/O of a checkpointed run (zero
             unless a crashed run was resumed).
@@ -114,6 +117,7 @@ class ExtSCCOutput:
     expansion_io: IOSnapshot
     wall_seconds: float
     config: ExtSCCConfig
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
     recovery_io: IOSnapshot = field(default_factory=IOSnapshot)
     resumed: bool = False
     makespan: int = 0
@@ -215,15 +219,18 @@ class ExtSCC:
                 readahead=config.pool_readahead,
                 coalesce_writes=config.pool_coalesce_writes,
             )
+        created_pool: Optional[WorkerPool] = None
         if device.worker_pool is None and config.workers > 1:
             # The shard width of every partitionable operator downstream.
             # Task-level only: shard contents and charges are identical to
             # the serial pipeline, so any K reproduces the K=1 ledger.
-            device.attach_workers(
-                WorkerPool(workers=config.workers, backend=config.executor)
-            )
+            created_pool = WorkerPool(workers=config.workers, backend=config.executor)
+            device.attach_workers(created_pool)
         meter = MakespanMeter(device)
         start = time.perf_counter()
+        # Wall-clock per top-level phase is reported as a delta against the
+        # device's ledger, which may already carry phases from a prior run.
+        seconds_start = dict(stats.seconds_by_phase)
         preexisting = set(device.list_files())
         run_start = stats.snapshot()
 
@@ -240,6 +247,7 @@ class ExtSCC:
             return self._pipeline(
                 device, edges, memory, nodes, on_iteration, checkpoint,
                 state, stats, run_start, recovery_io, start, meter,
+                seconds_start,
             )
         except (IOBudgetExceeded, SimulatedCrash):
             if checkpoint is None:
@@ -251,6 +259,13 @@ class ExtSCC:
                     if name not in preexisting:
                         device.delete(name)
             raise
+        finally:
+            if created_pool is not None:
+                # Drop the executors this run spun up (worker threads, and
+                # for the processes backend the worker processes).  The
+                # pool object stays attached and usable — a later run on
+                # the same device lazily recreates them.
+                created_pool.close()
 
     def _pipeline(
         self,
@@ -266,6 +281,7 @@ class ExtSCC:
         recovery_io: IOSnapshot,
         start: float,
         meter: MakespanMeter,
+        seconds_start: Optional[Dict[str, float]] = None,
     ) -> ExtSCCOutput:
         """The contract / semi / expand pipeline, parameterized by an
         optional :class:`ResumeState` that skips the already-durable part.
@@ -407,6 +423,13 @@ class ExtSCC:
         scc_file.delete()
         if checkpoint is not None:
             checkpoint.finish()  # syncs a manifest that no longer lists scc_file
+        baseline_seconds = seconds_start or {}
+        phase_seconds = {
+            label: stats.seconds_by_phase.get(label, 0.0)
+            - baseline_seconds.get(label, 0.0)
+            for label in stats.top_level_phases
+            if label in stats.seconds_by_phase
+        }
         return ExtSCCOutput(
             result=result,
             iterations=iterations,
@@ -416,6 +439,7 @@ class ExtSCC:
             expansion_io=expansion_io,
             wall_seconds=time.perf_counter() - start,
             config=config,
+            phase_seconds=phase_seconds,
             recovery_io=recovery_io,
             resumed=resumed,
             makespan=meter.makespan(),

@@ -9,13 +9,15 @@ node file.  :class:`NodeFile` wraps a sorted file of ``(v,)`` records.
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from typing import Iterable, Iterator, Optional, Tuple
 
 from repro.constants import EDGE_RECORD_BYTES, NODE_RECORD_BYTES
 from repro.io.blocks import BlockDevice
 from repro.io.files import ExternalFile
 from repro.io.memory import MemoryBudget
-from repro.io.sort import external_sort_records
+from repro.io.sort import KEY_DST_SRC, external_sort_records
 
 __all__ = ["EdgeFile", "NodeFile"]
 
@@ -59,8 +61,7 @@ class NodeFile:
 
     def scan(self) -> Iterator[int]:
         """Stream node ids in increasing order (sequential reads)."""
-        for (v,) in self.file.scan():
-            yield v
+        return map(itemgetter(0), self.file.scan())
 
     def delete(self) -> None:
         """Remove the file from the device."""
@@ -133,7 +134,7 @@ class EdgeFile:
         return EdgeFile(
             external_sort_records(
                 self.device, self.scan(), EDGE_RECORD_BYTES, memory,
-                key=lambda e: (e[1], e[0]), unique=unique, out_name=out_name,
+                key=KEY_DST_SRC, unique=unique, out_name=out_name,
                 sort_field=1,
             )
         )

@@ -9,6 +9,8 @@ through sorts, merge joins and sequential scans on the simulated device.
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 import random
 from typing import Iterator, Optional, Tuple
 
@@ -17,7 +19,7 @@ from repro.graph.edge_file import EdgeFile, NodeFile
 from repro.io.files import ExternalFile
 from repro.io.join import merge_join, semi_join
 from repro.io.memory import MemoryBudget
-from repro.io.sort import external_sort_records
+from repro.io.sort import KEY_DST_SRC, external_sort_records
 
 __all__ = [
     "subsample",
@@ -67,7 +69,7 @@ def relabel(
 
     def map_endpoint(edges: Iterator[Edge], endpoint: int) -> Iterator[Edge]:
         for edge, entry in merge_join(
-            edges, mapping.scan(), lambda e: e[endpoint], lambda m: m[0]
+            edges, mapping.scan(), itemgetter(endpoint), itemgetter(0)
         ):
             if endpoint == 0:
                 yield (entry[1], edge[1])
@@ -77,7 +79,7 @@ def relabel(
     by_src = edge_file.sorted_by_src(memory)
     half = external_sort_records(
         device, map_endpoint(by_src.scan(), 0), EDGE_RECORD_BYTES, memory,
-        key=lambda e: (e[1], e[0]),
+        key=KEY_DST_SRC,
     )
     by_src.delete()
     name = out_name if out_name is not None else device.temp_name("relabel")
@@ -95,14 +97,14 @@ def induced_subgraph(
     """Keep edges with *both* endpoints in ``nodes`` (two semi-joins)."""
     device = edge_file.device
     by_src = edge_file.sorted_by_src(memory)
-    src_ok = semi_join(by_src.scan(), nodes.scan(), lambda e: e[0])
+    src_ok = semi_join(by_src.scan(), nodes.scan(), itemgetter(0))
     half = external_sort_records(
-        device, src_ok, EDGE_RECORD_BYTES, memory, key=lambda e: (e[1], e[0])
+        device, src_ok, EDGE_RECORD_BYTES, memory, key=KEY_DST_SRC
     )
     by_src.delete()
     name = out_name if out_name is not None else device.temp_name("induced")
     result = EdgeFile.from_edges(
-        device, name, semi_join(half.scan(), nodes.scan(), lambda e: e[1])
+        device, name, semi_join(half.scan(), nodes.scan(), itemgetter(1))
     )
     half.delete()
     return result

@@ -213,9 +213,12 @@ class BlockDevice:
 
     @staticmethod
     def _block_checksum(records: Sequence[Record]) -> int:
-        """CRC32 of a block's record content (the in-memory backend has no
-        byte serialization to hash, so the canonical repr stands in)."""
-        return zlib.crc32(repr(tuple(records)).encode())
+        """Content checksum of a block (the in-memory backend has no byte
+        serialization to hash, so the tuple hash stands in — content-based
+        and, for the integer records every pipeline file holds, stable
+        across processes; only str/bytes hashing is salted).  Masked to 32
+        bits so :meth:`file_checksum` can pack it."""
+        return hash(tuple(records)) & 0xFFFFFFFF
 
     def append_block(self, f: DiskFile, records: Sequence[Record]) -> None:
         """Append one block of records to ``f`` (a sequential write)."""

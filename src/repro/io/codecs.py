@@ -39,6 +39,10 @@ the codec in effect (explicit argument, else the device default, else
 
 from __future__ import annotations
 
+import os
+import struct
+from bisect import bisect_right
+from itertools import accumulate, islice
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import StorageError
@@ -58,12 +62,74 @@ __all__ = [
     "RecordStore",
     "create_record_file",
     "record_file_from_records",
+    "batch_enabled",
+    "set_batch_enabled",
+    "numpy_enabled",
+    "set_numpy_enabled",
+    "BATCH_CHUNK",
 ]
 
 Record = Tuple[int, ...]
 
 DEFAULT_CODEC = "gap-varint"
 """Codec used when neither the caller nor the device names one."""
+
+
+# -- batch-path feature flags -------------------------------------------------
+
+BATCH_CHUNK = 4096
+"""Records staged per batch append/size computation.  Large enough to
+amortize the per-chunk setup, small enough that chunk buffers stay cache
+resident; chunking is invisible to the output (the greedy block walk
+carries the previous record across chunk boundaries)."""
+
+_batch_enabled = os.environ.get("REPRO_BATCH_IO", "1") != "0"
+_numpy_enabled = os.environ.get("REPRO_NUMPY", "0") == "1"
+_np = None  # the numpy module when the fast path is active, else None
+
+_NUMPY_MIN = 256
+"""Below this many records the numpy conversion overhead beats the win."""
+
+
+def batch_enabled() -> bool:
+    """Whether the block-granularity batch write path is active (default
+    on; disable with ``REPRO_BATCH_IO=0`` or :func:`set_batch_enabled` —
+    the scalar and batch paths are byte-identical, so this is a debugging
+    and benchmarking switch, not a correctness one)."""
+    return _batch_enabled
+
+
+def set_batch_enabled(enabled: bool) -> bool:
+    """Toggle the batch write path; returns the previous setting."""
+    global _batch_enabled
+    previous, _batch_enabled = _batch_enabled, bool(enabled)
+    return previous
+
+
+def _load_numpy():
+    global _np
+    if _np is None:
+        try:
+            import numpy
+        except ImportError:
+            return None
+        _np = numpy
+    return _np
+
+
+def numpy_enabled() -> bool:
+    """Whether the numpy vectorized varint-size path is active.  Opt-in
+    (``REPRO_NUMPY=1`` or :func:`set_numpy_enabled`) and silently inert
+    when numpy is not importable; the pure-Python fallback is
+    byte-identical."""
+    return _numpy_enabled and _load_numpy() is not None
+
+
+def set_numpy_enabled(enabled: bool) -> bool:
+    """Toggle the numpy fast path; returns the previous setting."""
+    global _numpy_enabled
+    previous, _numpy_enabled = _numpy_enabled, bool(enabled)
+    return previous
 
 
 # -- varint / zigzag primitives ---------------------------------------------
@@ -150,8 +216,47 @@ class Codec:
             prev = record
             yield record
 
+    # -- block-granularity batch APIs --------------------------------------
+
+    def encoded_sizes(
+        self, records: Sequence[Record], prev: Optional[Record] = None
+    ) -> List[int]:
+        """Accounted bytes for each record of a contiguous slice.
+
+        ``prev`` is the record immediately before the slice (``None`` at a
+        stream or block start); within the slice each record's predecessor
+        is the previous slice element.  Equals ``[encoded_size(r, p) ...]``
+        element for element — subclasses override with tight loops (and an
+        optional numpy path), this generic version is the reference.
+        """
+        sizes: List[int] = []
+        for record in records:
+            sizes.append(self.encoded_size(record, prev))
+            prev = record
+        return sizes
+
+    def encode_block(self, records: Sequence[Record]) -> bytes:
+        """Encode a whole block of records (the chain restarts at the
+        block start, exactly like the per-record writer's block cuts)."""
+        out = bytearray()
+        prev: Optional[Record] = None
+        for record in records:
+            out += self.encode(record, prev)
+            prev = record
+        return bytes(out)
+
+    def decode_block(self, data: bytes, num_fields: int) -> List[Record]:
+        """Decode one encoded block back into its record list (the batch
+        counterpart of :meth:`decode_stream`)."""
+        return list(self.decode_stream(data, num_fields))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(record_size={self.record_size})"
+
+
+# struct format characters for the field widths struct can unpack natively;
+# other widths take the generic int.from_bytes path.
+_STRUCT_FIELD = {1: "B", 2: "H", 4: "I", 8: "Q"}
 
 
 class FixedCodec(Codec):
@@ -199,6 +304,88 @@ class FixedCodec(Codec):
             pos += width
         return tuple(fields), pos
 
+    def encoded_sizes(
+        self, records: Sequence[Record], prev: Optional[Record] = None
+    ) -> List[int]:
+        return [self.record_size] * len(records)
+
+    def encode_block(self, records: Sequence[Record]) -> bytes:
+        if not records:
+            return b""
+        width = self._field_width(len(records[0]))
+        fmt = _STRUCT_FIELD.get(width)
+        if fmt is not None:
+            flat = [
+                (value << 1) if value >= 0 else ((-value << 1) - 1)
+                for record in records
+                for value in record
+            ]
+            try:
+                return struct.pack(f">{len(flat)}{fmt}", *flat)
+            except struct.error:
+                pass  # out-of-range value: rescan below for the exact error
+        limit = 1 << (8 * width)
+        out = bytearray()
+        for record in records:
+            for value in record:
+                unsigned = (value << 1) if value >= 0 else ((-value << 1) - 1)
+                if unsigned >= limit:
+                    raise StorageError(
+                        f"value {value} does not fit in a {width}-byte fixed field"
+                    )
+                out += unsigned.to_bytes(width, "big")
+        return bytes(out)
+
+    def decode_block(self, data: bytes, num_fields: int) -> List[Record]:
+        width = self._field_width(num_fields)
+        step = width * num_fields
+        if len(data) % step:
+            raise ValueError("truncated fixed-width block")
+        fmt = _STRUCT_FIELD.get(width)
+        if fmt is not None:
+            unpacked = struct.unpack(f">{len(data) // width}{fmt}", data)
+            decoded = [
+                (u >> 1) if (u & 1) == 0 else -((u + 1) >> 1) for u in unpacked
+            ]
+            grouped = iter(decoded)
+            return list(zip(*([grouped] * num_fields)))
+        from_bytes = int.from_bytes
+        records: List[Record] = []
+        append = records.append
+        for start in range(0, len(data), step):
+            fields = []
+            pos = start
+            for _ in range(num_fields):
+                unsigned = from_bytes(data[pos : pos + width], "big")
+                fields.append(
+                    (unsigned >> 1) if (unsigned & 1) == 0 else -((unsigned + 1) >> 1)
+                )
+                pos += width
+            append(tuple(fields))
+        return records
+
+
+def _varint_sizes_numpy(zigzagged) -> List[int]:
+    """Per-record varint byte counts from a (n, fields) uint64 zigzag
+    array: a varint spends one byte per started 7-bit group, so the size
+    is one plus the number of ``2**(7k)`` thresholds at or below the
+    value."""
+    np = _np
+    thresholds = np.array([1 << (7 * k) for k in range(1, 10)], dtype=np.uint64)
+    sizes = np.searchsorted(thresholds, zigzagged, side="right") + 1
+    return sizes.sum(axis=1, dtype=np.int64).tolist()
+
+
+def _zigzag_numpy(array):
+    """Vectorized :func:`zigzag_encode` (int64 in, uint64 out)."""
+    np = _np
+    unsigned = array.astype(np.uint64)
+    return np.where(
+        array >= 0,
+        unsigned << np.uint64(1),
+        (np.uint64(0) - unsigned) * np.uint64(2) - np.uint64(1),
+    )
+
 
 class VarintCodec(Codec):
     """Every field as a zigzag LEB128 varint; order-agnostic."""
@@ -219,6 +406,83 @@ class VarintCodec(Codec):
             unsigned, pos = decode_varint(data, pos)
             fields.append(zigzag_decode(unsigned))
         return tuple(fields), pos
+
+    def encoded_sizes(
+        self, records: Sequence[Record], prev: Optional[Record] = None
+    ) -> List[int]:
+        if numpy_enabled() and len(records) >= _NUMPY_MIN:
+            try:
+                return _varint_sizes_numpy(
+                    _zigzag_numpy(_np.asarray(records, dtype=_np.int64))
+                )
+            except (OverflowError, ValueError):
+                pass  # values beyond int64: the pure path handles bigints
+        sizes: List[int] = []
+        append = sizes.append
+        if records and len(records[0]) == 2:
+            # Edge records (the dominant stream shape): unpack directly and
+            # size via a threshold chain — no per-field loop, no
+            # bit_length() call for the small values sorted streams carry.
+            try:
+                for a, b in records:
+                    za = (a << 1) if a >= 0 else ((-a << 1) - 1)
+                    zb = (b << 1) if b >= 0 else ((-b << 1) - 1)
+                    append(
+                        (1 if za < 0x80 else 2 if za < 0x4000 else
+                         3 if za < 0x200000 else 4 if za < 0x10000000 else
+                         (za.bit_length() + 6) // 7)
+                        + (1 if zb < 0x80 else 2 if zb < 0x4000 else
+                           3 if zb < 0x200000 else 4 if zb < 0x10000000 else
+                           (zb.bit_length() + 6) // 7)
+                    )
+                return sizes
+            except (TypeError, ValueError):
+                sizes.clear()  # mixed arity: rebuild on the generic path
+        for record in records:
+            nbytes = 0
+            for value in record:
+                zz = (value << 1) if value >= 0 else ((-value << 1) - 1)
+                nbytes += 1 if zz < 0x80 else (zz.bit_length() + 6) // 7
+            append(nbytes)
+        return sizes
+
+    def encode_block(self, records: Sequence[Record]) -> bytes:
+        out = bytearray()
+        emit = out.append
+        for record in records:
+            for value in record:
+                zz = (value << 1) if value >= 0 else ((-value << 1) - 1)
+                while zz >= 0x80:
+                    emit((zz & 0x7F) | 0x80)
+                    zz >>= 7
+                emit(zz)
+        return bytes(out)
+
+    def decode_block(self, data: bytes, num_fields: int) -> List[Record]:
+        records: List[Record] = []
+        append = records.append
+        pos = 0
+        end = len(data)
+        while pos < end:
+            fields = []
+            for _ in range(num_fields):
+                value = 0
+                shift = 0
+                while True:
+                    try:
+                        byte = data[pos]
+                    except IndexError:
+                        raise ValueError("truncated varint") from None
+                    pos += 1
+                    value |= (byte & 0x7F) << shift
+                    if byte < 0x80:
+                        break
+                    shift += 7
+                fields.append(
+                    (value >> 1) if (value & 1) == 0 else -((value + 1) >> 1)
+                )
+            append(tuple(fields))
+        return records
 
 
 class GapVarintCodec(VarintCodec):
@@ -265,6 +529,117 @@ class GapVarintCodec(VarintCodec):
             fields[self.gap_field] += prev[self.gap_field]
             record = tuple(fields)
         return record, pos
+
+    def encoded_sizes(
+        self, records: Sequence[Record], prev: Optional[Record] = None
+    ) -> List[int]:
+        if not records:
+            return []
+        gap = self.gap_field
+        if gap >= len(records[0]):
+            return VarintCodec.encoded_sizes(self, records)
+        if numpy_enabled() and len(records) >= _NUMPY_MIN:
+            try:
+                np = _np
+                array = np.asarray(records, dtype=np.int64)
+                column = array[:, gap]
+                deltas = np.empty_like(column)
+                deltas[1:] = column[1:] - column[:-1]
+                deltas[0] = column[0] - prev[gap] if prev is not None else column[0]
+                array = array.copy()
+                array[:, gap] = deltas
+                return _varint_sizes_numpy(_zigzag_numpy(array))
+            except (OverflowError, ValueError):
+                pass  # values or deltas beyond int64: pure path handles bigints
+        sizes: List[int] = []
+        append = sizes.append
+        prev_gap = prev[gap] if prev is not None else None
+        if gap == 0 and len(records[0]) == 2:
+            # Sorted edge records with the sort key delta-encoded: the
+            # same unpack-and-threshold-chain loop as the varint fast
+            # path, with the running gap carried in a local.
+            try:
+                for a, b in records:
+                    d = a if prev_gap is None else a - prev_gap
+                    prev_gap = a
+                    za = (d << 1) if d >= 0 else ((-d << 1) - 1)
+                    zb = (b << 1) if b >= 0 else ((-b << 1) - 1)
+                    append(
+                        (1 if za < 0x80 else 2 if za < 0x4000 else
+                         3 if za < 0x200000 else 4 if za < 0x10000000 else
+                         (za.bit_length() + 6) // 7)
+                        + (1 if zb < 0x80 else 2 if zb < 0x4000 else
+                           3 if zb < 0x200000 else 4 if zb < 0x10000000 else
+                           (zb.bit_length() + 6) // 7)
+                    )
+                return sizes
+            except (TypeError, ValueError):
+                sizes.clear()  # mixed arity: rebuild on the generic path
+                prev_gap = prev[gap] if prev is not None else None
+        for record in records:
+            nbytes = 0
+            for index, value in enumerate(record):
+                if index == gap and prev_gap is not None:
+                    value -= prev_gap
+                zz = (value << 1) if value >= 0 else ((-value << 1) - 1)
+                nbytes += 1 if zz < 0x80 else (zz.bit_length() + 6) // 7
+            prev_gap = record[gap]
+            append(nbytes)
+        return sizes
+
+    def encode_block(self, records: Sequence[Record]) -> bytes:
+        if not records:
+            return b""
+        gap = self.gap_field
+        if gap >= len(records[0]):
+            return VarintCodec.encode_block(self, records)
+        out = bytearray()
+        emit = out.append
+        prev_gap: Optional[int] = None
+        for record in records:
+            for index, value in enumerate(record):
+                if index == gap and prev_gap is not None:
+                    value -= prev_gap
+                zz = (value << 1) if value >= 0 else ((-value << 1) - 1)
+                while zz >= 0x80:
+                    emit((zz & 0x7F) | 0x80)
+                    zz >>= 7
+                emit(zz)
+            prev_gap = record[gap]
+        return bytes(out)
+
+    def decode_block(self, data: bytes, num_fields: int) -> List[Record]:
+        gap = self.gap_field
+        if gap >= num_fields:
+            return VarintCodec.decode_block(self, data, num_fields)
+        records: List[Record] = []
+        append = records.append
+        pos = 0
+        end = len(data)
+        prev_gap: Optional[int] = None
+        while pos < end:
+            fields = []
+            for _ in range(num_fields):
+                value = 0
+                shift = 0
+                while True:
+                    try:
+                        byte = data[pos]
+                    except IndexError:
+                        raise ValueError("truncated varint") from None
+                    pos += 1
+                    value |= (byte & 0x7F) << shift
+                    if byte < 0x80:
+                        break
+                    shift += 7
+                fields.append(
+                    (value >> 1) if (value & 1) == 0 else -((value + 1) >> 1)
+                )
+            if prev_gap is not None:
+                fields[gap] += prev_gap
+            prev_gap = fields[gap]
+            append(tuple(fields))
+        return records
 
 
 CODECS = {
@@ -437,9 +812,128 @@ class CompressedRecordFile:
         self._prev = record
 
     def extend(self, records: Iterable[Record]) -> None:
-        """Append many records through the codec-aware write buffer."""
-        for record in records:
-            self.append(record)
+        """Append many records through the codec-aware write buffer.
+
+        The batch path (default, see :func:`batch_enabled`) computes the
+        codec sizes for a whole chunk at once, replays the scalar writer's
+        greedy block walk over the size array, and hands the chunk to the
+        :class:`~repro.io.varfile.VarRecordFile` as pre-cut block slices —
+        the resulting blocks, accounted bytes, and ledger charges are
+        byte-identical to per-record :meth:`append` calls.
+        """
+        if self._closed:
+            raise StorageError(f"file {self.name!r} is closed for writing")
+        if not _batch_enabled:
+            for record in records:
+                self.append(record)
+            return
+        if isinstance(records, (list, tuple)):
+            if len(records) <= BATCH_CHUNK:
+                if records:
+                    self._extend_chunk(records)
+                return
+            for start in range(0, len(records), BATCH_CHUNK):
+                self._extend_chunk(records[start : start + BATCH_CHUNK])
+            return
+        iterator = iter(records)
+        while True:
+            chunk = list(islice(iterator, BATCH_CHUNK))
+            if not chunk:
+                return
+            self._extend_chunk(chunk)
+
+    def _extend_chunk(self, chunk: Sequence[Record]) -> None:
+        """Batch-append one chunk: the scalar greedy walk over precomputed
+        chain sizes.  ``sizes[i]`` starts as the gap-chain size against the
+        previous record; exactly when the scalar path would close the tail
+        block (``tail + size > B``) it is recomputed as a block-start size
+        and the cut recorded — block-start encodings are never smaller
+        than chain encodings, so the walk cuts where the scalar one does.
+
+        Between cuts nothing inspects individual records, so the walk
+        advances cut-to-cut: a C-level prefix sum plus a bisect finds each
+        overflow index, and only those indices are touched from Python.
+        Non-positive sizes (impossible for the built-in codecs, and what
+        the scalar path rejects record by record) break the prefix sum's
+        monotonicity, so that case keeps the per-record reference walk.
+        """
+        codec = self.codec
+        block_size = self.device.block_size
+        sizes = codec.encoded_sizes(chunk, self._prev)
+        if min(sizes) > 0:
+            cum = list(accumulate(sizes))
+            adj = 0  # total drift the cut reprices applied to ``sizes``
+            prev_cum = 0  # true cumulative bytes before the current segment
+            start = 0
+            tail = self._var.tail_bytes
+            cuts: List[int] = []
+            n = len(sizes)
+            while True:
+                index = bisect_right(
+                    cum, block_size - tail + prev_cum - adj, start
+                )
+                if index >= n:
+                    break
+                fill = tail if index == start else (
+                    tail + cum[index - 1] + adj - prev_cum
+                )
+                nbytes = codec.encoded_size(chunk[index], None)
+                if nbytes != sizes[index]:
+                    adj += nbytes - sizes[index]
+                    sizes[index] = nbytes
+                if nbytes <= 0 or nbytes > block_size:
+                    # Commit the valid prefix, then fail exactly like the
+                    # scalar path would on this record.
+                    self._var.append_batch(chunk[:index], sizes[:index], cuts)
+                    if index:
+                        self._prev = chunk[index - 1]
+                    if nbytes <= 0:
+                        raise ValueError("record size must be positive")
+                    raise StorageError(
+                        f"record of {nbytes} bytes exceeds the block size "
+                        f"{block_size}"
+                    )
+                if fill + nbytes > block_size:
+                    cuts.append(index)
+                    tail = nbytes
+                else:
+                    tail = fill + nbytes
+                prev_cum = cum[index] + adj
+                start = index + 1
+            self._var.append_batch(chunk, sizes, cuts)
+            self._prev = chunk[-1]
+            return
+        tail = self._var.tail_bytes
+        cuts = []
+        for index, nbytes in enumerate(sizes):
+            if tail + nbytes > block_size:
+                # The scalar writer re-prices the record as a block start
+                # here.  Usually that closes the tail block too — but with
+                # zigzag gap deltas on unsorted input the start encoding
+                # can be *smaller* than the chain encoding, in which case
+                # the record still fits and no cut happens; the flush test
+                # below therefore repeats with the re-priced size, exactly
+                # like VarRecordFile.append does.
+                nbytes = codec.encoded_size(chunk[index], None)
+                sizes[index] = nbytes
+            if nbytes <= 0 or nbytes > block_size:
+                # Commit the valid prefix, then fail exactly like the
+                # scalar path would on this record.
+                self._var.append_batch(chunk[:index], sizes[:index], cuts)
+                if index:
+                    self._prev = chunk[index - 1]
+                if nbytes <= 0:
+                    raise ValueError("record size must be positive")
+                raise StorageError(
+                    f"record of {nbytes} bytes exceeds the block size "
+                    f"{block_size}"
+                )
+            if tail + nbytes > block_size:
+                cuts.append(index)
+                tail = 0
+            tail += nbytes
+        self._var.append_batch(chunk, sizes, cuts)
+        self._prev = chunk[-1]
 
     def close(self) -> None:
         """Flush the tail block and report the stream's byte footprint to

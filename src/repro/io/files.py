@@ -9,6 +9,7 @@ writes); :meth:`scan` streams records back with sequential reads;
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import StorageError
@@ -148,9 +149,42 @@ class ExternalFile:
             self._flush_full_blocks()
 
     def extend(self, records: Iterable[Record]) -> None:
-        """Append many records through the sequential write buffer."""
-        for record in records:
-            self.append(record)
+        """Append many records through the sequential write buffer.
+
+        Batched: the buffer is filled to exactly the flush threshold per
+        step, so full blocks flush in the same buffer states as per-record
+        :meth:`append` calls — identical block cuts, identical coalesced
+        flush counts — without a Python-level call per record.
+        """
+        if self._closed:
+            raise StorageError(f"file {self.name!r} is closed for writing")
+        if isinstance(records, (list, tuple)):
+            position = 0
+            remaining = len(records)
+        else:
+            iterator = iter(records)
+            position = remaining = None
+        while True:
+            threshold = self._flush_threshold()
+            buffer = self._write_buffer
+            take = threshold - len(buffer)
+            if take <= 0:  # threshold shrank under a full buffer
+                self._flush_full_blocks()
+                continue
+            if position is not None:
+                if not remaining:
+                    return
+                buffer.extend(records[position : position + take])
+                taken = min(take, remaining)
+                position += taken
+                remaining -= taken
+            else:
+                chunk = list(islice(iterator, take))
+                if not chunk:
+                    return
+                buffer.extend(chunk)
+            if len(buffer) >= threshold:
+                self._flush_full_blocks()
 
     def close(self) -> None:
         """Flush the partial tail block; the file becomes read-only."""

@@ -170,11 +170,36 @@ class ExternalPriorityQueue:
         This is the "extract all messages for the current node" operation
         of the Kumar–Schwabe scheme; it only makes sense when ``key`` is
         the queue's current minimum (keys are popped in order).
+
+        Batched: once ``key`` is confirmed minimal, every matching item in
+        any source is minimal too, so each source is drained in one go and
+        the sorted drains merged — the same payloads in the same order as
+        repeated :meth:`pop_min` calls, without per-item heap churn.  Run
+        cursors advance block by block exactly as scalar pops would, so
+        the charges are identical; head entries left stale are discarded
+        lazily by the next :meth:`_min_source`.
         """
-        payloads: List[int] = []
-        while self._size and self.peek_min()[0] == key:
-            payloads.append(self.pop_min()[1])
-        return payloads
+        if not self._size or self.peek_min()[0] != key:
+            return []
+        sources: List[List[Item]] = []
+        heap = self._heap
+        if heap and heap[0][0] == key:
+            drained: List[Item] = []
+            while heap and heap[0][0] == key:
+                drained.append(heapq.heappop(heap))
+            sources.append(drained)
+        for cursor in self._runs:
+            if not cursor.exhausted and cursor.peek()[0] == key:
+                drained = []
+                while not cursor.exhausted and cursor.peek()[0] == key:
+                    drained.append(cursor.pop())
+                sources.append(drained)
+        if len(sources) == 1:
+            merged: List[Item] = sources[0]
+        else:
+            merged = list(heapq.merge(*sources))
+        self._size -= len(merged)
+        return [payload for _, payload in merged]
 
     def drop(self) -> None:
         """Delete every spilled run from the device."""

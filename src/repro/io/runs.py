@@ -25,17 +25,45 @@ classic strategy produces.
 from __future__ import annotations
 
 import heapq
+import itertools
+from operator import itemgetter
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.io.blocks import BlockDevice
 from repro.io.codecs import Codec, FixedCodec, CompressedRecordFile, RecordStore
 from repro.io.files import ExternalFile
 from repro.io.memory import MemoryBudget
+from repro.io.parallel import PROCESS_TASK_MIN
 
-__all__ = ["form_runs", "form_runs_replacement_selection", "run_iterator"]
+__all__ = [
+    "KEY_DST_AUX_SRC",
+    "KEY_DST_SRC",
+    "KEY_SRC_DST",
+    "form_runs",
+    "form_runs_replacement_selection",
+    "run_iterator",
+]
 
 Record = Tuple[int, ...]
 KeyFn = Callable[[Record], object]
+
+# Canonical sort keys that *permute* a record's fields.  A permutation key
+# is injective — equal keys imply equal records — so sorts using these
+# exact objects (identity, not equality) need no stability machinery:
+# any order among records with equal keys is an order among identical
+# records and writes identical bytes.  Call sites share these constants
+# instead of building fresh ``itemgetter``\ s so the identity check works.
+KEY_DST_SRC = itemgetter(1, 0)
+"""Sort 2-field edge records by (dst, src)."""
+KEY_SRC_DST = itemgetter(0, 1)
+"""Sort 2-field edge records by (src, dst) explicitly."""
+KEY_DST_AUX_SRC = itemgetter(1, 2, 0)
+"""Sort 3-field records by (field 1, field 2, field 0)."""
+
+_INJECTIVE_KEY_ARITY = {KEY_DST_SRC: 2, KEY_SRC_DST: 2, KEY_DST_AUX_SRC: 3}
+"""Registered injective keys → the record arity they permute.  Records in
+one store are uniform-arity (fixed-width decode derives the field count
+from ``record_size``), so checking the first record's arity is enough."""
 
 
 def _create_run(
@@ -105,6 +133,13 @@ def form_runs(
     ]
 
 
+def _sort_buffer(buffer: List[Record]) -> List[Record]:
+    """The picklable pure-CPU sort kernel for process offload (records
+    sort by their own tuples — key functions don't cross processes)."""
+    buffer.sort()
+    return buffer
+
+
 def _write_run(
     device: BlockDevice,
     buffer: List[Record],
@@ -113,7 +148,19 @@ def _write_run(
     prefix: str,
     codec: Optional[Codec] = None,
 ) -> RecordStore:
-    buffer.sort(key=key)
+    pool = device.worker_pool
+    if (
+        key is None
+        and pool is not None
+        and pool.backend == "processes"
+        and len(buffer) >= PROCESS_TASK_MIN
+    ):
+        # Offload the sort to a worker process: sorted() is deterministic
+        # and stable either way, so the run contents are identical — only
+        # which core did the comparisons changes.
+        buffer = pool.run_pure(_sort_buffer, [(buffer,)])[0]
+    else:
+        buffer.sort(key=key)
     out = _create_run(device, record_size, codec, prefix)
     out.extend(buffer)
     out.close()
@@ -144,44 +191,196 @@ def form_runs_replacement_selection(
         The list of run files, in run order (possibly empty).
     """
     capacity = max(1, memory.record_capacity(record_size))
-    key_fn: KeyFn = key if key is not None else (lambda r: r)
+    # ``key=None`` (records sort by their own tuples) skips the key call
+    # entirely — the record stands in as its own key, which is both the
+    # common case and the hot one.
+    key_fn: Optional[KeyFn] = key
     source = iter(records)
-    heap: List[Tuple[int, object, int, Record]] = []
-    seq = 0
-    for record in source:
-        heap.append((0, key_fn(record), seq, record))
-        seq += 1
-        if len(heap) >= capacity:
-            break
-    if not heap:
+    fill = list(itertools.islice(source, capacity))
+    if not fill:
         return []
+    if len(fill) < capacity:
+        # The whole input fit in the heap: every record drains as run 0 in
+        # (key, arrival) order — exactly what one stable sort produces, so
+        # skip the heap (and its decorated entries) entirely and bulk-write
+        # the single run.
+        fill.sort(key=key_fn)
+        out = _create_run(device, record_size, codec, prefix)
+        out.extend(fill)
+        out.close()
+        return [out]
+    if key_fn is None or _INJECTIVE_KEY_ARITY.get(key_fn) == len(fill[0]):
+        # With the record as its own key — or a registered permutation
+        # key — equal keys mean *equal records*, so no arrival tiebreaker
+        # is needed: interchanging identical records is unobservable in
+        # the output bytes.  Lean entries make every sift cheaper.
+        return _replacement_selection_lean(
+            device, fill, source, record_size, codec, prefix, key_fn
+        )
+    heap: List[Tuple[int, object, int, Record]] = [
+        (0, key_fn(record), seq, record) for seq, record in enumerate(fill)
+    ]
+    seq = capacity
     heapq.heapify(heap)
 
     runs: List[RecordStore] = []
     current_run = 0
-    out: Optional[RecordStore] = None
-    exhausted = False
+    out = _create_run(device, record_size, codec, prefix)
+    # Output records are staged in memory-light chunks and emitted through
+    # the batch extend path instead of per-record appends; the emission
+    # order (and therefore every block cut) is unchanged.
+    pending: List[Record] = []
+    emit_chunk = 1024
+    heapreplace = heapq.heapreplace
+    # Input is drained in islice chunks rather than one ``next()`` call per
+    # record; reading ahead never changes what the heap sees (the records
+    # arrive in the same order), it only trades 1024 generator resumptions
+    # for one C-level list fill.
+    inbuf: List[Record] = []
+    pos = 0
     while heap:
-        run_number, run_key, _, record = heapq.heappop(heap)
-        if run_number != current_run or out is None:
-            if out is not None:
-                out.close()
-                runs.append(out)
+        # Peek instead of pop: when another input record arrives it takes
+        # the emitted record's slot via heapreplace (one sift instead of a
+        # pop's sift-up plus a push's sift-down).
+        run_number, run_key, _, record = heap[0]
+        if run_number != current_run:
+            if pending:
+                out.extend(pending)
+                pending = []
+            out.close()
+            runs.append(out)
             current_run = run_number
             out = _create_run(device, record_size, codec, prefix)
-        out.append(record)
-        if not exhausted:
-            nxt = next(source, None)
-            if nxt is None:
-                exhausted = True
-            else:
-                nxt_key = key_fn(nxt)
-                # An incoming record continues the current run only when it
-                # can still be emitted after the record just written.
-                target = run_number if not nxt_key < run_key else run_number + 1  # type: ignore[operator]
-                heapq.heappush(heap, (target, nxt_key, seq, nxt))
-                seq += 1
+        pending.append(record)
+        if len(pending) >= emit_chunk:
+            out.extend(pending)
+            pending = []
+        if pos == len(inbuf):
+            inbuf = list(itertools.islice(source, emit_chunk))
+            pos = 0
+        nxt = inbuf[pos] if inbuf else None
+        if nxt is not None:
+            pos += 1
+        if nxt is None:
+            # Input exhausted: the heap's remaining pops arrive in plain
+            # ascending entry order, so one stable sort replaces them all.
+            heapq.heappop(heap)
+            for run_number, run_key, _, record in sorted(heap):
+                if run_number != current_run:
+                    if pending:
+                        out.extend(pending)
+                        pending = []
+                    out.close()
+                    runs.append(out)
+                    current_run = run_number
+                    out = _create_run(device, record_size, codec, prefix)
+                pending.append(record)
+                if len(pending) >= emit_chunk:
+                    out.extend(pending)
+                    pending = []
+            break
+        nxt_key = key_fn(nxt)
+        # An incoming record continues the current run only when it can
+        # still be emitted after the record just written.
+        target = run_number if not nxt_key < run_key else run_number + 1  # type: ignore[operator]
+        heapreplace(heap, (target, nxt_key, seq, nxt))
+        seq += 1
     assert out is not None
+    if pending:
+        out.extend(pending)
+    out.close()
+    runs.append(out)
+    return runs
+
+
+def _replacement_selection_lean(
+    device: BlockDevice,
+    fill: List[Record],
+    source: Iterator[Record],
+    record_size: int,
+    codec: Optional[Codec],
+    prefix: str,
+    key_fn: Optional[KeyFn],
+) -> List[RecordStore]:
+    """Replacement selection without the arrival-sequence tiebreaker.
+
+    Only reachable when equal keys imply equal records (``key_fn=None``,
+    where the record is its own key, or a registered permutation key), so
+    any pop order among entries that compare equal writes identical
+    bytes.  Heap entries are lean ``(run_number, record)`` pairs — or
+    ``(run_number, key, record)`` triples for a keyed sort — making every
+    sift cheaper than the generic loop's decorated 4-tuples.  The loop is
+    otherwise :func:`form_runs_replacement_selection` verbatim.
+    """
+    if key_fn is None:
+        heap: List[Tuple] = [(0, record) for record in fill]
+    else:
+        heap = [(0, key_fn(record), record) for record in fill]
+    heapq.heapify(heap)
+
+    runs: List[RecordStore] = []
+    current_run = 0
+    out = _create_run(device, record_size, codec, prefix)
+    pending: List[Record] = []
+    emit_chunk = 1024
+    heapreplace = heapq.heapreplace
+    inbuf: List[Record] = []
+    pos = 0
+    while heap:
+        head = heap[0]
+        run_number = head[0]
+        run_key = head[1]
+        record = head[-1]
+        if run_number != current_run:
+            if pending:
+                out.extend(pending)
+                pending = []
+            out.close()
+            runs.append(out)
+            current_run = run_number
+            out = _create_run(device, record_size, codec, prefix)
+        pending.append(record)
+        if len(pending) >= emit_chunk:
+            out.extend(pending)
+            pending = []
+        if pos == len(inbuf):
+            inbuf = list(itertools.islice(source, emit_chunk))
+            pos = 0
+            if not inbuf:
+                # Input exhausted: drain the heap in sorted entry order.
+                heapq.heappop(heap)
+                for entry in sorted(heap):
+                    run_number = entry[0]
+                    if run_number != current_run:
+                        if pending:
+                            out.extend(pending)
+                            pending = []
+                        out.close()
+                        runs.append(out)
+                        current_run = run_number
+                        out = _create_run(device, record_size, codec, prefix)
+                    pending.append(entry[-1])
+                    if len(pending) >= emit_chunk:
+                        out.extend(pending)
+                        pending = []
+                break
+        nxt = inbuf[pos]
+        pos += 1
+        # An incoming record continues the current run only when it can
+        # still be emitted after the record just written.
+        if key_fn is None:
+            heapreplace(
+                heap, (run_number if not nxt < record else run_number + 1, nxt)
+            )
+        else:
+            nxt_key = key_fn(nxt)
+            heapreplace(
+                heap,
+                (run_number if not nxt_key < run_key else run_number + 1,
+                 nxt_key, nxt),
+            )
+    if pending:
+        out.extend(pending)
     out.close()
     runs.append(out)
     return runs

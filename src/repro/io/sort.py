@@ -26,6 +26,15 @@ Two constant-factor levers on top of the textbook algorithm:
 Merge passes are reported to the device's :class:`~repro.io.stats.IOStats`
 (``stats.merge_passes`` / ``stats.runs_formed``) so benchmarks can verify
 the replacement-selection claim directly.
+
+Both ends of the sort ride the *batch record path*: run formation stages
+its output in chunks, and merge output streams into
+``RecordStore.extend``, which materializes generator input
+``BATCH_CHUNK`` records at a time and hands each slice to the
+block-granularity codec encoders (:mod:`repro.io.codecs`).  The batching
+is purely a host-CPU optimization — block cuts, codec chains, and every
+ledger counter are identical to per-record appends, which is what the
+batch/scalar equivalence suite pins down.
 """
 
 from __future__ import annotations
@@ -37,9 +46,20 @@ from repro.io.blocks import BlockDevice
 from repro.io.codecs import Codec, RecordStore, record_file_from_records, resolve_codec
 from repro.io.files import ExternalFile
 from repro.io.memory import MemoryBudget
-from repro.io.runs import form_runs, form_runs_replacement_selection
+from repro.io.runs import (
+    KEY_DST_AUX_SRC,
+    KEY_DST_SRC,
+    KEY_SRC_DST,
+    form_runs,
+    form_runs_replacement_selection,
+)
+
+_DONE = object()  # exhaustion sentinel for the two-way merge fast path
 
 __all__ = [
+    "KEY_DST_AUX_SRC",
+    "KEY_DST_SRC",
+    "KEY_SRC_DST",
     "external_sort",
     "external_sort_records",
     "external_sort_stream",
@@ -254,10 +274,79 @@ def _merge_pass(
 def merge_runs(
     streams: Iterable[Iterator[Record]], key: Optional[KeyFn] = None
 ) -> Iterator[Record]:
-    """K-way merge of sorted record streams (an in-memory heap of heads)."""
+    """K-way merge of sorted record streams (an in-memory heap of heads).
+
+    Small fan-ins are special-cased: one stream needs no merge at all and
+    two streams merge faster with a direct two-pointer loop than through
+    the generic heap (stability is preserved — on a tie the *earlier*
+    stream wins, exactly :func:`heapq.merge`'s contract).
+    """
+    streams = list(streams)
+    if len(streams) == 1:
+        return iter(streams[0])
+    if len(streams) == 2:
+        if key is None:
+            return _merge_two(streams[0], streams[1])
+        return _merge_two_keyed(streams[0], streams[1], key)
     if key is None:
         return heapq.merge(*streams)
     return heapq.merge(*streams, key=key)
+
+
+def _merge_two(left: Iterator[Record], right: Iterator[Record]) -> Iterator[Record]:
+    """Stable two-way merge; ties emit the left (earlier) stream first."""
+    left = iter(left)
+    right = iter(right)
+    l = next(left, _DONE)
+    r = next(right, _DONE)
+    while l is not _DONE and r is not _DONE:
+        if r < l:  # type: ignore[operator]
+            yield r
+            r = next(right, _DONE)
+        else:
+            yield l
+            l = next(left, _DONE)
+    while l is not _DONE:
+        yield l
+        l = next(left, _DONE)
+    while r is not _DONE:
+        yield r
+        r = next(right, _DONE)
+
+
+def _merge_two_keyed(
+    left: Iterator[Record], right: Iterator[Record], key: KeyFn
+) -> Iterator[Record]:
+    """Stable keyed two-way merge; ties emit the left stream first.
+
+    Like :func:`heapq.merge`, the key is computed once per record.
+    """
+    left = iter(left)
+    right = iter(right)
+    l = next(left, _DONE)
+    r = next(right, _DONE)
+    if l is not _DONE and r is not _DONE:
+        lk = key(l)
+        rk = key(r)
+        while True:
+            if rk < lk:  # type: ignore[operator]
+                yield r
+                r = next(right, _DONE)
+                if r is _DONE:
+                    break
+                rk = key(r)
+            else:
+                yield l
+                l = next(left, _DONE)
+                if l is _DONE:
+                    break
+                lk = key(l)
+    while l is not _DONE:
+        yield l
+        l = next(left, _DONE)
+    while r is not _DONE:
+        yield r
+        r = next(right, _DONE)
 
 
 def sorted_unique_scan(records: Iterable[Record]) -> Iterator[Record]:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
@@ -106,6 +107,10 @@ class IOStats:
         self.runs_by_phase: Dict[str, int] = {}
         # label -> [records, logical bytes, stored bytes]
         self.bytes_by_phase: Dict[str, list[int]] = {}
+        # label -> host wall-clock seconds spent inside the phase.  Unlike
+        # the I/O counters this is a *measurement*, not a simulation
+        # quantity — regression gates must never compare it.
+        self.seconds_by_phase: Dict[str, float] = {}
         # logical record width -> [records, stored bytes] (feeds the cost
         # model's bytes-per-record calibration)
         self.bytes_by_width: Dict[int, list[int]] = {}
@@ -256,10 +261,17 @@ class IOStats:
         if not self._phase_stack and label not in self.top_level_phases:
             self.top_level_phases.append(label)
         self._phase_stack.append(label)
+        started = time.perf_counter()
         try:
             yield
         finally:
             self._phase_stack.pop()
+            # Wall-clock is attributed to the exiting label only: an outer
+            # label's own span already covers the time its inner phases ran.
+            elapsed = time.perf_counter() - started
+            self.seconds_by_phase[label] = (
+                self.seconds_by_phase.get(label, 0.0) + elapsed
+            )
 
     def reset(self) -> None:
         """Zero every counter and drop all phase attributions."""
@@ -273,6 +285,7 @@ class IOStats:
         self.passes_by_phase.clear()
         self.runs_by_phase.clear()
         self.bytes_by_phase.clear()
+        self.seconds_by_phase.clear()
         self.bytes_by_width.clear()
         self.top_level_phases.clear()
 

@@ -119,6 +119,41 @@ class VarRecordFile:
         self.num_records += 1
         self.payload_bytes += nbytes
 
+    def append_batch(
+        self,
+        payloads: Sequence[object],
+        sizes: Sequence[int],
+        cuts: Sequence[int],
+    ) -> None:
+        """Append many records with pre-cut block boundaries.
+
+        ``sizes[i]`` is payload ``i``'s accounted bytes and ``cuts`` lists
+        the indices whose payload opens a new block (the tail flushes just
+        before it lands) — exactly the flush points per-record
+        :meth:`append` calls would hit, so blocks, counters, and charges
+        are identical.  Size validation (positive, at most one block) is
+        the caller's job: the codec layer's greedy walk already performed
+        it while computing the cuts.
+        """
+        if self._closed:
+            raise StorageError(f"file {self.name!r} is closed for writing")
+        total = 0
+        start = 0
+        for cut in cuts:
+            if cut > start:
+                segment = sum(sizes[start:cut])
+                self._buffer.extend([(payload,) for payload in payloads[start:cut]])
+                self._buffer_bytes += segment
+                total += segment
+            self._flush()
+            start = cut
+        segment = sum(sizes[start:])
+        self._buffer.extend([(payload,) for payload in payloads[start:]])
+        self._buffer_bytes += segment
+        total += segment
+        self.num_records += len(payloads)
+        self.payload_bytes += total
+
     def _flush(self) -> None:
         if self._buffer:
             self.device.append_block(self._file, self._buffer)
@@ -135,8 +170,7 @@ class VarRecordFile:
     def scan(self) -> Iterator[object]:
         """Stream payloads front to back with sequential block reads."""
         for block in self.scan_blocks():
-            for (payload,) in block:
-                yield payload
+            yield from [payload for (payload,) in block]
 
     def scan_blocks(self) -> Iterator[Sequence[Tuple[object]]]:
         """Stream whole blocks sequentially — the block-granular iterator
@@ -165,8 +199,7 @@ class VarRecordFile:
     def scan_range(self, start: int, stop: Optional[int] = None) -> Iterator[object]:
         """Stream the payloads of blocks ``start .. stop`` sequentially."""
         for block in self.scan_block_range(start, stop):
-            for (payload,) in block:
-                yield payload
+            yield from [payload for (payload,) in block]
 
     def rename(self, new_name: str, overwrite: bool = True) -> None:
         """Rename the file on the device (metadata only)."""

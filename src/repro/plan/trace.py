@@ -78,18 +78,22 @@ class TraceLedger:
         """Predicted blocks across every span with a prediction."""
         return sum(s.predicted_ios or 0 for s in self.spans)
 
-    def by_phase(self) -> Dict[str, Dict[str, int]]:
-        """``{phase: {predicted, measured, makespan}}`` over the run's
-        top-level phases (the prefix before the first ``/``)."""
-        out: Dict[str, Dict[str, int]] = {}
+    def by_phase(self) -> Dict[str, Dict[str, float]]:
+        """``{phase: {predicted, measured, makespan, wall_seconds}}`` over
+        the run's top-level phases (the prefix before the first ``/``).
+        ``wall_seconds`` is the one float — a host measurement riding along
+        with the simulated counters."""
+        out: Dict[str, Dict[str, float]] = {}
         for span in self.spans:
             top = span.phase.split("/", 1)[0] if span.phase else ""
             bucket = out.setdefault(
-                top, {"predicted": 0, "measured": 0, "makespan": 0}
+                top,
+                {"predicted": 0, "measured": 0, "makespan": 0, "wall_seconds": 0.0},
             )
             bucket["predicted"] += span.predicted_ios or 0
             bucket["measured"] += span.measured_ios
             bucket["makespan"] += span.makespan
+            bucket["wall_seconds"] += span.wall_seconds
         return out
 
     def render(self) -> str:

@@ -312,3 +312,46 @@ class TestExplainAndTrace:
         stages = {(s["plan"], s["stage"]) for s in payload["spans"]}
         assert ("semi-scc", "semi-scc") in stages
         assert "trace (" in capsys.readouterr().err
+
+
+class TestProcessesExecutorCli:
+    """``--executor processes`` is a first-class choice: accepted where the
+    platform can fork/spawn, rejected with a clear message (exit 2, not a
+    crash) where it cannot."""
+
+    @pytest.fixture
+    def edge_path(self, tmp_path):
+        path = tmp_path / "cycle.txt"
+        write_edge_text(path, cycle_graph(20).edges)
+        return path
+
+    def test_accepted_when_available(self, edge_path, capsys, monkeypatch):
+        from repro.io import parallel
+
+        monkeypatch.setattr(parallel, "_processes_override", True)
+        assert main(["scc", str(edge_path), "-m", "16K",
+                     "--executor", "processes"]) == 0
+
+    @pytest.mark.parametrize("command", ["scc", "bench"])
+    def test_rejected_when_unavailable(self, edge_path, capsys, monkeypatch,
+                                       command):
+        from repro.io import parallel
+
+        monkeypatch.setattr(parallel, "_processes_override", False)
+        code = main([command, str(edge_path), "--executor", "processes"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "processes" in err and "unavailable" in err
+
+    def test_verbose_scc_reports_wall_by_phase(self, edge_path, capsys):
+        assert main(["scc", str(edge_path), "-m", "300", "-b", "64",
+                     "-v"]) == 0
+        err = capsys.readouterr().err
+        assert "wall by phase:" in err
+        assert "semi-scc" in err
+
+    def test_bench_reports_wall_by_phase(self, edge_path, capsys):
+        assert main(["bench", str(edge_path), "-m", "300", "-b", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "wall:" in out
+        assert "wall by phase:" in out
