@@ -1,0 +1,181 @@
+"""The optimizer gate — does ``--autotune`` actually find the fast plan?
+
+The gate runs the Fig. 6 smoke workload at several size points, measures
+every static (codec, solver) combination, then lets the autotuner pick
+blind.  At every point the autotuned run's *measured* total I/Os must be
+within 5% of the best static configuration, and its wall-seconds within
+5% plus an absolute slack absorbing sub-second host noise.  The
+calibration profile fitted from the static grid and the full comparison
+table are committed under ``benchmarks/results/`` so the decision is
+reviewable.
+
+(The static grid varies codec and solver only: workers/executor do not
+change the measured ledger — that is the parallel-equivalence invariant —
+so the I/O-optimal static config lives in this 12-combination slice.)
+"""
+
+import json
+import time
+
+from conftest import RESULTS_DIR
+
+from repro.analysis.calibration import CalibrationProfile
+from repro.bench import (
+    BLOCK_SIZE,
+    memory_for_ratio,
+    shuffled_edges,
+    subsample_edges,
+    webspam_graph,
+)
+from repro.core import ExtSCCConfig, compute_sccs
+from repro.io.codecs import CODECS
+from repro.plan import PlanCache
+from repro.semi_external import SEMI_SCC_SOLVERS
+
+MEMORY_RATIO = 0.47          # Fig. 6's default-memory operating point
+PERCENTAGES = (20, 40, 60)   # smoke-sized slices of the size sweep
+IO_TOLERANCE = 0.05
+WALL_TOLERANCE = 0.05
+WALL_SLACK_SECONDS = 0.25    # absolute allowance for sub-second host noise
+CALIBRATION_PATH = RESULTS_DIR / "fig6_smoke.calibration.json"
+TABLE_PATH = RESULTS_DIR / "optimizer_gate.txt"
+
+
+def _workload():
+    graph = webspam_graph()
+    edges = shuffled_edges(graph)
+    n = graph.num_nodes
+    memory = memory_for_ratio(n, MEMORY_RATIO)
+    return [(pct, subsample_edges(edges, pct), n, memory)
+            for pct in PERCENTAGES]
+
+
+def _run(sub, n, memory, **kwargs):
+    started = time.perf_counter()
+    out = compute_sccs(sub, num_nodes=n, memory_bytes=memory,
+                       block_size=BLOCK_SIZE, **kwargs)
+    return out, time.perf_counter() - started
+
+
+def _static_grid(points, profile):
+    """Measure every (codec, solver) static combination at every point and
+    feed each run's payload ledger and wall time into the profile."""
+    grid = {}
+    for pct, sub, n, memory in points:
+        for codec in sorted(CODECS):
+            for solver in SEMI_SCC_SOLVERS:
+                config = ExtSCCConfig.optimized(codec=codec, semi_scc=solver)
+                out, wall = _run(sub, n, memory, config=config)
+                profile.ingest_run(out, block_size=BLOCK_SIZE)
+                grid[(pct, codec, solver)] = (out, wall)
+    return grid
+
+
+def test_optimizer_gate(benchmark):
+    points = _workload()
+    profile = CalibrationProfile()
+    grid = benchmark.pedantic(
+        lambda: _static_grid(points, profile), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Optimizer gate — autotuned vs the measured static grid",
+        f"workload: Fig 6 smoke (webspam stand-in), memory ratio "
+        f"{MEMORY_RATIO}, block {BLOCK_SIZE}B",
+        f"static grid: {len(CODECS)} codecs x {len(SEMI_SCC_SOLVERS)} "
+        f"solvers per size point",
+        "",
+        f"{'size%':>5} {'objective':>9} {'best static':>28} "
+        f"{'metric':>9} {'autotuned':>28} {'metric':>9} {'delta':>7}",
+    ]
+    cache = PlanCache()
+    for pct, sub, n, memory in points:
+        point_keys = [k for k in grid if k[0] == pct]
+        best_io_key = min(point_keys, key=lambda k: grid[k][0].io.total)
+        best_io = grid[best_io_key][0].io.total
+        best_wall_key = min(point_keys, key=lambda k: grid[k][1])
+        best_wall = grid[best_wall_key][1]
+        num_sccs = grid[best_io_key][0].result.num_sccs
+
+        # Objective "io": the autotuned run's measured total I/Os must be
+        # within 5% of the best static combination's.
+        tuned_io, _ = _run(
+            sub, n, memory, autotune=True, calibration=profile,
+            plan_cache=cache, objective="io",
+        )
+        assert tuned_io.tuning is not None and not tuned_io.tuning.cache_hit
+        assert tuned_io.io.total <= best_io * (1 + IO_TOLERANCE), (
+            pct, tuned_io.io.total, best_io, tuned_io.tuning.chosen
+        )
+        assert tuned_io.result.num_sccs == num_sccs
+
+        # Objective "wallclock": measured wall-seconds within 5% (plus an
+        # absolute slack for sub-second host noise) of the fastest static.
+        tuned_wc, wc_wall = _run(
+            sub, n, memory, autotune=True, calibration=profile,
+            plan_cache=cache, objective="wallclock",
+        )
+        allowed = best_wall * (1 + WALL_TOLERANCE) + WALL_SLACK_SECONDS
+        assert wc_wall <= allowed, (
+            pct, wc_wall, best_wall, tuned_wc.tuning.chosen
+        )
+        assert tuned_wc.result.num_sccs == num_sccs
+
+        for objective, tuned, best_key, best_cell, tuned_cell, delta in (
+            ("io", tuned_io, best_io_key, f"{best_io:,}",
+             f"{tuned_io.io.total:,}", tuned_io.io.total / best_io - 1),
+            ("wallclock", tuned_wc, best_wall_key, f"{best_wall:.3f}s",
+             f"{wc_wall:.3f}s", wc_wall / best_wall - 1),
+        ):
+            chosen = tuned.tuning.chosen
+            lines.append(
+                f"{pct:>5} {objective:>9} "
+                f"{best_key[1] + '/' + best_key[2]:>28} {best_cell:>9} "
+                f"{chosen.codec + '/' + chosen.solver:>28} "
+                f"{tuned_cell:>9} {delta:>+7.1%}"
+            )
+
+    lines += [
+        "",
+        f"gate: objective=io within {IO_TOLERANCE:.0%} of best static "
+        f"I/Os; objective=wallclock within {WALL_TOLERANCE:.0%} "
+        f"+ {WALL_SLACK_SECONDS}s of best static wall",
+        f"plan cache after sweep: {cache.stats()}",
+        f"calibration: {profile.runs} static runs ingested",
+    ]
+    text = "\n".join(lines) + "\n"
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    TABLE_PATH.write_text(text)
+    profile.save(str(CALIBRATION_PATH))
+    assert json.loads(CALIBRATION_PATH.read_text())["runs"] == profile.runs
+
+
+def test_optimizer_gate_warm_cache_and_label_identity(benchmark):
+    """Service-style repetition: the second autotuned run of the same query
+    is a plan-cache hit with zero planning-phase spans, and the autotuned
+    labels are byte-identical to the chosen static configuration's."""
+    pct, sub, n, memory = _workload()[0]
+    cache = PlanCache()
+
+    def cold():
+        return compute_sccs(sub, num_nodes=n, memory_bytes=memory,
+                            block_size=BLOCK_SIZE, autotune=True,
+                            plan_cache=cache)
+
+    first = benchmark.pedantic(cold, rounds=1, iterations=1)
+    second = compute_sccs(sub, num_nodes=n, memory_bytes=memory,
+                          block_size=BLOCK_SIZE, autotune=True,
+                          plan_cache=cache)
+    assert not first.tuning.cache_hit
+    assert second.tuning.cache_hit
+    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+    assert [s for s in first.trace.spans if s.phase == "planning"]
+    assert not [s for s in second.trace.spans if s.phase == "planning"]
+
+    static = compute_sccs(sub, num_nodes=n, memory_bytes=memory,
+                          block_size=BLOCK_SIZE, config=first.config)
+    assert first.result.labels == static.result.labels
+    assert first.io.total == static.io.total
+    assert second.result.labels == static.result.labels

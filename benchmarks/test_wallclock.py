@@ -76,7 +76,7 @@ def _fingerprint(run):
 
 
 def _run_smoke(edges, n, memory, *, batch, executor="serial", workers=1,
-               codec=None):
+               codec=None, autotune=False):
     from repro.core import ExtSCCConfig
 
     config = ExtSCCConfig.optimized(codec=codec) if codec else None
@@ -85,7 +85,7 @@ def _run_smoke(edges, n, memory, *, batch, executor="serial", workers=1,
         return run_algorithm("Ext-SCC-Op", edges, n, memory,
                              block_size=BLOCK_SIZE, x=SMOKE_PCT,
                              config=config, workers=workers,
-                             executor=executor)
+                             executor=executor, autotune=autotune)
     finally:
         set_batch_enabled(previous)
 
@@ -153,20 +153,32 @@ def test_wallclock_speedup_committed(benchmark):
             "batch-threads-k4": dict(batch=True, executor="threads", workers=4),
             "batch-processes-k1": dict(batch=True, executor="processes", workers=1),
             "batch-processes-k4": dict(batch=True, executor="processes", workers=4),
+            "autotuned": dict(batch=True, autotune=True),
         })
 
     results = benchmark.pedantic(measure, rounds=1, iterations=1)
 
     scalar_wall, scalar_run = results["scalar-serial"]
     for label, (wall, run) in results.items():
+        if label == "autotuned":
+            # The autotuner may pick any knob combination; the answer must
+            # match, the ledger is the chosen config's own.
+            assert run.num_sccs == scalar_run.num_sccs
+            continue
         assert _fingerprint(run) == _fingerprint(scalar_run), label
 
+    static_labels = [label for label in results
+                     if label not in ("scalar-serial", "autotuned")]
     best_label, (best_wall, _) = min(
-        ((label, value) for label, value in results.items()
-         if label != "scalar-serial"),
+        ((label, results[label]) for label in static_labels),
         key=lambda item: item[1][0],
     )
     speedup = scalar_wall / best_wall
+
+    # The optimizer rides along: autotuned wall vs the best static
+    # variant measured in the same interleaved rounds.
+    autotuned_wall, autotuned_run = results["autotuned"]
+    best_static_wall = min(results[label][0] for label in static_labels)
 
     label = os.environ.get(
         "REPRO_BENCH_LABEL", datetime.date.today().isoformat()
@@ -183,6 +195,14 @@ def test_wallclock_speedup_committed(benchmark):
         },
         "best_variant": best_label,
         "speedup_vs_scalar": round(speedup, 3),
+        "autotune": {
+            "codec": autotuned_run.autotune.get("codec"),
+            "workers": autotuned_run.autotune.get("workers"),
+            "executor": autotuned_run.autotune.get("executor"),
+            "solver": autotuned_run.autotune.get("solver"),
+            "wall_vs_best_static": round(autotuned_wall / best_static_wall, 3),
+            "io_total": autotuned_run.io_total,
+        },
     }
     trajectory = []
     if WALLCLOCK_JSON.exists():

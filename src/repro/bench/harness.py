@@ -9,6 +9,8 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.calibration import CalibrationProfile
+from repro.analysis.planner import TuningDecision, autotune_config
 from repro.baselines import dfs_scc, em_scc
 from repro.core import ExtSCC, ExtSCCConfig
 from repro.exceptions import InsufficientMemory, IOBudgetExceeded, NonTermination
@@ -17,7 +19,7 @@ from repro.io.blocks import BlockDevice
 from repro.io.memory import MemoryBudget
 from repro.io.parallel import MakespanMeter, StripedDevice
 from repro.io.stats import IOBudget
-from repro.plan import TraceLedger
+from repro.plan import PlanCache, TraceLedger
 from repro.semi_external import spanning_tree_scc
 
 __all__ = ["RunResult", "Sweep", "run_algorithm", "run_sweep", "ALGORITHMS"]
@@ -57,6 +59,9 @@ class RunResult:
     trace: Dict[str, Dict[str, int]] = field(default_factory=dict)
     trace_predicted: int = 0
     trace_measured: int = 0
+    # the autotuner's decision summary (chosen knobs, predicted prices,
+    # cache hit/miss counters) — empty on static runs
+    autotune: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -100,10 +105,14 @@ class RunResult:
         raise ValueError(f"unknown metric {metric!r}")
 
 
-def _run_ext(config: ExtSCCConfig):
+def _run_ext(config: ExtSCCConfig,
+             calibration: Optional[CalibrationProfile] = None,
+             tuning: Optional[TuningDecision] = None):
     def runner(device: BlockDevice, edges: EdgeFile, nodes: NodeFile,
                memory: MemoryBudget) -> Tuple[int, Optional[int], Optional[TraceLedger]]:
-        output = ExtSCC(config).run(device, edges, memory, nodes=nodes)
+        output = ExtSCC(config, calibration=calibration).run(
+            device, edges, memory, nodes=nodes, tuning=tuning
+        )
         return output.result.num_sccs, output.num_iterations, output.trace
     return runner
 
@@ -148,6 +157,10 @@ def run_algorithm(
     config: Optional[ExtSCCConfig] = None,
     workers: int = 1,
     executor: str = "serial",
+    autotune: bool = False,
+    calibration: Optional[CalibrationProfile] = None,
+    plan_cache: Optional[PlanCache] = None,
+    objective: Optional[str] = None,
 ) -> RunResult:
     """Run one algorithm on a fresh simulated disk.
 
@@ -167,12 +180,37 @@ def run_algorithm(
         executor: worker-pool backend for Ext-SCC runs (``"serial"``
             keeps the benchmark deterministic; makespan is a property of
             the striping, not of the backend).
+        autotune: let the cost-based optimizer choose codec, workers,
+            executor, and solver for an Ext-SCC run (``workers`` /
+            ``executor`` args are then the search's to override);
+            ``result.autotune`` records the decision.
+        calibration: fitted cost constants for the search.
+        plan_cache: optional decision cache (hit/miss counters land in
+            ``result.autotune["cache"]``).
+        objective: autotune objective override (``"io"`` /
+            ``"wallclock"``).
 
     Returns:
         A populated :class:`RunResult`.
     """
-    if config is not None:
-        runner = _run_ext(replace(config, workers=workers, executor=executor))
+    tuning: Optional[TuningDecision] = None
+    if autotune:
+        base = config if config is not None else (
+            ExtSCCConfig.optimized() if name == "Ext-SCC-Op"
+            else ExtSCCConfig.baseline()
+        )
+        if objective is not None:
+            base = replace(base, objective=objective)
+        tuning = autotune_config(
+            num_nodes, len(edges), memory_bytes, block_size, config=base,
+            profile=calibration, cache=plan_cache,
+        )
+        config = tuning.config(base)
+        workers, executor = config.workers, config.executor
+        runner = _run_ext(config, calibration, tuning)
+    elif config is not None:
+        runner = _run_ext(replace(config, workers=workers, executor=executor),
+                          calibration)
     elif name in ("Ext-SCC", "Ext-SCC-Op") and (workers > 1 or executor != "serial"):
         base = (
             ExtSCCConfig.optimized() if name == "Ext-SCC-Op"
@@ -250,6 +288,24 @@ def run_algorithm(
         result.trace = trace.by_phase()
         result.trace_predicted = trace.total_predicted
         result.trace_measured = trace.total_measured
+    if tuning is not None:
+        chosen = tuning.chosen
+        result.autotune = {
+            "objective": tuning.objective,
+            "codec": chosen.codec,
+            "workers": chosen.workers,
+            "executor": chosen.executor,
+            "solver": chosen.solver,
+            "predicted_ios": chosen.predicted_ios,
+            "predicted_makespan": chosen.predicted_makespan,
+            "predicted_seconds": chosen.predicted_seconds,
+            "candidates": len(tuning.candidates),
+            "cache_hit": tuning.cache_hit,
+            "planning_seconds": tuning.planning_seconds,
+            "calibration": tuning.calibration_version,
+        }
+        if plan_cache is not None:
+            result.autotune["cache"] = plan_cache.stats()
     return result
 
 

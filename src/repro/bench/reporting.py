@@ -236,9 +236,11 @@ def sweep_to_json(sweep: Sweep, indent: Optional[int] = 1) -> str:
     """Serialize a sweep for external plotting tools.
 
     The schema is one record per run: algorithm, sweep coordinate, status,
-    the three I/O counters, wall seconds, SCC count, iteration count, and
-    the payload-byte ledger (logical vs stored bytes, compression ratio,
-    stored bytes per record, and the per-width profile).
+    the three I/O counters, wall seconds, SCC count, iteration count, the
+    payload-byte ledger (logical vs stored bytes, compression ratio,
+    stored bytes per record, and the per-width profile), and — for
+    autotuned runs — the optimizer's decision summary with plan-cache
+    hit/miss counters.
     """
     payload = {
         "title": sweep.title,
@@ -273,6 +275,7 @@ def sweep_to_json(sweep: Sweep, indent: Optional[int] = 1) -> str:
                 "trace": run.trace,
                 "trace_predicted": run.trace_predicted,
                 "trace_measured": run.trace_measured,
+                "autotune": run.autotune,
             }
             for run in sweep.runs
         ],

@@ -17,16 +17,20 @@ Sizes accept suffixes: ``64K``, ``4M``, ``1G``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
+from repro.analysis.calibration import CalibrationProfile, calibration_path_for
 from repro.bench.harness import ALGORITHMS, run_algorithm
 from repro.core import ExtSCCConfig, compute_sccs
+from repro.core.config import OBJECTIVES
 from repro.exceptions import ReproError
 from repro.graph.datasets import build_dataset
 from repro.graph.io_formats import read_edge_binary, read_edge_text, write_edge_binary, write_edge_text
 from repro.io.parallel import EXECUTOR_BACKENDS, processes_available
+from repro.plan import PlanCache
 
 __all__ = ["main", "parse_size"]
 
@@ -78,12 +82,17 @@ def _load_edges(path: str, binary: bool) -> List:
     return list(reader(path))
 
 
-def _run_checkpointed(args: argparse.Namespace, config, on_iteration):
+def _run_checkpointed(args: argparse.Namespace, config, on_iteration,
+                      profile=None, cache=None):
     """Run ``scc`` against a persistent device directory with journaling.
 
     A fresh run wipes the directory and loads the input; ``--resume``
-    reuses the stored input and continues from the journal.
+    reuses the stored input and continues from the journal.  With
+    ``--autotune`` (fresh starts only — ``_cmd_scc`` refuses the resume
+    combination), the knob search runs over the loaded input before the
+    pipeline starts.
     """
+    from repro.analysis.planner import autotune_config
     from repro.core.ext_scc import ExtSCC
     from repro.graph.edge_file import EdgeFile, NodeFile
     from repro.io.files import ExternalFile
@@ -96,6 +105,7 @@ def _run_checkpointed(args: argparse.Namespace, config, on_iteration):
     )
     memory = MemoryBudget(parse_size(args.memory))
     manager = CheckpointManager(device)
+    tuning = None
     if args.resume and device.exists("input-edges"):
         edge_file = EdgeFile(ExternalFile.open(device, "input-edges"))
         node_file = (
@@ -108,6 +118,15 @@ def _run_checkpointed(args: argparse.Namespace, config, on_iteration):
             device.delete(name)
         manager.reset()
         edges = _load_edges(args.input, args.binary)
+        if args.autotune:
+            n = args.nodes or (
+                1 + max(max(u, v) for u, v in edges) if edges else 0
+            )
+            tuning = autotune_config(
+                n, len(edges), memory.nbytes, device.block_size,
+                config=config, profile=profile, cache=cache,
+            )
+            config = tuning.config(config)
         edge_file = EdgeFile.from_edges(device, "input-edges", edges)
         node_file = None
         if args.nodes:
@@ -115,23 +134,26 @@ def _run_checkpointed(args: argparse.Namespace, config, on_iteration):
                 device, "input-nodes", range(args.nodes), memory, presorted=True
             )
     try:
-        return device, ExtSCC(config).run(
+        return device, ExtSCC(config, calibration=profile).run(
             device, edge_file, memory, nodes=node_file,
-            on_iteration=on_iteration, checkpoint=manager,
+            on_iteration=on_iteration, checkpoint=manager, tuning=tuning,
         )
     except BaseException:
         device.sync()  # keep the journal durable for a later --resume
         raise
 
 
-def _explain_scc(args: argparse.Namespace, config) -> int:
+def _explain_scc(args: argparse.Namespace, config, profile=None,
+                 cache=None) -> int:
     """``scc --explain``: print the optimized operator DAG of the first
     phase the run would execute (contract-1, or the semi-external hand-off
     when the input already fits) plus the analytic full-run schedule,
-    without running anything."""
+    without running anything.  With ``--autotune``, the candidate table —
+    every enumerated (codec, K, executor, solver) with its calibrated
+    prices — is printed first and the chosen config's plan follows."""
     from repro.analysis import plan_ext_scc
     from repro.analysis.cost_model import CostModel
-    from repro.analysis.planner import optimize_plan
+    from repro.analysis.planner import autotune_config, optimize_plan
     from repro.core.contraction import build_contract_plan
     from repro.core.ext_scc import ExtSCC
     from repro.graph.edge_file import EdgeFile, NodeFile
@@ -151,8 +173,20 @@ def _explain_scc(args: argparse.Namespace, config) -> int:
         )
     else:
         node_file = edge_file.node_file(memory)
-    solver = ExtSCC(config)
-    model = CostModel(block_size, memory_bytes)
+    decision = None
+    if args.autotune:
+        decision = autotune_config(
+            node_file.num_nodes, edge_file.num_edges, memory_bytes,
+            block_size, config=config, profile=profile, cache=cache,
+        )
+        config = decision.config(config)
+        print(decision.render())
+        print()
+    solver = ExtSCC(config, calibration=profile)
+    if profile is not None:
+        model = profile.model(block_size, memory_bytes, config.codec)
+    else:
+        model = CostModel(block_size, memory_bytes)
     if solver.nodes_fit(node_file.num_nodes, memory, block_size):
         plan = build_semi_plan(
             device, edge_file, node_file, memory, config.semi_scc
@@ -161,11 +195,12 @@ def _explain_scc(args: argparse.Namespace, config) -> int:
         plan = build_contract_plan(
             device, edge_file, node_file, memory, config, level=1
         )
-    optimize_plan(plan, model, config)
+    optimize_plan(plan, model, config, decision=decision)
     print(plan.render())
     print()
     print(plan_ext_scc(
-        node_file.num_nodes, edge_file.num_edges, memory_bytes, block_size
+        node_file.num_nodes, edge_file.num_edges, memory_bytes, block_size,
+        model=model,
     ).render())
     return 0
 
@@ -184,8 +219,29 @@ def _cmd_scc(args: argparse.Namespace) -> int:
         return 2
     if args.workers > 1 or args.executor != "serial":
         config = replace(config, workers=args.workers, executor=args.executor)
+    if args.objective != "io":
+        config = replace(config, objective=args.objective)
+    if args.autotune and args.resume:
+        print(
+            "error: --autotune cannot be combined with --resume (the "
+            "journal fixes the codec; re-tuning would invalidate it)",
+            file=sys.stderr,
+        )
+        return 2
+    # The calibration profile lives next to the device manifest by
+    # convention; --calibration overrides the location.
+    calibration_path = args.calibration or (
+        calibration_path_for(args.checkpoint_dir)
+        if args.checkpoint_dir else None
+    )
+    profile = (
+        CalibrationProfile.load(calibration_path)
+        if calibration_path and os.path.exists(calibration_path) else
+        CalibrationProfile() if (calibration_path or args.autotune) else None
+    )
+    cache = PlanCache(args.plan_cache) if args.plan_cache else None
     if args.explain:
-        return _explain_scc(args, config)
+        return _explain_scc(args, config, profile=profile, cache=cache)
 
     def progress(record) -> None:
         print(
@@ -198,7 +254,8 @@ def _cmd_scc(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     if args.checkpoint_dir:
         device, out = _run_checkpointed(
-            args, config, progress if args.verbose else None
+            args, config, progress if args.verbose else None,
+            profile=profile, cache=cache,
         )
         device.close()
         if out.resumed:
@@ -218,9 +275,25 @@ def _cmd_scc(args: argparse.Namespace) -> int:
             block_size=parse_size(args.block_size),
             config=config,
             on_iteration=progress if args.verbose else None,
+            autotune=args.autotune,
+            calibration=profile,
+            plan_cache=cache,
         )
     elapsed = time.perf_counter() - started
     result = out.result
+    if out.tuning is not None:
+        chosen = out.tuning.chosen
+        source = (
+            "plan cache" if out.tuning.cache_hit
+            else f"{len(out.tuning.candidates)} candidates in "
+                 f"{out.tuning.planning_seconds * 1e3:.1f}ms"
+        )
+        print(
+            f"autotune[{out.tuning.objective}]: codec={chosen.codec} "
+            f"workers={chosen.workers} executor={chosen.executor} "
+            f"solver={chosen.solver}  ({source})",
+            file=sys.stderr,
+        )
     edge_note = "?" if edge_count is None else edge_count
     print(f"nodes: {result.num_nodes}  edges: {edge_note}", file=sys.stderr)
     print(
@@ -250,8 +323,30 @@ def _cmd_scc(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     if args.trace_json:
+        run_config = out.config
+        context = {
+            "codec": run_config.codec,
+            "executor": run_config.executor,
+            "workers": run_config.workers,
+            "solver": run_config.semi_scc,
+            "objective": run_config.objective,
+            "block_size": parse_size(args.block_size),
+            "memory_bytes": parse_size(args.memory),
+            "io_total": out.io.total,
+            "semi_io_total": out.semi_io.total,
+            "wall_seconds": out.wall_seconds,
+            "final_edges": (
+                out.iterations[-1].next_num_edges if out.iterations else 0
+            ),
+            "bytes_by_width": {
+                str(width): [count, stored]
+                for width, (count, stored) in sorted(out.bytes_by_width.items())
+            },
+            "autotune": out.tuning.to_payload() if out.tuning else None,
+            "cache": cache.stats() if cache is not None else None,
+        }
         with open(args.trace_json, "w", encoding="ascii") as f:
-            f.write(out.trace.to_json())
+            f.write(out.trace.to_json(plans=out.plans, context=context))
         print(
             f"trace ({len(out.trace.spans)} spans) written to "
             f"{args.trace_json}",
@@ -259,6 +354,16 @@ def _cmd_scc(args: argparse.Namespace) -> int:
         )
     if args.verbose and out.trace.spans:
         print(out.trace.render(), file=sys.stderr)
+    if calibration_path is not None:
+        profile.ingest_run(out, block_size=parse_size(args.block_size))
+        profile.save(calibration_path)
+        print(
+            f"calibration profile updated: {calibration_path} "
+            f"(version {profile.version})",
+            file=sys.stderr,
+        )
+    if args.plan_cache and cache is not None:
+        cache.save()
     if args.output:
         with open(args.output, "w", encoding="ascii") as f:
             for node in sorted(result.labels):
@@ -290,8 +395,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if error is not None:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.autotune and args.algorithm not in ("Ext-SCC", "Ext-SCC-Op"):
+        print(
+            f"error: --autotune only applies to Ext-SCC variants, not "
+            f"{args.algorithm}",
+            file=sys.stderr,
+        )
+        return 2
     edges = _load_edges(args.input, args.binary)
     num_nodes = args.nodes or (1 + max(max(u, v) for u, v in edges))
+    profile = (
+        CalibrationProfile.load(args.calibration)
+        if args.calibration and os.path.exists(args.calibration)
+        else CalibrationProfile() if (args.calibration or args.autotune)
+        else None
+    )
     result = run_algorithm(
         args.algorithm,
         edges,
@@ -301,12 +419,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         io_budget=args.io_budget,
         workers=args.workers,
         executor=args.executor,
+        autotune=args.autotune,
+        calibration=profile,
+        objective=args.objective,
     )
     print(
         f"{result.algorithm}: {result.status}  I/Os: {result.io_total} "
         f"(random {result.io_random})  wall: {result.wall_seconds:.2f}s  "
         f"sccs: {result.num_sccs}"
     )
+    if result.autotune:
+        a = result.autotune
+        print(
+            f"autotune[{a['objective']}]: codec={a['codec']} "
+            f"workers={a['workers']} executor={a['executor']} "
+            f"solver={a['solver']}  ({a['candidates']} candidates, "
+            f"predicted {a['predicted_ios']:,} blk)"
+        )
     top_phases = [
         label
         for label in ("recovery", "contraction", "semi-scc", "expansion")
@@ -444,6 +573,25 @@ def build_parser() -> argparse.ArgumentParser:
     scc.add_argument("--resume", action="store_true",
                      help="continue a crashed run from the journal in "
                           "--checkpoint-dir instead of starting over")
+    scc.add_argument("--autotune", action="store_true",
+                     help="let the cost-based optimizer pick codec, worker "
+                          "count K, executor, and semi-external solver by "
+                          "pricing every combination against the "
+                          "calibrated cost model before running")
+    scc.add_argument("--objective", choices=list(OBJECTIVES), default="io",
+                     help="what --autotune minimizes: predicted block "
+                          "I/Os (io, default) or predicted wall-seconds "
+                          "(wallclock, needs a calibration profile to "
+                          "differ from io)")
+    scc.add_argument("--calibration", metavar="PATH",
+                     help="calibration profile JSON to price candidates "
+                          "with; updated from this run's measurements "
+                          "afterwards (default: calibration.json inside "
+                          "--checkpoint-dir when one is given)")
+    scc.add_argument("--plan-cache", metavar="PATH",
+                     help="persistent plan cache: repeated --autotune "
+                          "queries with the same graph shape, budget, and "
+                          "calibration version skip the knob search")
     scc.set_defaults(func=_cmd_scc)
 
     gen = sub.add_parser("generate", help="generate a Table I / webspam dataset")
@@ -475,6 +623,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(processes is rejected when the platform "
                             "cannot fork/spawn)")
     bench.add_argument("--binary", action="store_true")
+    bench.add_argument("--autotune", action="store_true",
+                       help="let the optimizer pick codec/K/executor/"
+                            "solver for Ext-SCC runs (overrides --workers "
+                            "and --executor)")
+    bench.add_argument("--objective", choices=list(OBJECTIVES), default="io",
+                       help="autotune objective: predicted I/Os or "
+                            "predicted wall-seconds")
+    bench.add_argument("--calibration", metavar="PATH",
+                       help="calibration profile JSON for autotune pricing")
     bench.set_defaults(func=_cmd_bench)
 
     stats = sub.add_parser("stats", help="degree/structure statistics")

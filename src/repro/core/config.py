@@ -22,7 +22,12 @@ from typing import Optional
 
 from repro.constants import SEMI_EXTERNAL_BYTES_PER_NODE
 
-__all__ = ["ExtSCCConfig"]
+__all__ = ["ExtSCCConfig", "OBJECTIVES"]
+
+OBJECTIVES = ("io", "wallclock")
+"""Cost objectives the planner can optimize: predicted total block I/Os
+(``"io"``) or predicted wall-clock seconds (``"wallclock"``, calibrated
+from measured traces)."""
 
 
 @dataclass(frozen=True)
@@ -74,6 +79,19 @@ class ExtSCCConfig:
         executor: worker-pool backend, ``"serial"`` (default — shards run
             in submission order, keeping crash ordinals and traces
             deterministic) or ``"threads"`` (real overlap).
+        autotune: let the cost-based optimizer *choose* codec, worker
+            count, executor, and semi-external solver from predicted cost
+            (calibrated when a profile is supplied) instead of trusting
+            this config's values.  A planning knob: every choice the
+            optimizer can make produces byte-identical SCC labels.
+        objective: what the optimizer minimizes — ``"io"`` (predicted
+            total block I/Os) or ``"wallclock"`` (predicted seconds from
+            trace-calibrated per-executor constants).
+
+    Construction validates the execution knobs (``workers >= 1``, a known
+    ``executor``, a known ``objective``) so programmatically built
+    configs — the optimizer enumerates many — fail fast at the library
+    level rather than deep inside a run.
     """
 
     trim_type1: bool = False
@@ -92,6 +110,29 @@ class ExtSCCConfig:
     pool_coalesce_writes: int = 4
     workers: int = 1
     executor: str = "serial"
+    autotune: bool = False
+    objective: str = "io"
+
+    def __post_init__(self) -> None:
+        # Local import: repro.io.parallel must stay importable without
+        # core.config (no cycle the other way exists today, but keep it so).
+        from repro.exceptions import ReproError
+        from repro.io.parallel import EXECUTOR_BACKENDS
+
+        if self.workers < 1:
+            raise ReproError(
+                f"workers must be at least 1, got {self.workers}"
+            )
+        if self.executor not in EXECUTOR_BACKENDS:
+            raise ReproError(
+                f"unknown executor {self.executor!r}; "
+                f"choose from {sorted(EXECUTOR_BACKENDS)}"
+            )
+        if self.objective not in OBJECTIVES:
+            raise ReproError(
+                f"unknown objective {self.objective!r}; "
+                f"choose from {sorted(OBJECTIVES)}"
+            )
 
     @classmethod
     def baseline(cls, **overrides) -> "ExtSCCConfig":
@@ -121,11 +162,16 @@ class ExtSCCConfig:
         ``workers`` and ``executor`` are *execution* knobs, not algorithm
         knobs: every K produces the same levels, labels, and total ledger,
         so a journal written at K=1 may be resumed at K=4 (and vice versa)
-        — they are excluded from the fingerprint.
+        — they are excluded from the fingerprint.  ``autotune`` and
+        ``objective`` are *planning* knobs with the same property (the
+        optimizer only picks among label-identical alternatives), so they
+        are excluded too.
         """
         fp = asdict(self)
         fp.pop("workers", None)
         fp.pop("executor", None)
+        fp.pop("autotune", None)
+        fp.pop("objective", None)
         return fp
 
     @property

@@ -23,7 +23,7 @@ happens and the semi-external solver runs directly — the sharp cost drop at
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import ExtSCCConfig
@@ -38,10 +38,13 @@ from repro.io.memory import MemoryBudget
 from repro.io.parallel import EXECUTOR_BACKENDS, MakespanMeter, WorkerPool
 from repro.io.pool import SharedBufferPool
 from repro.io.stats import RECOVERY_PHASE, IOBudget, IOSnapshot, IOStats
-from repro.plan import ExtPlan, PlanExecutor, TraceLedger
+from repro.plan import ExtPlan, PlanExecutor, Span, TraceLedger
 from repro.semi_external import SEMI_SCC_SOLVERS, build_semi_plan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (recovery imports us)
+    from repro.analysis.calibration import CalibrationProfile
+    from repro.analysis.planner import TuningDecision
+    from repro.plan.cache import PlanCache
     from repro.recovery.checkpoint import CheckpointManager, ResumeState
 
 __all__ = ["ExtSCC", "ExtSCCOutput", "IterationRecord", "compute_sccs"]
@@ -107,6 +110,12 @@ class ExtSCCOutput:
         plans: the optimized plans the run executed, in execution order,
             with next-level size estimates trued up to the measured sizes
             (so a calibrated model can re-price them post-run).
+        bytes_by_width: the run's payload ledger delta —
+            ``{logical width: (records, stored bytes)}`` — what
+            :meth:`~repro.analysis.calibration.CalibrationProfile.ingest_run`
+            fits per-codec stored widths from.
+        tuning: the autotuner's decision when the run was autotuned
+            (``None`` on the static path).
     """
 
     result: SCCResult
@@ -124,6 +133,8 @@ class ExtSCCOutput:
     channel_io: List[int] = field(default_factory=list)
     trace: TraceLedger = field(default_factory=TraceLedger)
     plans: List[ExtPlan] = field(default_factory=list)
+    bytes_by_width: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    tuning: Optional["TuningDecision"] = None
 
     @property
     def num_iterations(self) -> int:
@@ -144,10 +155,17 @@ class ExtSCC:
         config: pipeline configuration; defaults to plain Ext-SCC
             (:meth:`ExtSCCConfig.baseline`).  Use
             :meth:`ExtSCCConfig.optimized` for Ext-SCC-Op.
+        calibration: optional
+            :class:`~repro.analysis.calibration.CalibrationProfile`; the
+            planner then prices every plan with the fitted per-codec
+            stored widths instead of the analytic logical widths.
+            Predictions only — execution and labels never depend on it.
     """
 
-    def __init__(self, config: Optional[ExtSCCConfig] = None) -> None:
+    def __init__(self, config: Optional[ExtSCCConfig] = None,
+                 calibration: Optional["CalibrationProfile"] = None) -> None:
         self.config = config if config is not None else ExtSCCConfig.baseline()
+        self.calibration = calibration
         if self.config.semi_scc not in SEMI_SCC_SOLVERS:
             raise ReproError(
                 f"unknown semi-external solver {self.config.semi_scc!r}; "
@@ -180,6 +198,7 @@ class ExtSCC:
         nodes: Optional[NodeFile] = None,
         on_iteration: Optional[Callable[[IterationRecord], None]] = None,
         checkpoint: Optional["CheckpointManager"] = None,
+        tuning: Optional["TuningDecision"] = None,
     ) -> ExtSCCOutput:
         """Compute all SCCs of the graph stored in ``edges``.
 
@@ -199,6 +218,12 @@ class ExtSCC:
                 restarting; journal-validation reads of a resume are
                 charged to the ``recovery`` phase.  Checkpointing an
                 uninterrupted run costs zero simulated I/O.
+            tuning: the :func:`~repro.analysis.planner.autotune_config`
+                decision that chose this run's config.  Recorded on the
+                output and in every plan's rewrite log; a cold search
+                additionally logs a ``planning``-phase span with its wall
+                time (a warm cache hit logs none — that *is* the cache's
+                win).
 
         Returns:
             An :class:`ExtSCCOutput` with the labeling and statistics.
@@ -231,6 +256,10 @@ class ExtSCC:
         # Wall-clock per top-level phase is reported as a delta against the
         # device's ledger, which may already carry phases from a prior run.
         seconds_start = dict(stats.seconds_by_phase)
+        bytes_start = {
+            width: (count, stored)
+            for width, (count, stored) in stats.bytes_by_width.items()
+        }
         preexisting = set(device.list_files())
         run_start = stats.snapshot()
 
@@ -247,7 +276,7 @@ class ExtSCC:
             return self._pipeline(
                 device, edges, memory, nodes, on_iteration, checkpoint,
                 state, stats, run_start, recovery_io, start, meter,
-                seconds_start,
+                seconds_start, bytes_start, tuning,
             )
         except (IOBudgetExceeded, SimulatedCrash):
             if checkpoint is None:
@@ -282,6 +311,8 @@ class ExtSCC:
         start: float,
         meter: MakespanMeter,
         seconds_start: Optional[Dict[str, float]] = None,
+        bytes_start: Optional[Dict[str, Tuple[int, int]]] = None,
+        tuning: Optional["TuningDecision"] = None,
     ) -> ExtSCCOutput:
         """The contract / semi / expand pipeline, parameterized by an
         optional :class:`ResumeState` that skips the already-durable part.
@@ -301,10 +332,26 @@ class ExtSCC:
 
         config = self.config
         resumed = state is not None and state.resumed
-        model = CostModel(device.block_size, memory.nbytes)
+        if self.calibration is not None:
+            model = self.calibration.model(
+                device.block_size, memory.nbytes, config.codec
+            )
+        else:
+            model = CostModel(device.block_size, memory.nbytes)
         trace = TraceLedger()
         plans: List[ExtPlan] = []
         executor = PlanExecutor(device, trace=trace)
+        if tuning is not None and not tuning.cache_hit:
+            # The one span of the planning phase: the knob search's wall
+            # time.  A warm cache hit records nothing here — "zero
+            # planning-phase spans" is the cache's observable win.
+            trace.record(Span(
+                plan="autotune", stage="search", phase="planning",
+                operators=(f"search:{len(tuning.candidates)} candidates",),
+                predicted_ios=None, reads=0, writes=0, random_ios=0,
+                records=len(tuning.candidates), bytes_stored=0, makespan=0,
+                wall_seconds=tuning.planning_seconds,
+            ))
 
         if state is not None and state.nodes is not None:
             nodes = state.nodes
@@ -358,7 +405,7 @@ class ExtSCC:
                             device, current_edges, current_nodes, memory,
                             config, level=i,
                         )
-                        optimize_plan(plan, model, config)
+                        optimize_plan(plan, model, config, decision=tuning)
                         hooks = (
                             checkpoint.plan_hooks(record_factory=record_for)
                             if checkpoint is not None else None
@@ -385,7 +432,7 @@ class ExtSCC:
                     device, current_edges, current_nodes, memory,
                     config.semi_scc,
                 )
-                optimize_plan(plan, model, config)
+                optimize_plan(plan, model, config, decision=tuning)
                 hooks = (
                     checkpoint.plan_hooks() if checkpoint is not None else None
                 )
@@ -407,7 +454,7 @@ class ExtSCC:
                         device, level, scc_prev, memory, config,
                         delete_input=checkpoint is None,
                     )
-                    optimize_plan(plan, model, config)
+                    optimize_plan(plan, model, config, decision=tuning)
                     hooks = (
                         checkpoint.plan_hooks(level=level)
                         if checkpoint is not None else None
@@ -446,6 +493,17 @@ class ExtSCC:
             channel_io=meter.channel_snapshot(),
             trace=trace,
             plans=plans,
+            bytes_by_width={
+                width: (
+                    count - bytes_start.get(width, (0, 0))[0],
+                    stored - bytes_start.get(width, (0, 0))[1],
+                )
+                for width, (count, stored) in stats.bytes_by_width.items()
+            } if bytes_start is not None else {
+                width: (count, stored)
+                for width, (count, stored) in stats.bytes_by_width.items()
+            },
+            tuning=tuning,
         )
 
 
@@ -481,6 +539,10 @@ def compute_sccs(
     config: Optional[ExtSCCConfig] = None,
     io_budget: Optional[int] = None,
     on_iteration: Optional[Callable[[IterationRecord], None]] = None,
+    autotune: bool = False,
+    calibration: Optional["CalibrationProfile"] = None,
+    plan_cache: Optional["PlanCache"] = None,
+    objective: Optional[str] = None,
 ) -> ExtSCCOutput:
     """One-call API: load an edge list onto a fresh simulated disk and run
     Ext-SCC.
@@ -498,12 +560,44 @@ def compute_sccs(
         io_budget: optional block-I/O cap (raises
             :class:`~repro.exceptions.IOBudgetExceeded`).
         on_iteration: optional per-iteration progress callback.
+        autotune: let the cost-based optimizer choose codec, workers,
+            executor, and semi-external solver
+            (:func:`~repro.analysis.planner.autotune_config`) before the
+            run; also enabled by ``config.autotune``.  The chosen config
+            then runs exactly as the same static config would — labels and
+            ledgers are byte-identical.
+        calibration: fitted cost constants for the search and the plan
+            predictions.
+        plan_cache: optional :class:`~repro.plan.PlanCache`; repeated
+            queries with the same stats fingerprint skip the search.
+        objective: override ``config.objective`` (``"io"`` /
+            ``"wallclock"``).
 
     Returns:
         An :class:`ExtSCCOutput`.
     """
+    if config is None:
+        config = ExtSCCConfig.optimized() if optimized else ExtSCCConfig.baseline()
+    if objective is not None:
+        config = replace(config, objective=objective)
+    tuning: Optional["TuningDecision"] = None
+    if autotune or config.autotune:
+        from repro.analysis.planner import autotune_config
+
+        edges = list(edges)
+        if num_nodes is not None:
+            n = num_nodes
+        elif edges:
+            n = 1 + max(max(u, v) for u, v in edges)
+        else:
+            n = 0
+        tuning = autotune_config(
+            n, len(edges), memory_bytes, block_size, config=config,
+            profile=calibration, cache=plan_cache,
+        )
+        config = tuning.config(config)
     budget = IOBudget(io_budget) if io_budget is not None else None
-    if config is not None and config.workers > 1:
+    if config.workers > 1:
         from repro.io.parallel import StripedDevice
 
         device: BlockDevice = StripedDevice(
@@ -518,8 +612,7 @@ def compute_sccs(
         node_file = NodeFile.from_ids(
             device, "input-nodes", range(num_nodes), memory, presorted=True
         )
-    if config is None:
-        config = ExtSCCConfig.optimized() if optimized else ExtSCCConfig.baseline()
-    return ExtSCC(config).run(
-        device, edge_file, memory, nodes=node_file, on_iteration=on_iteration
+    return ExtSCC(config, calibration=calibration).run(
+        device, edge_file, memory, nodes=node_file,
+        on_iteration=on_iteration, tuning=tuning,
     )

@@ -9,6 +9,7 @@ a :class:`TraceLedger`, and fires checkpoint commits declared on
 ``Materialize`` nodes.
 """
 
+from repro.plan.cache import PlanCache
 from repro.plan.executor import PlanExecutor
 from repro.plan.ops import (
     Dedupe,
@@ -26,6 +27,7 @@ from repro.plan.trace import Span, TraceLedger
 __all__ = [
     "ExtPlan",
     "PlanStage",
+    "PlanCache",
     "PlanExecutor",
     "Span",
     "TraceLedger",

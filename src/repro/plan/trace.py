@@ -120,12 +120,55 @@ class TraceLedger:
         )
         return "\n".join(lines)
 
-    def to_json(self, indent: Optional[int] = 1) -> str:
-        """The full ledger as JSON (spans plus per-phase aggregates)."""
-        payload = {
+    def to_json(self, indent: Optional[int] = 1, plans=None,
+                context: Optional[dict] = None) -> str:
+        """The full ledger as JSON (spans plus per-phase aggregates).
+
+        Args:
+            indent: JSON indentation.
+            plans: optional executed :class:`~repro.plan.ExtPlan` list —
+                each is serialized with its rewrite log (including the
+                autotuner's chosen/runner-up lines) and per-operator
+                ``predicted_ios`` / ``predicted_makespan``, so one
+                artifact carries everything offline analysis needs.
+            context: optional run context (knobs, sizes, the payload
+                ledger) — what
+                :meth:`~repro.analysis.calibration.CalibrationProfile.ingest_trace_json`
+                fits constants from.
+        """
+        payload: dict = {
             "spans": [asdict(s) for s in self.spans],
             "by_phase": self.by_phase(),
             "total_predicted": self.total_predicted,
             "total_measured": self.total_measured,
         }
+        if plans is not None:
+            payload["plans"] = [
+                {
+                    "name": plan.name,
+                    "phase": plan.phase,
+                    "rewrites": list(plan.rewrites),
+                    "predicted_total": plan.total_predicted,
+                    "predicted_makespan": plan.total_predicted_makespan,
+                    "ops": [
+                        {
+                            "id": op.id,
+                            "kind": op.kind,
+                            "label": op.label,
+                            "records": op.records,
+                            "record_size": op.record_size,
+                            "workers": op.workers,
+                            "codec": op.codec,
+                            "fused": op.fused,
+                            "elided": op.elided,
+                            "predicted_ios": op.predicted_ios,
+                            "predicted_makespan": op.predicted_makespan,
+                        }
+                        for op in plan.ops
+                    ],
+                }
+                for plan in plans
+            ]
+        if context is not None:
+            payload["context"] = context
         return json.dumps(payload, indent=indent)

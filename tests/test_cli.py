@@ -314,6 +314,108 @@ class TestExplainAndTrace:
         assert "trace (" in capsys.readouterr().err
 
 
+class TestAutotuneCli:
+    @pytest.fixture
+    def edge_path(self, tmp_path):
+        path = tmp_path / "cycle.txt"
+        write_edge_text(path, cycle_graph(60).edges)
+        return path
+
+    def test_autotune_run_reports_decision(self, edge_path, capsys):
+        code = main(["scc", str(edge_path), "-m", "16K", "--autotune"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "autotune[io]:" in err
+        assert "candidates" in err
+        assert "sccs: 1" in err
+
+    def test_explain_autotune_prints_candidate_table(self, edge_path, capsys):
+        code = main(["scc", str(edge_path), "-m", "16K", "--explain",
+                     "--autotune"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rank codec" in out
+        assert "pred.I/Os" in out
+        assert "->" in out  # the chosen row's marker
+        assert "autotune[io]=" in out  # provenance in the plan rewrites
+
+    def test_objective_flag_threads_through(self, edge_path, capsys):
+        code = main(["scc", str(edge_path), "-m", "16K", "--autotune",
+                     "--objective", "wallclock"])
+        assert code == 0
+        assert "autotune[wallclock]:" in capsys.readouterr().err
+
+    def test_autotune_resume_refused(self, edge_path, capsys):
+        code = main(["scc", str(edge_path), "-m", "16K", "--autotune",
+                     "--resume"])
+        assert code == 2
+        assert "--autotune" in capsys.readouterr().err
+
+    def test_bench_autotune_only_for_ext_scc(self, edge_path, capsys):
+        code = main(["bench", str(edge_path), "-a", "DFS-SCC", "-m", "16K",
+                     "--autotune"])
+        assert code == 2
+        assert "Ext-SCC" in capsys.readouterr().err
+
+    def test_bench_autotune_reports_decision(self, edge_path, capsys):
+        code = main(["bench", str(edge_path), "-m", "16K", "--autotune"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "autotune[io]:" in out
+        assert "candidates" in out
+
+    def test_plan_cache_warm_hit(self, tmp_path, edge_path, capsys):
+        cache_path = tmp_path / "plans.json"
+        argv = ["scc", str(edge_path), "-m", "16K", "--autotune",
+                "--plan-cache", str(cache_path)]
+        assert main(argv) == 0
+        assert "candidates in" in capsys.readouterr().err
+        assert cache_path.exists()
+        assert main(argv) == 0
+        assert "(plan cache)" in capsys.readouterr().err
+
+    def test_calibration_written_and_reused(self, tmp_path, edge_path,
+                                            capsys):
+        cal_path = tmp_path / "calibration.json"
+        argv = ["scc", str(edge_path), "-m", "16K",
+                "--calibration", str(cal_path)]
+        assert main(argv) == 0
+        assert "calibration profile updated" in capsys.readouterr().err
+        import json
+
+        payload = json.loads(cal_path.read_text())
+        assert payload["runs"] == 1
+        assert main(argv) == 0
+        assert json.loads(cal_path.read_text())["runs"] == 2
+
+    def test_checkpoint_dir_gets_calibration_by_convention(
+            self, tmp_path, edge_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        code = main(["scc", str(edge_path), "-m", "300", "-b", "64",
+                     "--checkpoint-dir", str(ckpt)])
+        assert code == 0
+        assert (ckpt / "calibration.json").exists()
+
+    def test_trace_json_carries_plans_and_context(self, tmp_path, edge_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main(["scc", str(edge_path), "-m", "16K", "--autotune",
+                     "--trace-json", str(trace_path)])
+        assert code == 0
+        payload = json.loads(trace_path.read_text())
+        assert payload["plans"], "executed plans must be serialized"
+        plan = payload["plans"][0]
+        assert any("autotune[io]=" in r for r in plan["rewrites"])
+        assert all("predicted_makespan" in op for op in plan["ops"])
+        context = payload["context"]
+        assert context["codec"] == payload["context"]["autotune"][
+            "candidates"][context["autotune"]["chosen"]]["codec"]
+        assert context["bytes_by_width"]
+        planning = [s for s in payload["spans"] if s["phase"] == "planning"]
+        assert len(planning) == 1
+
+
 class TestProcessesExecutorCli:
     """``--executor processes`` is a first-class choice: accepted where the
     platform can fork/spawn, rejected with a clear message (exit 2, not a

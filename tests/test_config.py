@@ -53,3 +53,42 @@ class TestValidation:
 
     def test_paper_stop_constant(self):
         assert ExtSCCConfig.baseline().bytes_per_node == 8
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ReproError):
+            ExtSCCConfig(workers=0)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ReproError):
+            ExtSCCConfig(workers=-4)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ReproError):
+            ExtSCCConfig(executor="fibers")
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ReproError):
+            ExtSCCConfig(objective="latency")
+
+    def test_replace_revalidates(self):
+        from dataclasses import replace
+
+        config = ExtSCCConfig.optimized()
+        with pytest.raises(ReproError):
+            replace(config, workers=0)
+        with pytest.raises(ReproError):
+            replace(config, executor="gpu")
+
+    def test_valid_knobs_accepted(self):
+        config = ExtSCCConfig(workers=4, executor="threads",
+                              objective="wallclock", autotune=True)
+        assert config.workers == 4
+        assert config.autotune
+
+    def test_fingerprint_excludes_tuning_knobs(self):
+        from dataclasses import replace
+
+        base = ExtSCCConfig.optimized()
+        tuned = replace(base, workers=8, executor="threads",
+                        autotune=True, objective="wallclock")
+        assert base.fingerprint() == tuned.fingerprint()
