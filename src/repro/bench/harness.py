@@ -7,7 +7,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.calibration import CalibrationProfile
 from repro.analysis.planner import TuningDecision, autotune_config
@@ -21,6 +21,10 @@ from repro.io.parallel import MakespanMeter, StripedDevice
 from repro.io.stats import IOBudget
 from repro.plan import PlanCache, TraceLedger
 from repro.semi_external import spanning_tree_scc
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.recovery.fault import FaultSchedule
+    from repro.recovery.policy import FaultPolicy
 
 __all__ = ["RunResult", "Sweep", "run_algorithm", "run_sweep", "ALGORITHMS"]
 
@@ -62,6 +66,10 @@ class RunResult:
     # the autotuner's decision summary (chosen knobs, predicted prices,
     # cache hit/miss counters) — empty on static runs
     autotune: Dict[str, object] = field(default_factory=dict)
+    # fault-tolerance ledger delta of the run (retries, repairs,
+    # redispatches, parity writes, backoff seconds, degradation events)
+    # — all zeros/empty on a fault-free run
+    health: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -161,6 +169,9 @@ def run_algorithm(
     calibration: Optional[CalibrationProfile] = None,
     plan_cache: Optional[PlanCache] = None,
     objective: Optional[str] = None,
+    fault_policy: Optional["FaultPolicy"] = None,
+    fault_schedule: Optional["FaultSchedule"] = None,
+    parity: bool = False,
 ) -> RunResult:
     """Run one algorithm on a fresh simulated disk.
 
@@ -189,6 +200,13 @@ def run_algorithm(
             ``result.autotune["cache"]``).
         objective: autotune objective override (``"io"`` /
             ``"wallclock"``).
+        fault_policy: retry/backoff policy for transient faults; the
+            device default applies when ``None``.
+        fault_schedule: deterministic fault injection schedule (chaos
+            benchmarking); attached to the device before the input loads
+            so fault ordinals are stable across runs.
+        parity: keep a RAID-5 parity channel on the striped device
+            (forces striping even for ``workers == 1``).
 
     Returns:
         A populated :class:`RunResult`.
@@ -219,10 +237,16 @@ def run_algorithm(
         runner = _run_ext(replace(base, workers=workers, executor=executor))
     else:
         runner = ALGORITHMS[name]
-    if workers > 1:
-        device: BlockDevice = StripedDevice(block_size=block_size, channels=workers)
+    if workers > 1 or parity:
+        device: BlockDevice = StripedDevice(
+            block_size=block_size, channels=max(workers, 1), parity=parity
+        )
     else:
         device = BlockDevice(block_size=block_size)
+    if fault_policy is not None:
+        device.attach_policy(fault_policy)
+    if fault_schedule is not None:
+        fault_schedule.attach(device)
     memory = MemoryBudget(memory_bytes)
     edge_file = EdgeFile.from_edges(device, "bench-edges", edges)
     node_file = NodeFile.from_ids(
@@ -284,6 +308,10 @@ def run_algorithm(
             device.stats.bytes_by_phase.get(label, empty_bytes),
         )
     }
+    # Fresh device per run, so the full health ledger *is* the run's
+    # delta — and it covers input loading, where scheduled faults may
+    # already fire.
+    result.health = device.stats.health.snapshot()
     if trace is not None and trace.spans:
         result.trace = trace.by_phase()
         result.trace_predicted = trace.total_predicted

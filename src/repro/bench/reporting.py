@@ -240,7 +240,8 @@ def sweep_to_json(sweep: Sweep, indent: Optional[int] = 1) -> str:
     payload-byte ledger (logical vs stored bytes, compression ratio,
     stored bytes per record, and the per-width profile), and — for
     autotuned runs — the optimizer's decision summary with plan-cache
-    hit/miss counters.
+    hit/miss counters.  Each record also carries the run's fault-health
+    ledger (all zeros/empty on fault-free runs).
     """
     payload = {
         "title": sweep.title,
@@ -276,6 +277,7 @@ def sweep_to_json(sweep: Sweep, indent: Optional[int] = 1) -> str:
                 "trace_predicted": run.trace_predicted,
                 "trace_measured": run.trace_measured,
                 "autotune": run.autotune,
+                "health": run.health,
             }
             for run in sweep.runs
         ],

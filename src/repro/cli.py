@@ -26,11 +26,17 @@ from repro.analysis.calibration import CalibrationProfile, calibration_path_for
 from repro.bench.harness import ALGORITHMS, run_algorithm
 from repro.core import ExtSCCConfig, compute_sccs
 from repro.core.config import OBJECTIVES
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    CorruptBlockError,
+    ReproError,
+    RetryExhaustedError,
+    StorageError,
+)
 from repro.graph.datasets import build_dataset
 from repro.graph.io_formats import read_edge_binary, read_edge_text, write_edge_binary, write_edge_text
 from repro.io.parallel import EXECUTOR_BACKENDS, processes_available
 from repro.plan import PlanCache
+from repro.recovery.policy import FaultPolicy
 
 __all__ = ["main", "parse_size"]
 
@@ -77,6 +83,16 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _fault_policy(text: str) -> FaultPolicy:
+    """Argparse type for ``--fault-policy``: ``key=value`` pairs, e.g.
+    ``retries=5,backoff=0.002,deadline=1.0`` (see
+    :meth:`FaultPolicy.parse`)."""
+    try:
+        return FaultPolicy.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def _load_edges(path: str, binary: bool) -> List:
     reader = read_edge_binary if binary else read_edge_text
     return list(reader(path))
@@ -103,6 +119,8 @@ def _run_checkpointed(args: argparse.Namespace, config, on_iteration,
     device = PersistentBlockDevice(
         args.checkpoint_dir, block_size=parse_size(args.block_size)
     )
+    if args.fault_policy is not None:
+        device.attach_policy(args.fault_policy)
     memory = MemoryBudget(parse_size(args.memory))
     manager = CheckpointManager(device)
     tuning = None
@@ -205,6 +223,18 @@ def _explain_scc(args: argparse.Namespace, config, profile=None,
     return 0
 
 
+def _render_health(health: dict) -> str:
+    """One ``scc -v`` / ``bench`` line for the fault-health ledger."""
+    return (
+        f"health: retries={health.get('retries', 0)} "
+        f"repairs={health.get('repairs', 0)} "
+        f"redispatches={health.get('redispatches', 0)} "
+        f"parity-writes={health.get('parity_writes', 0)} "
+        f"escalations={health.get('escalations', 0)} "
+        f"backoff={health.get('backoff_seconds', 0.0):.3f}s"
+    )
+
+
 def _cmd_scc(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -225,6 +255,15 @@ def _cmd_scc(args: argparse.Namespace) -> int:
         print(
             "error: --autotune cannot be combined with --resume (the "
             "journal fixes the codec; re-tuning would invalidate it)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.parity and args.checkpoint_dir:
+        print(
+            "error: --parity needs the in-memory striped device; the "
+            "persistent --checkpoint-dir device has no parity channel "
+            "(its durability story is the journal + checksums — use "
+            "--resume to recover instead)",
             file=sys.stderr,
         )
         return 2
@@ -278,6 +317,8 @@ def _cmd_scc(args: argparse.Namespace) -> int:
             autotune=args.autotune,
             calibration=profile,
             plan_cache=cache,
+            fault_policy=args.fault_policy,
+            parity=args.parity,
         )
     elapsed = time.perf_counter() - started
     result = out.result
@@ -322,6 +363,15 @@ def _cmd_scc(args: argparse.Namespace) -> int:
             f"speedup: {out.parallel_speedup:.2f}x",
             file=sys.stderr,
         )
+    # The health line only appears when the machinery is in play — plain
+    # verbose runs keep their exact pre-fault-tolerance output.
+    if args.verbose and (
+        args.fault_policy is not None or args.parity
+        or any(v for v in out.health.values())
+    ):
+        print(_render_health(out.health), file=sys.stderr)
+        for event in out.health.get("events", ()):
+            print(f"  degraded: {event}", file=sys.stderr)
     if args.trace_json:
         run_config = out.config
         context = {
@@ -344,6 +394,7 @@ def _cmd_scc(args: argparse.Namespace) -> int:
             },
             "autotune": out.tuning.to_payload() if out.tuning else None,
             "cache": cache.stats() if cache is not None else None,
+            "health": out.health,
         }
         with open(args.trace_json, "w", encoding="ascii") as f:
             f.write(out.trace.to_json(plans=out.plans, context=context))
@@ -422,6 +473,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         autotune=args.autotune,
         calibration=profile,
         objective=args.objective,
+        fault_policy=args.fault_policy,
+        parity=args.parity,
     )
     print(
         f"{result.algorithm}: {result.status}  I/Os: {result.io_total} "
@@ -453,6 +506,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"(speedup {result.parallel_speedup:.2f}x, per-channel "
             f"{result.channel_io})"
         )
+    if (args.fault_policy is not None or args.parity
+            or any(v for v in result.health.values())):
+        print(_render_health(result.health))
+        for event in result.health.get("events", ()):
+            print(f"  degraded: {event}")
     return 0 if result.ok else 1
 
 
@@ -592,6 +650,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persistent plan cache: repeated --autotune "
                           "queries with the same graph shape, budget, and "
                           "calibration version skip the knob search")
+    scc.add_argument("--fault-policy", type=_fault_policy, default=None,
+                     metavar="SPEC",
+                     help="retry/backoff policy for transient storage "
+                          "faults as key=value pairs, e.g. "
+                          "'retries=5,backoff=0.002,factor=2,jitter=0.1,"
+                          "seed=7,deadline=1.0,timeout=30' "
+                          "(default policy: 3 retries, exponential "
+                          "backoff with deterministic jitter)")
+    scc.add_argument("--parity", action="store_true",
+                     help="keep a RAID-5-style XOR parity channel next to "
+                          "the data channels so a single channel outage "
+                          "or checksum-failed block is read-repaired in "
+                          "flight (in-memory striped device only; not "
+                          "compatible with --checkpoint-dir)")
     scc.set_defaults(func=_cmd_scc)
 
     gen = sub.add_parser("generate", help="generate a Table I / webspam dataset")
@@ -632,6 +704,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "predicted wall-seconds")
     bench.add_argument("--calibration", metavar="PATH",
                        help="calibration profile JSON for autotune pricing")
+    bench.add_argument("--fault-policy", type=_fault_policy, default=None,
+                       metavar="SPEC",
+                       help="retry/backoff policy for transient storage "
+                            "faults (key=value pairs; see scc "
+                            "--fault-policy)")
+    bench.add_argument("--parity", action="store_true",
+                       help="keep a RAID-5 parity channel on the striped "
+                            "device (forces striping even for K=1)")
     bench.set_defaults(func=_cmd_bench)
 
     stats = sub.add_parser("stats", help="degree/structure statistics")
@@ -668,6 +748,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except RetryExhaustedError as exc:
+        # Exit 5: the retry budget ran dry on a persistent transient
+        # fault.  Distinct from plain storage misuse so wrappers can
+        # re-queue the run.
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "retries exhausted: raise the budget (--fault-policy "
+            "retries=N[,deadline=SECONDS]) or investigate the failing "
+            "channel; with --checkpoint-dir the journal is durable, so "
+            "rerunning with --resume continues from the last phase "
+            "boundary",
+            file=sys.stderr,
+        )
+        return 5
+    except CorruptBlockError as exc:
+        # Exit 4: a block failed its checksum and could not be repaired.
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "unrecoverable corrupt block: rerun with --parity to "
+            "read-repair single-block damage in flight, or restore from "
+            "a --checkpoint-dir journal with --resume",
+            file=sys.stderr,
+        )
+        return 4
+    except StorageError as exc:
+        # Exit 3: storage-layer failure (missing file, capacity misuse,
+        # channel fault outside the retry machinery).
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -46,6 +46,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (recovery imports us)
     from repro.analysis.planner import TuningDecision
     from repro.plan.cache import PlanCache
     from repro.recovery.checkpoint import CheckpointManager, ResumeState
+    from repro.recovery.fault import FaultSchedule
+    from repro.recovery.policy import FaultPolicy
 
 __all__ = ["ExtSCC", "ExtSCCOutput", "IterationRecord", "compute_sccs"]
 
@@ -116,6 +118,11 @@ class ExtSCCOutput:
             fits per-codec stored widths from.
         tuning: the autotuner's decision when the run was autotuned
             (``None`` on the static path).
+        health: the fault-tolerance ledger delta of the run — retries,
+            read-repairs, re-dispatched tasks, parity writes, escalations,
+            simulated backoff seconds, and degradation events (see
+            :class:`~repro.io.stats.HealthLedger`).  All zeros/empty on a
+            fault-free run.
     """
 
     result: SCCResult
@@ -135,6 +142,7 @@ class ExtSCCOutput:
     plans: List[ExtPlan] = field(default_factory=list)
     bytes_by_width: Dict[int, Tuple[int, int]] = field(default_factory=dict)
     tuning: Optional["TuningDecision"] = None
+    health: Dict[str, object] = field(default_factory=dict)
 
     @property
     def num_iterations(self) -> int:
@@ -262,6 +270,7 @@ class ExtSCC:
         }
         preexisting = set(device.list_files())
         run_start = stats.snapshot()
+        health_start = stats.health.snapshot()
 
         state: Optional["ResumeState"] = None
         recovery_io = IOSnapshot()
@@ -276,7 +285,7 @@ class ExtSCC:
             return self._pipeline(
                 device, edges, memory, nodes, on_iteration, checkpoint,
                 state, stats, run_start, recovery_io, start, meter,
-                seconds_start, bytes_start, tuning,
+                seconds_start, bytes_start, tuning, health_start,
             )
         except (IOBudgetExceeded, SimulatedCrash):
             if checkpoint is None:
@@ -313,6 +322,7 @@ class ExtSCC:
         seconds_start: Optional[Dict[str, float]] = None,
         bytes_start: Optional[Dict[str, Tuple[int, int]]] = None,
         tuning: Optional["TuningDecision"] = None,
+        health_start: Optional[Dict[str, object]] = None,
     ) -> ExtSCCOutput:
         """The contract / semi / expand pipeline, parameterized by an
         optional :class:`ResumeState` that skips the already-durable part.
@@ -504,6 +514,7 @@ class ExtSCC:
                 for width, (count, stored) in stats.bytes_by_width.items()
             },
             tuning=tuning,
+            health=stats.health.delta(health_start or {}),
         )
 
 
@@ -543,6 +554,9 @@ def compute_sccs(
     calibration: Optional["CalibrationProfile"] = None,
     plan_cache: Optional["PlanCache"] = None,
     objective: Optional[str] = None,
+    fault_policy: Optional["FaultPolicy"] = None,
+    fault_schedule: Optional["FaultSchedule"] = None,
+    parity: bool = False,
 ) -> ExtSCCOutput:
     """One-call API: load an edge list onto a fresh simulated disk and run
     Ext-SCC.
@@ -572,6 +586,16 @@ def compute_sccs(
             queries with the same stats fingerprint skip the search.
         objective: override ``config.objective`` (``"io"`` /
             ``"wallclock"``).
+        fault_policy: retry/backoff policy for transient faults
+            (:class:`~repro.recovery.policy.FaultPolicy`); the device
+            default applies when ``None``.
+        fault_schedule: deterministic fault injection schedule
+            (:class:`~repro.recovery.fault.FaultSchedule`) for chaos
+            testing.
+        parity: keep a RAID-5-style parity channel next to the data
+            channels so single-channel outages and CRC-failed blocks are
+            read-repaired in flight.  Forces a striped device even for
+            ``workers == 1``.
 
     Returns:
         An :class:`ExtSCCOutput`.
@@ -597,14 +621,19 @@ def compute_sccs(
         )
         config = tuning.config(config)
     budget = IOBudget(io_budget) if io_budget is not None else None
-    if config.workers > 1:
+    if config.workers > 1 or parity:
         from repro.io.parallel import StripedDevice
 
         device: BlockDevice = StripedDevice(
-            block_size=block_size, budget=budget, channels=config.workers
+            block_size=block_size, budget=budget,
+            channels=max(config.workers, 1), parity=parity,
         )
     else:
         device = BlockDevice(block_size=block_size, budget=budget)
+    if fault_policy is not None:
+        device.attach_policy(fault_policy)
+    if fault_schedule is not None:
+        fault_schedule.attach(device)
     memory = MemoryBudget(memory_bytes)
     edge_file = EdgeFile.from_edges(device, "input-edges", edges)
     node_file: Optional[NodeFile] = None

@@ -85,6 +85,71 @@ class CorruptBlockError(StorageError):
         self.index = index
 
 
+class TransientIOError(StorageError):
+    """A block operation failed transiently (the simulated ``EIO``).
+
+    Raised by a :class:`~repro.recovery.fault.FaultSchedule` on a scheduled
+    read or write; the operation succeeds when retried enough times.  The
+    device's retry loop (governed by a
+    :class:`~repro.recovery.policy.FaultPolicy`) absorbs these; user code
+    only sees one if no policy is attached or after retries are exhausted
+    (wrapped in :class:`RetryExhaustedError`).
+    """
+
+    def __init__(self, message: str, *, attempt: int = 0) -> None:
+        super().__init__(message)
+        self.attempt = attempt
+
+
+class ChannelOutageError(TransientIOError):
+    """A whole stripe channel of a :class:`~repro.io.parallel.StripedDevice`
+    is down for a scheduled window.
+
+    Reads from the channel can be served degraded from parity (when the
+    device has a parity channel); writes are retried until the outage
+    window expires.
+    """
+
+    def __init__(self, channel: int, *, attempt: int = 0) -> None:
+        super().__init__(f"stripe channel {channel} is down", attempt=attempt)
+        self.channel = channel
+
+
+class RetryExhaustedError(StorageError):
+    """A transient fault persisted past the :class:`FaultPolicy` budget.
+
+    Carries the number of attempts made and the last underlying error so
+    callers (and the CLI's exit-code mapping) can report exactly what was
+    retried and why the policy gave up.  This is the fail-fast escalation
+    point: a checkpointed run that sees this should resume from the last
+    durable checkpoint rather than keep hammering the device.
+    """
+
+    def __init__(self, attempts: int, last_error: Exception, *, reason: str = "") -> None:
+        why = f" ({reason})" if reason else ""
+        super().__init__(
+            f"transient fault persisted after {attempts} attempt(s){why}: {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+        self.reason = reason
+
+
+class WorkerCrashError(ReproError):
+    """A worker executing a pool task died or hung mid-task.
+
+    Raised inside the task by a scheduled worker fault (``worker-die`` /
+    ``worker-hang``) or mapped from a real ``BrokenProcessPool``.  The
+    :class:`~repro.io.parallel.WorkerPool` supervisor catches it and
+    re-dispatches the task (tasks are pure, so replay is safe).
+    """
+
+    def __init__(self, kind: str, detail: str = "") -> None:
+        extra = f": {detail}" if detail else ""
+        super().__init__(f"worker {kind}{extra}")
+        self.kind = kind
+
+
 class CheckpointError(ReproError):
     """The checkpoint journal cannot be used for the requested resume.
 

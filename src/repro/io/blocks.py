@@ -21,8 +21,14 @@ import threading
 import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.exceptions import CorruptBlockError, StorageError
-from repro.io.stats import IOBudget, IOStats
+from repro.exceptions import (
+    ChannelOutageError,
+    CorruptBlockError,
+    RetryExhaustedError,
+    StorageError,
+    TransientIOError,
+)
+from repro.io.stats import IOBudget, IOStats, RETRY_PHASE
 
 __all__ = ["BlockDevice", "DiskFile", "DEFAULT_BLOCK_SIZE"]
 
@@ -95,6 +101,16 @@ class BlockDevice:
         self.pool = None  # optional SharedBufferPool (see attach_pool)
         self.injector = None  # optional FaultInjector (see attach_injector)
         self.worker_pool = None  # optional WorkerPool (see attach_workers)
+        self.fault_schedule = None  # optional FaultSchedule (attach_schedule)
+        self.fault_policy = None  # optional FaultPolicy (attach_policy)
+        # True when any fault machinery is attached; the block-I/O fast
+        # path branches on this single flag so a fault-free run pays one
+        # attribute check per operation and nothing else.
+        self._fault_active = False
+        # In-memory blocks are only checksum-verified on read while a
+        # schedule is attached (injected bit-rot must surface through the
+        # CRC layer); the persistent backend verifies every read always.
+        self._verify_reads = False
         # Codec name applied when operators create intermediates without an
         # explicit codec argument; None falls through to the module default
         # in repro.io.codecs.  ExtSCC.run sets this from its config so one
@@ -124,6 +140,37 @@ class BlockDevice:
         torn block first).  Passing ``None`` detaches it.
         """
         self.injector = injector
+        self._refresh_fault_path()
+
+    def attach_schedule(self, schedule) -> None:
+        """Install a :class:`~repro.recovery.fault.FaultSchedule`.
+
+        Every block-operation *attempt* is then first offered to the
+        schedule, which may raise transient faults, declare channel
+        outages, or damage a block's stored payload; the device's retry
+        wrapper (governed by the attached :class:`FaultPolicy`, or the
+        package defaults) absorbs what it can.  Passing ``None`` detaches.
+        """
+        self.fault_schedule = schedule
+        self._verify_reads = schedule is not None
+        self._refresh_fault_path()
+
+    def attach_policy(self, policy) -> None:
+        """Install a :class:`~repro.recovery.policy.FaultPolicy` governing
+        retries/backoff for transient faults.  Passing ``None`` reverts to
+        the package defaults (used only while a schedule or injector is
+        attached — a policy alone also activates the guarded I/O path so
+        real ``CorruptBlockError`` from a reopened store hits the same
+        repair/escalation logic)."""
+        self.fault_policy = policy
+        self._refresh_fault_path()
+
+    def _refresh_fault_path(self) -> None:
+        self._fault_active = (
+            self.injector is not None
+            or self.fault_schedule is not None
+            or self.fault_policy is not None
+        )
 
     def attach_workers(self, worker_pool) -> None:
         """Install a :class:`~repro.io.parallel.WorkerPool` on the device.
@@ -134,6 +181,11 @@ class BlockDevice:
         operator signatures stay unchanged.  Passing ``None`` detaches it.
         """
         self.worker_pool = worker_pool
+        if worker_pool is not None:
+            # Back-reference for the pool's supervisor: scheduled worker
+            # faults, the per-task deadline, and the health ledger all
+            # live on the device side.
+            worker_pool._device = self
 
     # -- file namespace ----------------------------------------------------
 
@@ -227,8 +279,14 @@ class BlockDevice:
             raise StorageError(
                 f"{len(records)} records exceed block capacity {f.block_capacity}"
             )
-        if self.injector is not None:
-            self.injector.on_io(self, f, is_write=True, records=records)
+        if self._fault_active:
+            return self._run_io(
+                lambda: self._append_impl(f, records),
+                f, is_write=True, sequential=True, records=records,
+            )
+        self._append_impl(f, records)
+
+    def _append_impl(self, f: DiskFile, records: Sequence[Record]) -> None:
         f.blocks.append(tuple(records))
         f.num_records += len(records)
         f.block_checksums.append(self._block_checksum(records))
@@ -237,14 +295,21 @@ class BlockDevice:
     def read_block(self, f: DiskFile, index: int, sequential: bool) -> Sequence[Record]:
         """Read block ``index`` of ``f``, charging one read of the given pattern."""
         self._assert_live(f)
-        try:
-            block = f.blocks[index]
-        except IndexError:
+        if not 0 <= index < len(f.blocks):
             raise StorageError(
                 f"block {index} out of range for {f.name!r} ({f.num_blocks} blocks)"
-            ) from None
-        if self.injector is not None:
-            self.injector.on_io(self, f, is_write=False)
+            )
+        if self._fault_active:
+            return self._run_io(
+                lambda: self._read_impl(f, index, sequential),
+                f, is_write=False, sequential=sequential, index=index,
+            )
+        return self._read_impl(f, index, sequential)
+
+    def _read_impl(self, f: DiskFile, index: int, sequential: bool) -> Sequence[Record]:
+        block = f.blocks[index]
+        if self._verify_reads and self._block_checksum(block) != f.block_checksums[index]:
+            raise CorruptBlockError(f.name, index)
         self._charge_read(f, index, sequential=sequential)
         return block
 
@@ -262,8 +327,16 @@ class BlockDevice:
             )
         if not 0 <= index < len(f.blocks):
             raise StorageError(f"block {index} out of range for {f.name!r}")
-        if self.injector is not None:
-            self.injector.on_io(self, f, is_write=True, records=records, index=index)
+        if self._fault_active:
+            return self._run_io(
+                lambda: self._overwrite_impl(f, index, records, sequential),
+                f, is_write=True, sequential=sequential,
+                records=records, index=index,
+            )
+        self._overwrite_impl(f, index, records, sequential)
+
+    def _overwrite_impl(self, f: DiskFile, index: int, records: Sequence[Record],
+                        sequential: bool) -> None:
         old_len = len(f.blocks[index])
         f.blocks[index] = tuple(records)
         f.num_records += len(records) - old_len
@@ -271,6 +344,138 @@ class BlockDevice:
         if self.pool is not None:
             self.pool.invalidate_block(f, index)
         self._charge_write(f, index, sequential=sequential)
+
+    # -- fault tolerance ---------------------------------------------------
+
+    def _run_io(self, impl, f: DiskFile, *, is_write: bool, sequential: bool,
+                records: Optional[Sequence[Record]] = None,
+                index: Optional[int] = None):
+        """Run one block operation through the fault machinery.
+
+        Order of business per operation: the PR 3 crash injector first
+        (fail-stop semantics are unchanged — a crash leaves the operation
+        uncharged), then, per *attempt*, the fault schedule (which may
+        raise transient faults or damage the target block), then the
+        storage implementation itself.  Transient faults are retried under
+        the attached :class:`FaultPolicy` with each failed attempt charged
+        to the ``retry`` ledger label; a ``CorruptBlockError`` on read is
+        handed to :meth:`_repair_block` (parity reconstruction on a
+        :class:`StripedDevice`), after which the read is re-run clean.
+        """
+        if self.injector is not None:
+            self.injector.on_io(self, f, is_write=is_write, records=records, index=index)
+        attempt = 0
+        while True:
+            if self.fault_schedule is not None:
+                try:
+                    self.fault_schedule.on_io(
+                        self, f, is_write=is_write, records=records,
+                        index=index, attempt=attempt,
+                    )
+                except TransientIOError as exc:
+                    if (
+                        not is_write
+                        and index is not None
+                        and isinstance(exc, ChannelOutageError)
+                        and self._repair_block(f, index, rewrite=False)
+                    ):
+                        # Degraded read: the channel is down but the block
+                        # is reconstructible from parity + siblings.  The
+                        # logical read is charged normally (ledger parity
+                        # with the fault-free run); the reconstruction
+                        # traffic was just charged to the repair label.
+                        return impl()
+                    attempt = self._next_attempt(exc, f, index, is_write, sequential, attempt)
+                    continue
+            try:
+                return impl()
+            except CorruptBlockError:
+                if (
+                    is_write
+                    or index is None
+                    or not self._repair_block(f, index, rewrite=True)
+                ):
+                    raise
+                return impl()
+
+    def _next_attempt(self, exc: TransientIOError, f: DiskFile,
+                      index: Optional[int], is_write: bool, sequential: bool,
+                      attempt: int) -> int:
+        """Account a failed attempt; backoff and return the next attempt
+        number, or escalate :class:`RetryExhaustedError` past the policy."""
+        from repro.recovery.policy import DEFAULT_FAULT_POLICY  # lazy: no cycle
+
+        policy = self.fault_policy or DEFAULT_FAULT_POLICY
+        health = self.stats.health
+        # The failed attempt consumed a device operation: charge it, so
+        # fault-tolerance overhead is a measured quantity (and counts
+        # toward the I/O budget — a run cannot retry its way past INF).
+        self._charge_fault(f, index, RETRY_PHASE, is_read=not is_write,
+                           sequential=sequential)
+        attempt += 1
+        if attempt > policy.max_retries:
+            health.escalations += 1
+            raise RetryExhaustedError(attempt, exc) from exc
+        health.retries += 1
+        seconds = policy.apply_backoff(attempt, token=getattr(f, "uid", 0))
+        health.backoff_seconds += seconds
+        stack = self.stats._phase_stack
+        top = stack[0] if stack else ""
+        spent = health.backoff_by_phase.get(top, 0.0) + seconds
+        health.backoff_by_phase[top] = spent
+        if policy.phase_deadline is not None and spent > policy.phase_deadline:
+            health.escalations += 1
+            raise RetryExhaustedError(
+                attempt, exc,
+                reason=f"phase {top or '<none>'} backoff deadline "
+                       f"{policy.phase_deadline}s exceeded",
+            ) from exc
+        return attempt
+
+    def _charge_fault(self, f: DiskFile, index: Optional[int], label: str,
+                      is_read: bool, sequential: bool) -> None:
+        """Charge one fault-handling block I/O (retry / repair traffic).
+
+        The single routing point, like :meth:`_charge_read`: the striped
+        device overrides it to also charge the owning channel's ledger so
+        the channel partition of the main ledger stays exact.
+        """
+        self.stats.record_fault_io(label, is_read, sequential)
+
+    def _repair_block(self, f: DiskFile, index: int, rewrite: bool) -> bool:
+        """Attempt degraded-mode reconstruction of ``f[index]``.
+
+        The base device has no redundancy — only the parity-equipped
+        :class:`StripedDevice` can repair.  Returns True when the block
+        was reconstructed (and, with ``rewrite=True``, rewritten in
+        place).
+        """
+        return False
+
+    def _damage_block(self, f: DiskFile, index: int) -> None:
+        """Flip a bit in the stored content of block ``index`` without
+        touching its recorded checksum — simulated bit-rot, surfaced as a
+        :class:`CorruptBlockError` by the checksum layer on read."""
+        block = f.blocks[index]
+        damaged = self._flip_first_field(block)
+        if damaged == block:
+            # Nothing flippable in the payload (empty block): rot the
+            # stored checksum instead — the mismatch is the same.
+            f.block_checksums[index] ^= 1
+        else:
+            f.blocks[index] = damaged
+        if self.pool is not None:
+            self.pool.invalidate_block(f, index)
+
+    @classmethod
+    def _flip_first_field(cls, value):
+        if isinstance(value, tuple):
+            for pos, item in enumerate(value):
+                flipped = cls._flip_first_field(item)
+                if flipped != item:
+                    return value[:pos] + (flipped,) + value[pos + 1:]
+            return value
+        return value ^ 1
 
     # -- crash surface -----------------------------------------------------
 

@@ -43,11 +43,14 @@ from __future__ import annotations
 import threading
 import warnings
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
-from repro.exceptions import StorageError
+from repro.exceptions import StorageError, WorkerCrashError
 from repro.io.blocks import BlockDevice, DiskFile
-from repro.io.stats import IOBudget, IOSnapshot, IOStats
+from repro.io.parity import ParityStore
+from repro.io.stats import IOBudget, IOSnapshot, IOStats, REPAIR_PHASE
 
 __all__ = [
     "WorkerPool",
@@ -134,7 +137,14 @@ class WorkerPool:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._process_executor = None  # lazy ProcessPoolExecutor
         self._process_broken = False
+        self._threads_broken = False
         self._lock = threading.Lock()
+        # Back-reference to the device this pool is attached to (set by
+        # BlockDevice.attach_workers).  Through it the supervisor reaches
+        # the fault schedule (simulated worker faults), the fault policy
+        # (per-task deadline), and the health ledger.  None for pools used
+        # standalone — every access is guarded.
+        self._device: Optional[BlockDevice] = None
         # Nested submissions (a parallel sort inside a parallel operator)
         # run inline on the worker thread: with all K threads occupied by
         # outer tasks, queued inner tasks would never start and the outer
@@ -150,6 +160,7 @@ class WorkerPool:
     def _mark_process_fallback(self, reason: str) -> None:
         if not self._process_broken:
             self._process_broken = True
+            self._record_degradation(f"executor degraded processes -> threads: {reason}")
             warnings.warn(
                 f"processes executor unavailable ({reason}); running tasks "
                 "inline instead — results are identical, only wall-clock "
@@ -157,6 +168,61 @@ class WorkerPool:
                 RuntimeWarning,
                 stacklevel=3,
             )
+
+    # -- supervision -------------------------------------------------------
+
+    def _health(self):
+        device = self._device
+        return device.stats.health if device is not None else None
+
+    def _record_degradation(self, message: str) -> None:
+        health = self._health()
+        if health is not None:
+            health.record_event(message)
+
+    def _record_redispatch(self, exc: Exception) -> None:
+        health = self._health()
+        if health is not None:
+            health.redispatches += 1
+            health.record_event(f"re-dispatched task after: {exc}")
+
+    def _task_timeout(self) -> Optional[float]:
+        device = self._device
+        policy = getattr(device, "fault_policy", None) if device is not None else None
+        return policy.task_timeout if policy is not None else None
+
+    def _guard(self, thunk: Callable[[], T]) -> Callable[[], T]:
+        """Wrap a thunk so scheduled worker faults fire at dispatch.
+
+        The fault fires *before* the task performs any I/O, so a replayed
+        task charges exactly what the original would have — re-dispatch is
+        visible in the health ledger, never in the I/O ledger.
+        """
+        device = self._device
+        schedule = getattr(device, "fault_schedule", None) if device is not None else None
+        if schedule is None:
+            return thunk
+
+        def call() -> T:
+            spec = schedule.on_task(device)
+            if spec is not None:
+                detail = (
+                    "simulated crash" if spec.kind == "worker-die"
+                    else "per-task deadline expired"
+                )
+                raise WorkerCrashError(spec.kind, f"{detail} (task #{schedule.task_ordinal})")
+            return thunk()
+
+        return call
+
+    def _call_supervised(self, thunk: Callable[[], T]) -> T:
+        """Run one thunk inline, re-dispatching it once if a scheduled
+        worker fault kills the first dispatch (tasks are pure)."""
+        try:
+            return self._guard(thunk)()
+        except WorkerCrashError as exc:
+            self._record_redispatch(exc)
+            return thunk()
 
     def _processes(self):
         """The lazy process executor, or ``None`` after a graceful
@@ -206,7 +272,13 @@ class WorkerPool:
         try:
             futures = [executor.submit(fn, *args) for args in tasks]
             return [future.result() for future in futures]
-        except Exception as exc:  # pickling errors, broken pools, ...
+        except BrokenProcessPool as exc:
+            # A worker process died; the pool is unusable.  Tasks are
+            # pure, so replaying the whole batch inline is safe.
+            self._mark_process_fallback(f"worker process died: {exc}")
+            self._record_redispatch(WorkerCrashError("worker-die", str(exc)))
+            return [fn(*args) for args in tasks]
+        except Exception as exc:  # pickling errors, spawn failures, ...
             self._mark_process_fallback(f"{type(exc).__name__}: {exc}")
             return [fn(*args) for args in tasks]
 
@@ -228,12 +300,41 @@ class WorkerPool:
         return call
 
     def run(self, thunks: Sequence[Callable[[], T]]) -> List[T]:
-        """Execute all ``thunks``; barrier; results in submission order."""
+        """Execute all ``thunks``; barrier; results in submission order.
+
+        Supervised: a task killed by a scheduled worker fault, a worker
+        whose future times out past the policy's per-task deadline, or a
+        thread backend that cannot accept submissions is detected here and
+        the affected task re-dispatched inline (tasks are pure, so replay
+        is safe); the re-dispatch and any executor degradation are
+        recorded in the device's health ledger.
+        """
         thunks = list(thunks)
         if self._inline() or len(thunks) <= 1:
-            return [thunk() for thunk in thunks]
-        futures = [self._threads().submit(self._wrap(thunk)) for thunk in thunks]
-        return [future.result() for future in futures]
+            return [self._call_supervised(thunk) for thunk in thunks]
+        try:
+            futures = [
+                self._threads().submit(self._wrap(self._guard(thunk)))
+                for thunk in thunks
+            ]
+        except RuntimeError as exc:  # executor shut down mid-abort
+            self._record_degradation(f"executor degraded threads -> serial: {exc}")
+            return [self._call_supervised(thunk) for thunk in thunks]
+        timeout = self._task_timeout()
+        results: List[T] = []
+        for thunk, future in zip(thunks, futures):
+            try:
+                results.append(future.result(timeout=timeout))
+            except WorkerCrashError as exc:
+                self._record_redispatch(exc)
+                results.append(self._wrap(thunk)())
+            except FutureTimeoutError:
+                exc = WorkerCrashError(
+                    "worker-hang", f"no result within {timeout}s deadline"
+                )
+                self._record_redispatch(exc)
+                results.append(self._wrap(thunk)())
+        return results
 
     def map(self, fn: Callable[[T], object], items: Iterable[T]) -> List[object]:
         """``run`` over one function applied to each item."""
@@ -251,28 +352,44 @@ class WorkerPool:
         limit = max(1, window if window is not None else self.workers)
         if self._inline():
             for thunk in thunks:
-                yield thunk()
+                yield self._call_supervised(thunk)
             return
-        pending: List = []
+        pending: List[Tuple[Callable[[], T], object]] = []
         executor = self._threads()
+        timeout = self._task_timeout()
         for thunk in thunks:
-            pending.append(executor.submit(self._wrap(thunk)))
+            pending.append((thunk, executor.submit(self._wrap(self._guard(thunk)))))
             while len(pending) >= limit:
-                yield pending.pop(0).result()
+                yield self._drain_one(pending, timeout)
         while pending:
-            yield pending.pop(0).result()
+            yield self._drain_one(pending, timeout)
+
+    def _drain_one(self, pending: List, timeout: Optional[float]) -> T:
+        thunk, future = pending.pop(0)
+        try:
+            return future.result(timeout=timeout)
+        except (WorkerCrashError, FutureTimeoutError) as exc:
+            self._record_redispatch(exc)
+            return self._wrap(thunk)()
 
     def close(self) -> None:
         """Shut the thread and process backends down (no-op for serial).
-        The pool stays usable: the next submission lazily recreates its
-        executors."""
+
+        Safe to call twice, and exception-safe: the executors are detached
+        under the lock first, and the process pool is shut down in a
+        ``finally`` so a ``KeyboardInterrupt`` delivered during the thread
+        pool's shutdown cannot leak worker processes.  The pool stays
+        usable — the next submission lazily recreates its executors.
+        """
         with self._lock:
             executor, self._executor = self._executor, None
             procs, self._process_executor = self._process_executor, None
-        if executor is not None:
-            executor.shutdown(wait=True)
-        if procs is not None:
-            procs.shutdown(wait=True)
+        try:
+            if executor is not None:
+                executor.shutdown(wait=True)
+        finally:
+            if procs is not None:
+                procs.shutdown(wait=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"WorkerPool(workers={self.workers}, backend={self.backend!r})"
@@ -313,6 +430,17 @@ class StripedDevice(BlockDevice):
     Budgets and fault injection stay on the main ledger/device path, so a
     striped run aborts and crashes at exactly the same block ordinal as an
     unstriped one.
+
+    With ``parity=True`` the device additionally keeps a RAID-5-style
+    parity channel over the K data channels (see
+    :mod:`repro.io.parity`): every data-block write is mirrored by one
+    parity read-modify-write charged to the parity channel's own ledger
+    (and counted in ``health.parity_writes``) — *not* to the main ledger,
+    so enabling parity never moves a baseline I/O counter.  In exchange, a
+    CRC-failed block or a block on a downed channel is *read-repaired*:
+    reconstructed from the stripe's survivors plus parity, with the
+    reconstruction traffic charged to the dedicated ``repair`` label and
+    the makespan meter extended over the parity channel.
     """
 
     def __init__(
@@ -321,6 +449,7 @@ class StripedDevice(BlockDevice):
         stats: Optional[IOStats] = None,
         budget: Optional[IOBudget] = None,
         channels: int = 1,
+        parity: bool = False,
     ) -> None:
         super().__init__(block_size=block_size, stats=stats, budget=budget)
         if channels < 1:
@@ -332,14 +461,28 @@ class StripedDevice(BlockDevice):
             # phases the orchestrator pushes on the main ledger.
             channel._phase_stack = self.stats._phase_stack
             self.channels.append(channel)
+        self.parity_store: Optional[ParityStore] = None
+        self.parity_stats: Optional[IOStats] = None
+        if parity:
+            self.parity_store = ParityStore(group_width=channels)
+            self.parity_stats = IOStats()
+            self.parity_stats._phase_stack = self.stats._phase_stack
 
     @property
     def num_channels(self) -> int:
         """Number of independent channels (the striping width ``K``)."""
         return len(self.channels)
 
+    @property
+    def has_parity(self) -> bool:
+        """Whether the device keeps a parity channel (degraded mode)."""
+        return self.parity_store is not None
+
+    def _channel_index(self, f: DiskFile, index: int) -> int:
+        return (f.uid + index) % len(self.channels)
+
     def _channel(self, f: DiskFile, index: int) -> IOStats:
-        return self.channels[(f.uid + index) % len(self.channels)]
+        return self.channels[self._channel_index(f, index)]
 
     def _charge_read(self, f: DiskFile, index: int, sequential: bool) -> None:
         super()._charge_read(f, index, sequential)
@@ -349,9 +492,87 @@ class StripedDevice(BlockDevice):
         super()._charge_write(f, index, sequential)
         self._channel(f, index).record_write(sequential=sequential)
 
+    def _charge_fault(self, f: DiskFile, index: Optional[int], label: str,
+                      is_read: bool, sequential: bool) -> None:
+        super()._charge_fault(f, index, label, is_read, sequential)
+        position = index if index is not None else len(f.blocks)
+        self._channel(f, position).record_fault_io(label, is_read, sequential)
+
     def channel_totals(self) -> List[int]:
-        """Total block I/Os per channel (sums to the main ledger's total)."""
+        """Total block I/Os per channel (sums to the main ledger's total;
+        the parity channel, when present, is accounted separately)."""
         return [channel.total for channel in self.channels]
+
+    # -- parity maintenance ------------------------------------------------
+
+    def _append_impl(self, f: DiskFile, records: Sequence) -> None:
+        index = len(f.blocks)
+        super()._append_impl(f, records)
+        if self.parity_store is not None:
+            self._update_parity(f, index, None, f.blocks[index], sequential=True)
+
+    def _overwrite_impl(self, f: DiskFile, index: int, records: Sequence,
+                        sequential: bool) -> None:
+        old = f.blocks[index] if self.parity_store is not None else None
+        super()._overwrite_impl(f, index, records, sequential)
+        if self.parity_store is not None:
+            self._update_parity(f, index, old, f.blocks[index], sequential=sequential)
+
+    def _update_parity(self, f: DiskFile, index: int, old, new,
+                       sequential: bool) -> None:
+        self.parity_store.update(f.uid, index, old, new)
+        # One read-modify-write of the group's parity block, charged to
+        # the parity channel only (the main ledger is the *data* cost
+        # model and must not move when parity is switched on).
+        self.parity_stats.record_write(sequential=sequential)
+        self.stats.health.parity_writes += 1
+
+    def delete(self, name: str) -> None:
+        f = self._files.get(name)
+        super().delete(name)
+        if self.parity_store is not None and f is not None:
+            self.parity_store.drop_file(f.uid)
+
+    # -- degraded mode -----------------------------------------------------
+
+    def _repair_block(self, f: DiskFile, index: int, rewrite: bool) -> bool:
+        """Reconstruct ``f[index]`` from its stripe survivors + parity.
+
+        Charges one random read per surviving stripe member and one parity
+        read to the ``repair`` label; with ``rewrite=True`` (bit-rot — the
+        stored block is damaged) the reconstruction is also written back
+        in place, one more ``repair`` write.  With ``rewrite=False`` (a
+        channel outage — the data is fine, the channel is not) the block
+        is served degraded and left alone.  Returns False when the device
+        has no parity; the caller then escalates.
+        """
+        if self.parity_store is None or index >= len(f.blocks):
+            return False
+        start, stop = self.parity_store.group_range(index)
+        siblings = []
+        for j in range(start, min(stop, len(f.blocks))):
+            if j == index:
+                continue
+            siblings.append(f.blocks[j])
+            self._charge_fault(f, j, REPAIR_PHASE, is_read=True, sequential=False)
+        # The parity block read: main ledger under `repair`, parity channel
+        # ledger for the makespan.
+        self.stats.record_fault_io(REPAIR_PHASE, True, False)
+        self.parity_stats.record_read(sequential=False)
+        records = self.parity_store.reconstruct(f.uid, index, siblings)
+        if records is None:
+            return False
+        self.stats.health.repairs += 1
+        if rewrite:
+            f.blocks[index] = tuple(records)
+            f.block_checksums[index] = self._block_checksum(records)
+            if self.pool is not None:
+                self.pool.invalidate_block(f, index)
+            self.stats.health.record_event(
+                f"read-repaired block {index} of {f.name!r} from parity"
+            )
+            self._charge_fault(f, index, REPAIR_PHASE, is_read=False, sequential=False)
+        return True
 
 
 class MakespanMeter:
@@ -376,9 +597,16 @@ class MakespanMeter:
     def __init__(self, device: BlockDevice) -> None:
         self.device = device
         self.stats = device.stats
-        self._channels: Sequence[IOStats] = getattr(device, "channels", None) or [
-            device.stats
-        ]
+        self._channels: Sequence[IOStats] = list(
+            getattr(device, "channels", None) or [device.stats]
+        )
+        # The parity channel, when present, is one more independent
+        # channel on the critical path: its read-modify-writes overlap the
+        # data channels' transfers but can themselves become the phase
+        # bottleneck (the classic RAID-5 write penalty).
+        parity_stats = getattr(device, "parity_stats", None)
+        if parity_stats is not None:
+            self._channels.append(parity_stats)
         self._start_totals = [channel.total for channel in self._channels]
         self._start_by_phase: List[Dict[str, int]] = [
             {label: snap.total for label, snap in channel.by_phase.items()}

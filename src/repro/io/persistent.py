@@ -203,9 +203,14 @@ class PersistentBlockDevice(BlockDevice):
     def sync(self) -> None:
         """Write the manifest so the directory can be reopened later.
 
-        The write is atomic (temp file + ``os.replace``): a crash mid-sync
-        leaves the previous manifest intact instead of a truncated JSON
-        that would brick the whole device.
+        The write is atomic *and durable*: the temp file is fsynced before
+        the ``os.replace`` (so the rename can never expose an unflushed
+        manifest), and the parent directory is fsynced after it (so the
+        rename itself survives a power loss — without the directory fsync
+        a crash can roll the directory entry back to the old manifest even
+        though the new file's data reached the platter).  A crash mid-sync
+        therefore leaves exactly the previous manifest, never a truncated
+        JSON that would brick the whole device.
         """
         manifest = {
             "block_size": self.block_size,
@@ -224,8 +229,26 @@ class PersistentBlockDevice(BlockDevice):
         }
         target = self.directory / _MANIFEST
         tmp = self.directory / (_MANIFEST + ".tmp")
-        tmp.write_text(json.dumps(manifest, indent=1))
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(manifest, indent=1))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, target)
+        self._fsync_directory()
+
+    def _fsync_directory(self) -> None:
+        """Make the manifest rename durable (no-op where directories
+        cannot be opened, e.g. Windows)."""
+        try:
+            dirfd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dirfd)
+        except OSError:
+            pass
+        finally:
+            os.close(dirfd)
 
     def close(self) -> None:
         """Flush the manifest and close every file handle."""
@@ -343,15 +366,8 @@ class PersistentBlockDevice(BlockDevice):
             offset += f.fields * _FIELD.size
         return records
 
-    def append_block(self, f: DiskFile, records: Sequence[Record]) -> None:
+    def _append_impl(self, f: DiskFile, records: Sequence[Record]) -> None:
         assert isinstance(f, PersistentDiskFile)
-        self._assert_live(f)
-        if len(records) > f.block_capacity:
-            raise StorageError(
-                f"{len(records)} records exceed block capacity {f.block_capacity}"
-            )
-        if self.injector is not None:
-            self.injector.on_io(self, f, is_write=True, records=records)
         slot, checksum = self._seal(self._encode(f, records))
         handle = self._handle(f)
         handle.seek(f._num_blocks * f.slot_bytes)
@@ -373,31 +389,15 @@ class PersistentBlockDevice(BlockDevice):
             raise CorruptBlockError(f.name, index)
         return payload
 
-    def read_block(self, f: DiskFile, index: int, sequential: bool) -> Sequence[Record]:
+    def _read_impl(self, f: DiskFile, index: int, sequential: bool) -> Sequence[Record]:
         assert isinstance(f, PersistentDiskFile)
-        self._assert_live(f)
-        if not 0 <= index < f._num_blocks:
-            raise StorageError(
-                f"block {index} out of range for {f.name!r} ({f._num_blocks} blocks)"
-            )
-        if self.injector is not None:
-            self.injector.on_io(self, f, is_write=False)
         payload = self._read_slot(f, index)
         self._charge_read(f, index, sequential=sequential)
         return self._decode(f, payload)
 
-    def overwrite_block(self, f: DiskFile, index: int, records: Sequence[Record],
-                        sequential: bool = False) -> None:
+    def _overwrite_impl(self, f: DiskFile, index: int, records: Sequence[Record],
+                        sequential: bool) -> None:
         assert isinstance(f, PersistentDiskFile)
-        self._assert_live(f)
-        if len(records) > f.block_capacity:
-            raise StorageError(
-                f"{len(records)} records exceed block capacity {f.block_capacity}"
-            )
-        if not 0 <= index < f._num_blocks:
-            raise StorageError(f"block {index} out of range for {f.name!r}")
-        if self.injector is not None:
-            self.injector.on_io(self, f, is_write=True, records=records, index=index)
         slot, checksum = self._seal(self._encode(f, records))
         handle = self._handle(f)
         handle.seek(index * f.slot_bytes)
@@ -406,9 +406,26 @@ class PersistentBlockDevice(BlockDevice):
         f.num_records += len(records) - f._block_counts[index]
         f._block_counts[index] = len(records)
         f.block_checksums[index] = checksum
+        if self.pool is not None:
+            self.pool.invalidate_block(f, index)
         self._charge_write(f, index, sequential=sequential)
 
     # -- crash surface -----------------------------------------------------
+
+    def _damage_block(self, f: DiskFile, index: int) -> None:
+        """Flip one stored payload byte of slot ``index`` on disk without
+        touching its CRC prefix — simulated bit-rot; the next
+        :meth:`_read_slot` raises :class:`CorruptBlockError`."""
+        assert isinstance(f, PersistentDiskFile)
+        handle = self._handle(f)
+        position = index * f.slot_bytes + _CRC.size
+        handle.seek(position)
+        byte = handle.read(1)
+        handle.seek(position)
+        handle.write(bytes([(byte[0] if byte else 0) ^ 0x01]))
+        handle.flush()
+        if self.pool is not None:
+            self.pool.invalidate_block(f, index)
 
     def _torn_write(self, f: DiskFile, records: Sequence[Record],
                     index: Optional[int] = None) -> None:

@@ -19,12 +19,109 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.exceptions import IOBudgetExceeded
 
-__all__ = ["IOBudget", "IOStats", "IOSnapshot", "RECOVERY_PHASE"]
+__all__ = [
+    "IOBudget",
+    "IOStats",
+    "IOSnapshot",
+    "HealthLedger",
+    "RECOVERY_PHASE",
+    "RETRY_PHASE",
+    "REPAIR_PHASE",
+    "FAULT_PHASES",
+]
 
 RECOVERY_PHASE = "recovery"
 """Phase label for checkpoint-resume work: journal validation reads on
 restart are charged here, so recovery overhead is separable from the
 algorithm's own ledger (the MTTR report subtracts it)."""
+
+RETRY_PHASE = "retry"
+"""Phase label for block I/Os burned on failed transient attempts.  Charged
+via :meth:`IOStats.record_fault_io` outside the phase stack, so a faulty
+run's per-phase ledger stays equal to the fault-free run's and the *only*
+delta is this label (plus :data:`REPAIR_PHASE`)."""
+
+REPAIR_PHASE = "repair"
+"""Phase label for degraded-mode read-repair I/Os: parity + sibling reads
+and the rewrite of a reconstructed block."""
+
+FAULT_PHASES = (RETRY_PHASE, REPAIR_PHASE)
+"""The labels fault handling may charge; every other label must be
+byte-identical between a faulty and a fault-free run."""
+
+
+class HealthLedger:
+    """Counters for fault-tolerance work, kept next to the I/O ledger.
+
+    Everything here is *bookkeeping about degradation*, not block I/O:
+    how many transient attempts were retried, how many blocks were
+    read-repaired from parity, how many pool tasks were re-dispatched
+    after a worker died or hung, how many simulated backoff seconds the
+    retry policy charged, and which executor degradations happened.
+    Surfaced in ``scc -v``, bench tables/JSON, and ``--trace-json``.
+    """
+
+    _COUNTERS = (
+        "retries",
+        "repairs",
+        "redispatches",
+        "parity_writes",
+        "escalations",
+    )
+
+    def __init__(self) -> None:
+        self.retries = 0
+        self.repairs = 0
+        self.redispatches = 0
+        self.parity_writes = 0
+        self.escalations = 0
+        self.backoff_seconds = 0.0
+        # top-level phase label -> simulated backoff seconds spent there
+        # (the policy's per-phase deadline is enforced against this).
+        self.backoff_by_phase: Dict[str, float] = {}
+        # Human-readable degradation events, in order: executor fallbacks,
+        # channel outages survived, re-dispatched shards, ...
+        self.events: List[str] = []
+
+    def record_event(self, message: str) -> None:
+        self.events.append(message)
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly copy of the ledger (events included)."""
+        out = {name: getattr(self, name) for name in self._COUNTERS}
+        out["backoff_seconds"] = self.backoff_seconds
+        out["events"] = list(self.events)
+        return out
+
+    def delta(self, start: dict) -> dict:
+        """The ledger delta since a :meth:`snapshot` taken earlier."""
+        now = self.snapshot()
+        out = {
+            name: now[name] - start.get(name, 0) for name in self._COUNTERS
+        }
+        out["backoff_seconds"] = now["backoff_seconds"] - start.get(
+            "backoff_seconds", 0.0
+        )
+        out["events"] = now["events"][len(start.get("events", ())) :]
+        return out
+
+    @property
+    def faulted(self) -> bool:
+        """True when any fault-tolerance machinery actually fired."""
+        return bool(
+            self.retries
+            or self.repairs
+            or self.redispatches
+            or self.escalations
+            or self.events
+        )
+
+    def reset(self) -> None:
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+        self.backoff_seconds = 0.0
+        self.backoff_by_phase.clear()
+        self.events.clear()
 
 
 @dataclass
@@ -125,6 +222,7 @@ class IOStats:
         # must be atomic.  The budget check stays outside the lock so an
         # IOBudgetExceeded never propagates with the lock held.
         self._lock = threading.Lock()
+        self.health = HealthLedger()
 
     # -- recording (called by the device) ---------------------------------
 
@@ -196,6 +294,45 @@ class IOStats:
             width_entry = self.bytes_by_width.setdefault(record_size, [0, 0])
             width_entry[0] += records
             width_entry[1] += stored
+
+    def record_fault_io(
+        self, label: str, is_read: bool, sequential: bool, blocks: int = 1
+    ) -> None:
+        """Count fault-handling I/O under ``label`` instead of the phase stack.
+
+        Failed transient attempts (:data:`RETRY_PHASE`) and read-repair
+        traffic (:data:`REPAIR_PHASE`) go through here: the blocks count
+        toward the global totals — and therefore toward the
+        :class:`IOBudget`, so a run cannot retry its way past the paper's
+        INF cutoff — but are attributed *only* to the given label, never
+        to the active algorithm phases.  That keeps the per-phase ledger
+        of a faulty run byte-identical to the fault-free run, with the
+        fault labels as the whole, separately auditable delta.
+        """
+        with self._lock:
+            if is_read and sequential:
+                self.seq_reads += blocks
+            elif is_read:
+                self.rand_reads += blocks
+            elif sequential:
+                self.seq_writes += blocks
+            else:
+                self.rand_writes += blocks
+            snap = self.by_phase.get(label, IOSnapshot())
+            if is_read and sequential:
+                snap = IOSnapshot(snap.seq_reads + blocks, snap.seq_writes, snap.rand_reads, snap.rand_writes)
+            elif is_read:
+                snap = IOSnapshot(snap.seq_reads, snap.seq_writes, snap.rand_reads + blocks, snap.rand_writes)
+            elif sequential:
+                snap = IOSnapshot(snap.seq_reads, snap.seq_writes + blocks, snap.rand_reads, snap.rand_writes)
+            else:
+                snap = IOSnapshot(snap.seq_reads, snap.seq_writes, snap.rand_reads, snap.rand_writes + blocks)
+            self.by_phase[label] = snap
+        self._enforce_budget()
+
+    def fault_total(self) -> int:
+        """Block I/Os charged to the fault labels (retry + repair)."""
+        return sum(self.phase_total(label) for label in FAULT_PHASES)
 
     def _attribute(self, sequential: bool, blocks: int, is_read: bool) -> None:
         for label in self._phase_stack:
@@ -288,6 +425,7 @@ class IOStats:
         self.seconds_by_phase.clear()
         self.bytes_by_width.clear()
         self.top_level_phases.clear()
+        self.health.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -12,11 +12,17 @@ from repro.recovery.checkpoint import (
     describe_store,
     reopen_store,
 )
-from repro.recovery.fault import FaultInjector
+from repro.recovery.fault import FAULT_KINDS, FaultInjector, FaultSchedule, FaultSpec
+from repro.recovery.policy import DEFAULT_FAULT_POLICY, FaultPolicy
 
 __all__ = [
     "CheckpointManager",
+    "DEFAULT_FAULT_POLICY",
+    "FAULT_KINDS",
     "FaultInjector",
+    "FaultPolicy",
+    "FaultSchedule",
+    "FaultSpec",
     "ResumeState",
     "describe_store",
     "reopen_store",

@@ -457,3 +457,128 @@ class TestProcessesExecutorCli:
         out = capsys.readouterr().out
         assert "wall:" in out
         assert "wall by phase:" in out
+
+
+class TestFaultToleranceFlags:
+    @pytest.fixture
+    def edge_path(self, tmp_path):
+        path = tmp_path / "cycle.txt"
+        write_edge_text(path, cycle_graph(50).edges)
+        return path
+
+    def test_fault_policy_and_parity_run_clean(self, edge_path, capsys):
+        code = main(["scc", str(edge_path), "-m", "16K", "-v",
+                     "--fault-policy", "retries=5,seed=7", "--parity"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "health: retries=0" in err
+        assert "escalations=0" in err
+
+    def test_health_line_absent_without_fault_machinery(self, edge_path, capsys):
+        assert main(["scc", str(edge_path), "-m", "16K", "-v"]) == 0
+        assert "health:" not in capsys.readouterr().err
+
+    def test_bench_accepts_fault_flags(self, edge_path, capsys):
+        code = main(["bench", str(edge_path), "-m", "16K",
+                     "--fault-policy", "retries=2", "--parity"])
+        assert code == 0
+        assert "health:" in capsys.readouterr().out
+
+    def test_bad_fault_policy_spec_is_usage_error(self, edge_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scc", str(edge_path), "--fault-policy", "bogus=1"])
+        assert excinfo.value.code == 2
+        assert "fault-policy" in capsys.readouterr().err
+
+    def test_parity_refused_with_checkpoint_dir(self, edge_path, tmp_path, capsys):
+        code = main(["scc", str(edge_path), "--parity",
+                     "--checkpoint-dir", str(tmp_path / "ckpt")])
+        assert code == 2
+        assert "--parity" in capsys.readouterr().err
+
+    def test_trace_json_carries_health(self, edge_path, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main(["scc", str(edge_path), "-m", "16K", "--parity",
+                     "--trace-json", str(trace_path)])
+        assert code == 0
+        payload = json.loads(trace_path.read_text())
+        assert payload["context"]["health"]["parity_writes"] > 0
+        assert payload["context"]["health"]["retries"] == 0
+
+
+class TestFaultExitCodes:
+    """The documented exit-code contract: 5 = retries exhausted,
+    4 = unrecoverable corruption, 3 = storage fault, 2 = everything else
+    (including the fail-stop SimulatedCrash, unchanged since PR 3)."""
+
+    @pytest.fixture
+    def edge_path(self, tmp_path):
+        path = tmp_path / "e.txt"
+        write_edge_text(path, [(0, 1), (1, 0)])
+        return path
+
+    def _run_raising(self, monkeypatch, edge_path, exc):
+        import repro.cli as cli
+
+        def boom(*args, **kwargs):
+            raise exc
+
+        monkeypatch.setattr(cli, "compute_sccs", boom)
+        return main(["scc", str(edge_path), "-m", "16K"])
+
+    def test_retry_exhaustion_exits_5(self, edge_path, capsys, monkeypatch):
+        from repro.exceptions import RetryExhaustedError, TransientIOError
+
+        code = self._run_raising(
+            monkeypatch, edge_path,
+            RetryExhaustedError(4, TransientIOError("flaky read")),
+        )
+        assert code == 5
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "retries exhausted" in err and "--fault-policy" in err
+
+    def test_corrupt_block_exits_4(self, edge_path, capsys, monkeypatch):
+        from repro.exceptions import CorruptBlockError
+
+        code = self._run_raising(
+            monkeypatch, edge_path, CorruptBlockError("edges", 3)
+        )
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "error:" in err and "--parity" in err
+
+    def test_storage_error_exits_3(self, edge_path, capsys, monkeypatch):
+        from repro.exceptions import StorageError
+
+        code = self._run_raising(monkeypatch, edge_path, StorageError("no such file"))
+        assert code == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_repro_error_still_exits_2(self, edge_path, capsys, monkeypatch):
+        from repro.exceptions import NonTermination
+
+        code = self._run_raising(monkeypatch, edge_path, NonTermination("loop"))
+        assert code == 2
+
+    def test_real_retry_exhaustion_through_the_device(self, edge_path, capsys,
+                                                      monkeypatch):
+        # End-to-end: a persistent transient fault escalates out of the
+        # device, through compute_sccs, to exit code 5.
+        import repro.cli as cli
+        from repro.core import compute_sccs as real_compute
+        from repro.recovery import FaultSchedule
+
+        def with_fault(*args, **kwargs):
+            kwargs["fault_schedule"] = FaultSchedule.single(
+                "transient-read", at_io=1, failures=100
+            )
+            return real_compute(*args, **kwargs)
+
+        monkeypatch.setattr(cli, "compute_sccs", with_fault)
+        code = main(["scc", str(edge_path), "-m", "16K",
+                     "--fault-policy", "retries=2"])
+        assert code == 5
+        assert "retries exhausted" in capsys.readouterr().err
