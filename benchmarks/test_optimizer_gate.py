@@ -11,7 +11,10 @@ reviewable.
 
 (The static grid varies codec and solver only: workers/executor do not
 change the measured ledger — that is the parallel-equivalence invariant —
-so the I/O-optimal static config lives in this 12-combination slice.)
+so the I/O-optimal static config lives in this codec x solver slice.  The
+solver axis is the live ``SEMI_SCC_SOLVERS`` registry, so newly
+registered solvers — e.g. the multi-source BFS solver — join the grid,
+and the autotuner's 5%-of-best-static bar, automatically.)
 """
 
 import json

@@ -76,17 +76,20 @@ def _fingerprint(run):
 
 
 def _run_smoke(edges, n, memory, *, batch, executor="serial", workers=1,
-               codec=None, autotune=False):
+               codec=None, autotune=False, numpy=False):
+    from repro import kernels
     from repro.core import ExtSCCConfig
 
     config = ExtSCCConfig.optimized(codec=codec) if codec else None
     previous = set_batch_enabled(batch)
+    previous_numpy = kernels.set_enabled(numpy)
     try:
         return run_algorithm("Ext-SCC-Op", edges, n, memory,
                              block_size=BLOCK_SIZE, x=SMOKE_PCT,
                              config=config, workers=workers,
                              executor=executor, autotune=autotune)
     finally:
+        kernels.set_enabled(previous_numpy)
         set_batch_enabled(previous)
 
 
@@ -150,6 +153,7 @@ def test_wallclock_speedup_committed(benchmark):
         return _median_walls(edges, n, memory, {
             "scalar-serial": dict(batch=False),
             "batch-serial": dict(batch=True),
+            "batch-numpy-serial": dict(batch=True, numpy=True),
             "batch-threads-k4": dict(batch=True, executor="threads", workers=4),
             "batch-processes-k1": dict(batch=True, executor="processes", workers=1),
             "batch-processes-k4": dict(batch=True, executor="processes", workers=4),

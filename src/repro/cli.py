@@ -37,6 +37,8 @@ from repro.graph.io_formats import read_edge_binary, read_edge_text, write_edge_
 from repro.io.parallel import EXECUTOR_BACKENDS, processes_available
 from repro.plan import PlanCache
 from repro.recovery.policy import FaultPolicy
+from repro.semi_external import SEMI_SCC_SOLVERS
+from repro import kernels
 
 __all__ = ["main", "parse_size"]
 
@@ -249,8 +251,13 @@ def _cmd_scc(args: argparse.Namespace) -> int:
         return 2
     if args.workers > 1 or args.executor != "serial":
         config = replace(config, workers=args.workers, executor=args.executor)
+    if args.solver is not None:
+        config = replace(config, semi_scc=args.solver)
     if args.objective != "io":
         config = replace(config, objective=args.objective)
+    if args.verbose and kernels.requested() and not kernels.available():
+        print(f"note: {kernels.fallback_reason()}; running the "
+              "byte-identical pure-Python kernels", file=sys.stderr)
     if args.autotune and args.resume:
         print(
             "error: --autotune cannot be combined with --resume (the "
@@ -395,6 +402,11 @@ def _cmd_scc(args: argparse.Namespace) -> int:
             "autotune": out.tuning.to_payload() if out.tuning else None,
             "cache": cache.stats() if cache is not None else None,
             "health": out.health,
+            "kernels": {
+                "numpy_requested": kernels.requested(),
+                "numpy_active": kernels.available(),
+                "fallback_reason": kernels.fallback_reason(),
+            },
         }
         with open(args.trace_json, "w", encoding="ascii") as f:
             f.write(out.trace.to_json(plans=out.plans, context=context))
@@ -617,6 +629,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="after the run, dump the per-operator execution "
                           "trace (predicted vs. measured I/Os per plan "
                           "stage) as JSON to PATH")
+    scc.add_argument("--solver", choices=sorted(SEMI_SCC_SOLVERS),
+                     default=None,
+                     help="semi-external SCC solver for the contracted "
+                          "graph (default: the config's spanning-tree; "
+                          "all registered solvers produce identical "
+                          "canonical labels)")
     scc.add_argument("--executor", choices=list(EXECUTOR_BACKENDS),
                      default="serial",
                      help="worker-pool backend (serial is deterministic "

@@ -28,6 +28,7 @@ device; the I/O ledger shows zero random accesses.
 
 from __future__ import annotations
 
+from itertools import chain, groupby, product
 from operator import itemgetter
 
 from dataclasses import dataclass
@@ -40,7 +41,7 @@ from repro.core.vertex_cover import BoundedCoverTable
 from repro.graph.edge_file import EdgeFile, NodeFile
 from repro.io.blocks import BlockDevice
 from repro.io.codecs import RecordStore, create_record_file, record_file_from_records
-from repro.io.join import anti_join, cogroup, merge_join, semi_join
+from repro.io.join import anti_join, cogroup, lookup_join, semi_join
 from repro.io.memory import MemoryBudget
 from repro.io.parallel import shard_ranges
 from repro.io.sort import KEY_DST_SRC, KEY_SRC_DST, external_sort_records, external_sort_stream
@@ -190,34 +191,54 @@ def _degree_pass(
         out_counts = _count_groups(eout.scan(), key_index=0)
 
     record_size = 12 if config.product_operator else 8
+    trim = config.trim_type1
+    product_op = config.product_operator
     trimmed = False
+
+    def surviving() -> Iterator[Record]:
+        # Full-outer merge of the two sorted (node, count) streams —
+        # the count-level equivalent of the original edge-level cogroup —
+        # inlined with the trim filter: one generator resumption per node
+        # instead of two.  One-sided nodes are type-1 trimmable by
+        # definition, so with ``trim`` they never even allocate a record.
+        nonlocal trimmed
+        a = next(in_counts, None)
+        b = next(out_counts, None)
+        while a is not None or b is not None:
+            if b is None or (a is not None and a[0] < b[0]):
+                node, deg_in, deg_out = a[0], a[1], 0
+                a = next(in_counts, None)
+            elif a is None or b[0] < a[0]:
+                node, deg_in, deg_out = b[0], 0, b[1]
+                b = next(out_counts, None)
+            else:
+                node, deg_in, deg_out = a[0], a[1], b[1]
+                a = next(in_counts, None)
+                b = next(out_counts, None)
+            if trim and (deg_in == 0 or deg_out == 0):
+                trimmed = True
+                continue
+            if product_op:
+                yield node, deg_in + deg_out, deg_in * deg_out
+            else:
+                yield node, deg_in + deg_out
+
     vd = create_record_file(device, device.temp_name("vd"), record_size, sort_field=0)
-    for node, deg_in, deg_out in _merge_degree_counts(in_counts, out_counts):
-        if config.trim_type1 and (deg_in == 0 or deg_out == 0):
-            trimmed = True
-            continue
-        if config.product_operator:
-            vd.append((node, deg_in + deg_out, deg_in * deg_out))
-        else:
-            vd.append((node, deg_in + deg_out))
+    vd.extend(surviving())
     vd.close()
     return vd, trimmed
 
 
 def _count_groups(records, key_index: int) -> Iterator[Tuple[int, int]]:
-    """``(node, count)`` pairs of a stream sorted on field ``key_index``."""
-    prev: Optional[int] = None
-    count = 0
-    for record in records:
-        node = record[key_index]
-        if node != prev:
-            if prev is not None:
-                yield prev, count
-            prev, count = node, 1
-        else:
-            count += 1
-    if prev is not None:
-        yield prev, count
+    """``(node, count)`` pairs of a stream sorted on field ``key_index``.
+
+    ``groupby`` buckets the consecutive equal-key runs in C; Python
+    resumes once per node, not once per edge.
+    """
+    return (
+        (node, len(list(group)))
+        for node, group in groupby(records, itemgetter(key_index))
+    )
 
 
 def _sharded_degree_counts(pool, edges: EdgeFile, key_index: int) -> Iterator[Tuple[int, int]]:
@@ -247,27 +268,6 @@ def _sharded_degree_counts(pool, edges: EdgeFile, key_index: int) -> Iterator[Tu
                 prev, count = node, c
     if prev is not None:
         yield prev, count
-
-
-def _merge_degree_counts(
-    in_counts: Iterator[Tuple[int, int]], out_counts: Iterator[Tuple[int, int]]
-) -> Iterator[Tuple[int, int, int]]:
-    """Full-outer merge of two sorted ``(node, count)`` streams into
-    ``(node, deg_in, deg_out)`` — the count-level equivalent of the
-    original edge-level cogroup."""
-    a = next(in_counts, None)
-    b = next(out_counts, None)
-    while a is not None or b is not None:
-        if b is None or (a is not None and a[0] < b[0]):
-            yield a[0], a[1], 0
-            a = next(in_counts, None)
-        elif a is None or b[0] < a[0]:
-            yield b[0], 0, b[1]
-            b = next(out_counts, None)
-        else:
-            yield a[0], a[1], b[1]
-            a = next(in_counts, None)
-            b = next(out_counts, None)
 
 
 def _filter_to_survivors(
@@ -334,13 +334,15 @@ def get_v(
     key_fn = make_key_fn(config.product_operator)
     info_width = 2 if config.product_operator else 1
 
-    # E_d step 1: augment deg(u) on every edge (E_out join V_d on u).
+    # E_d step 1: augment deg(u) on every edge (E_out join V_d on u) —
+    # a lookup join, since V_d holds exactly one record per node.
     def ed1_records() -> Iterator[Record]:
-        for edge, node_rec in merge_join(
-            eout.scan(), vd.scan(), itemgetter(0), itemgetter(0)
-        ):
-            # (u, v, deg_u[, prod_u])
-            yield (edge[0], edge[1]) + node_rec[1:]
+        return (
+            (edge[0], edge[1]) + node_rec[1:]  # (u, v, deg_u[, prod_u])
+            for edge, node_rec in lookup_join(
+                eout.scan(), vd.scan(), itemgetter(0), itemgetter(0)
+            )
+        )
 
     # E_d step 2, fused: the build join feeds the by-v sort's run formation
     # directly, and the sorted stream feeds the cover scan — neither E_d
@@ -358,7 +360,7 @@ def get_v(
     table = BoundedCoverTable.from_memory(table_bytes) if config.type2_reduction else None
 
     def cover_records() -> Iterator[Record]:
-        for ed_rec, node_rec in merge_join(
+        for ed_rec, node_rec in lookup_join(
             ed2_stream, vd.scan(), itemgetter(1), itemgetter(0)
         ):
             u, v = ed_rec[0], ed_rec[1]
@@ -430,18 +432,27 @@ def get_e(
         out_stream = _filter_neighbors(device, out_stream, v_next, memory, side=1, by_dst=False)
 
     # E_add: for each removed v, bypass edges nbr_in(v) x nbr_out(v).
-    for v, in_group, out_group in cogroup(
-        in_stream, out_stream, itemgetter(1), itemgetter(0)
-    ):
-        for u, _v in in_group:
-            if u == v:
-                continue  # a self-loop on the removed node is not a neighbor
-            for _v2, w in out_group:
-                if w == v:
-                    continue
-                if config.remove_self_loops and u == w:
-                    continue
-                out.append((u, w))
+    drop_loops = config.remove_self_loops
+
+    def bypass_groups() -> Iterator[Iterable[Record]]:
+        for v, in_group, out_group in cogroup(
+            in_stream, out_stream, itemgetter(1), itemgetter(0)
+        ):
+            # A self-loop on the removed node is not a neighbor.
+            srcs = [u for u, _v in in_group if u != v]
+            dsts = [w for _v2, w in out_group if w != v]
+            if not srcs or not dsts:
+                continue
+            if drop_loops and not set(srcs).isdisjoint(dsts):
+                yield [p for p in product(srcs, dsts) if p[0] != p[1]]
+            else:
+                # No endpoint is on both sides, so the cross product
+                # cannot contain a self-loop; hand the C-level iterator
+                # straight to the flattener — one generator resumption
+                # per removed node, not one per bypass edge.
+                yield product(srcs, dsts)
+
+    out.extend(chain.from_iterable(bypass_groups()))
 
     # E_pre: edges with both endpoints in the cover — a fused
     # semi-join → sort → semi-join chain with no intermediate files.
@@ -453,8 +464,7 @@ def get_e(
         key=KEY_DST_SRC,
         sort_field=1,
     )
-    for edge in semi_join(pre_sorted, v_next.scan(), itemgetter(1)):
-        out.append(edge)
+    out.extend(semi_join(pre_sorted, v_next.scan(), itemgetter(1)))
     out.close()
     return EdgeFile(out)
 

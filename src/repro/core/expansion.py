@@ -30,7 +30,7 @@ from repro.core.contraction import ContractionLevel
 from repro.graph.edge_file import EdgeFile, NodeFile
 from repro.io.blocks import BlockDevice
 from repro.io.codecs import RecordStore, record_file_from_records
-from repro.io.join import anti_join, cogroup, merge_join
+from repro.io.join import anti_join, cogroup, lookup_join
 from repro.io.memory import MemoryBudget
 from repro.io.sort import KEY_DST_AUX_SRC, KEY_DST_SRC, external_sort_records, external_sort_stream, merge_runs
 from repro.plan import (
@@ -82,12 +82,15 @@ def augment(
     # line 11: re-sort by the source endpoint (streamed).
     by_src = external_sort_stream(device, into_removed, 8, memory)
 
-    # line 12: attach SCC(u) via a merge join with the label file.
+    # line 12: attach SCC(u) via a join with the label file — a lookup
+    # join, since the label file holds exactly one record per node.
     def augmented() -> Iterator[Record]:
-        for edge, label_rec in merge_join(
-            by_src, scc_next.scan(), itemgetter(0), itemgetter(0)
-        ):
-            yield (edge[0], edge[1], label_rec[1])
+        return (
+            (edge[0], edge[1], label_rec[1])
+            for edge, label_rec in lookup_join(
+                by_src, scc_next.scan(), itemgetter(0), itemgetter(0)
+            )
+        )
 
     # line 13: group by (v, SCC(u), u).
     return external_sort_records(
@@ -98,32 +101,6 @@ def augment(
         key=KEY_DST_AUX_SRC,
         sort_field=1,
     )
-
-
-def _scc_list(group: List[Record]) -> List[int]:
-    """Distinct SCC labels of an augmented group (already sorted by SCC)."""
-    labels: List[int] = []
-    for record in group:
-        scc = record[2]
-        if not labels or labels[-1] != scc:
-            labels.append(scc)
-    return labels
-
-
-def _intersect_sorted(a: List[int], b: List[int]) -> List[int]:
-    """Intersection of two sorted unique lists."""
-    out: List[int] = []
-    i = j = 0
-    while i < len(a) and j < len(b):
-        if a[i] == b[j]:
-            out.append(a[i])
-            i += 1
-            j += 1
-        elif a[i] < b[j]:
-            i += 1
-        else:
-            j += 1
-    return out
 
 
 def _augment_ops(plan: ExtPlan, d: str, e: int, v: int) -> list:
@@ -213,7 +190,8 @@ def build_expand_plan(
     # reverse graph are out-neighbors of G_i).  The flip happens in-flight
     # on the way into augment's first sort; no reversed copy hits the disk.
     def augment_out() -> RecordStore:
-        flipped = ((v_, u) for u, v_ in level.edges.scan())
+        # itemgetter(1, 0) flips each edge in C — no per-edge generator.
+        flipped = map(itemgetter(1, 0), level.edges.scan())
         return augment(device, flipped, level.next_nodes, scc_next, memory)
 
     def run_augments(ctx: dict):
@@ -242,6 +220,7 @@ def build_expand_plan(
 
         def removed_labels() -> Iterator[Record]:
             """Labels for removed nodes: 3-way co-scan, singleton default."""
+            scc_of = itemgetter(2)
             groups = cogroup(
                 e_in.scan(), e_out.scan(), itemgetter(1), itemgetter(1)
             )
@@ -250,15 +229,18 @@ def build_expand_plan(
                 while current is not None and current[0] < node:  # type: ignore[operator]
                     current = next(groups, None)
                 if current is not None and current[0] == node:
-                    common = _intersect_sorted(
-                        _scc_list(current[1]), _scc_list(current[2])
+                    # Set intersection of the two sides' SCC labels; only
+                    # the minimum (and, under validation, the count) is
+                    # needed, so the sorted-list walk is unnecessary.
+                    common = set(map(scc_of, current[1])) & set(
+                        map(scc_of, current[2])
                     )
                     if config.validate and len(common) > 1:
                         raise AssertionError(
                             f"Lemma 6.2 violated: node {node} sees "
                             f"{len(common)} shared SCCs"
                         )
-                    yield (node, common[0]) if common else (node, node)
+                    yield (node, min(common)) if common else (node, node)
                 else:
                     # No surviving in- or out-edges: singleton SCC.
                     yield (node, node)

@@ -111,6 +111,28 @@ class EdgeFile:
         """Stream edges front to back with sequential reads."""
         return self.file.scan()  # type: ignore[return-value]
 
+    def scan_blocks(self) -> Iterator[Tuple[Edge, ...]]:
+        """Stream whole blocks of ``(u, v)`` records sequentially."""
+        return self.scan_block_range(0, None)
+
+    def scan_block_range(
+        self, start: int, stop: Optional[int] = None
+    ) -> Iterator[Tuple[Edge, ...]]:
+        """Stream blocks ``start .. stop`` of ``(u, v)`` records.
+
+        Normalizes the two store kinds to one block shape: fixed-width
+        blocks hold the records directly, compressed blocks hold
+        ``(record,)`` slots (unwrapped here — an edge record always has
+        two fields, a slot exactly one, so the shapes cannot collide).
+        The block-granular primitive of the semi-external reachability
+        kernels; block counts and charges match :meth:`scan` exactly.
+        """
+        for block in self.file.scan_block_range(start, stop):
+            if block and len(block[0]) == 1:
+                yield tuple(slot[0] for slot in block)
+            else:
+                yield block  # type: ignore[misc]
+
     # -- external derivations ----------------------------------------------
 
     def sorted_by_src(

@@ -19,7 +19,7 @@ from repro.io.persistent import PersistentBlockDevice
 from repro.io.pool import SharedBufferPool
 from repro.io.priority_queue import ExternalPriorityQueue
 from repro.io.varfile import VarRecordFile, varint_size
-from repro.io.join import anti_join, cogroup, grouped, merge_join, semi_join
+from repro.io.join import anti_join, cogroup, grouped, lookup_join, merge_join, semi_join
 from repro.io.memory import MemoryBudget
 from repro.io.sort import external_sort, external_sort_records, external_sort_stream
 from repro.io.stats import IOBudget, IOSnapshot, IOStats
@@ -48,6 +48,7 @@ __all__ = [
     "external_sort_stream",
     "grouped",
     "cogroup",
+    "lookup_join",
     "merge_join",
     "semi_join",
     "anti_join",

@@ -43,12 +43,14 @@ import os
 import struct
 from bisect import bisect_right
 from itertools import accumulate, islice
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import StorageError
 from repro.io.blocks import BlockDevice
 from repro.io.files import ExternalFile
 from repro.io.varfile import VarRecordFile, varint_size
+from repro.kernels import _flags as _kernel_flags
+from repro.kernels.merge import _to_array
 
 __all__ = [
     "Codec",
@@ -84,8 +86,6 @@ resident; chunking is invisible to the output (the greedy block walk
 carries the previous record across chunk boundaries)."""
 
 _batch_enabled = os.environ.get("REPRO_BATCH_IO", "1") != "0"
-_numpy_enabled = os.environ.get("REPRO_NUMPY", "0") == "1"
-_np = None  # the numpy module when the fast path is active, else None
 
 _NUMPY_MIN = 256
 """Below this many records the numpy conversion overhead beats the win."""
@@ -106,30 +106,20 @@ def set_batch_enabled(enabled: bool) -> bool:
     return previous
 
 
-def _load_numpy():
-    global _np
-    if _np is None:
-        try:
-            import numpy
-        except ImportError:
-            return None
-        _np = numpy
-    return _np
-
-
 def numpy_enabled() -> bool:
-    """Whether the numpy vectorized varint-size path is active.  Opt-in
-    (``REPRO_NUMPY=1`` or :func:`set_numpy_enabled`) and silently inert
-    when numpy is not importable; the pure-Python fallback is
-    byte-identical."""
-    return _numpy_enabled and _load_numpy() is not None
+    """Whether the numpy vectorized varint-size path is active.  The
+    ``REPRO_NUMPY`` flag lives in :mod:`repro.kernels` (its single
+    process-wide home); this is a thin view of
+    :func:`repro.kernels.available` kept for the codec call sites and
+    API compatibility.  Opt-in and silently inert when numpy is not
+    importable; the pure-Python fallback is byte-identical."""
+    return _kernel_flags.available()
 
 
 def set_numpy_enabled(enabled: bool) -> bool:
-    """Toggle the numpy fast path; returns the previous setting."""
-    global _numpy_enabled
-    previous, _numpy_enabled = _numpy_enabled, bool(enabled)
-    return previous
+    """Toggle the numpy fast path (process-wide, via
+    :func:`repro.kernels.set_enabled`); returns the previous setting."""
+    return _kernel_flags.set_enabled(enabled)
 
 
 # -- varint / zigzag primitives ---------------------------------------------
@@ -370,7 +360,7 @@ def _varint_sizes_numpy(zigzagged) -> List[int]:
     array: a varint spends one byte per started 7-bit group, so the size
     is one plus the number of ``2**(7k)`` thresholds at or below the
     value."""
-    np = _np
+    np = _kernel_flags.numpy_module()
     thresholds = np.array([1 << (7 * k) for k in range(1, 10)], dtype=np.uint64)
     sizes = np.searchsorted(thresholds, zigzagged, side="right") + 1
     return sizes.sum(axis=1, dtype=np.int64).tolist()
@@ -378,7 +368,7 @@ def _varint_sizes_numpy(zigzagged) -> List[int]:
 
 def _zigzag_numpy(array):
     """Vectorized :func:`zigzag_encode` (int64 in, uint64 out)."""
-    np = _np
+    np = _kernel_flags.numpy_module()
     unsigned = array.astype(np.uint64)
     return np.where(
         array >= 0,
@@ -411,12 +401,12 @@ class VarintCodec(Codec):
         self, records: Sequence[Record], prev: Optional[Record] = None
     ) -> List[int]:
         if numpy_enabled() and len(records) >= _NUMPY_MIN:
-            try:
-                return _varint_sizes_numpy(
-                    _zigzag_numpy(_np.asarray(records, dtype=_np.int64))
-                )
-            except (OverflowError, ValueError):
-                pass  # values beyond int64: the pure path handles bigints
+            # fromiter-based conversion (the kernel layer's) runs ~2x
+            # faster than np.asarray on a list of tuples; None means the
+            # records don't fit int64 and the pure path handles them.
+            array = _to_array(_kernel_flags.numpy_module(), records)
+            if array is not None:
+                return _varint_sizes_numpy(_zigzag_numpy(array))
         sizes: List[int] = []
         append = sizes.append
         if records and len(records[0]) == 2:
@@ -424,20 +414,22 @@ class VarintCodec(Codec):
             # size via a threshold chain — no per-field loop, no
             # bit_length() call for the small values sorted streams carry.
             try:
-                for a, b in records:
-                    za = (a << 1) if a >= 0 else ((-a << 1) - 1)
-                    zb = (b << 1) if b >= 0 else ((-b << 1) - 1)
-                    append(
-                        (1 if za < 0x80 else 2 if za < 0x4000 else
-                         3 if za < 0x200000 else 4 if za < 0x10000000 else
-                         (za.bit_length() + 6) // 7)
-                        + (1 if zb < 0x80 else 2 if zb < 0x4000 else
-                           3 if zb < 0x200000 else 4 if zb < 0x10000000 else
-                           (zb.bit_length() + 6) // 7)
-                    )
-                return sizes
+                # One listcomp (LIST_APPEND, no method call per record);
+                # the walruses keep each zigzag value in a local for its
+                # threshold chain.
+                return [
+                    (1 if (za := (a << 1) if a >= 0 else ((-a << 1) - 1))
+                     < 0x80 else 2 if za < 0x4000 else
+                     3 if za < 0x200000 else 4 if za < 0x10000000 else
+                     (za.bit_length() + 6) // 7)
+                    + (1 if (zb := (b << 1) if b >= 0 else ((-b << 1) - 1))
+                       < 0x80 else 2 if zb < 0x4000 else
+                       3 if zb < 0x200000 else 4 if zb < 0x10000000 else
+                       (zb.bit_length() + 6) // 7)
+                    for a, b in records
+                ]
             except (TypeError, ValueError):
-                sizes.clear()  # mixed arity: rebuild on the generic path
+                pass  # mixed arity: rebuild on the generic path
         for record in records:
             nbytes = 0
             for value in record:
@@ -485,6 +477,58 @@ class VarintCodec(Codec):
         return records
 
 
+_SIZER_MAX_WIDTH = 8
+_GAP_SIZERS: Dict[Tuple[int, int], Callable[[Sequence[Record]], List[int]]] = {}
+
+
+def _gap_sizer(width: int, gap: int) -> Callable[[Sequence[Record]], List[int]]:
+    """Build (and cache) a fused size loop for ``width``-field records
+    with the delta on field ``gap``.
+
+    The hot streams come in a handful of fixed shapes — ``(src, dst)``
+    edges sorted on either endpoint, ``(u, v, SCC)`` augmented edges,
+    degree and cover records — and a per-shape listcomp beats the generic
+    ``enumerate`` walk ~3x: every field unpacks straight into a local,
+    every zigzag value feeds a constant threshold chain (no
+    ``bit_length`` call for values under 4 varint bytes), and record
+    ``i``'s gap base is record ``i-1``'s own field — a ``zip`` of the
+    records against themselves shifted by one — so no running state
+    survives the loop.  The generated source is exactly the expression a
+    hand-written loop for that shape would spell out; the head record
+    (the only one delta'd against the inter-chunk ``prev``) is *not*
+    covered and stays with the caller.
+    """
+    sizer = _GAP_SIZERS.get((width, gap))
+    if sizer is not None:
+        return sizer
+    values = [f"v{i}" for i in range(width)]
+    prevs = ["p" if i == gap else "_" for i in range(width)]
+    terms = []
+    for i, v in enumerate(values):
+        if i == gap:
+            zz = f"(z{i} := (d << 1) if (d := {v} - p) >= 0 else ((-d << 1) - 1))"
+        else:
+            zz = f"(z{i} := ({v} << 1) if {v} >= 0 else ((-{v} << 1) - 1))"
+        terms.append(
+            f"(1 if {zz} < 0x80 else 2 if z{i} < 0x4000 else "
+            f"3 if z{i} < 0x200000 else 4 if z{i} < 0x10000000 else "
+            f"(z{i}.bit_length() + 6) // 7)"
+        )
+    source = (
+        "def _sizes(records, _zip=zip, _islice=islice):\n"
+        "    return [\n"
+        f"        {' + '.join(terms)}\n"
+        f"        for ({', '.join(prevs)},), ({', '.join(values)},)\n"
+        "        in _zip(records, _islice(records, 1, None))\n"
+        "    ]\n"
+    )
+    namespace = {"zip": zip, "islice": islice}
+    exec(source, namespace)  # noqa: S102 - source built from two small ints
+    sizer = namespace["_sizes"]
+    _GAP_SIZERS[(width, gap)] = sizer
+    return sizer
+
+
 class GapVarintCodec(VarintCodec):
     """Varint fields with the sort field delta-encoded within each block.
 
@@ -511,9 +555,17 @@ class GapVarintCodec(VarintCodec):
                 yield value
 
     def encoded_size(self, record: Record, prev: Optional[Record] = None) -> int:
-        return sum(
-            varint_size(zigzag_encode(value)) for value in self._deltas(record, prev)
-        )
+        # Open-coded delta/zigzag/size walk: this runs once per record on
+        # the non-batch append path, where the generator pipeline costs
+        # more than the arithmetic.
+        gap = self.gap_field
+        nbytes = 0
+        for index, value in enumerate(record):
+            if index == gap and prev is not None:
+                value -= prev[index]
+            zz = (value << 1) if value >= 0 else ((-value << 1) - 1)
+            nbytes += 1 if zz < 0x80 else (zz.bit_length() + 6) // 7
+        return nbytes
 
     def encode(self, record: Record, prev: Optional[Record] = None) -> bytes:
         return b"".join(
@@ -539,43 +591,38 @@ class GapVarintCodec(VarintCodec):
         if gap >= len(records[0]):
             return VarintCodec.encoded_sizes(self, records)
         if numpy_enabled() and len(records) >= _NUMPY_MIN:
+            np = _kernel_flags.numpy_module()
+            array = _to_array(np, records)
+            if array is not None:
+                try:
+                    column = array[:, gap]
+                    deltas = np.empty_like(column)
+                    deltas[1:] = column[1:] - column[:-1]
+                    deltas[0] = (
+                        column[0] - prev[gap] if prev is not None else column[0]
+                    )
+                    # the fromiter array is freshly built, so the gap column
+                    # can be overwritten in place (no caller aliases it)
+                    array[:, gap] = deltas
+                    return _varint_sizes_numpy(_zigzag_numpy(array))
+                except (OverflowError, ValueError):
+                    pass  # prev beyond int64: pure path handles bigints
+        width = len(records[0])
+        if width <= _SIZER_MAX_WIDTH:
+            # Fused per-shape loop (see :func:`_gap_sizer`): the listcomp
+            # covers records[1:], whose gap base is the *previous slice
+            # element*; the head — the only record delta'd against
+            # ``prev`` — goes through the scalar walk.
             try:
-                np = _np
-                array = np.asarray(records, dtype=np.int64)
-                column = array[:, gap]
-                deltas = np.empty_like(column)
-                deltas[1:] = column[1:] - column[:-1]
-                deltas[0] = column[0] - prev[gap] if prev is not None else column[0]
-                array = array.copy()
-                array[:, gap] = deltas
-                return _varint_sizes_numpy(_zigzag_numpy(array))
-            except (OverflowError, ValueError):
-                pass  # values or deltas beyond int64: pure path handles bigints
+                tail = _gap_sizer(width, gap)(records)
+            except (TypeError, ValueError):
+                pass  # ragged/non-integer records: generic walk below
+            else:
+                tail.insert(0, self.encoded_size(records[0], prev))
+                return tail
         sizes: List[int] = []
         append = sizes.append
         prev_gap = prev[gap] if prev is not None else None
-        if gap == 0 and len(records[0]) == 2:
-            # Sorted edge records with the sort key delta-encoded: the
-            # same unpack-and-threshold-chain loop as the varint fast
-            # path, with the running gap carried in a local.
-            try:
-                for a, b in records:
-                    d = a if prev_gap is None else a - prev_gap
-                    prev_gap = a
-                    za = (d << 1) if d >= 0 else ((-d << 1) - 1)
-                    zb = (b << 1) if b >= 0 else ((-b << 1) - 1)
-                    append(
-                        (1 if za < 0x80 else 2 if za < 0x4000 else
-                         3 if za < 0x200000 else 4 if za < 0x10000000 else
-                         (za.bit_length() + 6) // 7)
-                        + (1 if zb < 0x80 else 2 if zb < 0x4000 else
-                           3 if zb < 0x200000 else 4 if zb < 0x10000000 else
-                           (zb.bit_length() + 6) // 7)
-                    )
-                return sizes
-            except (TypeError, ValueError):
-                sizes.clear()  # mixed arity: rebuild on the generic path
-                prev_gap = prev[gap] if prev is not None else None
         for record in records:
             nbytes = 0
             for index, value in enumerate(record):

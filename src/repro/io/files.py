@@ -9,7 +9,7 @@ writes); :meth:`scan` streams records back with sequential reads;
 
 from __future__ import annotations
 
-from itertools import islice
+from itertools import chain, islice
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import StorageError
@@ -202,8 +202,7 @@ class ExternalFile:
         """
         if not self._closed:
             raise StorageError(f"close {self.name!r} before scanning it")
-        for block in self.scan_blocks():
-            yield from block
+        return chain.from_iterable(self.scan_blocks())
 
     def scan_reverse(self) -> Iterator[Record]:
         """Stream all records back to front (a backward sequential scan;

@@ -24,6 +24,7 @@ classic strategy produces.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import itertools
 from operator import itemgetter
@@ -34,6 +35,7 @@ from repro.io.codecs import Codec, FixedCodec, CompressedRecordFile, RecordStore
 from repro.io.files import ExternalFile
 from repro.io.memory import MemoryBudget
 from repro.io.parallel import PROCESS_TASK_MIN
+from repro.kernels import sort_records
 
 __all__ = [
     "KEY_DST_AUX_SRC",
@@ -64,6 +66,38 @@ _INJECTIVE_KEY_ARITY = {KEY_DST_SRC: 2, KEY_SRC_DST: 2, KEY_DST_AUX_SRC: 3}
 """Registered injective keys → the record arity they permute.  Records in
 one store are uniform-arity (fixed-width decode derives the field count
 from ``record_size``), so checking the first record's arity is enough."""
+
+_KEY_COLUMNS = {KEY_DST_SRC: (1, 0), KEY_SRC_DST: (0, 1), KEY_DST_AUX_SRC: (1, 2, 0)}
+"""The registered permutation keys as column priorities, for the
+vectorized whole-buffer sort (:func:`repro.kernels.sort_records`)."""
+
+_KEY_INVERSE: dict = {}
+for _key, _cols in _KEY_COLUMNS.items():
+    _inv = [0] * len(_cols)
+    for _pos, _col in enumerate(_cols):
+        _inv[_col] = _pos
+    _KEY_INVERSE[_key] = itemgetter(*_inv)
+del _key, _cols, _inv, _pos, _col
+"""Inverse permutation per registered key: ``inverse(key(r)) == r``, so a
+permuted stream can be mapped back to original records in C."""
+
+
+def _sorted_records(buffer: List[Record], key: Optional[KeyFn]) -> List[Record]:
+    """Sort a whole run buffer through the kernel layer.
+
+    The numpy lexsort applies when the order is the record's own tuple or
+    a registered permutation of *all* its fields (injective, so the stable
+    list sort and the stable lexsort write identical bytes); any other key
+    — including a permutation key over records with extra fields, where
+    equal keys no longer imply equal records — takes the scalar sort.
+    """
+    if key is None:
+        return sort_records(buffer)
+    columns = _KEY_COLUMNS.get(key)
+    if columns is not None and buffer and len(buffer[0]) == len(columns):
+        return sort_records(buffer, key=key, columns=columns)
+    buffer.sort(key=key)
+    return buffer
 
 
 def _create_run(
@@ -160,7 +194,7 @@ def _write_run(
         # which core did the comparisons changes.
         buffer = pool.run_pure(_sort_buffer, [(buffer,)])[0]
     else:
-        buffer.sort(key=key)
+        buffer = _sorted_records(buffer, key)
     out = _create_run(device, record_size, codec, prefix)
     out.extend(buffer)
     out.close()
@@ -204,7 +238,7 @@ def form_runs_replacement_selection(
         # (key, arrival) order — exactly what one stable sort produces, so
         # skip the heap (and its decorated entries) entirely and bulk-write
         # the single run.
-        fill.sort(key=key_fn)
+        fill = _sorted_records(fill, key_fn)
         out = _create_run(device, record_size, codec, prefix)
         out.extend(fill)
         out.close()
@@ -302,87 +336,100 @@ def _replacement_selection_lean(
     prefix: str,
     key_fn: Optional[KeyFn],
 ) -> List[RecordStore]:
-    """Replacement selection without the arrival-sequence tiebreaker.
+    """Replacement selection over a sorted live list, without run tags.
 
     Only reachable when equal keys imply equal records (``key_fn=None``,
     where the record is its own key, or a registered permutation key), so
     any pop order among entries that compare equal writes identical
-    bytes.  Heap entries are lean ``(run_number, record)`` pairs — or
-    ``(run_number, key, record)`` triples for a keyed sort — making every
-    sift cheaper than the generic loop's decorated 4-tuples.  The loop is
-    otherwise :func:`form_runs_replacement_selection` verbatim.
+    bytes.  The current run's candidates sit in a *sorted* list with a
+    moving head index: emitting the minimum is an index read, and an
+    incoming record that continues the run is placed by one C-level
+    :func:`bisect.insort` — about half the comparisons of a heap
+    replacement's down-and-up sift.  Records earmarked for the next run
+    collect unsorted in a side list that is sorted wholesale when the
+    live list drains; the run boundaries are exactly the classic
+    formulation's, because the live list empties precisely when every
+    buffered record has been earmarked for the next run.  The emitted
+    prefix is compacted once per input chunk, so the list's footprint
+    stays at the buffer capacity.
     """
-    if key_fn is None:
-        heap: List[Tuple] = [(0, record) for record in fill]
+    # A registered permutation key reorders a record's own fields, so
+    # instead of decorating every record with a ``(key, record)`` pair the
+    # whole stream is *permuted into key order* up front (one C-level
+    # ``map(key_fn, ...)`` per chunk), the selection loop runs on plain
+    # tuples that sort by themselves, and emitted chunks are permuted back
+    # (``map(inverse, ...)``) on the way into the run file.  Comparisons
+    # and the loop body are exactly the unkeyed ones; the written bytes
+    # are identical because ``inverse(key(r)) == r`` record by record.
+    inverse = _KEY_INVERSE[key_fn] if key_fn is not None else None
+    if key_fn is not None:
+        live: List = list(map(key_fn, fill))
+        live.sort()
     else:
-        heap = [(0, key_fn(record), record) for record in fill]
-    heapq.heapify(heap)
+        fill.sort()
+        live = fill
+    head = 0
+
+    def emit(out: RecordStore, batch: List[Record]) -> None:
+        out.extend(list(map(inverse, batch)) if inverse is not None else batch)
 
     runs: List[RecordStore] = []
-    current_run = 0
     out = _create_run(device, record_size, codec, prefix)
     pending: List[Record] = []
     emit_chunk = 1024
-    heapreplace = heapq.heapreplace
-    inbuf: List[Record] = []
-    pos = 0
-    while heap:
-        head = heap[0]
-        run_number = head[0]
-        run_key = head[1]
-        record = head[-1]
-        if run_number != current_run:
-            if pending:
-                out.extend(pending)
-                pending = []
-            out.close()
-            runs.append(out)
-            current_run = run_number
-            out = _create_run(device, record_size, codec, prefix)
-        pending.append(record)
-        if len(pending) >= emit_chunk:
-            out.extend(pending)
-            pending = []
-        if pos == len(inbuf):
-            inbuf = list(itertools.islice(source, emit_chunk))
-            pos = 0
-            if not inbuf:
-                # Input exhausted: drain the heap in sorted entry order.
-                heapq.heappop(heap)
-                for entry in sorted(heap):
-                    run_number = entry[0]
-                    if run_number != current_run:
-                        if pending:
-                            out.extend(pending)
-                            pending = []
-                        out.close()
-                        runs.append(out)
-                        current_run = run_number
-                        out = _create_run(device, record_size, codec, prefix)
-                    pending.append(entry[-1])
-                    if len(pending) >= emit_chunk:
-                        out.extend(pending)
+    insort = bisect.insort
+    pending_append = pending.append
+    side: List = []
+    side_append = side.append
+    while True:
+        inbuf = list(itertools.islice(source, emit_chunk))
+        if not inbuf:
+            break
+        if key_fn is not None:
+            inbuf = list(map(key_fn, inbuf))
+        for nxt in inbuf:
+            record = live[head]
+            head += 1
+            pending_append(record)
+            if nxt < record:
+                side_append(nxt)
+                if head == len(live):
+                    if pending:
+                        emit(out, pending)
                         pending = []
-                break
-        nxt = inbuf[pos]
-        pos += 1
-        # An incoming record continues the current run only when it can
-        # still be emitted after the record just written.
-        if key_fn is None:
-            heapreplace(
-                heap, (run_number if not nxt < record else run_number + 1, nxt)
-            )
-        else:
-            nxt_key = key_fn(nxt)
-            heapreplace(
-                heap,
-                (run_number if not nxt_key < run_key else run_number + 1,
-                 nxt_key, nxt),
-            )
+                        pending_append = pending.append
+                    out.close()
+                    runs.append(out)
+                    out = _create_run(device, record_size, codec, prefix)
+                    side.sort()
+                    live = side
+                    head = 0
+                    side = []
+                    side_append = side.append
+            else:
+                insort(live, nxt, head)
+        if len(pending) >= emit_chunk:
+            emit(out, pending)
+            pending = []
+            pending_append = pending.append
+        if head:
+            del live[:head]
+            head = 0
+    # Input exhausted: the live list's remaining records finish the
+    # current run already in order, and the side list — everything
+    # earmarked for the run after it — drains the same way into a fresh
+    # run file.
+    pending.extend(live[head:] if head else live)
     if pending:
-        out.extend(pending)
+        emit(out, pending)
     out.close()
     runs.append(out)
+    if side:
+        out = _create_run(device, record_size, codec, prefix)
+        side.sort()
+        emit(out, side)
+        out.close()
+        runs.append(out)
     return runs
 
 

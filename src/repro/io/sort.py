@@ -40,6 +40,8 @@ batch/scalar equivalence suite pins down.
 from __future__ import annotations
 
 import heapq
+from itertools import groupby
+from operator import itemgetter
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.io.blocks import BlockDevice
@@ -53,8 +55,7 @@ from repro.io.runs import (
     form_runs,
     form_runs_replacement_selection,
 )
-
-_DONE = object()  # exhaustion sentinel for the two-way merge fast path
+from repro.kernels import merge_two_keyed, merge_two_unkeyed
 
 __all__ = [
     "KEY_DST_AUX_SRC",
@@ -277,82 +278,30 @@ def merge_runs(
     """K-way merge of sorted record streams (an in-memory heap of heads).
 
     Small fan-ins are special-cased: one stream needs no merge at all and
-    two streams merge faster with a direct two-pointer loop than through
-    the generic heap (stability is preserved — on a tie the *earlier*
-    stream wins, exactly :func:`heapq.merge`'s contract).
+    two streams merge faster through the kernel layer's dedicated 2-way
+    merges — chunked Timsort galloping when the kernel fast path is
+    active, a direct two-pointer loop otherwise — than through the
+    generic heap (stability is preserved — on a tie the *earlier* stream
+    wins, exactly :func:`heapq.merge`'s contract).
     """
     streams = list(streams)
     if len(streams) == 1:
         return iter(streams[0])
     if len(streams) == 2:
         if key is None:
-            return _merge_two(streams[0], streams[1])
-        return _merge_two_keyed(streams[0], streams[1], key)
+            return merge_two_unkeyed(streams[0], streams[1])
+        return merge_two_keyed(streams[0], streams[1], key)
     if key is None:
         return heapq.merge(*streams)
     return heapq.merge(*streams, key=key)
 
 
-def _merge_two(left: Iterator[Record], right: Iterator[Record]) -> Iterator[Record]:
-    """Stable two-way merge; ties emit the left (earlier) stream first."""
-    left = iter(left)
-    right = iter(right)
-    l = next(left, _DONE)
-    r = next(right, _DONE)
-    while l is not _DONE and r is not _DONE:
-        if r < l:  # type: ignore[operator]
-            yield r
-            r = next(right, _DONE)
-        else:
-            yield l
-            l = next(left, _DONE)
-    while l is not _DONE:
-        yield l
-        l = next(left, _DONE)
-    while r is not _DONE:
-        yield r
-        r = next(right, _DONE)
-
-
-def _merge_two_keyed(
-    left: Iterator[Record], right: Iterator[Record], key: KeyFn
-) -> Iterator[Record]:
-    """Stable keyed two-way merge; ties emit the left stream first.
-
-    Like :func:`heapq.merge`, the key is computed once per record.
-    """
-    left = iter(left)
-    right = iter(right)
-    l = next(left, _DONE)
-    r = next(right, _DONE)
-    if l is not _DONE and r is not _DONE:
-        lk = key(l)
-        rk = key(r)
-        while True:
-            if rk < lk:  # type: ignore[operator]
-                yield r
-                r = next(right, _DONE)
-                if r is _DONE:
-                    break
-                rk = key(r)
-            else:
-                yield l
-                l = next(left, _DONE)
-                if l is _DONE:
-                    break
-                lk = key(l)
-    while l is not _DONE:
-        yield l
-        l = next(left, _DONE)
-    while r is not _DONE:
-        yield r
-        r = next(right, _DONE)
-
-
 def sorted_unique_scan(records: Iterable[Record]) -> Iterator[Record]:
-    """Drop exact-duplicate neighbors from an already-sorted stream."""
-    previous: Optional[Record] = None
-    for record in records:
-        if record != previous:
-            yield record
-            previous = record
+    """Drop exact-duplicate neighbors from an already-sorted stream.
+
+    ``groupby`` with no key function buckets consecutive ``==`` records
+    and hands back each run's first element as the group key, so the
+    whole dedup pipeline (comparisons and skipping) runs in C — Python
+    resumes once per *unique* record, not once per record.
+    """
+    return map(itemgetter(0), groupby(records))

@@ -199,7 +199,11 @@ class IOStats:
         self.bytes_logical = 0
         self.bytes_stored = 0
         self.budget = budget
-        self.by_phase: Dict[str, IOSnapshot] = {}
+        # label -> [seq_reads, seq_writes, rand_reads, rand_writes].  Kept
+        # as plain mutable lists so the per-I/O attribution is one C-level
+        # ``list[idx] += blocks``; the public :attr:`by_phase` view freezes
+        # them into :class:`IOSnapshot` objects on read.
+        self._phase_counts: Dict[str, list[int]] = {}
         self.passes_by_phase: Dict[str, int] = {}
         self.runs_by_phase: Dict[str, int] = {}
         # label -> [records, logical bytes, stored bytes]
@@ -318,16 +322,11 @@ class IOStats:
                 self.seq_writes += blocks
             else:
                 self.rand_writes += blocks
-            snap = self.by_phase.get(label, IOSnapshot())
-            if is_read and sequential:
-                snap = IOSnapshot(snap.seq_reads + blocks, snap.seq_writes, snap.rand_reads, snap.rand_writes)
-            elif is_read:
-                snap = IOSnapshot(snap.seq_reads, snap.seq_writes, snap.rand_reads + blocks, snap.rand_writes)
-            elif sequential:
-                snap = IOSnapshot(snap.seq_reads, snap.seq_writes + blocks, snap.rand_reads, snap.rand_writes)
-            else:
-                snap = IOSnapshot(snap.seq_reads, snap.seq_writes, snap.rand_reads, snap.rand_writes + blocks)
-            self.by_phase[label] = snap
+            idx = (0 if sequential else 2) if is_read else (1 if sequential else 3)
+            counts = self._phase_counts.get(label)
+            if counts is None:
+                counts = self._phase_counts[label] = [0, 0, 0, 0]
+            counts[idx] += blocks
         self._enforce_budget()
 
     def fault_total(self) -> int:
@@ -335,17 +334,13 @@ class IOStats:
         return sum(self.phase_total(label) for label in FAULT_PHASES)
 
     def _attribute(self, sequential: bool, blocks: int, is_read: bool) -> None:
+        idx = (0 if sequential else 2) if is_read else (1 if sequential else 3)
+        phase_counts = self._phase_counts
         for label in self._phase_stack:
-            snap = self.by_phase.get(label, IOSnapshot())
-            if is_read and sequential:
-                snap = IOSnapshot(snap.seq_reads + blocks, snap.seq_writes, snap.rand_reads, snap.rand_writes)
-            elif is_read:
-                snap = IOSnapshot(snap.seq_reads, snap.seq_writes, snap.rand_reads + blocks, snap.rand_writes)
-            elif sequential:
-                snap = IOSnapshot(snap.seq_reads, snap.seq_writes + blocks, snap.rand_reads, snap.rand_writes)
-            else:
-                snap = IOSnapshot(snap.seq_reads, snap.seq_writes, snap.rand_reads, snap.rand_writes + blocks)
-            self.by_phase[label] = snap
+            counts = phase_counts.get(label)
+            if counts is None:
+                counts = phase_counts[label] = [0, 0, 0, 0]
+            counts[idx] += blocks
 
     def _enforce_budget(self) -> None:
         if self.budget is not None:
@@ -373,9 +368,19 @@ class IOStats:
         with self._lock:
             return IOSnapshot(self.seq_reads, self.seq_writes, self.rand_reads, self.rand_writes)
 
+    @property
+    def by_phase(self) -> Dict[str, IOSnapshot]:
+        """Per-phase I/O counters, frozen into snapshots at read time."""
+        with self._lock:
+            return {
+                label: IOSnapshot(*counts)
+                for label, counts in self._phase_counts.items()
+            }
+
     def phase_total(self, label: str) -> int:
         """Total block I/Os attributed to ``label`` (0 if it never ran)."""
-        return self.by_phase.get(label, IOSnapshot()).total
+        counts = self._phase_counts.get(label)
+        return sum(counts) if counts is not None else 0
 
     @property
     def current_phase(self) -> str:
@@ -418,7 +423,7 @@ class IOStats:
         self.records_written = 0
         self.bytes_logical = 0
         self.bytes_stored = 0
-        self.by_phase.clear()
+        self._phase_counts.clear()
         self.passes_by_phase.clear()
         self.runs_by_phase.clear()
         self.bytes_by_phase.clear()

@@ -16,6 +16,7 @@ and their property tests pin the accounted sizes to the encoded lengths.)
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import StorageError
@@ -142,13 +143,14 @@ class VarRecordFile:
         for cut in cuts:
             if cut > start:
                 segment = sum(sizes[start:cut])
-                self._buffer.extend([(payload,) for payload in payloads[start:cut]])
+                # zip(seq) wraps each payload in a 1-tuple slot in C
+                self._buffer.extend(zip(payloads[start:cut]))
                 self._buffer_bytes += segment
                 total += segment
             self._flush()
             start = cut
         segment = sum(sizes[start:])
-        self._buffer.extend([(payload,) for payload in payloads[start:]])
+        self._buffer.extend(zip(payloads[start:]))
         self._buffer_bytes += segment
         total += segment
         self.num_records += len(payloads)
@@ -168,9 +170,11 @@ class VarRecordFile:
         self._closed = True
 
     def scan(self) -> Iterator[object]:
-        """Stream payloads front to back with sequential block reads."""
-        for block in self.scan_blocks():
-            yield from [payload for (payload,) in block]
+        """Stream payloads front to back with sequential block reads.
+
+        Blocks hold ``(payload,)`` slots, so two nested C-level flattens
+        stream the payloads without a per-record Python step."""
+        return chain.from_iterable(chain.from_iterable(self.scan_blocks()))
 
     def scan_blocks(self) -> Iterator[Sequence[Tuple[object]]]:
         """Stream whole blocks sequentially — the block-granular iterator

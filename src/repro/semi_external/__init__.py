@@ -17,6 +17,7 @@ from repro.io.memory import MemoryBudget
 from repro.plan import ExtPlan, Materialize, Rewrite, Scan
 from repro.semi_external.coloring import coloring_scc
 from repro.semi_external.forward_backward import forward_backward_scc
+from repro.semi_external.multi_bfs import multi_bfs_scc
 from repro.semi_external.parallel_fw_bw import parallel_fw_bw_scc
 from repro.semi_external.semi_kosaraju import semi_kosaraju_scc
 from repro.semi_external.spanning_tree import SpanningTreeStats, spanning_tree_scc
@@ -25,6 +26,7 @@ from repro.semi_external.union_find import UnionFind
 __all__ = [
     "spanning_tree_scc",
     "forward_backward_scc",
+    "multi_bfs_scc",
     "parallel_fw_bw_scc",
     "coloring_scc",
     "semi_kosaraju_scc",
@@ -49,6 +51,7 @@ SEMI_SCC_SOLVERS: Dict[str, SemiSCCSolver] = {
     "spanning-tree": spanning_tree_scc,
     "forward-backward": forward_backward_scc,
     "parallel-fw-bw": parallel_fw_bw_scc,
+    "multi-bfs": multi_bfs_scc,
     "coloring": coloring_scc,
 }
 """Scan-only semi-external solvers by name; ``"spanning-tree"`` is the

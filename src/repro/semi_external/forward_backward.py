@@ -2,17 +2,24 @@
 
 A divide-and-conquer solver with O(|V|) memory and only sequential edge
 scans: pick a pivot in every unresolved partition, propagate forward and
-backward reachability bits by repeatedly scanning the edge file (one scan
-relaxes every frontier by one hop), then split each partition into
-``FW ∩ BW`` (the pivot's SCC, resolved), ``FW \\ BW``, ``BW \\ FW`` and the
-remainder — no SCC crosses those boundaries.  Repeat until every node is
-resolved.
+backward reachability bits by repeatedly scanning the edge file, then
+split each partition into ``FW ∩ BW`` (the pivot's SCC, resolved),
+``FW \\ BW``, ``BW \\ FW`` and the remainder — no SCC crosses those
+boundaries.  Repeat until every node is resolved.
 
 This is the classic Fleischer–Hendrickson–Pınar scheme restated in the
 semi-external model: node state (partition ids and two bit arrays) lives in
 memory, edges stay on disk.  It serves as an independent second
 implementation of the paper's ``Semi-SCC`` role, used to cross-check the
 spanning-tree solver.
+
+Relaxation is **block-granular**
+(:meth:`~repro.kernels.ReachabilityKernel.relax_to_fixpoint`): marks stage
+against the block-start bits and apply at each block boundary, so marks
+from earlier blocks propagate within the same scan but the outcome never
+depends on edge order inside a block.  The fixpoint — and therefore every
+label — is identical to any other relaxation schedule; the granularity is
+what lets the numpy and scalar kernels agree mark-for-mark, scan-for-scan.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.constants import SEMI_EXTERNAL_BYTES_PER_NODE
 from repro.graph.edge_file import EdgeFile
 from repro.io.memory import MemoryBudget
+from repro.kernels import reachability_kernel
 
 __all__ = ["forward_backward_scc"]
 
@@ -52,7 +60,7 @@ def forward_backward_scc(
             SEMI_EXTERNAL_BYTES_PER_NODE * n + edge_file.device.block_size,
             what="semi-external FW-BW SCC",
         )
-    index = {v: i for i, v in enumerate(nodes)}
+    kernel = reachability_kernel(nodes)
 
     part: List[int] = [0] * n  # partition id, _RESOLVED once labeled
     label: List[int] = [0] * n  # SCC label (valid once resolved)
@@ -80,21 +88,9 @@ def forward_backward_scc(
             fwd[pivot] = 1
             bwd[pivot] = 1
         # Relax both reachability frontiers until a scan changes nothing.
-        changed = True
-        while changed:
-            changed = False
-            for u, v in edge_file.scan():
-                iu = index[u]
-                iv = index[v]
-                pu = part[iu]
-                if pu == _RESOLVED or pu != part[iv] or pu not in active:
-                    continue
-                if fwd[iu] and not fwd[iv]:
-                    fwd[iv] = 1
-                    changed = True
-                if bwd[iv] and not bwd[iu]:
-                    bwd[iu] = 1
-                    changed = True
+        kernel.relax_to_fixpoint(
+            edge_file.scan_blocks, part, active, fwd, bwd
+        )
         # Split: FW∩BW is the pivot's SCC; the other three parts recurse.
         splits: Dict[tuple, int] = {}
         new_active = set()

@@ -32,33 +32,35 @@ Registered as ``"parallel-fw-bw"`` in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.constants import SEMI_EXTERNAL_BYTES_PER_NODE
 from repro.graph.edge_file import EdgeFile
 from repro.io.memory import MemoryBudget
 from repro.io.parallel import shard_ranges
+from repro.kernels import reachability_kernel
 
 __all__ = ["parallel_fw_bw_scc"]
 
 _RESOLVED = -1
 
 Record = Tuple[int, ...]
+Block = Sequence[Record]
 
 
-def _sharded_edge_pass(
-    edge_file: EdgeFile, fn: Callable[[Iterator[Record]], None]
+def _sharded_block_pass(
+    edge_file: EdgeFile, fn: Callable[[Iterator[Block]], None]
 ) -> None:
-    """Apply ``fn`` to every edge, sharded over block ranges when the
-    device has a worker pool; one full sequential scan's worth of reads
-    either way."""
+    """Apply ``fn`` to every edge block, sharded over block ranges when
+    the device has a worker pool; one full sequential scan's worth of
+    reads either way.  ``fn`` must be a commutative OR-style marking so
+    shard order cannot matter."""
     pool = edge_file.device.worker_pool
-    store = edge_file.file
     if pool is not None and pool.workers > 1:
-        ranges = shard_ranges(store.num_blocks, pool.workers)
-        pool.map(lambda r: fn(store.scan_range(r[0], r[1])), ranges)
+        ranges = shard_ranges(edge_file.file.num_blocks, pool.workers)
+        pool.map(lambda r: fn(edge_file.scan_block_range(r[0], r[1])), ranges)
     else:
-        fn(edge_file.scan())
+        fn(edge_file.scan_blocks())
 
 
 def parallel_fw_bw_scc(
@@ -88,7 +90,7 @@ def parallel_fw_bw_scc(
             SEMI_EXTERNAL_BYTES_PER_NODE * n + edge_file.device.block_size,
             what="semi-external parallel FW-BW SCC",
         )
-    index = {v: i for i, v in enumerate(nodes)}
+    kernel = reachability_kernel(nodes)
 
     part: List[int] = [0] * n  # partition id, _RESOLVED once labeled
     label: List[int] = [0] * n  # pivot index (valid once resolved)
@@ -104,17 +106,10 @@ def parallel_fw_bw_scc(
         has_in = bytearray(n)
         has_out = bytearray(n)
 
-        def mark(records: Iterator[Record]) -> None:
-            for u, v in records:
-                iu = index[u]
-                iv = index[v]
-                pu = part[iu]
-                if pu == _RESOLVED or pu != part[iv]:
-                    continue
-                has_out[iu] = 1
-                has_in[iv] = 1
+        def mark(blocks: Iterator[Block]) -> None:
+            kernel.mark_degrees(blocks, part, has_in, has_out)
 
-        _sharded_edge_pass(edge_file, mark)
+        _sharded_block_pass(edge_file, mark)
         trimmed = False
         for i in range(n):
             if part[i] != _RESOLVED and not (has_in[i] and has_out[i]):
@@ -154,19 +149,12 @@ def parallel_fw_bw_scc(
             new_fwd = bytearray(n)
             new_bwd = bytearray(n)
 
-            def relax(records: Iterator[Record]) -> None:
-                for u, v in records:
-                    iu = index[u]
-                    iv = index[v]
-                    pu = part[iu]
-                    if pu == _RESOLVED or pu != part[iv] or pu not in active:
-                        continue
-                    if fwd[iu] and not fwd[iv]:
-                        new_fwd[iv] = 1
-                    if bwd[iv] and not bwd[iu]:
-                        new_bwd[iu] = 1
+            def relax(blocks: Iterator[Block]) -> None:
+                kernel.stage_pass(
+                    blocks, part, active, fwd, bwd, new_fwd, new_bwd
+                )
 
-            _sharded_edge_pass(edge_file, relax)
+            _sharded_block_pass(edge_file, relax)
             changed = False
             for i in range(n):
                 if new_fwd[i] and not fwd[i]:

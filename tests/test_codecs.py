@@ -247,3 +247,56 @@ class TestCompressedRecordFile:
         f = record_file_from_records(device, "c", records, 8, codec="gap-varint")
         assert f.num_blocks > 1
         assert list(f.scan()) == records
+
+
+class TestEncodedSizesFastPaths:
+    """The batch sizing fast paths against the per-record reference.
+
+    ``VarintCodec.encoded_sizes`` has a two-field comprehension fast path
+    and ``GapVarintCodec.encoded_sizes`` generates a width-specialized
+    sizer per ``(width, gap_field)`` shape; both must agree exactly with
+    ``encoded_size`` applied record by record — negatives, big integers,
+    and every gap position included.
+    """
+
+    def _cases(self):
+        big = 1 << 40
+        huge = 1 << 77
+        for width in range(1, 5):
+            base = [
+                tuple((i * 13 - 20 + f) for f in range(width))
+                for i in range(40)
+            ]
+            spikes = [
+                tuple(big if f == width - 1 else -i for f in range(width))
+                for i in range(5)
+            ] + [tuple(huge for _ in range(width))]
+            yield width, base + spikes
+
+    def test_gap_varint_sizes_match_reference_every_gap(self):
+        for width, records in self._cases():
+            for gap in range(width):
+                codec = GapVarintCodec(4 * width, gap_field=gap)
+                records_sorted = sorted(records, key=lambda r: r[gap])
+                sizes = codec.encoded_sizes(records_sorted, prev=None)
+                expected, prev = [], None
+                for record in records_sorted:
+                    expected.append(codec.encoded_size(record, prev))
+                    prev = record
+                assert sizes == expected, (width, gap)
+
+    def test_varint_sizes_match_reference(self):
+        for width, records in self._cases():
+            codec = VarintCodec(4 * width)
+            assert codec.encoded_sizes(records) == [
+                codec.encoded_size(r) for r in records
+            ], width
+
+    def test_gap_varint_sizes_ragged_records_fall_back(self):
+        codec = GapVarintCodec(8, gap_field=0)
+        ragged = [(1, 2), (3, 4, 5), (6, 7)]
+        assert codec.encoded_sizes(ragged, prev=None) == [
+            codec.encoded_size(ragged[0], None),
+            codec.encoded_size(ragged[1], ragged[0]),
+            codec.encoded_size(ragged[2], ragged[1]),
+        ]

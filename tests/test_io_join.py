@@ -147,3 +147,58 @@ class TestEdgeCases:
             ((2, "c"), (2, "x")),
             ((2, "c"), (2, "y")),
         ]
+
+
+class TestChunkedJoinEquivalence:
+    """The chunked membership/lookup joins against naive references.
+
+    Both joins process :data:`repro.io.join.JOIN_CHUNK` records per step
+    with a rolling key window; these properties pin that the chunking is
+    invisible — including streams much longer than one chunk, duplicate
+    keys straddling a chunk boundary, and windows that must shrink.
+    """
+
+    def _random_sorted(self, rng, n, key_range):
+        return sorted((rng.randrange(key_range), i) for i in range(n))
+
+    def test_membership_joins_match_set_filter_across_chunks(self):
+        import random
+
+        from repro.io import join as join_mod
+
+        rng = random.Random(7)
+        chunk = join_mod.JOIN_CHUNK
+        records = self._random_sorted(rng, 3 * chunk + 17, 2 * chunk)
+        keys = sorted(rng.randrange(2 * chunk) for _ in range(chunk + 13))
+        present = set(keys)
+        assert list(semi_join(records, keys, key0)) == [
+            r for r in records if r[0] in present
+        ]
+        assert list(anti_join(records, keys, key0)) == [
+            r for r in records if r[0] not in present
+        ]
+
+    def test_lookup_join_matches_merge_join_on_unique_table(self):
+        import random
+
+        from repro.io.join import lookup_join
+        from repro.io import join as join_mod
+
+        rng = random.Random(11)
+        chunk = join_mod.JOIN_CHUNK
+        records = self._random_sorted(rng, 2 * chunk + 31, chunk)
+        # Unique-keyed table (one row per key), the lookup_join contract.
+        table = [(k, k * 3) for k in sorted(rng.sample(range(chunk), chunk // 2))]
+        expected = list(merge_join(records, table, key0, key0))
+        got = list(lookup_join(iter(records), iter(table), key0, key0))
+        assert got == expected
+
+    def test_lookup_join_duplicate_records_single_match(self):
+        from repro.io.join import lookup_join
+
+        records = [(2, "a"), (2, "b"), (3, "c")]
+        table = [(2, "T2"), (4, "T4")]
+        assert list(lookup_join(records, table, key0, key0)) == [
+            ((2, "a"), (2, "T2")),
+            ((2, "b"), (2, "T2")),
+        ]
