@@ -1,0 +1,153 @@
+"""Query-service smoke: the batched-lookup I/O gate (CI `service-smoke`).
+
+Boots the daemon over a store built from the Fig. 6 smoke graph (the
+webspam stand-in's 20% subsample), then measures a 10k-point lookup
+workload two ways with label caches disabled:
+
+* **batched** — one engine flush: sorted by block, one read per
+  *distinct* block (the tentpole's O(sorted scan) claim);
+* **random**  — the same 10k points one by one: one random block read
+  each, the access pattern a naive point-lookup service would produce.
+
+The gate: batched block reads must be <= 5% of the random-read count,
+with byte-identical answers.  A two-tenant pass then checks per-session
+ledgers stay isolated while an IOBudget-capped tenant is throttled, and
+the JSON report surfaces both cache hit rates (zero-lookup-safe).
+"""
+
+import json
+
+from conftest import RESULTS_DIR
+
+from repro.bench import BLOCK_SIZE, shuffled_edges, subsample_edges, webspam_graph
+from repro.exceptions import IOBudgetExceeded
+from repro.service import LabelStore, QueryDaemon, ServiceClient, build_store
+from repro.service.session import SessionManager
+
+LOOKUPS = 10_000
+GATE = 0.05
+
+
+def _smoke_edges():
+    """The Fig. 6 CI smoke workload: 20% of the webspam stand-in."""
+    graph = webspam_graph()
+    return subsample_edges(shuffled_edges(graph), 20), graph.num_nodes
+
+
+def _lookup_points(num_nodes):
+    """10k deterministic points with repeats (a skewless query mix)."""
+    return [(i * 7919) % num_nodes for i in range(LOOKUPS)]
+
+
+def test_service_smoke_batched_vs_random(benchmark, tmp_path):
+    edges, n = _smoke_edges()
+    store_dir = tmp_path / "store"
+    meta = build_store(edges, store_dir, num_nodes=n, block_size=BLOCK_SIZE)
+    points = _lookup_points(n)
+
+    def run_batched():
+        with LabelStore(store_dir, cache_entries=0) as store:
+            before = store.stats.snapshot()
+            answers = store.lookup_labels(None, points)
+            return answers, (store.stats.snapshot() - before).total
+
+    batched_answers, batched_reads = benchmark.pedantic(
+        run_batched, rounds=1, iterations=1
+    )
+
+    # The same points individually: one random read per lookup (caches
+    # off, and single-point batches bypass the table's buffer pool).
+    with LabelStore(store_dir, cache_entries=0) as store:
+        before = store.stats.snapshot()
+        random_answers = {}
+        for node in points:
+            random_answers[node] = store.lookup_labels(None, [node])[node]
+        random_delta = store.stats.snapshot() - before
+    random_reads = random_delta.total
+
+    # Byte-identical answers, then the I/O gate.
+    assert batched_answers == random_answers
+    assert random_delta.rand_reads == random_reads  # all random, by design
+    ratio = batched_reads / random_reads
+    assert ratio <= GATE, (batched_reads, random_reads, ratio)
+
+    # Daemon boot + client round trip over the same store, plus the
+    # cache-enabled hit-rate report for the JSON (zero-lookup-safe).
+    store = LabelStore(store_dir)
+    with QueryDaemon(store, epoch_seconds=0.001, owns_store=True) as daemon:
+        daemon.start()
+        with ServiceClient(port=daemon.address[1]) as client:
+            client.open_session("smoke")
+            sample = sorted(set(points[:64]))
+            assert client.scc_label(sample) == {
+                node: batched_answers[node] for node in sample
+            }
+            client.scc_label(sample)  # now cache hits
+            server = client.server_stats()
+    label_report = server["scc_label"]
+    assert 0.0 <= label_report["label_cache_hit_rate"] <= 1.0
+    assert label_report["label_cache_hit_rate"] > 0.0
+    assert 0.0 <= label_report["table_cache_hit_rate"] <= 1.0
+    # The untouched topo engine: the zero-lookup case stays well-defined.
+    assert server["topo_order"]["label_cache_hit_rate"] == 0.0
+
+    report = {
+        "workload": "fig6-smoke-20pct",
+        "num_nodes": meta["num_nodes"],
+        "num_sccs": meta["num_sccs"],
+        "block_size": BLOCK_SIZE,
+        "lookups": LOOKUPS,
+        "batched_block_reads": batched_reads,
+        "random_block_reads": random_reads,
+        "batched_over_random": ratio,
+        "gate": GATE,
+        "label_cache_hit_rate": label_report["label_cache_hit_rate"],
+        "table_cache_hit_rate": label_report["table_cache_hit_rate"],
+        "physical_io": server["physical_io"],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "service_smoke.json").write_text(json.dumps(report, indent=1))
+    print()
+    print(
+        f"service smoke: {LOOKUPS:,} lookups — batched {batched_reads} "
+        f"block reads vs {random_reads:,} random ({ratio:.2%}, "
+        f"gate {GATE:.0%})"
+    )
+
+
+def test_service_smoke_tenant_isolation(tmp_path):
+    """Two tenants on the smoke store: the capped one throttles at
+    admission (zero I/O charged), the other is unaffected."""
+    edges, n = _smoke_edges()
+    store_dir = tmp_path / "store"
+    build_store(edges, store_dir, num_nodes=n, block_size=BLOCK_SIZE)
+    points = _lookup_points(n)
+
+    with LabelStore(store_dir, cache_entries=0) as store:
+        manager = SessionManager()
+        free = manager.create("free")
+        capped = manager.create("capped", io_budget=2)
+
+        free_answers = store.lookup_labels(free, points)
+        assert free.stats.total == store.labels.file.num_blocks
+
+        first = store.lookup_labels(capped, [points[0], points[1]])
+        charged = capped.stats.total
+        assert 0 < charged <= 2
+        try:
+            store.lookup_labels(capped, points)  # needs every block
+            raise AssertionError("capped tenant was not throttled")
+        except IOBudgetExceeded:
+            pass
+        # The rejected batch charged nothing; the other tenant still works.
+        assert capped.stats.total == charged
+        assert capped.throttled == 1
+        again = store.lookup_labels(free, points)
+        assert again == free_answers
+        assert free.throttled == 0
+        for node, label in first.items():
+            assert free_answers[node] == label
+
+        roll = manager.roll_up()
+        assert roll["throttled"] == 1
+        assert roll["attributed"]["total"] == free.stats.total + charged

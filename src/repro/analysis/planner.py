@@ -619,6 +619,10 @@ def autotune_config(
             for r in records
         )
 
+    # The contracted node count the semi-external solver will see; it
+    # prices the multi-bfs mask-column memory trade (a budget too tight
+    # for the full source batch multiplies the solver's edge scans).
+    final_nodes = records[-1].next_num_nodes if records else num_nodes
     candidates: List[PlanCandidate] = []
     for codec, workers, executor, solver in enumerate_knobs(workers_options):
         model = models[codec]
@@ -626,10 +630,13 @@ def autotune_config(
         total = int(round(
             body_blocks(codec, 1) + model.semi_scc(final_edges, passes)
         ))
-        makespan = int(round(
-            body_blocks(codec, workers)
-            + model.semi_scc(final_edges, passes, workers)
-        ))
+        if solver == "multi-bfs":
+            semi_makespan = model.semi_scc_multi_bfs(
+                final_edges, final_nodes, passes, workers
+            )
+        else:
+            semi_makespan = model.semi_scc(final_edges, passes, workers)
+        makespan = int(round(body_blocks(codec, workers) + semi_makespan))
         candidates.append(PlanCandidate(
             codec=codec,
             workers=workers,

@@ -7,11 +7,18 @@ records sorted by id in an :class:`ExternalFile`, found by binary search
 over block-leading keys, through a :class:`~repro.io.cache.BufferPool`
 sized from the memory budget.  Cache misses are charged as random reads;
 dirty evictions as random writes.
+
+The query service reads the same structure very differently: a *batch* of
+point lookups is deduplicated, sorted, mapped to blocks through the fence
+keys, and answered with one read per distinct block in ascending order —
+N lookups for O(sorted scan) block reads instead of N seeks
+(:meth:`NodeTable.get_batch`).  Batch reads bypass the buffer pool (they
+are scan-shaped and would evict the hot point-lookup working set).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import StorageError
 from repro.io.blocks import BlockDevice
@@ -45,12 +52,49 @@ class NodeTable:
     ) -> None:
         self.device = device
         self.file = ExternalFile.from_records(device, name, records, record_size)
+        self._attach(memory)
+
+    @classmethod
+    def open(
+        cls,
+        device: BlockDevice,
+        name: str,
+        memory: MemoryBudget,
+        fence: Optional[Sequence[int]] = None,
+    ) -> "NodeTable":
+        """Attach to an already-written table file (no writes, no I/O).
+
+        ``fence`` prefills the block-leading-key array (persisted device
+        metadata keeps it around — one id per block, far below M), so
+        lookups never pay block reads just to *locate* a block.  Without
+        it the fence is learned lazily, as on a freshly built table.
+        """
+        table = cls.__new__(cls)
+        table.device = device
+        table.file = ExternalFile.open(device, name)
+        table._attach(memory, fence=fence)
+        return table
+
+    def _attach(
+        self, memory: MemoryBudget, fence: Optional[Sequence[int]] = None
+    ) -> None:
         self._capacity = self.file._file.block_capacity
-        cache_blocks = max(1, memory.block_capacity(device.block_size) // 2)
+        cache_blocks = max(1, memory.block_capacity(self.device.block_size) // 2)
         self._pool = BufferPool(self.file, cache_blocks)
         # Block-leading node ids, learned lazily (a real deployment keeps
         # this fence-key array in memory: one id per block, far below M).
         self._fence: List[Optional[int]] = [None] * self.file.num_blocks
+        if fence is not None:
+            if len(fence) != self.file.num_blocks:
+                raise StorageError(
+                    f"fence of {len(fence)} keys does not match "
+                    f"{self.file.num_blocks} blocks of {self.file.name!r}"
+                )
+            self._fence = list(fence)
+        # Block reads performed by get_batch (they bypass the pool, so the
+        # pool's hit/miss counters never see them).
+        self.batch_block_reads = 0
+        self.batch_lookups = 0
 
     # -- lookup -----------------------------------------------------------
 
@@ -78,11 +122,12 @@ class NodeTable:
                 hi = mid - 1
         return lo
 
-    def get(self, node: int) -> Optional[Record]:
-        """The record for ``node``, or None when absent."""
-        if self.file.num_blocks == 0:
-            return None
-        block = self._load_block(self._locate_block(node))
+    def block_of(self, node: int) -> int:
+        """Public block locator (the batch engine plans reads with it)."""
+        return self._locate_block(node)
+
+    @staticmethod
+    def _search(block: Sequence[Record], node: int) -> Optional[Record]:
         lo, hi = 0, len(block)
         while lo < hi:
             mid = (lo + hi) // 2
@@ -93,6 +138,40 @@ class NodeTable:
         if lo < len(block) and block[lo][0] == node:
             return block[lo]
         return None
+
+    def get(self, node: int) -> Optional[Record]:
+        """The record for ``node``, or None when absent."""
+        if self.file.num_blocks == 0:
+            return None
+        return self._search(self._load_block(self._locate_block(node)), node)
+
+    def get_batch(self, nodes: Iterable[int]) -> Dict[int, Optional[Record]]:
+        """Answer many point lookups with one read per distinct block.
+
+        The nodes are deduplicated and grouped by block; the needed
+        blocks are then read once each in ascending order — a (partial)
+        sorted scan charged as sequential reads when more than one block
+        is touched, a single seek otherwise.  Reads bypass the buffer
+        pool: a batch is scan-shaped, and caching it would evict the
+        point-lookup working set (the pool stays scan-resistant).
+        """
+        unique = sorted(set(nodes))
+        self.batch_lookups += len(unique)
+        results: Dict[int, Optional[Record]] = {}
+        if self.file.num_blocks == 0:
+            return {node: None for node in unique}
+        by_block: Dict[int, List[int]] = {}
+        for node in unique:
+            by_block.setdefault(self._locate_block(node), []).append(node)
+        sequential = len(by_block) > 1
+        for index in sorted(by_block):
+            block = self.device.read_block(
+                self.file._file, index, sequential=sequential
+            )
+            self.batch_block_reads += 1
+            for node in by_block[index]:
+                results[node] = self._search(block, node)
+        return results
 
     def update(self, node: int, record: Record) -> None:
         """Replace ``node``'s record (marks the block dirty)."""
@@ -124,6 +203,19 @@ class NodeTable:
         self.file.delete()
 
     @property
+    def cache_hits(self) -> int:
+        """Buffer-pool hits of the point-lookup path."""
+        return self._pool.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Buffer-pool misses of the point-lookup path."""
+        return self._pool.misses
+
+    @property
     def cache_hit_rate(self) -> float:
-        """Fraction of block accesses served from the buffer pool."""
+        """Fraction of block accesses served from the buffer pool.
+
+        Zero-lookup safe: 0.0 before any access, never a division error.
+        """
         return self._pool.hit_rate

@@ -9,7 +9,11 @@ Three commands make the library usable as a tool:
 * ``bench`` — run one algorithm on an edge-list file under a simulated
   memory budget and report the I/O ledger;
 * ``stats`` — degree/structure statistics of an edge-list file;
-* ``verify`` — check a ``node scc`` labels file against a recomputation.
+* ``verify`` — check a ``node scc`` labels file against a recomputation;
+* ``serve`` — build/open a persisted label store and run the multi-tenant
+  query daemon over it;
+* ``query`` — one client round trip against a running daemon
+  (scc-label / same-component / reachable / topo-order / stats).
 
 Sizes accept suffixes: ``64K``, ``4M``, ``1G``.
 """
@@ -597,6 +601,130 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0 if plan.feasible else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import LabelStore, QueryDaemon, build_store
+
+    if args.build:
+        edges = _load_edges(args.build, args.binary)
+        meta = build_store(
+            edges,
+            args.store,
+            num_nodes=args.nodes or None,
+            memory_bytes=parse_size(args.memory),
+            block_size=parse_size(args.block_size),
+        )
+        print(
+            f"store built: {meta['num_sccs']} SCCs over "
+            f"{meta['num_nodes']} nodes -> {args.store} "
+            f"({meta['scc_io']:,} block I/Os)",
+            file=sys.stderr,
+        )
+        if args.build_only:
+            return 0
+    store = LabelStore(
+        args.store,
+        memory_bytes=parse_size(args.memory),
+        cache_entries=args.cache,
+    )
+    daemon = QueryDaemon(
+        store,
+        host=args.host,
+        port=args.port,
+        epoch_seconds=args.epoch_ms / 1000.0,
+        owns_store=True,
+    )
+    host, port = daemon.address[0], daemon.address[1]
+    # Printed to stderr and flushed so a wrapper (or test) can scrape
+    # the bound port before the first client connects.
+    print(f"serving {args.store} on {host}:{port}", file=sys.stderr, flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service import ServiceClient
+
+    if args.kind in ("same-component", "reachable") and len(args.args) != 2:
+        print(f"error: {args.kind} takes exactly two node ids",
+              file=sys.stderr)
+        return 2
+    if args.kind in ("scc-label", "topo-order") and not args.args:
+        print(f"error: {args.kind} takes at least one node id",
+              file=sys.stderr)
+        return 2
+    with ServiceClient(host=args.host, port=args.port) as client:
+        needs_session = args.kind not in ("server-stats", "shutdown")
+        if needs_session:
+            client.open_session(args.tenant, io_budget=args.io_budget)
+        if args.kind == "scc-label":
+            nodes = [int(a) for a in args.args]
+            for node, label in sorted(client.scc_label(nodes).items()):
+                print(f"{node} {'-' if label is None else label}")
+        elif args.kind == "same-component":
+            u, v = (int(a) for a in args.args[:2])
+            print("same" if client.same_component(u, v) else "different")
+        elif args.kind == "reachable":
+            u, v = (int(a) for a in args.args[:2])
+            print("reachable" if client.reachable(u, v) else "unreachable")
+        elif args.kind == "topo-order":
+            nodes = [int(a) for a in args.args]
+            for node, order in sorted(client.topo_order(nodes).items()):
+                if order is None:
+                    print(f"{node} -")
+                else:
+                    print(f"{node} component={order[0]} layer={order[1]}")
+        elif args.kind == "stats":
+            ledger = client.session_stats()
+            io = ledger["io"]
+            print(
+                f"session {ledger['session']} tenant={ledger['tenant']}: "
+                f"{ledger['queries']} queries, {ledger['lookups']} lookups "
+                f"({ledger['cache_hits']} cache hits), "
+                f"{io['total']} attributed block I/Os "
+                f"(sequential {io['sequential']}, random {io['random']})"
+            )
+        elif args.kind == "server-stats":
+            stats = client.server_stats()
+            io = stats["physical_io"]
+            label_report = stats["scc_label"]
+            print(
+                f"physical I/O: {io['total']} blocks "
+                f"(sequential {io['sequential']}, random {io['random']})"
+            )
+            print(
+                f"scc-label: {label_report['batch_lookups']} batched lookups "
+                f"in {label_report['batch_block_reads']} block reads, "
+                f"label-cache hit rate "
+                f"{label_report['label_cache_hit_rate']:.2f}"
+            )
+            print(
+                f"sessions: {stats['sessions']['open_sessions']} open, "
+                f"{stats['sessions']['queries']} queries, "
+                f"{stats['sessions']['throttled']} throttled"
+            )
+        elif args.kind == "shutdown":
+            client.shutdown()
+            print("shutdown acknowledged", file=sys.stderr)
+        if args.trace_json and needs_session:
+            payload = {
+                "session": client.session_stats(),
+                "server": client.server_stats(),
+            }
+            with open(args.trace_json, "w", encoding="ascii") as f:
+                _json.dump(payload, f, indent=1)
+            print(
+                f"session trace written to {args.trace_json}", file=sys.stderr
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -758,6 +886,58 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--node-retention", type=float, default=0.72)
     explain.add_argument("--edge-growth", type=float, default=1.25)
     explain.set_defaults(func=_cmd_explain)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant query daemon over a persisted label store",
+    )
+    serve.add_argument("store", help="label-store directory (see --build)")
+    serve.add_argument("--build", metavar="INPUT",
+                       help="edge-list file: compute SCCs and (re)build the "
+                            "store in STORE before serving")
+    serve.add_argument("--build-only", action="store_true",
+                       help="with --build: exit after building, don't serve")
+    serve.add_argument("--nodes", type=int, default=0,
+                       help="node count for --build (default: derive)")
+    serve.add_argument("--memory", "-m", default="1M",
+                       help="memory budget for building and serving")
+    serve.add_argument("--block-size", "-b", default="4K",
+                       help="disk block size for --build")
+    serve.add_argument("--binary", action="store_true",
+                       help="--build input is packed <II")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks a free one; the bound "
+                            "address is printed to stderr)")
+    serve.add_argument("--epoch-ms", type=float, default=5.0,
+                       help="batching epoch: concurrent lookups arriving "
+                            "within this window share block reads")
+    serve.add_argument("--cache", type=int, default=4096,
+                       help="LRU label-cache entries per table (0 disables)")
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser(
+        "query", help="one client round trip against a running daemon"
+    )
+    query.add_argument("kind",
+                       choices=["scc-label", "same-component", "reachable",
+                                "topo-order", "stats", "server-stats",
+                                "shutdown"])
+    query.add_argument("args", nargs="*",
+                       help="node ids (scc-label/topo-order take N, "
+                            "same-component/reachable take exactly 2)")
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, required=True)
+    query.add_argument("--tenant", default="default",
+                       help="tenant name for the session ledger")
+    query.add_argument("--io-budget", type=int, default=None,
+                       help="attributed block-I/O cap for this session; a "
+                            "batch that would cross it is throttled "
+                            "without performing any I/O")
+    query.add_argument("--trace-json", metavar="PATH",
+                       help="dump the session ledger + server stats as "
+                            "JSON to PATH before closing the session")
+    query.set_defaults(func=_cmd_query)
     return parser
 
 

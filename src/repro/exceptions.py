@@ -157,3 +157,29 @@ class CheckpointError(ReproError):
     budget, config fingerprint, input file) disagree with the caller's, or
     when not even the journal header's files survive validation.
     """
+
+
+class UnknownNodeError(ReproError):
+    """A query named a node the label store has never seen.
+
+    The query service distinguishes this from a *reachability* miss: an
+    unknown node is a client error (exit code / error response), while an
+    unreachable pair is a normal ``False`` answer.
+    """
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node} is not in the label store")
+        self.node = node
+
+
+class UnknownSessionError(ReproError):
+    """A service request referenced a session id that is not open."""
+
+    def __init__(self, session_id: str) -> None:
+        super().__init__(f"no open session {session_id!r}")
+        self.session_id = session_id
+
+
+class ServiceProtocolError(ReproError):
+    """The query daemon rejected a malformed or unsupported request, or
+    the thin client received a response it cannot interpret."""

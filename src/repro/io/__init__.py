@@ -12,10 +12,15 @@ Public surface:
 """
 
 from repro.io.blocks import DEFAULT_BLOCK_SIZE, BlockDevice, DiskFile
-from repro.io.cache import BufferPool
+from repro.io.cache import BufferPool, LabelCache
 from repro.io.files import ExternalFile
 from repro.io.parallel import MakespanMeter, StripedDevice, WorkerPool, shard_ranges
-from repro.io.persistent import PersistentBlockDevice
+from repro.io.persistent import (
+    DeviceHandle,
+    PersistentBlockDevice,
+    ReadOnlyView,
+    open_shared,
+)
 from repro.io.pool import SharedBufferPool
 from repro.io.priority_queue import ExternalPriorityQueue
 from repro.io.varfile import VarRecordFile, varint_size
@@ -28,9 +33,13 @@ __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "BlockDevice",
     "PersistentBlockDevice",
+    "DeviceHandle",
+    "ReadOnlyView",
+    "open_shared",
     "DiskFile",
     "ExternalFile",
     "BufferPool",
+    "LabelCache",
     "SharedBufferPool",
     "StripedDevice",
     "WorkerPool",

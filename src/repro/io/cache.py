@@ -19,7 +19,7 @@ from typing import List, Sequence, Tuple
 
 from repro.io.files import ExternalFile
 
-__all__ = ["BufferPool"]
+__all__ = ["BufferPool", "LabelCache"]
 
 Record = Tuple[int, ...]
 
@@ -84,6 +84,71 @@ class BufferPool:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of accesses served from memory."""
+        """Fraction of accesses served from memory (0.0 before any access)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LabelCache:
+    """Bounded LRU cache of *point-lookup results* (key -> record).
+
+    Where :class:`BufferPool` caches whole blocks for one reader, this
+    caches individual answers in front of the query service's node
+    tables: a hit answers a lookup with zero block I/O for any session.
+    Negative results (``None`` — the key is absent from the table) are
+    cached too, so :meth:`get` signals a miss with the :data:`MISSING`
+    sentinel rather than ``None``.
+
+    ``capacity_entries == 0`` disables the cache (every get misses,
+    puts are dropped) — the configuration the batched-vs-random CI gate
+    measures raw block I/O under.
+    """
+
+    MISSING = object()
+    """Sentinel returned by :meth:`get` when the key is not cached."""
+
+    def __init__(self, capacity_entries: int) -> None:
+        if capacity_entries < 0:
+            raise ValueError("label cache capacity must be >= 0")
+        self.capacity_entries = capacity_entries
+        self._entries: "OrderedDict[int, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: int) -> object:
+        """The cached value for ``key``, or :data:`MISSING`."""
+        value = self._entries.get(key, LabelCache.MISSING)
+        if value is LabelCache.MISSING:
+            self.misses += 1
+            return LabelCache.MISSING
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: int, value: object) -> None:
+        """Cache ``value`` (which may be ``None``) for ``key``."""
+        if self.capacity_entries == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (the hit/miss counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def lookups(self) -> int:
+        """Total gets so far."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of gets served from the cache (0.0 before any get —
+        the zero-lookup case is well-defined, not a ZeroDivisionError)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0

@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -36,7 +37,13 @@ from repro.exceptions import CorruptBlockError, StorageError
 from repro.io.blocks import BlockDevice, DEFAULT_BLOCK_SIZE, DiskFile
 from repro.io.stats import IOBudget, IOStats
 
-__all__ = ["PersistentBlockDevice", "PersistentDiskFile"]
+__all__ = [
+    "PersistentBlockDevice",
+    "PersistentDiskFile",
+    "DeviceHandle",
+    "ReadOnlyView",
+    "open_shared",
+]
 
 Record = Tuple[int, ...]
 PathLike = Union[str, Path]
@@ -153,6 +160,11 @@ class PersistentBlockDevice(BlockDevice):
         block_size: simulated block size; must match the manifest when
             reopening.
         stats, budget: as for :class:`BlockDevice`.
+        readonly: open an *existing* device for reading only.  Mutators
+            raise :class:`StorageError`, :meth:`close` skips the manifest
+            sync, and slot reads go through :func:`os.pread` on raw file
+            descriptors — no shared seek position — so any number of
+            threads may read through one device concurrently.
     """
 
     def __init__(
@@ -161,14 +173,30 @@ class PersistentBlockDevice(BlockDevice):
         block_size: int = DEFAULT_BLOCK_SIZE,
         stats: Optional[IOStats] = None,
         budget: Optional[IOBudget] = None,
+        readonly: bool = False,
     ) -> None:
         super().__init__(block_size=block_size, stats=stats, budget=budget)
         self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        self.readonly = readonly
         self._handles: Dict[str, object] = {}
+        self._handle_lock = threading.Lock()
         manifest_path = self.directory / _MANIFEST
+        if readonly:
+            if not manifest_path.exists():
+                raise StorageError(
+                    f"no persisted device at {self.directory} (missing manifest)"
+                )
+            self._load_manifest(manifest_path)
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
         if manifest_path.exists():
             self._load_manifest(manifest_path)
+
+    def _assert_writable(self) -> None:
+        if self.readonly:
+            raise StorageError(
+                f"device at {self.directory} is open read-only"
+            )
 
     # -- manifest -----------------------------------------------------------
 
@@ -212,6 +240,7 @@ class PersistentBlockDevice(BlockDevice):
         therefore leaves exactly the previous manifest, never a truncated
         JSON that would brick the whole device.
         """
+        self._assert_writable()
         manifest = {
             "block_size": self.block_size,
             "checkpoint": self.checkpoint_journal,
@@ -251,11 +280,16 @@ class PersistentBlockDevice(BlockDevice):
             os.close(dirfd)
 
     def close(self) -> None:
-        """Flush the manifest and close every file handle."""
-        self.sync()
-        for handle in self._handles.values():
-            handle.close()  # type: ignore[attr-defined]
-        self._handles.clear()
+        """Flush the manifest (writable devices) and close every handle."""
+        if not self.readonly:
+            self.sync()
+        with self._handle_lock:
+            for handle in self._handles.values():
+                if isinstance(handle, int):
+                    os.close(handle)
+                else:
+                    handle.close()  # type: ignore[attr-defined]
+            self._handles.clear()
 
     def __enter__(self) -> "PersistentBlockDevice":
         return self
@@ -266,6 +300,7 @@ class PersistentBlockDevice(BlockDevice):
     # -- file namespace -------------------------------------------------------
 
     def create(self, name: str, record_size: int, overwrite: bool = False) -> DiskFile:
+        self._assert_writable()
         if name in self._files and not overwrite:
             raise StorageError(f"file {name!r} already exists")
         if name in self._files:
@@ -281,6 +316,7 @@ class PersistentBlockDevice(BlockDevice):
         return f
 
     def delete(self, name: str) -> None:
+        self._assert_writable()
         f = self._files.get(name)
         if f is None:
             raise StorageError(f"no such file: {name!r}")
@@ -294,6 +330,7 @@ class PersistentBlockDevice(BlockDevice):
         del self._files[name]
 
     def rename(self, old: str, new: str, overwrite: bool = True) -> None:
+        self._assert_writable()
         f = self.open(old)
         if new in self._files and not overwrite:
             raise StorageError(f"file {new!r} already exists")
@@ -314,8 +351,16 @@ class PersistentBlockDevice(BlockDevice):
     def _handle(self, f: PersistentDiskFile):
         handle = self._handles.get(f.name)
         if handle is None:
-            handle = open(f.path, "r+b")
-            self._handles[f.name] = handle
+            with self._handle_lock:
+                handle = self._handles.get(f.name)
+                if handle is None:
+                    if self.readonly:
+                        # A raw fd read with os.pread — no seek position to
+                        # share, so concurrent readers never interleave.
+                        handle = os.open(f.path, os.O_RDONLY)
+                    else:
+                        handle = open(f.path, "r+b")
+                    self._handles[f.name] = handle
         return handle
 
     def _encode(self, f: PersistentDiskFile, records: Sequence[Record]) -> bytes:
@@ -368,6 +413,7 @@ class PersistentBlockDevice(BlockDevice):
 
     def _append_impl(self, f: DiskFile, records: Sequence[Record]) -> None:
         assert isinstance(f, PersistentDiskFile)
+        self._assert_writable()
         slot, checksum = self._seal(self._encode(f, records))
         handle = self._handle(f)
         handle.seek(f._num_blocks * f.slot_bytes)
@@ -382,8 +428,11 @@ class PersistentBlockDevice(BlockDevice):
     def _read_slot(self, f: PersistentDiskFile, index: int) -> bytes:
         """Read and checksum-verify one slot; returns the payload bytes."""
         handle = self._handle(f)
-        handle.seek(index * f.slot_bytes)
-        slot = handle.read(f.slot_bytes)
+        if isinstance(handle, int):
+            slot = os.pread(handle, f.slot_bytes, index * f.slot_bytes)
+        else:
+            handle.seek(index * f.slot_bytes)
+            slot = handle.read(f.slot_bytes)
         payload = slot[_CRC.size:]
         if len(slot) < f.slot_bytes or _CRC.unpack_from(slot)[0] != zlib.crc32(payload):
             raise CorruptBlockError(f.name, index)
@@ -398,6 +447,7 @@ class PersistentBlockDevice(BlockDevice):
     def _overwrite_impl(self, f: DiskFile, index: int, records: Sequence[Record],
                         sequential: bool) -> None:
         assert isinstance(f, PersistentDiskFile)
+        self._assert_writable()
         slot, checksum = self._seal(self._encode(f, records))
         handle = self._handle(f)
         handle.seek(index * f.slot_bytes)
@@ -417,6 +467,7 @@ class PersistentBlockDevice(BlockDevice):
         touching its CRC prefix — simulated bit-rot; the next
         :meth:`_read_slot` raises :class:`CorruptBlockError`."""
         assert isinstance(f, PersistentDiskFile)
+        self._assert_writable()
         handle = self._handle(f)
         position = index * f.slot_bytes + _CRC.size
         handle.seek(position)
@@ -435,6 +486,7 @@ class PersistentBlockDevice(BlockDevice):
         append lands beyond the manifest's block count, so it is simply
         invisible after reopen.  No I/O is charged."""
         assert isinstance(f, PersistentDiskFile)
+        self._assert_writable()
         slot, _ = self._seal(self._encode(f, records))
         position = (f._num_blocks if index is None else index) * f.slot_bytes
         handle = self._handle(f)
@@ -462,6 +514,7 @@ class PersistentBlockDevice(BlockDevice):
         """Unlink ``.blk`` files not referenced by any live file — the
         debris of writes that never reached a manifest sync before a
         crash.  Returns the number of files removed."""
+        self._assert_writable()
         referenced = {
             f.path.name for f in self._files.values()  # type: ignore[attr-defined]
         }
@@ -471,3 +524,191 @@ class PersistentBlockDevice(BlockDevice):
                 path.unlink()
                 removed += 1
         return removed
+
+
+# -- shared read-only handles ---------------------------------------------
+#
+# The query service holds one persisted device open and serves many
+# sessions from it.  ``open_shared`` hands out refcounted leases on a
+# single read-only PersistentBlockDevice per (directory, block_size);
+# each lease's ``reader()`` wraps the shared device in a ReadOnlyView
+# with its own IOStats ledger, so tenants read the same OS file
+# descriptors while their I/O is accounted separately.
+
+_SHARED_LOCK = threading.Lock()
+_SHARED: Dict[Tuple[str, int], "DeviceHandle"] = {}
+
+
+class DeviceHandle:
+    """A refcounted lease on a shared read-only :class:`PersistentBlockDevice`.
+
+    Obtained from :func:`open_shared`; every holder must :meth:`close`
+    (or use the handle as a context manager).  The underlying device and
+    its file descriptors are closed when the last lease is released.
+    """
+
+    def __init__(self, key: Tuple[str, int], device: PersistentBlockDevice) -> None:
+        self._key = key
+        self.device = device
+        self._refs = 1
+        self._closed = False
+
+    @property
+    def refcount(self) -> int:
+        with _SHARED_LOCK:
+            return self._refs
+
+    def _try_acquire(self) -> bool:
+        # Caller holds _SHARED_LOCK.
+        if self._closed:
+            return False
+        self._refs += 1
+        return True
+
+    def acquire(self) -> "DeviceHandle":
+        """Take one more lease on the same device."""
+        with _SHARED_LOCK:
+            if not self._try_acquire():
+                raise StorageError(
+                    f"device handle for {self._key[0]} is closed"
+                )
+        return self
+
+    def close(self) -> None:
+        """Release this lease; the device closes with the last one."""
+        with _SHARED_LOCK:
+            if self._closed:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            self._closed = True
+            if _SHARED.get(self._key) is self:
+                del _SHARED[self._key]
+        self.device.close()
+
+    def reader(
+        self,
+        stats: Optional[IOStats] = None,
+        budget: Optional[IOBudget] = None,
+    ) -> "ReadOnlyView":
+        """A new per-session reader over the shared device."""
+        return ReadOnlyView(self.device, stats=stats, budget=budget)
+
+    def __enter__(self) -> "DeviceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_shared(
+    directory: PathLike, block_size: int = DEFAULT_BLOCK_SIZE
+) -> DeviceHandle:
+    """Open (or join) the shared read-only device for ``directory``.
+
+    The first caller opens the device; later callers get a new lease on
+    the same one, so N sessions share one set of file descriptors and
+    one in-memory manifest.  Each caller owns exactly one release
+    (:meth:`DeviceHandle.close`).
+    """
+    key = (str(Path(directory).resolve()), block_size)
+    with _SHARED_LOCK:
+        handle = _SHARED.get(key)
+        if handle is not None and handle._try_acquire():
+            return handle
+    # Open outside the registry lock (disk I/O); losing a race here just
+    # means two opens, and the loser's device is closed again.
+    device = PersistentBlockDevice(directory, block_size=block_size, readonly=True)
+    handle = DeviceHandle(key, device)
+    with _SHARED_LOCK:
+        existing = _SHARED.get(key)
+        if existing is not None and existing._try_acquire():
+            winner = existing
+        else:
+            _SHARED[key] = handle
+            return handle
+    device.close()
+    return winner
+
+
+class ReadOnlyView:
+    """A per-session reader over a shared read-only device.
+
+    Looks like a :class:`~repro.io.blocks.BlockDevice` to every reading
+    code path (:class:`~repro.io.files.ExternalFile`,
+    :class:`~repro.baselines.node_table.NodeTable`, ...), but delegates
+    the physical slot reads to the shared base device while charging its
+    *own* :class:`IOStats` ledger — the unit of per-tenant accounting.
+    All mutators raise :class:`StorageError`.
+    """
+
+    def __init__(
+        self,
+        base: PersistentBlockDevice,
+        stats: Optional[IOStats] = None,
+        budget: Optional[IOBudget] = None,
+    ) -> None:
+        if not base.readonly:
+            raise StorageError("ReadOnlyView requires a readonly base device")
+        self._base = base
+        self.block_size = base.block_size
+        self.stats = stats if stats is not None else IOStats()
+        if budget is not None:
+            self.stats.budget = budget
+        self.pool = None  # no shared buffer pool: charges stay per-session
+        self.default_codec = base.default_codec
+
+    # -- namespace (delegated, read-only) ---------------------------------
+
+    def open(self, name: str) -> DiskFile:
+        return self._base.open(name)
+
+    def exists(self, name: str) -> bool:
+        return self._base.exists(name)
+
+    def list_files(self) -> List[str]:
+        return self._base.list_files()
+
+    def total_blocks(self) -> int:
+        return self._base.total_blocks()
+
+    # -- block I/O ---------------------------------------------------------
+
+    def read_block(self, f: DiskFile, index: int, sequential: bool) -> Sequence[Record]:
+        """Read one block of the shared device, charged to *this* ledger."""
+        assert isinstance(f, PersistentDiskFile)
+        self._base._assert_live(f)
+        if not 0 <= index < f.num_blocks:
+            raise StorageError(
+                f"block {index} out of range for {f.name!r} ({f.num_blocks} blocks)"
+            )
+        payload = self._base._read_slot(f, index)
+        self.stats.record_read(sequential=sequential)
+        return self._base._decode(f, payload)
+
+    # -- rejected mutators -------------------------------------------------
+
+    def _reject(self, operation: str):
+        raise StorageError(
+            f"read-only session view of {self._base.directory}: {operation} rejected"
+        )
+
+    def create(self, name: str, record_size: int, overwrite: bool = False):
+        self._reject("create")
+
+    def delete(self, name: str) -> None:
+        self._reject("delete")
+
+    def rename(self, old: str, new: str, overwrite: bool = True) -> None:
+        self._reject("rename")
+
+    def temp_name(self, prefix: str = "tmp") -> str:
+        self._reject("temp_name")
+
+    def append_block(self, f: DiskFile, records: Sequence[Record]) -> None:
+        self._reject("append_block")
+
+    def overwrite_block(self, f: DiskFile, index: int, records: Sequence[Record],
+                        sequential: bool = False) -> None:
+        self._reject("overwrite_block")

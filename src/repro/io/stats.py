@@ -174,6 +174,28 @@ class IOSnapshot:
             rand_writes=self.rand_writes - other.rand_writes,
         )
 
+    def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
+        """Counter-wise sum — how the service rolls per-tenant ledgers up
+        into one service-level view."""
+        return IOSnapshot(
+            seq_reads=self.seq_reads + other.seq_reads,
+            seq_writes=self.seq_writes + other.seq_writes,
+            rand_reads=self.rand_reads + other.rand_reads,
+            rand_writes=self.rand_writes + other.rand_writes,
+        )
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-friendly counters plus the derived totals."""
+        return {
+            "seq_reads": self.seq_reads,
+            "seq_writes": self.seq_writes,
+            "rand_reads": self.rand_reads,
+            "rand_writes": self.rand_writes,
+            "sequential": self.sequential,
+            "random": self.random,
+            "total": self.total,
+        }
+
 
 class IOStats:
     """Mutable ledger of block I/Os performed on a simulated device.

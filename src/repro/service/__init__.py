@@ -1,0 +1,42 @@
+"""Multi-tenant graph query service.
+
+The long-running counterpart of the one-shot CLI: a daemon holds one
+persisted label store open (shared read-only device handles, see
+:func:`repro.io.persistent.open_shared`) and serves ``scc-label`` /
+``same-component`` / ``reachable`` / ``topo-order`` point queries to many
+concurrent clients.
+
+Layers, bottom up:
+
+* :mod:`repro.service.store` — builds and opens the persisted label
+  store (SCC labels, condensation edges, topological layers + fence-key
+  metadata) and owns the boot-time reachability index;
+* :mod:`repro.service.session` — per-tenant sessions, each with its own
+  :class:`~repro.io.stats.IOStats` ledger and optional
+  :class:`~repro.io.stats.IOBudget` admission control, rolled up into a
+  service-level view;
+* :mod:`repro.service.batch` — the batched execution path: point
+  lookups are deduplicated, sorted by block, and answered with one read
+  per distinct block (O(sorted scan) instead of N seeks), behind an LRU
+  :class:`~repro.io.cache.LabelCache`;
+* :mod:`repro.service.daemon` / :mod:`repro.service.client` — the
+  JSON-lines TCP surface and its thin client (``scc serve`` /
+  ``scc query``).
+"""
+
+from repro.service.batch import BatchCollector, BatchEngine
+from repro.service.client import ServiceClient
+from repro.service.daemon import QueryDaemon
+from repro.service.session import SessionManager, TenantSession
+from repro.service.store import LabelStore, build_store
+
+__all__ = [
+    "BatchCollector",
+    "BatchEngine",
+    "LabelStore",
+    "QueryDaemon",
+    "ServiceClient",
+    "SessionManager",
+    "TenantSession",
+    "build_store",
+]

@@ -1,0 +1,173 @@
+"""Thin synchronous client for the query daemon.
+
+Speaks the JSON-lines protocol of :mod:`repro.service.daemon` over one
+TCP connection, owns at most one session, and keeps the per-session
+accounting (`--trace-json`-style) one call away::
+
+    with ServiceClient(port=port) as client:
+        client.open_session("tenant-a", io_budget=1000)
+        labels = client.scc_label([1, 2, 3])
+        print(client.session_stats()["io"]["total"])
+
+Error responses raise: ``throttled`` becomes
+:class:`~repro.exceptions.IOBudgetExceeded`, ``unknown-node`` /
+``unknown-session`` their dedicated classes, anything else
+:class:`~repro.exceptions.ServiceProtocolError`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import (
+    IOBudgetExceeded,
+    ServiceProtocolError,
+    UnknownNodeError,
+    UnknownSessionError,
+)
+
+__all__ = ["ServiceClient"]
+
+
+def _raise_for(error: str, message: str) -> None:
+    if error == "throttled":
+        # Rebuild the server-side exception with its original message
+        # (the used/budget numbers live in the text).
+        exc = IOBudgetExceeded.__new__(IOBudgetExceeded)
+        Exception.__init__(exc, message)
+        raise exc
+    if error == "unknown-node":
+        raise UnknownNodeError(_leading_int(message))
+    if error == "unknown-session":
+        raise UnknownSessionError(message)
+    raise ServiceProtocolError(f"{error}: {message}")
+
+
+def _leading_int(message: str) -> int:
+    for token in message.split():
+        try:
+            return int(token)
+        except ValueError:
+            continue
+    return -1
+
+
+class ServiceClient:
+    """One connection + one optional session against a running daemon."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self.session: Optional[str] = None
+
+    # -- transport ---------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """One request/response round trip; raises on error responses."""
+        self._sock.sendall((json.dumps(payload) + "\n").encode("ascii"))
+        line = self._rfile.readline()
+        if not line:
+            raise ServiceProtocolError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            _raise_for(
+                response.get("error", "error"), response.get("message", "")
+            )
+        return response
+
+    def _session_payload(self, payload: dict) -> dict:
+        if self.session is None:
+            raise ServiceProtocolError("open_session first")
+        payload["session"] = self.session
+        return payload
+
+    # -- session lifecycle -------------------------------------------------
+
+    def open_session(
+        self, tenant: str = "default", io_budget: Optional[int] = None
+    ) -> str:
+        """Open (and remember) a session; returns its id."""
+        payload: dict = {"op": "open-session", "tenant": tenant}
+        if io_budget is not None:
+            payload["io_budget"] = io_budget
+        self.session = self.request(payload)["session"]
+        return self.session
+
+    def close_session(self) -> Optional[dict]:
+        """Close the session; returns its final ledger (None if unopened)."""
+        if self.session is None:
+            return None
+        response = self.request(
+            self._session_payload({"op": "close-session"})
+        )
+        self.session = None
+        return response["ledger"]
+
+    # -- queries -----------------------------------------------------------
+
+    def scc_label(self, nodes: Sequence[int]) -> Dict[int, Optional[int]]:
+        response = self.request(
+            self._session_payload({"op": "scc-label", "nodes": list(nodes)})
+        )
+        return {int(node): label for node, label in response["labels"].items()}
+
+    def same_component(self, u: int, v: int) -> bool:
+        return self.request(
+            self._session_payload({"op": "same-component", "u": u, "v": v})
+        )["same"]
+
+    def reachable(self, u: int, v: int) -> bool:
+        return self.request(
+            self._session_payload({"op": "reachable", "u": u, "v": v})
+        )["reachable"]
+
+    def topo_order(
+        self, nodes: Sequence[int]
+    ) -> Dict[int, Optional[Tuple[int, int]]]:
+        response = self.request(
+            self._session_payload({"op": "topo-order", "nodes": list(nodes)})
+        )
+        return {
+            int(node): (tuple(order) if order is not None else None)
+            for node, order in response["orders"].items()
+        }
+
+    # -- accounting --------------------------------------------------------
+
+    def session_stats(self) -> dict:
+        return self.request(self._session_payload({"op": "session-stats"}))[
+            "ledger"
+        ]
+
+    def server_stats(self) -> dict:
+        return self.request({"op": "server-stats"})["stats"]
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"})["ok"])
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop serving (acknowledged before it stops)."""
+        self.request({"op": "shutdown"})
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            if self.session is not None:
+                self.close_session()
+        except Exception:
+            pass
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,161 @@
+"""Per-tenant sessions and the service-level ledger roll-up.
+
+Every client session owns its own :class:`~repro.io.stats.IOStats`
+ledger; the batch engine charges a session for the distinct blocks *its*
+lookups needed before performing any physical read, so an
+:class:`~repro.io.stats.IOBudget`-capped tenant is throttled at
+admission time — its denied batch performs zero I/O and other tenants'
+batches in the same epoch are unaffected.
+
+Because block reads are shared across tenants within an epoch (two
+sessions asking for nodes in the same block pay one physical read), the
+*attributed* roll-up over sessions is an upper bound on the service's
+physical ledger; with a single tenant the two are equal.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.exceptions import IOBudgetExceeded, UnknownSessionError
+from repro.io.stats import IOBudget, IOSnapshot, IOStats
+
+__all__ = ["SessionManager", "TenantSession"]
+
+
+class TenantSession:
+    """One tenant's open session: an I/O ledger plus admission control.
+
+    Args:
+        session_id: the service-assigned id (``"s1"``, ``"s2"``, ...).
+        tenant: the tenant name the client declared.
+        io_budget: optional cap on the session's attributed block I/Os;
+            a batch that would cross it is rejected whole at admission.
+    """
+
+    def __init__(
+        self, session_id: str, tenant: str, io_budget: Optional[int] = None
+    ) -> None:
+        self.id = session_id
+        self.tenant = tenant
+        self.stats = IOStats(
+            budget=IOBudget(io_budget) if io_budget is not None else None
+        )
+        self.queries = 0
+        self.lookups = 0
+        self.cache_hits = 0
+        self.throttled = 0
+        self.created = time.time()
+
+    def admit_read_blocks(self, blocks: int, sequential: bool) -> None:
+        """Charge ``blocks`` attributed reads, or throttle.
+
+        The admission check runs *before* the charge: a rejected batch
+        leaves the ledger untouched (it performs no I/O), so a session's
+        counters always equal the block reads actually done on its
+        behalf and never exceed its budget.
+        """
+        budget = self.stats.budget
+        if budget is not None and self.stats.total + blocks > budget.max_ios:
+            self.throttled += 1
+            self.stats.health.record_event(
+                f"throttled: batch of {blocks} blocks would exceed "
+                f"budget {budget.max_ios} (used {self.stats.total})"
+            )
+            raise IOBudgetExceeded(self.stats.total + blocks, budget.max_ios)
+        if blocks:
+            self.stats.record_read(sequential=sequential, blocks=blocks)
+
+    def note_query(self, lookups: int, cache_hits: int) -> None:
+        """Record one answered query of ``lookups`` point lookups."""
+        self.queries += 1
+        self.lookups += lookups
+        self.cache_hits += cache_hits
+
+    def ledger(self) -> dict:
+        """The session's JSON-friendly per-tenant accounting view."""
+        budget = self.stats.budget
+        return {
+            "session": self.id,
+            "tenant": self.tenant,
+            "io": self.stats.snapshot().to_dict(),
+            "queries": self.queries,
+            "lookups": self.lookups,
+            "cache_hits": self.cache_hits,
+            "throttled": self.throttled,
+            "io_budget": budget.max_ios if budget is not None else None,
+            "events": list(self.stats.health.events),
+        }
+
+
+class SessionManager:
+    """The open-session table plus the closed-session residue.
+
+    Closing a session folds its counters into the residue totals, so the
+    service-level roll-up is stable across session churn.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, TenantSession] = {}
+        self._counter = 0
+        self._closed_io = IOSnapshot()
+        self._closed_queries = 0
+        self._closed_lookups = 0
+        self._closed_throttled = 0
+
+    def create(
+        self, tenant: str, io_budget: Optional[int] = None
+    ) -> TenantSession:
+        """Open a session for ``tenant`` and return it."""
+        with self._lock:
+            self._counter += 1
+            session = TenantSession(f"s{self._counter}", tenant, io_budget)
+            self._sessions[session.id] = session
+            return session
+
+    def get(self, session_id: str) -> TenantSession:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise UnknownSessionError(session_id)
+        return session
+
+    def close(self, session_id: str) -> dict:
+        """Close a session; returns its final ledger."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+            if session is None:
+                raise UnknownSessionError(session_id)
+            self._closed_io = self._closed_io + session.stats.snapshot()
+            self._closed_queries += session.queries
+            self._closed_lookups += session.lookups
+            self._closed_throttled += session.throttled
+        return session.ledger()
+
+    def sessions(self) -> List[TenantSession]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def roll_up(self) -> dict:
+        """The service-level view: every open ledger plus the residue.
+
+        ``attributed`` sums the per-session snapshots with
+        :meth:`IOSnapshot.__add__`; block sharing across tenants makes it
+        an upper bound on the physical service ledger.
+        """
+        sessions = self.sessions()
+        attributed = self._closed_io
+        for session in sessions:
+            attributed = attributed + session.stats.snapshot()
+        return {
+            "open_sessions": len(sessions),
+            "attributed": attributed.to_dict(),
+            "queries": self._closed_queries + sum(s.queries for s in sessions),
+            "lookups": self._closed_lookups + sum(s.lookups for s in sessions),
+            "throttled": self._closed_throttled
+            + sum(s.throttled for s in sessions),
+            "sessions": [s.ledger() for s in sessions],
+        }

@@ -135,6 +135,61 @@ class TestCostModelPipeline:
         assert large > small
 
 
+class TestMultiBfsMemoryTrade:
+    """The cost model prices the multi-bfs mask-column memory trade via
+    the solver's own ``source_budget`` (satellite: pinned pricing)."""
+
+    def test_source_budget_delegation_pinned(self):
+        # n=1000, B=1024, M = 8n + B + 2000: spare = 2000 bytes, each
+        # batch of 8 sources costs 2n = 2000 mask bytes -> S = 8.
+        model = CostModel(block_size=1024, memory_bytes=8 * 1000 + 1024 + 2000)
+        assert model.multi_bfs_sources(1000) == 8
+        assert model.multi_bfs_mask_bytes(1000, 8) == 2000
+        # Covering the requested 64-source batch at 8 per round takes
+        # ceil(64 / 8) = 8 rounds of edge scans.
+        assert model.multi_bfs_round_factor(1000) == 8
+
+    def test_matches_solver_source_budget(self):
+        from repro.io.memory import MemoryBudget
+        from repro.semi_external.multi_bfs import source_budget
+
+        for nbytes in (8 * 500 + 64 + 1, 8 * 500 + 64 + 500, 1 << 20):
+            model = CostModel(block_size=64, memory_bytes=nbytes)
+            assert model.multi_bfs_sources(500) == source_budget(
+                500, MemoryBudget(nbytes), 64
+            )
+
+    def test_ample_memory_factor_is_one(self):
+        model = CostModel(block_size=1024, memory_bytes=1 << 20)
+        assert model.multi_bfs_round_factor(1000) == 1
+        # ... so the multi-bfs price collapses to the plain semi-SCC one.
+        assert model.semi_scc_multi_bfs(5000, 1000, 3) == model.semi_scc(5000, 3)
+
+    def test_tight_memory_scales_semi_scc(self):
+        model = CostModel(block_size=1024, memory_bytes=8 * 1000 + 1024 + 2000)
+        assert model.semi_scc_multi_bfs(5000, 1000, 3) == 8 * model.semi_scc(5000, 3)
+
+    def test_makespan_solver_aware(self):
+        from repro.core.ext_scc import IterationRecord
+        from repro.io.stats import IOSnapshot
+
+        record = IterationRecord(
+            level=1, num_nodes=2000, num_edges=8000,
+            next_num_nodes=1000, next_num_edges=5000, io=IOSnapshot(),
+        )
+        tight = CostModel(block_size=1024, memory_bytes=8 * 1000 + 1024 + 2000)
+        plain = tight.ext_scc_makespan([record], workers=1)
+        bfs = tight.ext_scc_makespan(
+            [record], workers=1, solver="multi-bfs", final_nodes=1000
+        )
+        extra = 8 * tight.semi_scc(5000, 3) - tight.semi_scc(5000, 3)
+        assert bfs == plain + extra
+        # Non-multi-bfs solvers are priced exactly as before.
+        assert tight.ext_scc_makespan(
+            [record], workers=1, solver="spanning-tree", final_nodes=1000
+        ) == plain
+
+
 class TestDegreeStats:
     def test_star_graph(self, device, memory):
         edges = [(0, i) for i in range(1, 9)]

@@ -582,3 +582,108 @@ class TestFaultExitCodes:
                      "--fault-policy", "retries=2"])
         assert code == 5
         assert "retries exhausted" in capsys.readouterr().err
+
+
+class TestServeAndQuery:
+    EDGES = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)]
+
+    def build(self, tmp_path, capsys):
+        edge_path = tmp_path / "edges.txt"
+        write_edge_text(edge_path, self.EDGES)
+        rc = main(["serve", str(tmp_path / "store"),
+                   "--build", str(edge_path), "--build-only",
+                   "--block-size", "64"])
+        assert rc == 0
+        assert "store built" in capsys.readouterr().err
+        return tmp_path / "store"
+
+    def serve(self, store_dir):
+        from repro.service import LabelStore, QueryDaemon
+
+        store = LabelStore(store_dir)
+        daemon = QueryDaemon(store, epoch_seconds=0.001, owns_store=True)
+        daemon.start()
+        return daemon
+
+    def test_build_only(self, tmp_path, capsys):
+        store_dir = self.build(tmp_path, capsys)
+        assert (store_dir / "service-meta.json").exists()
+
+    def test_query_labels(self, tmp_path, capsys):
+        daemon = self.serve(self.build(tmp_path, capsys))
+        try:
+            rc = main(["query", "scc-label", "0", "1", "3", "9",
+                       "--port", str(daemon.address[1])])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "0 0" in out and "3 3" in out and "9 -" in out
+        finally:
+            daemon.close()
+
+    def test_query_relations_and_stats(self, tmp_path, capsys):
+        daemon = self.serve(self.build(tmp_path, capsys))
+        port = str(daemon.address[1])
+        try:
+            assert main(["query", "same-component", "0", "2",
+                         "--port", port]) == 0
+            assert "same" in capsys.readouterr().out
+            assert main(["query", "reachable", "0", "4", "--port", port]) == 0
+            assert "reachable" in capsys.readouterr().out
+            assert main(["query", "topo-order", "0", "3",
+                         "--port", port]) == 0
+            out = capsys.readouterr().out
+            assert "layer=" in out
+            assert main(["query", "server-stats", "--port", port]) == 0
+            assert "physical I/O" in capsys.readouterr().out
+        finally:
+            daemon.close()
+
+    def test_query_trace_json(self, tmp_path, capsys):
+        import json
+
+        daemon = self.serve(self.build(tmp_path, capsys))
+        trace = tmp_path / "trace.json"
+        try:
+            rc = main(["query", "scc-label", "0", "--port",
+                       str(daemon.address[1]), "--tenant", "acme",
+                       "--trace-json", str(trace)])
+            assert rc == 0
+            payload = json.loads(trace.read_text())
+            assert payload["session"]["tenant"] == "acme"
+            assert "physical_io" in payload["server"]
+        finally:
+            daemon.close()
+
+    def test_query_unknown_node_exit_2(self, tmp_path, capsys):
+        daemon = self.serve(self.build(tmp_path, capsys))
+        try:
+            rc = main(["query", "same-component", "99", "0",
+                       "--port", str(daemon.address[1])])
+            assert rc == 2
+            assert "not in the label store" in capsys.readouterr().err
+        finally:
+            daemon.close()
+
+    def test_query_throttled_exit_2(self, tmp_path, capsys):
+        daemon = self.serve(self.build(tmp_path, capsys))
+        try:
+            rc = main(["query", "scc-label", "0", "--port",
+                       str(daemon.address[1]), "--io-budget", "0"])
+            # The daemon's label cache may already hold node 0 from no
+            # prior query here — cold store, so the lookup needs a read.
+            assert rc == 2
+            assert "budget" in capsys.readouterr().err
+        finally:
+            daemon.close()
+
+    def test_query_arity_validation(self, tmp_path, capsys):
+        rc = main(["query", "same-component", "1", "--port", "1"])
+        assert rc == 2
+        assert "exactly two" in capsys.readouterr().err
+        rc = main(["query", "scc-label", "--port", "1"])
+        assert rc == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_query_connection_refused_exit_2(self, tmp_path):
+        # Port 1 is never listening; OSError maps to exit 2.
+        assert main(["query", "server-stats", "--port", "1"]) == 2

@@ -130,3 +130,83 @@ class TestDirtyWriteBack:
         pool.mark_dirty(0)
         pool.drop()
         assert f.read_block_random(0)[0] == (0, 0)
+
+
+class TestLabelCache:
+    def make(self, capacity=4):
+        from repro.io.cache import LabelCache
+
+        return LabelCache(capacity)
+
+    def test_miss_sentinel_distinguishes_cached_none(self):
+        from repro.io.cache import LabelCache
+
+        cache = self.make()
+        assert cache.get(1) is LabelCache.MISSING
+        cache.put(1, None)  # negative result: node unknown to the store
+        assert cache.get(1) is None
+
+    def test_put_get_roundtrip(self):
+        cache = self.make()
+        cache.put(1, (1, 5))
+        assert cache.get(1) == (1, 5)
+
+    def test_lru_eviction_order(self):
+        from repro.io.cache import LabelCache
+
+        cache = self.make(capacity=2)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        cache.get(1)        # 1 becomes most-recent
+        cache.put(3, "c")   # evicts 2
+        assert cache.get(2) is LabelCache.MISSING
+        assert cache.get(1) == "a"
+        assert cache.get(3) == "c"
+
+    def test_zero_capacity_disables(self):
+        from repro.io.cache import LabelCache
+
+        cache = self.make(capacity=0)
+        cache.put(1, "a")
+        assert cache.get(1) is LabelCache.MISSING
+
+    def test_hit_rate_zero_lookup_safe(self):
+        cache = self.make()
+        assert cache.hit_rate == 0.0  # no division by zero
+        assert cache.lookups == 0
+
+    def test_hit_rate_counts(self):
+        cache = self.make()
+        cache.get(1)          # miss
+        cache.put(1, "a")
+        cache.get(1)          # hit
+        cache.get(1)          # hit
+        assert cache.lookups == 3
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_clear_keeps_counters(self):
+        from repro.io.cache import LabelCache
+
+        cache = self.make()
+        cache.put(1, "a")
+        cache.get(1)
+        cache.clear()
+        assert cache.get(1) is LabelCache.MISSING
+        assert cache.lookups == 2  # counters survive the flush
+
+    def test_update_moves_to_front(self):
+        from repro.io.cache import LabelCache
+
+        cache = self.make(capacity=2)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        cache.put(1, "a2")   # refresh 1
+        cache.put(3, "c")    # evicts 2, not 1
+        assert cache.get(1) == "a2"
+        assert cache.get(2) is LabelCache.MISSING
+
+
+class TestBufferPoolHitRateZeroSafety:
+    def test_zero_access_rate(self, device):
+        pool = BufferPool(make_file(device), capacity_blocks=2)
+        assert pool.hit_rate == 0.0

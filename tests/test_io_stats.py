@@ -171,3 +171,54 @@ class TestMergePassCounters:
         stats.record_merge_pass(50)  # passes are bookkeeping, not I/Os
         stats.record_read(sequential=True)
         assert stats.total == 1
+
+
+class TestSnapshotRollUp:
+    """``IOSnapshot + IOSnapshot`` powers the service's per-tenant
+    ledger roll-up; ``to_dict`` is its JSON wire form."""
+
+    def test_add_is_counterwise(self):
+        a = IOStats()
+        a.record_read(sequential=True, blocks=2)
+        a.record_write(sequential=False, blocks=3)
+        b = IOStats()
+        b.record_read(sequential=False, blocks=5)
+        total = a.snapshot() + b.snapshot()
+        assert total.seq_reads == 2
+        assert total.rand_writes == 3
+        assert total.rand_reads == 5
+        assert total.total == 10
+
+    def test_add_identity(self):
+        a = IOStats()
+        a.record_read(sequential=True)
+        snap = a.snapshot()
+        summed = snap + IOSnapshot()
+        assert summed.total == snap.total
+        assert summed.seq_reads == snap.seq_reads
+
+    def test_to_dict_round_trips_counters(self):
+        stats = IOStats()
+        stats.record_read(sequential=True, blocks=2)
+        stats.record_read(sequential=False)
+        stats.record_write(sequential=True, blocks=4)
+        d = stats.snapshot().to_dict()
+        assert d["seq_reads"] == 2
+        assert d["rand_reads"] == 1
+        assert d["seq_writes"] == 4
+        assert d["rand_writes"] == 0
+        assert d["sequential"] == 6
+        assert d["random"] == 1
+        assert d["total"] == 7
+
+    def test_sum_of_many_sessions(self):
+        parts = []
+        for k in range(5):
+            s = IOStats()
+            s.record_read(sequential=False, blocks=k + 1)
+            parts.append(s.snapshot())
+        total = IOSnapshot()
+        for part in parts:
+            total = total + part
+        assert total.rand_reads == 1 + 2 + 3 + 4 + 5
+        assert total.to_dict()["total"] == 15

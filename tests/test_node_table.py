@@ -110,3 +110,100 @@ class TestStress:
                 table.update(node, updated)
             else:
                 assert table.get(node) == oracle[node]
+
+
+class TestBatchLookups:
+    def test_get_batch_matches_pointwise(self, device):
+        table, records = make_table(device, n=60, memory_bytes=128)
+        nodes = [r[0] for r in records] + [1, 10, 10_000]
+        batched = table.get_batch(nodes)
+        assert batched == {n: table.get(n) for n in set(nodes)}
+
+    def test_get_batch_reads_each_block_once(self, device):
+        table, records = make_table(device, n=60, memory_bytes=128)
+        table.get_batch([r[0] for r in records])  # warms the lazy fence
+        assert table.batch_block_reads == table.file.num_blocks
+        assert table.batch_lookups == len(records)
+        before = device.stats.snapshot()
+        table.get_batch([r[0] for r in records])
+        # Fence warm: exactly one data read per block, nothing to locate.
+        assert (device.stats.snapshot() - before).total == table.file.num_blocks
+
+    def test_get_batch_dedupes(self, device):
+        table, _ = make_table(device)
+        table.get_batch([9])  # warm the fence
+        before = device.stats.snapshot()
+        result = table.get_batch([9, 9, 9, 9])
+        assert result == {9: (9, 3, 6, 0)}
+        assert (device.stats.snapshot() - before).total == 1
+
+    def test_single_block_batch_is_random_read(self, device):
+        table, _ = make_table(device, n=60, memory_bytes=128)
+        table.get_batch([0])  # warm the fence
+        before = device.stats.snapshot()
+        table.get_batch([0])
+        delta = device.stats.snapshot() - before
+        assert delta.rand_reads == 1
+        assert delta.seq_reads == 0
+
+    def test_multi_block_batch_is_sequential(self, device):
+        table, records = make_table(device, n=60, memory_bytes=128)
+        table.get_batch([r[0] for r in records])  # warm the fence
+        before = device.stats.snapshot()
+        table.get_batch([r[0] for r in records])
+        delta = device.stats.snapshot() - before
+        assert delta.seq_reads == table.file.num_blocks
+        assert delta.rand_reads == 0
+
+    def test_empty_and_absent_batches(self, device):
+        table, _ = make_table(device)
+        assert table.get_batch([]) == {}
+        assert table.get_batch([1, 2]) == {1: None, 2: None}
+
+    def test_empty_table_batch(self, device):
+        table = NodeTable(device, [], 16, MemoryBudget(512))
+        assert table.get_batch([3, 4]) == {3: None, 4: None}
+
+
+class TestOpenWithFences:
+    def test_open_existing_file(self, device):
+        table, records = make_table(device)
+        reopened = NodeTable.open(
+            device, table.file.name, MemoryBudget(512)
+        )
+        assert reopened.get(9) == (9, 3, 6, 0)
+
+    def test_fence_prefill_avoids_probe_reads(self, device):
+        table, records = make_table(device, n=60, memory_bytes=128)
+        fence = [
+            block[0][0] for block in table.file.scan_blocks() if block
+        ]
+        fresh = NodeTable.open(
+            device, table.file.name, MemoryBudget(128), fence=fence
+        )
+        before = device.stats.snapshot()
+        fresh.get_batch([r[0] for r in records])
+        # Locating blocks costs nothing; only the data reads are paid.
+        assert (device.stats.snapshot() - before).total == fresh.file.num_blocks
+
+    def test_wrong_fence_length_rejected(self, device):
+        table, _ = make_table(device)
+        with pytest.raises(StorageError):
+            NodeTable.open(
+                device, table.file.name, MemoryBudget(512), fence=[0]
+                * (table.file.num_blocks + 1)
+            )
+
+
+class TestHitRateZeroSafety:
+    def test_zero_lookups_is_zero_rate(self, device):
+        table, _ = make_table(device)
+        assert table.cache_hit_rate == 0.0
+        assert table.cache_hits == 0
+        assert table.cache_misses == 0
+
+    def test_rate_after_lookups(self, device):
+        table, _ = make_table(device)
+        table.get(9)
+        table.get(9)
+        assert 0.0 < table.cache_hit_rate <= 1.0

@@ -137,3 +137,195 @@ class TestFullPipeline:
         out = dfs_scc(device, edge_file, node_file, memory)
         assert out.result == reference_sccs(edges, 40)
         assert out.io.random > 0
+
+
+class TestReadOnlyMode:
+    def make_store(self, tmp_path, n=64):
+        records = [(i, i * 10) for i in range(n)]
+        with PersistentBlockDevice(tmp_path / "store", block_size=64) as device:
+            ExternalFile.from_records(device, "data", records, 8)
+        return records
+
+    def test_readonly_requires_manifest(self, tmp_path):
+        with pytest.raises(StorageError):
+            PersistentBlockDevice(tmp_path / "nope", block_size=64,
+                                  readonly=True)
+
+    def test_readonly_reads_identical(self, tmp_path):
+        records = self.make_store(tmp_path)
+        device = PersistentBlockDevice(tmp_path / "store", block_size=64,
+                                       readonly=True)
+        assert list(ExternalFile.open(device, "data").scan()) == records
+        device.close()
+
+    def test_readonly_rejects_every_mutation(self, tmp_path):
+        self.make_store(tmp_path)
+        device = PersistentBlockDevice(tmp_path / "store", block_size=64,
+                                       readonly=True)
+        ef = ExternalFile.open(device, "data")
+        with pytest.raises(StorageError):
+            device.create("new", 8)
+        with pytest.raises(StorageError):
+            device.delete("data")
+        with pytest.raises(StorageError):
+            device.rename("data", "other")
+        with pytest.raises(StorageError):
+            device.append_block(ef._file, [(1, 1)])
+        with pytest.raises(StorageError):
+            device.overwrite_block(ef._file, 0, [(1, 1)])
+        device.close()
+
+
+class TestSharedHandles:
+    def make_store(self, tmp_path, n=64):
+        records = [(i, i * 10) for i in range(n)]
+        with PersistentBlockDevice(tmp_path / "store", block_size=64) as device:
+            ExternalFile.from_records(device, "data", records, 8)
+        return records
+
+    def test_open_shared_refcounts(self, tmp_path):
+        from repro.io.persistent import open_shared
+
+        self.make_store(tmp_path)
+        h1 = open_shared(tmp_path / "store", 64)
+        h2 = open_shared(tmp_path / "store", 64)
+        assert h1 is h2
+        assert h1.refcount == 2
+        h1.close()
+        assert h1.refcount == 1
+        assert h1._closed is False
+        h1.close()
+        assert h1._closed is True
+
+    def test_reopen_after_full_close(self, tmp_path):
+        from repro.io.persistent import open_shared
+
+        self.make_store(tmp_path)
+        h1 = open_shared(tmp_path / "store", 64)
+        h1.close()
+        h2 = open_shared(tmp_path / "store", 64)
+        assert h2 is not h1
+        h2.close()
+
+    def test_reader_views_have_private_ledgers(self, tmp_path):
+        from repro.io.persistent import open_shared
+
+        self.make_store(tmp_path)
+        handle = open_shared(tmp_path / "store", 64)
+        try:
+            v1, v2 = handle.reader(), handle.reader()
+            ef = ExternalFile.open(v1, "data")
+            ef.read_block_random(0)
+            assert v1.stats.total == 1
+            assert v2.stats.total == 0
+            # The base device's own ledger is not what views charge.
+            assert handle.device.stats.total == 0
+        finally:
+            handle.close()
+
+    def test_view_rejects_mutation(self, tmp_path):
+        from repro.io.persistent import open_shared
+
+        self.make_store(tmp_path)
+        handle = open_shared(tmp_path / "store", 64)
+        try:
+            view = handle.reader()
+            with pytest.raises(StorageError):
+                view.create("new", 8)
+            ef = ExternalFile.open(view, "data")
+            with pytest.raises(StorageError):
+                view.append_block(ef._file, [(1, 1)])
+        finally:
+            handle.close()
+
+
+class TestConcurrentReaders:
+    def test_k_threads_exact_counts_and_identical_bytes(self, tmp_path):
+        """The satellite stress: K clients hammer one read-only device;
+        every thread sees byte-identical records and its private ledger
+        carries exactly the reads it performed."""
+        import threading
+
+        from repro.io.persistent import open_shared
+
+        records = [(i, i * 7) for i in range(128)]  # 16 blocks of 8
+        with PersistentBlockDevice(tmp_path / "store", block_size=64) as dev:
+            ExternalFile.from_records(dev, "data", records, 8)
+        handle = open_shared(tmp_path / "store", 64)
+        K, ROUNDS = 8, 5
+        results = {}
+        ledgers = {}
+        errors = []
+        barrier = threading.Barrier(K)
+
+        def worker(k):
+            try:
+                with open_shared(tmp_path / "store", 64) as h:
+                    view = h.reader()
+                    ef = ExternalFile.open(view, "data")
+                    barrier.wait()
+                    seen = []
+                    for _ in range(ROUNDS):
+                        for b in range(ef.num_blocks):
+                            seen.append(tuple(ef.read_block_random(b)))
+                    results[k] = seen
+                    ledgers[k] = view.stats.snapshot()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(K)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        expected_blocks = [
+            tuple(records[i:i + 8]) for i in range(0, len(records), 8)
+        ]
+        for k in range(K):
+            assert results[k] == expected_blocks * ROUNDS
+            # Views have no buffer pool: every read is charged, exactly.
+            assert ledgers[k].rand_reads == ROUNDS * 16
+            assert ledgers[k].total == ROUNDS * 16
+        assert handle.refcount == 1  # every worker lease released
+        handle.close()
+
+    def test_scan_while_random_read(self, tmp_path):
+        """Concurrent sequential scans and random reads interleave safely
+        (pread has no shared file position)."""
+        import threading
+
+        from repro.io.persistent import open_shared
+
+        records = [(i, i) for i in range(256)]
+        with PersistentBlockDevice(tmp_path / "store", block_size=64) as dev:
+            ExternalFile.from_records(dev, "data", records, 8)
+        handle = open_shared(tmp_path / "store", 64)
+        errors = []
+
+        def scanner():
+            try:
+                view = handle.reader()
+                for _ in range(10):
+                    assert list(ExternalFile.open(view, "data").scan()) == records
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def pecker():
+            try:
+                view = handle.reader()
+                ef = ExternalFile.open(view, "data")
+                for i in range(200):
+                    block = i % ef.num_blocks
+                    assert ef.read_block_random(block)[0] == records[block * 8]
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=scanner) for _ in range(3)]
+        threads += [threading.Thread(target=pecker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        handle.close()
